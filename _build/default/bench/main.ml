@@ -1,0 +1,143 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (DRust, OSDI'24) from the simulator, and runs Bechamel
+   microbenchmarks of the hot protocol paths.
+
+   Usage:
+     dune exec bench/main.exe                        # everything
+     dune exec bench/main.exe -- fig5 table2         # selected experiments
+     dune exec bench/main.exe -- fig5 --out results  # + CSV files
+
+   Experiments: motivation fig5 fig6 fig7 table1 table2 migration
+                ablation traffic ycsb latency micro *)
+
+module E = Drust_experiments
+
+let run_fig5 () = ignore (E.Fig5.run ())
+let run_fig6 () = ignore (E.Fig6.run ())
+let run_fig7 () = ignore (E.Fig7.run ())
+let run_table1 () = ignore (E.Table1.run ())
+let run_table2 () = ignore (E.Table2.run ())
+let run_migration () = ignore (E.Migration.run ())
+let run_motivation () = ignore (E.Motivation.run ())
+let run_ablation () = ignore (E.Ablation.run ())
+let run_traffic () = ignore (E.Traffic.run ())
+let run_ycsb () = ignore (E.Ycsb_suite.run ())
+let run_latency () = ignore (E.Latency.run ())
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks: wall-clock cost of the hot OCaml paths
+   behind each experiment — one Test.make per table/figure family.     *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let rng = Drust_util.Rng.create ~seed:7 in
+  let deref_model =
+    Test.make ~name:"table2:deref-cost-model" (Staged.stage (fun () ->
+        ignore (Drust_core.Deref_cost.sample rng Drust_core.Deref_cost.Drust_box)))
+  in
+  let gaddr_ops =
+    Test.make ~name:"protocol:gaddr-color-ops" (Staged.stage (fun () ->
+        let g = Drust_memory.Gaddr.make ~node:3 ~offset:4096 in
+        let g = Drust_memory.Gaddr.with_color g 7 in
+        ignore (Drust_memory.Gaddr.clear_color (Drust_memory.Gaddr.bump_color g))))
+  in
+  let cache_ops =
+    let cache = Drust_memory.Cache.create ~node:0 in
+    let tag : int Drust_util.Univ.tag = Drust_util.Univ.create_tag ~name:"b" in
+    let g = Drust_memory.Gaddr.make ~node:1 ~offset:64 in
+    let copy = Drust_memory.Cache.insert cache g ~size:64 (Drust_util.Univ.pack tag 1) in
+    ignore copy;
+    Test.make ~name:"fig5:cache-lookup" (Staged.stage (fun () ->
+        ignore (Drust_memory.Cache.lookup cache g)))
+  in
+  let engine_event =
+    Test.make ~name:"sim:schedule-and-step" (Staged.stage (fun () ->
+        let e = Drust_sim.Engine.create () in
+        Drust_sim.Engine.schedule e ~at:1.0 (fun () -> ());
+        ignore (Drust_sim.Engine.step e)))
+  in
+  let protocol_epoch =
+    Test.make ~name:"fig6:protocol-local-write-epoch" (Staged.stage (fun () ->
+        let params =
+          { Drust_machine.Params.default with Drust_machine.Params.nodes = 1 }
+        in
+        let cluster = Drust_machine.Cluster.create params in
+        ignore
+          (Drust_sim.Engine.spawn
+             (Drust_machine.Cluster.engine cluster)
+             (fun () ->
+               let ctx = Drust_machine.Ctx.make cluster ~node:0 in
+               let o =
+                 Drust_core.Protocol.create ctx ~size:64
+                   (Drust_util.Univ.pack
+                      (Drust_util.Univ.create_tag ~name:"x")
+                      0)
+               in
+               Drust_core.Protocol.owner_write ctx o
+                 (Drust_util.Univ.pack (Drust_util.Univ.create_tag ~name:"y") 1)));
+        Drust_machine.Cluster.run cluster))
+  in
+  Test.make_grouped ~name:"drust"
+    [ deref_model; gaddr_ops; cache_ops; engine_event; protocol_epoch ]
+
+let run_micro () =
+  print_newline ();
+  print_endline "=== Bechamel microbenchmarks (host wall-clock) ===";
+  let open Bechamel in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:(Some 500) () in
+  let raw = Benchmark.all cfg instances (bechamel_tests ()) in
+  (* Simple per-test mean report (avoids the notty TTY renderer, which
+     does not work when output is piped to a file). *)
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Printf.printf "  %-40s %10.1f ns/run\n" name est
+      | Some _ | None -> Printf.printf "  %-40s (no estimate)\n" name)
+    results
+
+let experiments =
+  [
+    ("motivation", run_motivation);
+    ("table1", run_table1);
+    ("table2", run_table2);
+    ("fig5", run_fig5);
+    ("fig6", run_fig6);
+    ("fig7", run_fig7);
+    ("migration", run_migration);
+    ("ablation", run_ablation);
+    ("traffic", run_traffic);
+    ("ycsb", run_ycsb);
+    ("latency", run_latency);
+    ("micro", run_micro);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let rec split_args acc = function
+    | "--out" :: dir :: rest ->
+        E.Report.set_csv_dir (Some dir);
+        split_args acc rest
+    | x :: rest -> split_args (x :: acc) rest
+    | [] -> List.rev acc
+  in
+  let requested =
+    match split_args [] args with
+    | [] -> List.map fst experiments
+    | names -> names
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown experiment %S; available: %s\n" name
+            (String.concat " " (List.map fst experiments));
+          exit 1)
+    requested;
+  Printf.printf "\n(total harness wall-clock: %.1f s)\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,89 @@
+(* CLI: run one application on one DSM system with a chosen node count.
+
+   Examples:
+     dune exec bin/drust_sim.exe -- --app kvstore --system drust --nodes 8
+     dune exec bin/drust_sim.exe -- --app dataframe --system gam --nodes 4 *)
+
+module B = Drust_experiments.Bench_setup
+module Appkit = Drust_appkit.Appkit
+open Cmdliner
+
+let app_conv =
+  Arg.enum
+    [
+      ("dataframe", B.Dataframe_app);
+      ("socialnet", B.Socialnet_app);
+      ("gemm", B.Gemm_app);
+      ("kvstore", B.Kvstore_app);
+    ]
+
+let system_conv =
+  Arg.enum
+    [
+      ("drust", B.Drust);
+      ("gam", B.Gam);
+      ("grappa", B.Grappa);
+      ("original", B.Original);
+    ]
+
+let app_t =
+  Arg.(value & opt app_conv B.Kvstore_app & info [ "a"; "app" ] ~doc:"Application")
+
+let system_t =
+  Arg.(value & opt system_conv B.Drust & info [ "s"; "system" ] ~doc:"DSM system")
+
+let nodes = Arg.(value & opt int 8 & info [ "n"; "nodes" ] ~doc:"Cluster size")
+let affinity = Arg.(value & flag & info [ "affinity" ] ~doc:"Enable TBox/spawn_to")
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Deterministic seed")
+
+let trace_n =
+  Arg.(value & opt int 0 & info [ "trace" ] ~doc:"Dump the last N fabric events")
+
+let run app system nodes affinity seed trace_n =
+  let params = B.testbed ~nodes ~seed () in
+  let t0 = Unix.gettimeofday () in
+  (* With --trace the run is repeated on an instrumented cluster so the
+     throughput numbers above stay untraced. *)
+  let r =
+    B.run_app ~affinity app system ~params ~pass_by_value:(system = B.Original)
+  in
+  Printf.printf "%s on %s, %d node(s):\n" (B.app_name app) (B.system_name system)
+    nodes;
+  Printf.printf "  ops        : %.0f\n" r.Appkit.ops;
+  Printf.printf "  elapsed    : %.6f virtual s\n" r.Appkit.elapsed;
+  Printf.printf "  throughput : %.1f ops/s\n" r.Appkit.throughput;
+  List.iter (fun (k, v) -> Printf.printf "  %-10s : %.3f\n" k v) r.Appkit.extra;
+  Printf.printf "  (wall-clock: %.2f s)\n" (Unix.gettimeofday () -. t0);
+  if trace_n > 0 then begin
+    let module Cluster = Drust_machine.Cluster in
+    let module Trace = Drust_sim.Trace in
+    let cluster = Cluster.create params in
+    let trace = Trace.create ~capacity:(max 16 trace_n) (Cluster.engine cluster) in
+    Trace.enable trace;
+    Drust_net.Fabric.set_trace (Cluster.fabric cluster) (Some trace);
+    let backend = B.make_backend system cluster in
+    (match app with
+    | B.Dataframe_app ->
+        ignore
+          (Drust_dataframe.Dataframe.run ~cluster ~backend
+             Drust_dataframe.Dataframe.default_config)
+    | B.Socialnet_app ->
+        ignore
+          (Drust_socialnet.Socialnet.run ~cluster ~backend
+             Drust_socialnet.Socialnet.default_config)
+    | B.Gemm_app ->
+        ignore (Drust_gemm.Gemm.run ~cluster ~backend Drust_gemm.Gemm.default_config)
+    | B.Kvstore_app ->
+        ignore
+          (Drust_kvstore.Kvstore.run ~cluster ~backend
+             Drust_kvstore.Kvstore.default_config));
+    Format.printf "%a@." (Trace.dump ~limit:trace_n) trace
+  end
+
+let cmd =
+  Cmd.v
+    (Cmd.info "drust_sim"
+       ~doc:"Run a DRust evaluation application on the simulated cluster")
+    Term.(const run $ app_t $ system_t $ nodes $ affinity $ seed $ trace_n)
+
+let () = exit (Cmd.eval cmd)

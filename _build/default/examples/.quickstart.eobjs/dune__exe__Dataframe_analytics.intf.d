@@ -1,0 +1,1 @@
+examples/dataframe_analytics.mli:

@@ -1,0 +1,1 @@
+examples/gemm_compute.ml: Drust_appkit Drust_experiments Drust_gemm Drust_machine Drust_util Float Format List Printf

@@ -1,0 +1,1 @@
+examples/gemm_compute.mli:

@@ -1,0 +1,1 @@
+examples/kv_service.ml: Drust_appkit Drust_experiments Drust_kvstore Drust_machine Drust_util Drust_workloads Float Format List Printf

@@ -1,0 +1,1 @@
+examples/linked_list.ml: Array Drust_core Drust_machine Drust_sim Drust_util Format Printf

@@ -1,0 +1,1 @@
+examples/linked_list.mli:

@@ -1,0 +1,1 @@
+examples/protocol_trace.ml: Drust_core Drust_machine Drust_memory Drust_net Drust_sim Drust_util List Option Printf

@@ -1,0 +1,1 @@
+examples/protocol_trace.mli:

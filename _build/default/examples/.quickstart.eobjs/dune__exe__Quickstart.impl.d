@@ -1,0 +1,1 @@
+examples/quickstart.ml: Drust_core Drust_machine Drust_memory Drust_runtime Drust_sim Drust_util Format Printf

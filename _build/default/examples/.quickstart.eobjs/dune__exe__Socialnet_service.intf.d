@@ -1,0 +1,1 @@
+examples/socialnet_service.mli:

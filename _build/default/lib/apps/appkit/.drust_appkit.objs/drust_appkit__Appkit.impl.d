@@ -1,0 +1,1 @@
+lib/apps/appkit/appkit.ml: Array Drust_machine Drust_sim Drust_util Float Hashtbl

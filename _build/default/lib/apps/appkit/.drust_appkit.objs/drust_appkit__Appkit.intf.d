@@ -1,0 +1,1 @@
+lib/apps/appkit/appkit.mli: Drust_machine Drust_util

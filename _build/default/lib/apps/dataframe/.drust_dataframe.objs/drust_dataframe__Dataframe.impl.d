@@ -1,0 +1,1 @@
+lib/apps/dataframe/dataframe.ml: Array Drust_appkit Drust_dsm Drust_machine Drust_runtime Drust_sim Drust_util Float Fun List

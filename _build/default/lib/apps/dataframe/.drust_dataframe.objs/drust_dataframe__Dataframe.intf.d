@@ -1,0 +1,1 @@
+lib/apps/dataframe/dataframe.mli: Drust_appkit Drust_dsm Drust_machine

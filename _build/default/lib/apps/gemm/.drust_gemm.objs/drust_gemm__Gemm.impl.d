@@ -1,0 +1,1 @@
+lib/apps/gemm/gemm.ml: Array Drust_appkit Drust_dsm Drust_machine Drust_runtime Drust_util Float Fun List

@@ -1,0 +1,1 @@
+lib/apps/gemm/gemm.mli: Drust_appkit Drust_dsm Drust_machine

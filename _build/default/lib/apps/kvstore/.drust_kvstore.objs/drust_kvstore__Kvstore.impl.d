@@ -1,0 +1,1 @@
+lib/apps/kvstore/kvstore.ml: Array Drust_appkit Drust_dsm Drust_machine Drust_runtime Drust_sim Drust_util Drust_workloads Float List

@@ -1,0 +1,1 @@
+lib/apps/kvstore/kvstore.mli: Drust_appkit Drust_dsm Drust_machine Drust_workloads

@@ -1,0 +1,33 @@
+(** KV Store: in-memory key-value cache (the paper's Memcached-like
+    workload, §7.1).
+
+    A chained hash table in shared memory: each bucket object holds its
+    chain of KV pairs and is guarded by a mutex.  Client threads on every
+    node run a YCSB zipf(0.99) load with 90 % GET / 10 % SET.  This is the
+    paper's most DSM-unfriendly application: poor locality (random
+    buckets), low compute intensity, and mutex synchronization that
+    ownership cannot help with — DRust degenerates gracefully thanks to
+    its one-sided-CAS mutexes, while Grappa's hot home cores collapse
+    under the skew. *)
+
+type config = {
+  keys : int;
+  buckets : int;
+  bucket_bytes : int;  (** whole chain: ~4 KV pairs *)
+  ops : int;  (** total operations across all clients *)
+  clients_per_node : int;
+  get_ratio : float;
+  theta : float;
+  intensity : float;  (** cycles per byte to scan/process a chain *)
+  workload : Drust_workloads.Ycsb.workload option;
+      (** [None] = the paper's zipf 90/10 GET/SET mix; [Some w] runs the
+          YCSB core workload [w] (A–F) instead *)
+}
+
+val default_config : config
+
+val run :
+  cluster:Drust_machine.Cluster.t -> backend:Drust_dsm.Dsm.t -> config ->
+  Drust_appkit.Appkit.result
+(** Throughput unit: operations per second.  [extra] reports the GET
+    fraction observed and the hottest-bucket share. *)

@@ -1,0 +1,1 @@
+lib/apps/socialnet/socialnet.mli: Drust_appkit Drust_dsm Drust_machine

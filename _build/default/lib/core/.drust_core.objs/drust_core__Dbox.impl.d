@@ -1,0 +1,1 @@
+lib/core/dbox.ml: Drust_machine Drust_util Protocol

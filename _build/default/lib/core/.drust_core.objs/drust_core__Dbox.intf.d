@@ -1,0 +1,1 @@
+lib/core/dbox.mli: Drust_machine Drust_memory Drust_util Protocol

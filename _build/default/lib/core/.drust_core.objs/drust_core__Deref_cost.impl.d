@@ -1,0 +1,1 @@
+lib/core/deref_cost.ml: Drust_util Float

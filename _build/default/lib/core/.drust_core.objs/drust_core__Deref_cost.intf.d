@@ -1,0 +1,1 @@
+lib/core/deref_cost.mli: Drust_util

@@ -1,0 +1,1 @@
+lib/core/pointer_layout.ml: Bytes Drust_memory Int64

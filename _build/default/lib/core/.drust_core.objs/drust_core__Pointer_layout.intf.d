@@ -1,0 +1,1 @@
+lib/core/pointer_layout.mli: Drust_memory

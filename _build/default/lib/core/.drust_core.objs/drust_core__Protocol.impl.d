@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Array Drust_machine Drust_memory Drust_net Drust_ownership Drust_util Float Format Hashtbl List Printf

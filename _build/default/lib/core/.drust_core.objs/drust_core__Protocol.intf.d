@@ -1,0 +1,1 @@
+lib/core/protocol.mli: Drust_machine Drust_memory Drust_util

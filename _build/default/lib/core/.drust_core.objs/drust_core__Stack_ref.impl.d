@@ -1,0 +1,1 @@
+lib/core/stack_ref.ml: Drust_machine Drust_memory Drust_net Drust_ownership Drust_util

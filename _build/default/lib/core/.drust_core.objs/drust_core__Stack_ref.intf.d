@@ -1,0 +1,1 @@
+lib/core/stack_ref.mli: Drust_machine Drust_util

@@ -1,0 +1,1 @@
+lib/core/unsafe_prims.ml: Drust_machine Drust_memory Drust_net

@@ -1,0 +1,1 @@
+lib/core/unsafe_prims.mli: Drust_machine Drust_memory Drust_util

@@ -1,0 +1,30 @@
+module Rng = Drust_util.Rng
+
+type sample_kind = Plain_box | Drust_box
+
+(* Fast path: DRAM access with small gaussian jitter.  Slow tail: an
+   exponential component standing for TLB misses and row-buffer conflicts.
+   Constants fitted to the paper's Table 2 (Rust row: 364/332/496). *)
+let fast_median = 315.0
+let fast_sigma = 20.0
+let slow_probability = 0.30
+let slow_scale = 163.0
+
+let check_overhead_cycles = 31.0
+
+let sample rng kind =
+  let base = Rng.gaussian rng ~mu:fast_median ~sigma:fast_sigma in
+  let tail =
+    if Rng.bernoulli rng ~p:slow_probability then
+      Rng.exponential rng ~mean:slow_scale
+    else 0.0
+  in
+  let check = match kind with Plain_box -> 0.0 | Drust_box -> check_overhead_cycles in
+  Float.max 1.0 (base +. tail +. check)
+
+let collect rng kind ~n =
+  let stats = Drust_util.Stats.create () in
+  for _ = 1 to n do
+    Drust_util.Stats.add stats (sample rng kind)
+  done;
+  stats

@@ -1,0 +1,49 @@
+module Gaddr = Drust_memory.Gaddr
+
+type words = { w0 : int64; w1 : int64 }
+
+(* Word 0: [ color:16 | address:48 ].  The simulator's Gaddr packs
+   (color | node | offset) into an OCaml int with the same widths, so the
+   translation is a shift: Gaddr's color sits at bit 47, the wire format
+   puts it at bit 48. *)
+
+let color_shift_wire = 48
+let addr_mask_wire = 0xFFFF_FFFF_FFFFL
+
+let encode ~gaddr ~ubit ~ext =
+  if Int64.logand ext 0x8000_0000_0000_0000L <> 0L then
+    invalid_arg "Pointer_layout.encode: ext overflows 63 bits";
+  let color = Int64.of_int (Gaddr.color_of gaddr) in
+  let addr = Int64.of_int (Gaddr.to_int (Gaddr.clear_color gaddr)) in
+  let w0 =
+    Int64.logor (Int64.shift_left color color_shift_wire)
+      (Int64.logand addr addr_mask_wire)
+  in
+  let w1 =
+    Int64.logor (if ubit then 0x8000_0000_0000_0000L else 0L) ext
+  in
+  { w0; w1 }
+
+let decode { w0; w1 } =
+  let color = Int64.to_int (Int64.shift_right_logical w0 color_shift_wire) in
+  let addr = Int64.to_int (Int64.logand w0 addr_mask_wire) in
+  let gaddr = Gaddr.with_color (Gaddr.of_int_exn addr) color in
+  let ubit = Int64.logand w1 0x8000_0000_0000_0000L <> 0L in
+  let ext = Int64.logand w1 0x7FFF_FFFF_FFFF_FFFFL in
+  (gaddr, ubit, ext)
+
+let null = { w0 = 0L; w1 = 0L }
+let is_null w = w.w0 = 0L && w.w1 = 0L
+
+let byte_size = 16
+
+let to_bytes { w0; w1 } =
+  let b = Bytes.create byte_size in
+  Bytes.set_int64_le b 0 w0;
+  Bytes.set_int64_le b 8 w1;
+  b
+
+let of_bytes b =
+  if Bytes.length b <> byte_size then
+    invalid_arg "Pointer_layout.of_bytes: need exactly 16 bytes";
+  { w0 = Bytes.get_int64_le b 0; w1 = Bytes.get_int64_le b 8 }

@@ -1,0 +1,45 @@
+(** Bit-level pointer layout (the paper's Figure 8).
+
+    DRust extends every pointer/reference to two 64-bit words:
+
+    {v
+      word 0 — colored global address:
+        bits 63..48 : 16-bit color (version of the referenced value)
+        bits 47..0  : global address (node | offset)
+      word 1 — extension field:
+        bit  63     : U bit (color updated this write epoch)
+        bits 62..0  : local-copy address (reads) or owner address (writes)
+    v}
+
+    Because pointers are plain bit patterns valid cluster-wide, messages
+    carrying them cross the network as raw bytes — the receiver recovers
+    references by direct type conversion, with no serialization (§4.1.2).
+    This module is that wire format: encoding and decoding between the
+    simulator's structured addresses and the two-word representation, with
+    the same field widths as the paper. *)
+
+type words = { w0 : int64; w1 : int64 }
+(** A wire pointer: exactly 16 bytes. *)
+
+val encode :
+  gaddr:Drust_memory.Gaddr.t -> ubit:bool -> ext:int64 -> words
+(** Packs a colored global address plus extension payload ([ext] must fit
+    63 bits). *)
+
+val decode : words -> Drust_memory.Gaddr.t * bool * int64
+(** Inverse of {!encode}: (colored address, U bit, extension payload).
+    Raises [Invalid_argument] on a malformed word (bad node/offset). *)
+
+val null : words
+(** All-zero pointer (offset 0 is the reserved sentinel). *)
+
+val is_null : words -> bool
+
+val to_bytes : words -> bytes
+(** 16-byte little-endian rendering — what actually crosses the wire. *)
+
+val of_bytes : bytes -> words
+(** Raises [Invalid_argument] unless exactly 16 bytes. *)
+
+val byte_size : int
+(** 16. *)

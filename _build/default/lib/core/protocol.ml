@@ -1,0 +1,795 @@
+module Ctx = Drust_machine.Ctx
+module Cluster = Drust_machine.Cluster
+module Params = Drust_machine.Params
+module Gaddr = Drust_memory.Gaddr
+module Partition = Drust_memory.Partition
+module Cache = Drust_memory.Cache
+module Fabric = Drust_net.Fabric
+module Borrow_state = Drust_ownership.Borrow_state
+module Univ = Drust_util.Univ
+
+type owner = {
+  mutable g : Gaddr.t;
+  size : int;
+  borrow : Borrow_state.t;
+  mutable box_node : int; (* node holding the owner box (the thread stack) *)
+  mutable local_copy : Cache.copy option; (* extension field: cached copy *)
+  mutable ubit : bool; (* extension field: color-updated bit *)
+  mutable valid : bool;
+  mutable children : owner list; (* TBox affinity children, in tie order *)
+  mutable tied : bool; (* this owner is someone's affinity child *)
+  mutable pinned : bool;
+}
+
+type imm = {
+  i_g : Gaddr.t;
+  i_size : int;
+  i_group : int; (* batched fetch size: owner + affinity children *)
+  i_borrow : Borrow_state.t;
+  i_children : owner list;
+  mutable i_copy : Cache.copy option;
+  mutable i_live : bool;
+}
+
+type mut = {
+  mutable m_g : Gaddr.t;
+  m_size : int;
+  m_owner : owner;
+  mutable m_ubit : bool;
+  mutable m_live : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Per-cluster protocol statistics                                     *)
+
+type stats = { mutable moves : int; mutable bumps : int }
+
+let stats_table : (int, stats) Hashtbl.t = Hashtbl.create 8
+
+let stats_of ctx =
+  let uid = Cluster.uid (Ctx.cluster ctx) in
+  match Hashtbl.find_opt stats_table uid with
+  | Some s -> s
+  | None ->
+      let s = { moves = 0; bumps = 0 } in
+      Hashtbl.replace stats_table uid s;
+      s
+
+(* Registry of live owners, per cluster — powers the executable audit of
+   the paper's Appendix C invariants. *)
+let owner_registry : (int, owner list ref) Hashtbl.t = Hashtbl.create 8
+
+let registry_of_cluster cluster =
+  let uid = Cluster.uid cluster in
+  match Hashtbl.find_opt owner_registry uid with
+  | Some r -> r
+  | None ->
+      let r = ref [] in
+      Hashtbl.replace owner_registry uid r;
+      r
+
+let register_owner ctx o =
+  let r = registry_of_cluster (Ctx.cluster ctx) in
+  r := o :: !r
+
+let prune_registry cluster =
+  let r = registry_of_cluster cluster in
+  r := List.filter (fun o -> o.valid) !r
+
+let moves ctx = (stats_of ctx).moves
+let color_bumps ctx = (stats_of ctx).bumps
+
+let reset_protocol_stats ctx =
+  let s = stats_of ctx in
+  s.moves <- 0;
+  s.bumps <- 0
+
+(* Listeners installed by the fault-tolerance layer, keyed by cluster. *)
+let commit_listeners :
+    (int, Ctx.t -> Gaddr.t -> int -> Univ.t -> unit) Hashtbl.t =
+  Hashtbl.create 8
+
+let transfer_listeners : (int, Ctx.t -> Gaddr.t -> unit) Hashtbl.t =
+  Hashtbl.create 8
+
+let set_commit_listener cluster = function
+  | Some f -> Hashtbl.replace commit_listeners (Cluster.uid cluster) f
+  | None -> Hashtbl.remove commit_listeners (Cluster.uid cluster)
+
+let set_transfer_listener cluster = function
+  | Some f -> Hashtbl.replace transfer_listeners (Cluster.uid cluster) f
+  | None -> Hashtbl.remove transfer_listeners (Cluster.uid cluster)
+
+let notify_commit ctx g size =
+  match Hashtbl.find_opt commit_listeners (Cluster.uid (Ctx.cluster ctx)) with
+  | None -> ()
+  | Some f ->
+      let cluster = Ctx.cluster ctx in
+      if Cluster.heap_mem cluster g then
+        f ctx (Gaddr.clear_color g) size
+          (Cluster.heap_read cluster g).Drust_memory.Partition.value
+
+let notify_transfer ctx g =
+  match Hashtbl.find_opt transfer_listeners (Cluster.uid (Ctx.cluster ctx)) with
+  | None -> ()
+  | Some f -> f ctx (Gaddr.clear_color g)
+
+(* ------------------------------------------------------------------ *)
+(* Ablation switches (per cluster): disable the local-write
+   optimizations to quantify their contribution.                        *)
+
+type options = { mutable always_move : bool; mutable no_ubit : bool }
+
+let options_table : (int, options) Hashtbl.t = Hashtbl.create 8
+
+let options_of ctx =
+  let uid = Cluster.uid (Ctx.cluster ctx) in
+  match Hashtbl.find_opt options_table uid with
+  | Some o -> o
+  | None ->
+      let o = { always_move = false; no_ubit = false } in
+      Hashtbl.replace options_table uid o;
+      o
+
+let set_always_move cluster v =
+  let uid = Cluster.uid cluster in
+  (match Hashtbl.find_opt options_table uid with
+  | Some o -> o.always_move <- v
+  | None ->
+      Hashtbl.replace options_table uid { always_move = v; no_ubit = false })
+
+let set_no_ubit cluster v =
+  let uid = Cluster.uid cluster in
+  match Hashtbl.find_opt options_table uid with
+  | Some o -> o.no_ubit <- v
+  | None -> Hashtbl.replace options_table uid { always_move = false; no_ubit = v }
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                             *)
+
+let serving ctx g = Cluster.serving_node (Ctx.cluster ctx) (Gaddr.node_of g)
+
+let is_local ctx g = serving ctx g = ctx.Ctx.node
+
+let check_cycles ctx = (Ctx.params ctx).Params.runtime_check_cycles
+let local_cycles ctx = (Ctx.params ctx).Params.local_deref_cycles
+let cache_cycles ctx = (Ctx.params ctx).Params.cache_hit_cycles
+
+let charge_local_deref ctx =
+  Ctx.charge_cycles ctx (check_cycles ctx +. local_cycles ctx)
+
+let charge_cache_hit ctx =
+  Ctx.charge_cycles ctx (check_cycles ctx +. cache_cycles ctx)
+
+let cache_of ctx = (Ctx.current_node ctx).Cluster.cache
+
+let assert_valid o context =
+  if not o.valid then
+    raise
+      (Borrow_state.Violation
+         { kind = Borrow_state.Use_after_death; state = Borrow_state.Dead; context })
+
+let assert_live live context =
+  if not live then
+    raise
+      (Borrow_state.Violation
+         { kind = Borrow_state.Use_after_death; state = Borrow_state.Dead; context })
+
+(* Transitive affinity group rooted at [o], including [o] itself. *)
+let rec group o = o :: List.concat_map group o.children
+
+let group_size o = List.fold_left (fun acc m -> acc + m.size) 0 (group o)
+
+(* Cluster-wide invalidation of cached copies for a physical address that
+   is being deallocated or moved away (App. B.4).  In the real system this
+   is asynchronous and the allocator defers reuse of the address until the
+   invalidations are acknowledged; here the invalidation is state-only
+   (the paper batches these off the critical path, so no blocking cost is
+   charged) and runs before the address is freed, which models exactly
+   that reuse barrier. *)
+let invalidate_all_caches cluster g =
+  Array.iter
+    (fun n -> Cache.invalidate_physical n.Cluster.cache g)
+    (Cluster.nodes cluster)
+
+(* Request the old home to deallocate a moved object: a small async
+   message off the critical path (Alg. 1 step 3).  Caches are invalidated
+   before the address becomes reusable. *)
+let async_dealloc ctx g =
+  let cluster = Ctx.cluster ctx in
+  let target = serving ctx g in
+  Fabric.send_async (Ctx.fabric ctx) ~from:ctx.Ctx.node ~target ~bytes:16
+    (fun () ->
+      invalidate_all_caches cluster g;
+      if Cluster.heap_mem cluster g then Cluster.heap_free cluster g)
+
+(* ------------------------------------------------------------------ *)
+(* Allocation                                                          *)
+
+let alloc_cycles = 90.0
+
+(* Under memory pressure the allocator first reclaims unreferenced cache
+   copies (the lazy eviction of S4.2.1); only if the partition is still
+   tight does it fall back to the most vacant server. *)
+let pick_alloc_node ctx ~size =
+  let cluster = Ctx.cluster ctx in
+  let node = Cluster.node cluster ctx.Ctx.node in
+  let part = node.Cluster.partition in
+  (* Cached copies live in the regular heap partition (S4.2.1), so they
+     count against its capacity. *)
+  let headroom () =
+    Partition.used_bytes part + Cache.used_bytes node.Cluster.cache + size
+    < Float.to_int (0.95 *. Float.of_int (Partition.capacity_bytes part))
+  in
+  if headroom () then ctx.Ctx.node
+  else begin
+    let reclaimed = Cache.evict_unreferenced node.Cluster.cache in
+    Ctx.charge_cycles ctx (300.0 +. (0.02 *. Float.of_int reclaimed));
+    if headroom () then ctx.Ctx.node
+    else begin
+      (* Ask the global controller (launch node) for the most vacant
+         server (S4.2.1). *)
+      if ctx.Ctx.node <> 0 then begin
+        Ctx.flush ctx;
+        Fabric.rpc (Ctx.fabric ctx) ~from:ctx.Ctx.node ~target:0 ~req_bytes:32
+          ~resp_bytes:16 (fun () -> ())
+      end;
+      Cluster.most_vacant_node cluster
+    end
+  end
+
+let create_on ctx ~node ~size v =
+  Ctx.charge_cycles ctx alloc_cycles;
+  let cluster = Ctx.cluster ctx in
+  if node <> ctx.Ctx.node then
+    (* Remote allocation: the request is forwarded to the target server
+       through the communication layer (§4.2.1). *)
+    Ctx.flush ctx;
+  let g =
+    if node <> ctx.Ctx.node then
+      Fabric.rpc (Ctx.fabric ctx) ~from:ctx.Ctx.node ~target:node ~req_bytes:32
+        ~resp_bytes:16 (fun () -> Cluster.heap_alloc cluster ~node ~size v)
+    else begin
+      Ctx.note_local_alloc ctx ~bytes:size;
+      Cluster.heap_alloc cluster ~node ~size v
+    end
+  in
+  let o =
+    {
+      g;
+      size;
+      borrow = Borrow_state.create ();
+      box_node = ctx.Ctx.node;
+      local_copy = None;
+      ubit = false;
+      valid = true;
+      children = [];
+      tied = false;
+      pinned = false;
+    }
+  in
+  register_owner ctx o;
+  o
+
+let create ctx ~size v = create_on ctx ~node:(pick_alloc_node ctx ~size) ~size v
+
+let gaddr o = o.g
+let size o = o.size
+let is_valid o = o.valid
+let color o = Gaddr.color_of o.g
+let ubit o = o.ubit
+let imm_gaddr r = r.i_g
+let mut_gaddr m = m.m_g
+
+(* ------------------------------------------------------------------ *)
+(* Shared fetch path: read a remote object (and its affinity group)    *)
+(* into the local cache under its colored address.                     *)
+
+let fetch_into_cache ctx ~g ~size ~group_bytes ~children =
+  let cluster = Ctx.cluster ctx in
+  let target = serving ctx g in
+  Ctx.note_remote_access ctx ~target;
+  Ctx.flush ctx;
+  Fabric.rdma_read (Ctx.fabric ctx) ~from:ctx.Ctx.node ~target
+    ~bytes:group_bytes;
+  let entry = Cluster.heap_read cluster g in
+  let copy = Cache.insert (cache_of ctx) g ~size entry.Partition.value in
+  (* The batched verb carried the children too: seed the local cache so
+     their dereferences are local (the TBox guarantee, §4.1.3). *)
+  List.iter
+    (fun child ->
+      List.iter
+        (fun member ->
+          if Cluster.heap_mem cluster member.g then begin
+            let e = Cluster.heap_read cluster member.g in
+            let c =
+              Cache.insert (cache_of ctx) member.g ~size:member.size
+                e.Partition.value
+            in
+            (* Nobody pins the prefetched copy yet. *)
+            Cache.release (cache_of ctx) c
+          end)
+        (group child))
+    children;
+  copy
+
+(* ------------------------------------------------------------------ *)
+(* Immutable borrows (Alg. 4)                                          *)
+
+let borrow_imm ctx o =
+  assert_valid o "Protocol.borrow_imm";
+  Borrow_state.borrow_imm o.borrow ~context:"Protocol.borrow_imm";
+  (* Creating an immutable reference resets the owner's U bit so the next
+     write epoch is guaranteed to change the colored address (App. B.4). *)
+  o.ubit <- false;
+  Ctx.charge_cycles ctx 12.0;
+  {
+    i_g = o.g;
+    i_size = o.size;
+    i_group = group_size o;
+    i_borrow = o.borrow;
+    i_children = o.children;
+    i_copy = None;
+    i_live = true;
+  }
+
+let clone_imm ctx r =
+  assert_live r.i_live "Protocol.clone_imm";
+  Borrow_state.borrow_imm r.i_borrow ~context:"Protocol.clone_imm";
+  Ctx.charge_cycles ctx 12.0;
+  (* Only the global-address field is duplicated; the local-copy field of
+     the clone starts null (App. D.2). *)
+  { r with i_copy = None }
+
+let imm_deref ctx r =
+  assert_live r.i_live "Protocol.imm_deref";
+  let cluster = Ctx.cluster ctx in
+  if is_local ctx r.i_g then begin
+    charge_local_deref ctx;
+    (Cluster.heap_read cluster r.i_g).Partition.value
+  end
+  else begin
+    match r.i_copy with
+    | Some copy when Gaddr.equal copy.Cache.key r.i_g && not copy.Cache.dead ->
+        charge_cache_hit ctx;
+        copy.Cache.value
+    | _ -> (
+        let cache = cache_of ctx in
+        charge_cache_hit ctx;
+        match Cache.lookup cache r.i_g with
+        | Some copy ->
+            Cache.retain copy;
+            r.i_copy <- Some copy;
+            copy.Cache.value
+        | None ->
+            let copy =
+              fetch_into_cache ctx ~g:r.i_g ~size:r.i_size
+                ~group_bytes:r.i_group ~children:r.i_children
+            in
+            r.i_copy <- Some copy;
+            copy.Cache.value)
+  end
+
+let drop_imm ctx r =
+  assert_live r.i_live "Protocol.drop_imm";
+  r.i_live <- false;
+  (match r.i_copy with
+  | Some copy -> Cache.release (cache_of ctx) copy
+  | None -> ());
+  r.i_copy <- None;
+  Ctx.charge_cycles ctx 10.0;
+  Borrow_state.return_imm r.i_borrow ~context:"Protocol.drop_imm"
+
+(* ------------------------------------------------------------------ *)
+(* Move machinery                                                      *)
+
+(* Move the object at [g] (size [size]) into the local partition,
+   returning the new color-0 address.  Children of an affinity group move
+   along in the same batched verb. *)
+let move_local ctx ~g ~size ~children =
+  let cluster = Ctx.cluster ctx in
+  let s = stats_of ctx in
+  s.moves <- 1 + s.moves;
+  let group_members = List.concat_map group children in
+  let batch = size + List.fold_left (fun a m -> a + m.size) 0 group_members in
+  let target = serving ctx g in
+  Ctx.note_remote_access ctx ~target;
+  Ctx.flush ctx;
+  if target <> ctx.Ctx.node then
+    Fabric.rdma_read (Ctx.fabric ctx) ~from:ctx.Ctx.node ~target ~bytes:batch;
+  let entry = Cluster.heap_read cluster g in
+  let fresh =
+    Cluster.heap_alloc cluster ~node:ctx.Ctx.node ~size entry.Partition.value
+  in
+  Ctx.note_local_alloc ctx ~bytes:size;
+  async_dealloc ctx g;
+  (* Relocate affinity children next to the new home. *)
+  List.iter
+    (fun member ->
+      if Cluster.heap_mem cluster member.g then begin
+        let e = Cluster.heap_read cluster member.g in
+        let child_fresh =
+          Cluster.heap_alloc cluster ~node:ctx.Ctx.node ~size:member.size
+            e.Partition.value
+        in
+        async_dealloc ctx member.g;
+        member.g <- child_fresh;
+        member.ubit <- false
+      end)
+    group_members;
+  fresh
+
+(* Bump the color of a locally-written object; on overflow (or under the
+   always-move ablation), move it to a fresh local address with color 0
+   (the move-on-overflow strategy). *)
+let bump_or_move ctx ~g ~size =
+  let s = stats_of ctx in
+  let forced_move =
+    if (options_of ctx).always_move then Some (Gaddr.Color_overflow g) else None
+  in
+  match
+    match forced_move with Some e -> raise e | None -> Gaddr.bump_color g
+  with
+  | g' ->
+      s.bumps <- 1 + s.bumps;
+      g'
+  | exception Gaddr.Color_overflow _ ->
+      let cluster = Ctx.cluster ctx in
+      s.moves <- 1 + s.moves;
+      let entry = Cluster.heap_read cluster g in
+      let fresh =
+        Cluster.heap_alloc cluster ~node:ctx.Ctx.node ~size entry.Partition.value
+      in
+      invalidate_all_caches cluster g;
+      Cluster.heap_free cluster g;
+      (* Allocation bookkeeping plus the local memcpy of the object. *)
+      Ctx.charge_cycles ctx (200.0 +. (0.3 *. Float.of_int size));
+      fresh
+
+(* ------------------------------------------------------------------ *)
+(* Mutable borrows (Alg. 1/6)                                          *)
+
+let borrow_mut ctx o =
+  assert_valid o "Protocol.borrow_mut";
+  Borrow_state.borrow_mut o.borrow ~context:"Protocol.borrow_mut";
+  (* The owner's cached-copy field cannot stay valid across a write epoch:
+     the object is about to change address or color, and the copy's slot
+     could even be recycled for a different object after the move.  Unpin
+     it now — the owner cannot read while the mutable borrow is live. *)
+  (match o.local_copy with
+  | Some copy -> Cache.release (cache_of ctx) copy
+  | None -> ());
+  o.local_copy <- None;
+  Ctx.charge_cycles ctx 12.0;
+  { m_g = o.g; m_size = o.size; m_owner = o; m_ubit = false; m_live = true }
+
+(* DerefMut (Alg. 6): claim exclusive local access, updating color or
+   moving as needed.  Returns unit; the caller then reads/writes the heap
+   slot directly. *)
+let mut_claim ctx m ~for_write =
+  let o = m.m_owner in
+  if is_local ctx m.m_g then begin
+    charge_local_deref ctx;
+    if for_write && ((not m.m_ubit) || (options_of ctx).no_ubit) then
+      if o.pinned then begin
+        (* Pinned objects keep their address; the color still changes via
+           the owner struct on drop (App. D.1). *)
+        m.m_ubit <- true;
+        m.m_g <- bump_or_move ctx ~g:m.m_g ~size:m.m_size
+      end
+      else begin
+        m.m_ubit <- true;
+        m.m_g <- bump_or_move ctx ~g:m.m_g ~size:m.m_size
+      end
+  end
+  else if o.pinned then begin
+    (* Copy-and-write-back path (App. D.1): the object cannot move, so
+       mutable access works on a local scratch copy; every write is
+       written through to the pinned home synchronously. *)
+    charge_local_deref ctx;
+    if for_write && ((not m.m_ubit) || (options_of ctx).no_ubit) then begin
+      m.m_ubit <- true;
+      let s = stats_of ctx in
+      s.bumps <- 1 + s.bumps;
+      m.m_g <- (try Gaddr.bump_color m.m_g with Gaddr.Color_overflow g -> Gaddr.clear_color g)
+    end
+  end
+  else begin
+    m.m_ubit <- true;
+    let fresh = move_local ctx ~g:m.m_g ~size:m.m_size ~children:o.children in
+    m.m_g <- fresh
+  end
+
+let heap_slot_read ctx m =
+  let cluster = Ctx.cluster ctx in
+  if is_local ctx m.m_g then (Cluster.heap_read cluster m.m_g).Partition.value
+  else begin
+    (* Pinned remote object: read through (one-sided READ). *)
+    let target = serving ctx m.m_g in
+    Ctx.flush ctx;
+    Fabric.rdma_read (Ctx.fabric ctx) ~from:ctx.Ctx.node ~target ~bytes:m.m_size;
+    (Cluster.heap_read cluster m.m_g).Partition.value
+  end
+
+let heap_slot_write ctx m v =
+  let cluster = Ctx.cluster ctx in
+  if is_local ctx m.m_g then Cluster.heap_write cluster m.m_g v
+  else begin
+    let target = serving ctx m.m_g in
+    Ctx.flush ctx;
+    Fabric.rdma_write (Ctx.fabric ctx) ~from:ctx.Ctx.node ~target ~bytes:m.m_size;
+    Cluster.heap_write cluster m.m_g v
+  end
+
+let mut_read ctx m =
+  assert_live m.m_live "Protocol.mut_read";
+  mut_claim ctx m ~for_write:false;
+  heap_slot_read ctx m
+
+let mut_write ctx m v =
+  assert_live m.m_live "Protocol.mut_write";
+  mut_claim ctx m ~for_write:true;
+  heap_slot_write ctx m v
+
+let mut_modify ctx m f =
+  assert_live m.m_live "Protocol.mut_modify";
+  mut_claim ctx m ~for_write:true;
+  let v = heap_slot_read ctx m in
+  heap_slot_write ctx m (f v)
+
+let drop_mut ctx m =
+  assert_live m.m_live "Protocol.drop_mut";
+  m.m_live <- false;
+  let o = m.m_owner in
+  (* Synchronously write the colored global address back into the owner
+     box (Alg. 6 DropMutRef); 8-byte one-sided WRITE when the box lives on
+     another server. *)
+  if o.box_node <> ctx.Ctx.node then begin
+    Ctx.flush ctx;
+    Fabric.rdma_write (Ctx.fabric ctx) ~from:ctx.Ctx.node ~target:o.box_node
+      ~bytes:8
+  end
+  else Ctx.charge_cycles ctx 8.0;
+  o.g <- m.m_g;
+  o.ubit <- o.ubit || m.m_ubit;
+  Borrow_state.return_mut o.borrow ~context:"Protocol.drop_mut";
+  if m.m_ubit then notify_commit ctx m.m_g m.m_size
+
+(* ------------------------------------------------------------------ *)
+(* Owner access without borrow (Alg. 7/8): a direct access behaves as a
+   borrow-and-return pair.                                             *)
+
+let owner_read ctx o =
+  assert_valid o "Protocol.owner_read";
+  Borrow_state.assert_owner_readable o.borrow ~context:"Protocol.owner_read";
+  let cluster = Ctx.cluster ctx in
+  if is_local ctx o.g then begin
+    charge_local_deref ctx;
+    (Cluster.heap_read cluster o.g).Partition.value
+  end
+  else begin
+    match o.local_copy with
+    | Some copy when Gaddr.equal copy.Cache.key o.g && not copy.Cache.dead ->
+        charge_cache_hit ctx;
+        copy.Cache.value
+    | stale -> (
+        (* Release a copy cached under an outdated color. *)
+        (match stale with
+        | Some old -> Cache.release (cache_of ctx) old
+        | None -> ());
+        o.local_copy <- None;
+        let cache = cache_of ctx in
+        charge_cache_hit ctx;
+        match Cache.lookup cache o.g with
+        | Some copy ->
+            Cache.retain copy;
+            o.local_copy <- Some copy;
+            copy.Cache.value
+        | None ->
+            let copy =
+              fetch_into_cache ctx ~g:o.g ~size:o.size
+                ~group_bytes:(group_size o) ~children:o.children
+            in
+            o.local_copy <- Some copy;
+            copy.Cache.value)
+  end
+
+let owner_claim_mut ctx o =
+  let cluster = Ctx.cluster ctx in
+  if is_local ctx o.g then begin
+    charge_local_deref ctx;
+    if (not o.ubit) || (options_of ctx).no_ubit then begin
+      o.ubit <- true;
+      o.g <- bump_or_move ctx ~g:o.g ~size:o.size
+    end
+  end
+  else if o.pinned then charge_local_deref ctx
+  else begin
+    (* Alg. 8 remote path: reuse a local cached copy as the new home when
+       one exists, otherwise move the object over the wire. *)
+    (match o.local_copy with
+    | Some copy when Gaddr.equal copy.Cache.key o.g && not copy.Cache.dead ->
+        let fresh =
+          Cluster.heap_alloc cluster ~node:ctx.Ctx.node ~size:o.size
+            copy.Cache.value
+        in
+        Cache.release (cache_of ctx) copy;
+        o.local_copy <- None;
+        async_dealloc ctx o.g;
+        (* Affinity children still need to come over. *)
+        List.iter
+          (fun member ->
+            if Cluster.heap_mem cluster member.g then begin
+              let e = Cluster.heap_read cluster member.g in
+              let child_fresh =
+                Cluster.heap_alloc cluster ~node:ctx.Ctx.node ~size:member.size
+                  e.Partition.value
+              in
+              async_dealloc ctx member.g;
+              member.g <- child_fresh;
+              member.ubit <- false
+            end)
+          (List.concat_map group o.children);
+        let s = stats_of ctx in
+        s.moves <- 1 + s.moves;
+        o.g <- fresh
+    | stale ->
+        (match stale with
+        | Some old -> Cache.release (cache_of ctx) old
+        | None -> ());
+        o.local_copy <- None;
+        o.g <- move_local ctx ~g:o.g ~size:o.size ~children:o.children);
+    o.ubit <- true
+  end
+
+let owner_write ctx o v =
+  assert_valid o "Protocol.owner_write";
+  Borrow_state.assert_owner_usable o.borrow ~context:"Protocol.owner_write";
+  owner_claim_mut ctx o;
+  if is_local ctx o.g then Cluster.heap_write (Ctx.cluster ctx) o.g v
+  else begin
+    (* Pinned remote object: write through. *)
+    let target = serving ctx o.g in
+    Ctx.flush ctx;
+    Fabric.rdma_write (Ctx.fabric ctx) ~from:ctx.Ctx.node ~target ~bytes:o.size;
+    Cluster.heap_write (Ctx.cluster ctx) o.g v
+  end;
+  notify_commit ctx o.g o.size
+
+let owner_modify ctx o f =
+  assert_valid o "Protocol.owner_modify";
+  Borrow_state.assert_owner_usable o.borrow ~context:"Protocol.owner_modify";
+  owner_claim_mut ctx o;
+  let cluster = Ctx.cluster ctx in
+  if is_local ctx o.g then
+    Cluster.heap_write cluster o.g
+      (f (Cluster.heap_read cluster o.g).Partition.value)
+  else begin
+    let target = serving ctx o.g in
+    Ctx.flush ctx;
+    Fabric.rdma_read (Ctx.fabric ctx) ~from:ctx.Ctx.node ~target ~bytes:o.size;
+    let v = f (Cluster.heap_read cluster o.g).Partition.value in
+    Fabric.rdma_write (Ctx.fabric ctx) ~from:ctx.Ctx.node ~target ~bytes:o.size;
+    Cluster.heap_write cluster o.g v
+  end;
+  notify_commit ctx o.g o.size
+
+(* ------------------------------------------------------------------ *)
+(* Ownership transfer, deallocation                                    *)
+
+let transfer ctx o ~to_node =
+  assert_valid o "Protocol.transfer";
+  Borrow_state.transfer o.borrow ~context:"Protocol.transfer";
+  (* Evict this node's cached copy to avoid cache leakage (§4.1.1,
+     App. D.2), then re-home the box.  Only the pointer ships; the heap
+     object stays where it is. *)
+  (match o.local_copy with
+  | Some copy ->
+      Cache.release (cache_of ctx) copy;
+      Cache.invalidate_physical (cache_of ctx) copy.Cache.key
+  | None -> ());
+  o.local_copy <- None;
+  o.box_node <- to_node;
+  List.iter (fun child -> child.box_node <- to_node) (List.concat_map group o.children);
+  Ctx.charge_cycles ctx 20.0;
+  notify_transfer ctx o.g
+
+let rec drop_owner ctx o =
+  assert_valid o "Protocol.drop_owner";
+  Borrow_state.kill o.borrow ~context:"Protocol.drop_owner";
+  o.valid <- false;
+  (match o.local_copy with
+  | Some copy -> Cache.release (cache_of ctx) copy
+  | None -> ());
+  o.local_copy <- None;
+  (* Drop every owned child first, then the object itself. *)
+  List.iter (fun child -> if child.valid then drop_owner ctx child) o.children;
+  o.children <- [];
+  let cluster = Ctx.cluster ctx in
+  let target = serving ctx o.g in
+  if target = ctx.Ctx.node then begin
+    Ctx.charge_cycles ctx 60.0;
+    invalidate_all_caches cluster o.g;
+    if Cluster.heap_mem cluster o.g then Cluster.heap_free cluster o.g
+  end
+  else async_dealloc ctx o.g
+
+(* ------------------------------------------------------------------ *)
+(* Affinity (TBox)                                                     *)
+
+let rec reaches o target =
+  o == target || List.exists (fun c -> reaches c target) o.children
+
+let tie ctx ~parent ~child =
+  assert_valid parent "Protocol.tie";
+  assert_valid child "Protocol.tie";
+  if child.tied then invalid_arg "Protocol.tie: child already tied";
+  if reaches child parent then invalid_arg "Protocol.tie: affinity cycle";
+  if child.pinned then invalid_arg "Protocol.tie: child is pinned";
+  child.tied <- true;
+  parent.children <- parent.children @ [ child ];
+  (* Enforce co-location at tie time: bring the child next to the parent
+     if they currently live on different servers. *)
+  let cluster = Ctx.cluster ctx in
+  let parent_home = serving ctx parent.g in
+  if serving ctx child.g <> parent_home then begin
+    let entry = Cluster.heap_read cluster child.g in
+    let fresh =
+      Cluster.heap_alloc cluster ~node:parent_home ~size:child.size
+        entry.Partition.value
+    in
+    if serving ctx child.g <> ctx.Ctx.node || parent_home <> ctx.Ctx.node then begin
+      Ctx.flush ctx;
+      Fabric.rdma_write (Ctx.fabric ctx) ~from:ctx.Ctx.node ~target:parent_home
+        ~bytes:child.size
+    end;
+    async_dealloc ctx child.g;
+    child.g <- fresh
+  end
+
+let is_pinned o = o.pinned
+
+let pin ctx o =
+  assert_valid o "Protocol.pin";
+  if o.tied then invalid_arg "Protocol.pin: tied child cannot be pinned";
+  o.pinned <- true;
+  Ctx.charge_cycles ctx 10.0
+
+
+(* ------------------------------------------------------------------ *)
+(* Executable coherence audit (Appendix C).
+
+   For every live owner, any cache entry reachable under the owner's
+   CURRENT colored address must hold exactly the heap value — this is the
+   Stale-Value-Elimination invariant: a copy cached under an old colored
+   address can never be returned, and one cached under the current
+   address is by construction up to date.  Returns human-readable
+   violation descriptions (empty = coherent). *)
+let audit cluster =
+  prune_registry cluster;
+  let violations = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  List.iter
+    (fun o ->
+      if o.valid && not (Borrow_state.is_dead o.borrow) then begin
+        if not (Cluster.heap_mem cluster o.g) then
+          (* A mutable borrow may legitimately hold the object mid-move;
+             only settled owners are audited. *)
+          (if not (Borrow_state.is_mut_borrowed o.borrow) then
+             note "owner %s points at a dead heap slot"
+               (Format.asprintf "%a" Gaddr.pp o.g))
+        else begin
+          let heap_value = (Cluster.heap_read cluster o.g).Partition.value in
+          Array.iter
+            (fun n ->
+              match Cache.lookup n.Cluster.cache o.g with
+              | Some copy ->
+                  if copy.Cache.value != heap_value then
+                    note "node %d caches a stale value for %s" n.Cluster.id
+                      (Format.asprintf "%a" Gaddr.pp o.g)
+              | None -> ())
+            (Cluster.nodes cluster)
+        end
+      end)
+    !(registry_of_cluster cluster);
+  List.rev !violations

@@ -1,0 +1,88 @@
+module Ctx = Drust_machine.Ctx
+module Cluster = Drust_machine.Cluster
+module Fabric = Drust_net.Fabric
+module Gaddr = Drust_memory.Gaddr
+module Borrow_state = Drust_ownership.Borrow_state
+module Univ = Drust_util.Univ
+
+type 'a t = {
+  g : Gaddr.t; (* the frame slot: fixed for the value's whole life *)
+  size : int;
+  tag : 'a Univ.tag;
+  borrow : Borrow_state.t;
+  mutable live : bool;
+}
+
+let create ctx ~tag ~size v =
+  Ctx.charge_cycles ctx 40.0;
+  let g =
+    Cluster.heap_alloc (Ctx.cluster ctx) ~node:ctx.Ctx.node ~size
+      (Univ.pack tag v)
+  in
+  { g; size; tag; borrow = Borrow_state.create (); live = true }
+
+let home t = Gaddr.node_of t.g
+
+let check_live t context =
+  if not t.live then
+    raise
+      (Borrow_state.Violation
+         { kind = Borrow_state.Use_after_death; state = Borrow_state.Dead; context })
+
+let serving ctx t = Cluster.serving_node (Ctx.cluster ctx) (home t)
+
+let read ctx t =
+  check_live t "Stack_ref.read";
+  Borrow_state.borrow_imm t.borrow ~context:"Stack_ref.read";
+  let cluster = Ctx.cluster ctx in
+  let target = serving ctx t in
+  if target = ctx.Ctx.node then Ctx.charge_cycles ctx 370.0
+  else begin
+    (* Fetch a copy; with eager eviction the copy dies with this borrow,
+       so there is nothing to install in the cache. *)
+    Ctx.note_remote_access ctx ~target;
+    Ctx.flush ctx;
+    Fabric.rdma_read (Ctx.fabric ctx) ~from:ctx.Ctx.node ~target ~bytes:t.size
+  end;
+  let v = Univ.unpack_exn t.tag (Cluster.heap_read cluster t.g).Drust_memory.Partition.value in
+  Borrow_state.return_imm t.borrow ~context:"Stack_ref.read";
+  v
+
+let with_mut ctx t f =
+  check_live t "Stack_ref.with_mut";
+  Borrow_state.borrow_mut t.borrow ~context:"Stack_ref.with_mut";
+  let cluster = Ctx.cluster ctx in
+  let target = serving ctx t in
+  let remote = target <> ctx.Ctx.node in
+  if remote then begin
+    (* Copy the value into a local scratch buffer... *)
+    Ctx.note_remote_access ctx ~target;
+    Ctx.flush ctx;
+    Fabric.rdma_read (Ctx.fabric ctx) ~from:ctx.Ctx.node ~target ~bytes:t.size
+  end
+  else Ctx.charge_cycles ctx 370.0;
+  let v = Univ.unpack_exn t.tag (Cluster.heap_read cluster t.g).Drust_memory.Partition.value in
+  let finish () =
+    if remote then begin
+      (* ...and write the modified copy back when the borrow expires. *)
+      Ctx.flush ctx;
+      Fabric.rdma_write (Ctx.fabric ctx) ~from:ctx.Ctx.node ~target ~bytes:t.size
+    end
+    else Ctx.charge_cycles ctx 370.0;
+    Borrow_state.return_mut t.borrow ~context:"Stack_ref.with_mut"
+  in
+  match f v with
+  | new_value, result ->
+      Cluster.heap_write cluster t.g (Univ.pack t.tag new_value);
+      finish ();
+      result
+  | exception e ->
+      finish ();
+      raise e
+
+let drop ctx t =
+  check_live t "Stack_ref.drop";
+  Borrow_state.kill t.borrow ~context:"Stack_ref.drop";
+  t.live <- false;
+  Ctx.charge_cycles ctx 20.0;
+  Cluster.heap_free (Ctx.cluster ctx) t.g

@@ -1,0 +1,32 @@
+(** Borrowing stack values across servers (Appendix D.1).
+
+    Stack values have no owner [Box] and their address can never change, so
+    the move-on-write protocol does not apply.  DRust instead uses
+    {e copy-and-write-back}: a remote mutable borrow works on a local
+    scratch copy and writes it back to the original frame when dropped;
+    remote immutable borrows are cached with an {e eager} eviction policy —
+    the copy is deleted as soon as its reference count hits zero, so later
+    borrows always re-read the original location (no color bits protect
+    stack slots). *)
+
+module Ctx = Drust_machine.Ctx
+
+type 'a t
+(** A stack value pinned to the frame (node) that created it. *)
+
+val create : Ctx.t -> tag:'a Drust_util.Univ.tag -> size:int -> 'a -> 'a t
+(** Allocates the slot on the calling thread's current node. *)
+
+val home : 'a t -> int
+
+val read : Ctx.t -> 'a t -> 'a
+(** Immutable borrow + deref + return: local direct access, or a fetch
+    whose cached copy is eagerly dropped when the borrow ends. *)
+
+val with_mut : Ctx.t -> 'a t -> ('a -> 'a * 'b) -> 'b
+(** Scoped mutable borrow: copies the value locally, applies the
+    function, writes the modified copy back to the original frame when
+    the borrow expires.  Exclusive per the borrow discipline. *)
+
+val drop : Ctx.t -> 'a t -> unit
+(** Frame pop: the slot dies.  Requires no outstanding borrows. *)

@@ -1,0 +1,56 @@
+module Ctx = Drust_machine.Ctx
+module Cluster = Drust_machine.Cluster
+module Fabric = Drust_net.Fabric
+module Gaddr = Drust_memory.Gaddr
+
+let dalloc_on ctx ~node ~size v =
+  Ctx.charge_cycles ctx 90.0;
+  Cluster.heap_alloc (Ctx.cluster ctx) ~node ~size v
+
+let dalloc ctx ~size v = dalloc_on ctx ~node:ctx.Ctx.node ~size v
+
+let serving ctx g = Cluster.serving_node (Ctx.cluster ctx) (Gaddr.node_of g)
+
+let dread ctx g ~size =
+  let cluster = Ctx.cluster ctx in
+  let target = serving ctx g in
+  if target = ctx.Ctx.node then Ctx.charge_cycles ctx 364.0
+  else begin
+    Ctx.note_remote_access ctx ~target;
+    Ctx.flush ctx;
+    Fabric.rdma_read (Ctx.fabric ctx) ~from:ctx.Ctx.node ~target ~bytes:size
+  end;
+  (Cluster.heap_read cluster g).Drust_memory.Partition.value
+
+let dwrite ctx g ~size v =
+  let cluster = Ctx.cluster ctx in
+  let target = serving ctx g in
+  if target = ctx.Ctx.node then Ctx.charge_cycles ctx 364.0
+  else begin
+    Ctx.note_remote_access ctx ~target;
+    Ctx.flush ctx;
+    Fabric.rdma_write (Ctx.fabric ctx) ~from:ctx.Ctx.node ~target ~bytes:size
+  end;
+  Cluster.heap_write cluster g v
+
+let datomic_update ctx g f =
+  let cluster = Ctx.cluster ctx in
+  let target = serving ctx g in
+  let update () =
+    let old = (Cluster.heap_read cluster g).Drust_memory.Partition.value in
+    Cluster.heap_write cluster g (f old);
+    old
+  in
+  if target = ctx.Ctx.node then begin
+    Ctx.charge_cycles ctx 30.0;
+    update ()
+  end
+  else begin
+    Ctx.note_remote_access ctx ~target;
+    Ctx.flush ctx;
+    Fabric.rdma_atomic (Ctx.fabric ctx) ~from:ctx.Ctx.node ~target update
+  end
+
+let dfree ctx g =
+  Ctx.charge_cycles ctx 60.0;
+  Cluster.heap_free (Ctx.cluster ctx) g

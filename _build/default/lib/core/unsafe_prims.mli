@@ -1,0 +1,29 @@
+(** Unsafe global-heap primitives (§4.1.1, "Writing Unsafe Code in DRust").
+
+    For code that bypasses the ownership discipline, DRust offers raw
+    primitives: [dalloc], [dread], [dwrite] (and a remote [datomic_update]).
+    They never cache, never move objects, and provide no consistency —
+    callers carry the burden of correctness, exactly like Rust [unsafe].
+    The distributed shared-state utilities (atomics, mutexes) are built on
+    these. *)
+
+module Ctx = Drust_machine.Ctx
+module Gaddr = Drust_memory.Gaddr
+
+val dalloc : Ctx.t -> size:int -> Drust_util.Univ.t -> Gaddr.t
+(** Raw allocation in the caller's partition. *)
+
+val dalloc_on : Ctx.t -> node:int -> size:int -> Drust_util.Univ.t -> Gaddr.t
+
+val dread : Ctx.t -> Gaddr.t -> size:int -> Drust_util.Univ.t
+(** Uncached read: local access or a one-sided READ of [size] bytes. *)
+
+val dwrite : Ctx.t -> Gaddr.t -> size:int -> Drust_util.Univ.t -> unit
+(** Write-through: local access or a one-sided WRITE. *)
+
+val datomic_update :
+  Ctx.t -> Gaddr.t -> (Drust_util.Univ.t -> Drust_util.Univ.t) -> Drust_util.Univ.t
+(** Atomic read-modify-write serialized at the object's home; returns the
+    previous value. *)
+
+val dfree : Ctx.t -> Gaddr.t -> unit

@@ -1,0 +1,1 @@
+lib/dsm/drust_backend.ml: Drust_core Drust_machine Drust_memory Drust_ownership Drust_runtime Drust_sim Drust_util Dsm

@@ -1,0 +1,1 @@
+lib/dsm/drust_backend.mli: Drust_core Drust_machine Dsm

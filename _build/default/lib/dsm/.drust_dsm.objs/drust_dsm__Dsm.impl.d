@@ -1,0 +1,1 @@
+lib/dsm/dsm.ml: Drust_machine Drust_util

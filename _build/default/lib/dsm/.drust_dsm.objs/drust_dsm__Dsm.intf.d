@@ -1,0 +1,1 @@
+lib/dsm/dsm.mli: Drust_machine Drust_util

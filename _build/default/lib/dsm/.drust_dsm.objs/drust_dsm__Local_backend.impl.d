@@ -1,0 +1,1 @@
+lib/dsm/local_backend.ml: Drust_machine Drust_memory Drust_runtime Drust_util Dsm

@@ -1,0 +1,1 @@
+lib/dsm/local_backend.mli: Drust_machine Dsm

@@ -1,0 +1,8 @@
+(** The "original" single-machine backend.
+
+    Plain in-process heap accesses with no DSM machinery — the baseline
+    every figure normalizes against (each application's throughput when
+    run as-is on one server).  Use it on a 1-node cluster; mutexes are
+    local CAS loops. *)
+
+val create : Drust_machine.Cluster.t -> Dsm.t

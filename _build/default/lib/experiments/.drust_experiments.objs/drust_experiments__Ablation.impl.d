@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Bench_setup Drust_appkit Drust_core Drust_dsm Drust_machine Drust_runtime Drust_sim Float List Printf Report

@@ -1,0 +1,1 @@
+lib/experiments/bench_setup.mli: Drust_appkit Drust_dsm Drust_machine

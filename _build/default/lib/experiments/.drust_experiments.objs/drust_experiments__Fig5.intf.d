@@ -1,0 +1,1 @@
+lib/experiments/fig5.mli: Bench_setup

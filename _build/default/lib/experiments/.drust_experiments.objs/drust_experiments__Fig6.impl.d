@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Bench_setup Drust_appkit Drust_dataframe Drust_machine Printf Report

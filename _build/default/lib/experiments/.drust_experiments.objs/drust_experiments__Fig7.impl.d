@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Bench_setup Drust_appkit List Printf Report

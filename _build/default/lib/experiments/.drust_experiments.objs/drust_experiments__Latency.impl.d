@@ -1,0 +1,1 @@
+lib/experiments/latency.ml: Bench_setup Drust_appkit List Printf Report

@@ -1,0 +1,1 @@
+lib/experiments/latency.mli: Bench_setup

@@ -1,0 +1,1 @@
+lib/experiments/migration.ml: Array Bench_setup Drust_appkit Drust_core Drust_machine Drust_runtime Drust_sim Drust_util List Report

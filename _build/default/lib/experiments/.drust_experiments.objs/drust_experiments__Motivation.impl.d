@@ -1,0 +1,1 @@
+lib/experiments/motivation.ml: Bench_setup Drust_appkit Drust_core Drust_gam Drust_machine Drust_net Drust_sim Float Report

@@ -1,0 +1,1 @@
+lib/experiments/report.ml: Buffer Char Drust_util Filename Format List Printf String Sys Unix

@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Drust_dataframe Drust_gemm Drust_kvstore Drust_socialnet Drust_util Format List Printf Report

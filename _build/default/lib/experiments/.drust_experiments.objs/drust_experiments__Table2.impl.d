@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Drust_core Drust_util List Printf Report

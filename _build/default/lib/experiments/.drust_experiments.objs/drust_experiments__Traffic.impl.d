@@ -1,0 +1,1 @@
+lib/experiments/traffic.ml: Bench_setup Drust_appkit Drust_dataframe Drust_gemm Drust_kvstore Drust_machine Drust_net Drust_socialnet Drust_util Float Format List Printf Report

@@ -1,0 +1,1 @@
+lib/experiments/traffic.mli: Bench_setup

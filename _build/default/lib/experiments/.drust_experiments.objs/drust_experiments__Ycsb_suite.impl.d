@@ -1,0 +1,1 @@
+lib/experiments/ycsb_suite.ml: Bench_setup Drust_appkit Drust_kvstore Drust_machine Drust_workloads List Report

@@ -1,0 +1,1 @@
+lib/experiments/ycsb_suite.mli: Bench_setup Drust_workloads

@@ -1,0 +1,14 @@
+(** Design-choice ablations called out in DESIGN.md.
+
+    1. {b Pointer coloring vs always-move}: local-write epochs with the
+       color optimization on vs the naive move-every-write variant.
+    2. {b U-bit elision}: repeated writes inside one epoch with and
+       without the color-update bit.
+    3. {b TBox batched fetch vs pointer chasing}: summing a remote linked
+       list with and without affinity ties (the paper's Listing 3).
+    4. {b One-sided vs two-sided mutexes}: DRust's CAS locks vs GAM-style
+       RPC locks under contention. *)
+
+type row = { experiment : string; variant : string; value : float; unit_ : string }
+
+val run : unit -> row list

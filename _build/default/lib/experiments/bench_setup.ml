@@ -1,0 +1,75 @@
+module Params = Drust_machine.Params
+module Cluster = Drust_machine.Cluster
+module Dsm = Drust_dsm.Dsm
+module Appkit = Drust_appkit.Appkit
+
+type system = Drust | Gam | Grappa | Original
+
+let system_name = function
+  | Drust -> "DRust"
+  | Gam -> "GAM"
+  | Grappa -> "Grappa"
+  | Original -> "Original"
+
+let all_systems = [ Drust; Gam; Grappa ]
+
+let testbed ?(nodes = 8) ?(seed = 42) () =
+  { Params.default with Params.nodes; mem_per_node = Drust_util.Units.gib 8; seed }
+
+let fixed_testbed ~nodes =
+  Params.fixed_resource (testbed ~nodes ()) ~total_cores:16
+    ~total_mem:(Drust_util.Units.gib 8 * 8) ~nodes
+
+let make_backend system cluster =
+  match system with
+  | Drust -> Drust_dsm.Drust_backend.create cluster
+  | Gam -> Drust_gam.Gam.backend (Drust_gam.Gam.create cluster)
+  | Grappa -> Drust_grappa.Grappa.backend (Drust_grappa.Grappa.create cluster)
+  | Original -> Drust_dsm.Local_backend.create cluster
+
+type app = Dataframe_app | Socialnet_app | Gemm_app | Kvstore_app
+
+let app_name = function
+  | Dataframe_app -> "DataFrame"
+  | Socialnet_app -> "SocialNet"
+  | Gemm_app -> "GEMM"
+  | Kvstore_app -> "KV Store"
+
+let all_apps = [ Dataframe_app; Socialnet_app; Gemm_app; Kvstore_app ]
+
+let run_app ?(affinity = false) ?(pass_by_value = false) app system ~params =
+  let cluster = Cluster.create params in
+  let backend = make_backend system cluster in
+  match app with
+  | Dataframe_app ->
+      Drust_dataframe.Dataframe.run ~cluster ~backend
+        {
+          Drust_dataframe.Dataframe.default_config with
+          Drust_dataframe.Dataframe.use_tbox = affinity;
+          use_spawn_to = affinity;
+        }
+  | Socialnet_app ->
+      Drust_socialnet.Socialnet.run ~cluster ~backend
+        {
+          Drust_socialnet.Socialnet.default_config with
+          Drust_socialnet.Socialnet.pass_by_value;
+        }
+  | Gemm_app ->
+      Drust_gemm.Gemm.run ~cluster ~backend Drust_gemm.Gemm.default_config
+  | Kvstore_app ->
+      Drust_kvstore.Kvstore.run ~cluster ~backend
+        Drust_kvstore.Kvstore.default_config
+
+(* Memoized: every figure normalizes against the same baseline. *)
+let baseline_cache : (app, Appkit.result) Hashtbl.t = Hashtbl.create 4
+
+let single_node_baseline app =
+  match Hashtbl.find_opt baseline_cache app with
+  | Some r -> r
+  | None ->
+      let pass_by_value = app = Socialnet_app in
+      let r =
+        run_app ~pass_by_value app Original ~params:(testbed ~nodes:1 ())
+      in
+      Hashtbl.replace baseline_cache app r;
+      r

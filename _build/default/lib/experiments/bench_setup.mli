@@ -1,0 +1,40 @@
+(** Shared experiment plumbing: cluster construction, backend selection,
+    and normalized application runs. *)
+
+module Params = Drust_machine.Params
+module Cluster = Drust_machine.Cluster
+
+type system = Drust | Gam | Grappa | Original
+
+val system_name : system -> string
+val all_systems : system list
+(** [Drust; Gam; Grappa] — the three DSMs of Fig. 5. *)
+
+val testbed : ?nodes:int -> ?seed:int -> unit -> Params.t
+(** The paper's testbed: 16 cores / node at 2.6 GHz on 40 Gbps IB. *)
+
+val fixed_testbed : nodes:int -> Params.t
+(** Fig. 7: 16 cores and 64 GB total, split evenly over [nodes]. *)
+
+val make_backend : system -> Cluster.t -> Drust_dsm.Dsm.t
+
+type app = Dataframe_app | Socialnet_app | Gemm_app | Kvstore_app
+
+val app_name : app -> string
+val all_apps : app list
+
+val run_app :
+  ?affinity:bool ->
+  ?pass_by_value:bool ->
+  app ->
+  system ->
+  params:Params.t ->
+  Drust_appkit.Appkit.result
+(** Build a fresh cluster from [params], instantiate the system's backend,
+    run the app's default configuration, and return the result.
+    [affinity] turns on the DataFrame TBox/spawn_to annotations (DRust
+    only).  [pass_by_value] selects SocialNet's original RPC deployment. *)
+
+val single_node_baseline : app -> Drust_appkit.Appkit.result
+(** The app run as-is ([Original] backend) on one full node — the
+    normalization denominator of every figure. *)

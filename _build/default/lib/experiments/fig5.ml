@@ -1,0 +1,81 @@
+module B = Bench_setup
+module Appkit = Drust_appkit.Appkit
+
+type row = {
+  app : B.app;
+  system : B.system;
+  nodes : int;
+  speedup : float;
+  throughput : float;
+}
+
+let paper_8node =
+  [
+    (B.Dataframe_app, B.Drust, 5.57);
+    (B.Dataframe_app, B.Gam, 2.18);
+    (B.Dataframe_app, B.Grappa, 1.69);
+    (B.Socialnet_app, B.Drust, 3.51);
+    (B.Socialnet_app, B.Gam, 1.33);
+    (B.Socialnet_app, B.Grappa, 1.39);
+    (B.Gemm_app, B.Drust, 5.93);
+    (B.Gemm_app, B.Gam, 3.82);
+    (B.Gemm_app, B.Grappa, 2.02);
+    (B.Kvstore_app, B.Drust, 3.34);
+    (B.Kvstore_app, B.Gam, 2.50);
+  ]
+
+let paper_at app system =
+  List.fold_left
+    (fun acc (a, s, v) -> if a = app && s = system then Some v else acc)
+    None paper_8node
+
+let run ?(node_counts = [ 1; 2; 4; 8 ]) () =
+  let rows = ref [] in
+  let record app system nodes result =
+    let base = B.single_node_baseline app in
+    let speedup = result.Appkit.throughput /. base.Appkit.throughput in
+    rows :=
+      { app; system; nodes; speedup; throughput = result.Appkit.throughput }
+      :: !rows;
+    speedup
+  in
+  List.iter
+    (fun app ->
+      Report.section
+        (Printf.sprintf "Figure 5: %s scaling (normalized to 1-node original, %s)"
+           (B.app_name app)
+           (Report.cell_rate (B.single_node_baseline app).Appkit.throughput));
+      let systems =
+        B.all_systems
+        @ if app = B.Socialnet_app then [ B.Original ] else []
+      in
+      let body =
+        List.map
+          (fun system ->
+            let cells =
+              List.map
+                (fun nodes ->
+                  let result =
+                    B.run_app app system
+                      ~pass_by_value:(system = B.Original)
+                      ~params:(B.testbed ~nodes ())
+                  in
+                  Report.cell_f (record app system nodes result))
+                node_counts
+            in
+            let paper =
+              match paper_at app system with
+              | Some v -> Printf.sprintf "%.2f" v
+              | None -> "-"
+            in
+            (B.system_name system :: cells) @ [ paper ])
+          systems
+      in
+      Report.table
+        ~header:
+          (("system"
+           :: List.map (fun n -> Printf.sprintf "%dn" n) node_counts)
+          @ [ "paper@8n" ])
+        ~rows:body)
+    B.all_apps;
+  List.rev !rows

@@ -1,0 +1,18 @@
+(** Figure 5: application throughput scaling (1–8 nodes) for DRust, GAM,
+    Grappa, normalized to each application's single-node original run. *)
+
+type row = {
+  app : Bench_setup.app;
+  system : Bench_setup.system;
+  nodes : int;
+  speedup : float;  (** normalized throughput vs 1-node original *)
+  throughput : float;
+}
+
+val run : ?node_counts:int list -> unit -> row list
+(** Runs the full sweep (including SocialNet's original-distributed
+    baseline) and prints the four sub-figures with the paper's quoted
+    reference points. *)
+
+val paper_8node : (Bench_setup.app * Bench_setup.system * float) list
+(** Speedups the paper quotes at 8 nodes. *)

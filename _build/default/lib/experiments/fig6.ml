@@ -1,0 +1,38 @@
+module B = Bench_setup
+module Appkit = Drust_appkit.Appkit
+module Cluster = Drust_machine.Cluster
+module Df = Drust_dataframe.Dataframe
+
+type row = { label : string; speedup : float; vs_plain : float }
+
+let run_variant ~use_tbox ~use_spawn_to =
+  let params = B.testbed ~nodes:8 () in
+  let cluster = Cluster.create params in
+  let backend = B.make_backend B.Drust cluster in
+  Df.run ~cluster ~backend
+    { Df.default_config with Df.use_tbox; use_spawn_to }
+
+let run () =
+  Report.section "Figure 6: DataFrame affinity annotations (DRust, 8 nodes)";
+  let base = B.single_node_baseline B.Dataframe_app in
+  let plain = run_variant ~use_tbox:false ~use_spawn_to:false in
+  let tbox = run_variant ~use_tbox:true ~use_spawn_to:false in
+  let both = run_variant ~use_tbox:true ~use_spawn_to:true in
+  let mk label r paper =
+    let speedup = r.Appkit.throughput /. base.Appkit.throughput in
+    let vs_plain = r.Appkit.throughput /. plain.Appkit.throughput in
+    ( { label; speedup; vs_plain },
+      [
+        label;
+        Report.cell_f speedup;
+        Printf.sprintf "%+.1f%%" (100.0 *. (vs_plain -. 1.0));
+        paper;
+      ] )
+  in
+  let r1, c1 = mk "no annotations" plain "-" in
+  let r2, c2 = mk "+ TBox" tbox "+12%" in
+  let r3, c3 = mk "+ TBox + spawn_to" both "+21% (12%+9%)" in
+  Report.table
+    ~header:[ "variant"; "speedup vs orig"; "vs plain"; "paper" ]
+    ~rows:[ c1; c2; c3 ];
+  [ r1; r2; r3 ]

@@ -1,0 +1,8 @@
+(** Figure 6: effectiveness of DRust's affinity annotations — DataFrame on
+    8 nodes with annotations enabled incrementally (none, +TBox,
+    +spawn_to).  The paper reports +12 % from TBox and a further +9 % from
+    spawn_to. *)
+
+type row = { label : string; speedup : float; vs_plain : float }
+
+val run : unit -> row list

@@ -1,0 +1,56 @@
+module B = Bench_setup
+module Appkit = Drust_appkit.Appkit
+
+type row = { app : B.app; system : B.system; overhead : float }
+
+let paper =
+  [
+    (B.Dataframe_app, B.Drust, 0.26);
+    (B.Gemm_app, B.Drust, 0.04);
+    (B.Kvstore_app, B.Drust, 0.32);
+  ]
+
+let paper_at app system =
+  List.fold_left
+    (fun acc (a, s, v) -> if a = app && s = system then Some v else acc)
+    None paper
+
+let apps = [ B.Dataframe_app; B.Gemm_app; B.Kvstore_app ]
+
+let run () =
+  Report.section
+    "Figure 7: cache-coherence cost (fixed 16 cores / 64GB, 1 vs 8 nodes)";
+  let rows = ref [] in
+  let body =
+    List.map
+      (fun app ->
+        let cells =
+          List.map
+            (fun system ->
+              let one =
+                B.run_app app system ~params:(B.fixed_testbed ~nodes:1)
+              in
+              let eight =
+                B.run_app app system ~params:(B.fixed_testbed ~nodes:8)
+              in
+              let overhead =
+                1.0 -. (eight.Appkit.throughput /. one.Appkit.throughput)
+              in
+              rows := { app; system; overhead } :: !rows;
+              let paper_s =
+                match paper_at app system with
+                | Some v -> Printf.sprintf " (paper %.0f%%)" (100.0 *. v)
+                | None -> ""
+              in
+              Report.cell_pct overhead ^ paper_s)
+            B.all_systems
+        in
+        B.app_name app :: cells)
+      apps
+  in
+  Report.table
+    ~header:("app" :: List.map B.system_name B.all_systems)
+    ~rows:body;
+  Report.note
+    "overhead = 1 - throughput(8 nodes) / throughput(1 node), same total resources";
+  List.rev !rows

@@ -1,0 +1,50 @@
+module B = Bench_setup
+module Appkit = Drust_appkit.Appkit
+
+type row = {
+  app : B.app;
+  system : B.system;
+  p50_us : float;
+  p99_us : float;
+}
+
+let measure app system ~nodes =
+  let r =
+    B.run_app app system ~params:(B.testbed ~nodes ())
+      ~pass_by_value:(system = B.Original)
+  in
+  {
+    app;
+    system;
+    p50_us = List.assoc "lat_p50_us" r.Appkit.extra;
+    p99_us = List.assoc "lat_p99_us" r.Appkit.extra;
+  }
+
+let run () =
+  Report.section
+    "Supplementary: per-operation latency (median / P99, virtual us)";
+  let apps = [ B.Kvstore_app; B.Socialnet_app ] in
+  let rows = ref [] in
+  let body =
+    List.concat_map
+      (fun app ->
+        List.map
+          (fun (system, nodes, label) ->
+            let r = measure app system ~nodes in
+            rows := r :: !rows;
+            [
+              B.app_name app;
+              label;
+              Printf.sprintf "%.1f" r.p50_us;
+              Printf.sprintf "%.1f" r.p99_us;
+            ])
+          [
+            (B.Original, 1, "Original (1 node)");
+            (B.Drust, 8, "DRust (8 nodes)");
+            (B.Gam, 8, "GAM (8 nodes)");
+            (B.Grappa, 8, "Grappa (8 nodes)");
+          ])
+      apps
+  in
+  Report.table ~header:[ "app"; "system"; "p50 (us)"; "p99 (us)" ] ~rows:body;
+  List.rev !rows

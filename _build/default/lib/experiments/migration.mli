@@ -1,0 +1,17 @@
+(** §7.3 drill-down: thread migration latency.
+
+    The paper runs GEMM on 8 nodes and observes the runtime migrate 15
+    threads at an average of 218 µs each.  We measure the same migration
+    protocol (controller round trip, padded-stack transfer, resume
+    message) for a batch of threads moved between random node pairs, plus
+    a controller-driven run where migrations are triggered by load
+    imbalance. *)
+
+type result = {
+  migrations : int;
+  average_latency : float;
+  p90_latency : float;
+  controller_migrations : int;  (** migrations ordered by the controller *)
+}
+
+val run : unit -> result

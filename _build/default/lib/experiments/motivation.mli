@@ -1,0 +1,14 @@
+(** §3 motivation measurement: the cost anatomy of a GAM remote object
+    read.  The paper reports that reading an uncached 512-byte object in
+    GAM takes 16 µs while the wire-level read itself is only 3.6 µs —
+    coherence maintenance is 77 % of the access.  DRust's equivalent read
+    is a single one-sided fetch. *)
+
+type result = {
+  gam_total : float;
+  wire_time : float;
+  coherence_fraction : float;
+  drust_total : float;
+}
+
+val run : unit -> result

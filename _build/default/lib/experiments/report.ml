@@ -1,0 +1,89 @@
+let csv_dir = ref None
+let current_slug = ref "table"
+let slug_counter = ref 0
+
+let set_csv_dir d =
+  (match d with
+  | Some dir when not (Sys.file_exists dir) -> Unix.mkdir dir 0o755
+  | _ -> ());
+  csv_dir := d
+
+let slugify title =
+  let b = Buffer.create (String.length title) in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> Buffer.add_char b (Char.lowercase_ascii c)
+      | ' ' | '-' | '_' | ':' | '.' ->
+          if Buffer.length b > 0 && Buffer.nth b (Buffer.length b - 1) <> '-' then
+            Buffer.add_char b '-'
+      | _ -> ())
+    title;
+  let s = Buffer.contents b in
+  if String.length s > 48 then String.sub s 0 48 else s
+
+let section title =
+  current_slug := slugify title;
+  slug_counter := 0;
+  let bar = String.make (String.length title + 4) '=' in
+  Printf.printf "\n%s\n| %s |\n%s\n" bar title bar
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let write_csv ~header ~rows =
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+      incr slug_counter;
+      let suffix = if !slug_counter = 1 then "" else Printf.sprintf "-%d" !slug_counter in
+      let path = Filename.concat dir (!current_slug ^ suffix ^ ".csv") in
+      let oc = open_out path in
+      let line cells = output_string oc (String.concat "," (List.map csv_escape cells) ^ "\n") in
+      line header;
+      List.iter line rows;
+      close_out oc
+
+let table ~header ~rows =
+  write_csv ~header ~rows;
+  let all = header :: rows in
+  let cols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun m row ->
+        match List.nth_opt row c with
+        | Some s -> max m (String.length s)
+        | None -> m)
+      0 all
+  in
+  let widths = List.init cols width in
+  let print_row row =
+    let cells =
+      List.mapi
+        (fun c w ->
+          let s = match List.nth_opt row c with Some s -> s | None -> "" in
+          s ^ String.make (w - String.length s) ' ')
+        widths
+    in
+    Printf.printf "| %s |\n" (String.concat " | " cells)
+  in
+  let rule =
+    "+"
+    ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths)
+    ^ "+"
+  in
+  print_endline rule;
+  print_row header;
+  print_endline rule;
+  List.iter print_row rows;
+  print_endline rule
+
+let cell_f v = Printf.sprintf "%.2f" v
+let cell_pct v = Printf.sprintf "%.1f%%" (100.0 *. v)
+
+let cell_rate v = Format.asprintf "%a" Drust_util.Units.pp_rate v
+let cell_time v = Format.asprintf "%a" Drust_util.Units.pp_seconds v
+
+let note s = Printf.printf "  %s\n" s

@@ -1,0 +1,30 @@
+(** Table rendering for the benchmark harness.
+
+    Every experiment prints a fixed-width table of measured values next to
+    the numbers the paper reports, so paper-vs-measured comparison (and
+    EXPERIMENTS.md) can be regenerated mechanically. *)
+
+val set_csv_dir : string option -> unit
+(** When set, every {!table} is also written as
+    [<dir>/<section-slug>.csv] (created if missing) so results can be
+    plotted downstream. *)
+
+val section : string -> unit
+(** Print a banner for one experiment. *)
+
+val table : header:string list -> rows:string list list -> unit
+(** Fixed-width table; column widths derived from contents. *)
+
+val cell_f : float -> string
+(** Format a ratio/speedup with 2 decimals. *)
+
+val cell_pct : float -> string
+(** Format a fraction as a percentage. *)
+
+val cell_rate : float -> string
+(** Human-readable ops/s. *)
+
+val cell_time : float -> string
+(** Human-readable duration. *)
+
+val note : string -> unit

@@ -1,0 +1,17 @@
+(** Table 1: evaluated applications and their characteristics.
+
+    The paper lists each application's dataset, memory footprint, and
+    compute intensity.  Our workloads are scaled-down synthetic
+    equivalents; this table reports the simulated footprint/intensity side
+    by side with the paper's values. *)
+
+type row = {
+  app : string;
+  dataset : string;
+  sim_memory_bytes : int;
+  sim_intensity : float;
+  paper_memory_gb : int;
+  paper_intensity : float;
+}
+
+val run : unit -> row list

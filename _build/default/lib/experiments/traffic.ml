@@ -1,0 +1,64 @@
+module B = Bench_setup
+module Cluster = Drust_machine.Cluster
+module Fabric = Drust_net.Fabric
+module Appkit = Drust_appkit.Appkit
+
+type row = {
+  app : B.app;
+  system : B.system;
+  remote_ops_per_op : float;
+  bytes_per_op : float;
+}
+
+(* Like Bench_setup.run_app but keeps the cluster so the fabric counters
+   survive the run. *)
+let run_one app system =
+  let params = B.testbed ~nodes:8 () in
+  let cluster = Cluster.create params in
+  let backend = B.make_backend system cluster in
+  let result =
+    match app with
+    | B.Dataframe_app ->
+        Drust_dataframe.Dataframe.run ~cluster ~backend
+          Drust_dataframe.Dataframe.default_config
+    | B.Socialnet_app ->
+        Drust_socialnet.Socialnet.run ~cluster ~backend
+          Drust_socialnet.Socialnet.default_config
+    | B.Gemm_app ->
+        Drust_gemm.Gemm.run ~cluster ~backend Drust_gemm.Gemm.default_config
+    | B.Kvstore_app ->
+        Drust_kvstore.Kvstore.run ~cluster ~backend
+          Drust_kvstore.Kvstore.default_config
+  in
+  let fabric = Cluster.fabric cluster in
+  {
+    app;
+    system;
+    remote_ops_per_op =
+      Float.of_int (Fabric.total_remote_ops fabric) /. result.Appkit.ops;
+    bytes_per_op = Float.of_int (Fabric.total_bytes fabric) /. result.Appkit.ops;
+  }
+
+let run () =
+  Report.section "Supplementary: coherence traffic per application operation (8 nodes)";
+  let rows =
+    List.concat_map
+      (fun app -> List.map (run_one app) B.all_systems)
+      B.all_apps
+  in
+  Report.table
+    ~header:[ "app"; "system"; "remote verbs / op"; "bytes / op" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             B.app_name r.app;
+             B.system_name r.system;
+             Printf.sprintf "%.1f" r.remote_ops_per_op;
+             Format.asprintf "%a" Drust_util.Units.pp_bytes
+               (Float.to_int r.bytes_per_op);
+           ])
+         rows);
+  Report.note
+    "verbs = one-sided READ/WRITE + RPC + atomics crossing node boundaries";
+  rows

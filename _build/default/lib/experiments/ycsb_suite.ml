@@ -1,0 +1,43 @@
+module B = Bench_setup
+module Cluster = Drust_machine.Cluster
+module Appkit = Drust_appkit.Appkit
+module Kv = Drust_kvstore.Kvstore
+module Ycsb = Drust_workloads.Ycsb
+
+type row = {
+  workload : Ycsb.workload;
+  system : B.system;
+  speedup : float;
+}
+
+let config w = { Kv.default_config with Kv.workload = Some w; ops = 24_000 }
+
+let run_one w system ~nodes =
+  let cluster = Cluster.create (B.testbed ~nodes ()) in
+  let backend = B.make_backend system cluster in
+  Kv.run ~cluster ~backend (config w)
+
+let run () =
+  Report.section "Extension: YCSB core workloads A-F (KV store, 8 nodes)";
+  let rows = ref [] in
+  let body =
+    List.map
+      (fun w ->
+        let base = run_one w B.Original ~nodes:1 in
+        let cells =
+          List.map
+            (fun system ->
+              let r = run_one w system ~nodes:8 in
+              let speedup = r.Appkit.throughput /. base.Appkit.throughput in
+              rows := { workload = w; system; speedup } :: !rows;
+              Report.cell_f speedup)
+            B.all_systems
+        in
+        Ycsb.workload_name w :: cells)
+      Ycsb.all_workloads
+  in
+  Report.table
+    ~header:("workload" :: List.map B.system_name B.all_systems)
+    ~rows:body;
+  Report.note "speedup vs the same workload on the 1-node original";
+  List.rev !rows

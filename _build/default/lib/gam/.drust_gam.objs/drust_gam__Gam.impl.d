@@ -1,0 +1,1 @@
+lib/gam/gam.ml: Array Drust_dsm Drust_machine Drust_net Drust_sim Drust_util Float Hashtbl List Queue

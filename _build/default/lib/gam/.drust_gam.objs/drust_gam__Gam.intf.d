@@ -1,0 +1,1 @@
+lib/gam/gam.mli: Drust_dsm Drust_machine Drust_util

@@ -1,0 +1,1 @@
+lib/grappa/grappa.ml: Array Drust_dsm Drust_machine Drust_net Drust_sim Drust_util Float Hashtbl

@@ -1,0 +1,1 @@
+lib/grappa/grappa.mli: Drust_dsm Drust_machine Drust_util

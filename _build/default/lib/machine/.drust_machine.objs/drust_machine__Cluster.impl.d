@@ -1,0 +1,1 @@
+lib/machine/cluster.ml: Array Drust_memory Drust_net Drust_sim Drust_util Float List Params Printf

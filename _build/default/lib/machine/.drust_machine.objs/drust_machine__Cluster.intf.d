@@ -1,0 +1,1 @@
+lib/machine/cluster.mli: Drust_memory Drust_net Drust_sim Drust_util Params

@@ -1,0 +1,1 @@
+lib/machine/ctx.ml: Array Cluster Drust_sim Drust_util Params

@@ -1,0 +1,1 @@
+lib/machine/ctx.mli: Cluster Drust_net Drust_sim Drust_util Params

@@ -1,0 +1,1 @@
+lib/machine/params.ml: Drust_net Drust_util Format

@@ -1,0 +1,1 @@
+lib/machine/params.mli: Drust_net Format

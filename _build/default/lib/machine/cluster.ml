@@ -1,0 +1,126 @@
+module Engine = Drust_sim.Engine
+module Resource = Drust_sim.Resource
+module Fabric = Drust_net.Fabric
+module Gaddr = Drust_memory.Gaddr
+module Partition = Drust_memory.Partition
+module Cache = Drust_memory.Cache
+
+type node = {
+  id : int;
+  cores : Resource.t;
+  partition : Partition.t;
+  cache : Cache.t;
+  mutable alive : bool;
+}
+
+type t = {
+  uid : int;
+  engine : Engine.t;
+  fabric : Fabric.t;
+  params : Params.t;
+  nodes : node array;
+  serving : int array; (* serving.(home) = node currently serving home's range *)
+  range_store : Partition.t array;
+      (* partition object backing each home range; swapped on promotion *)
+  rng : Drust_util.Rng.t;
+}
+
+let next_uid = ref 0
+
+let create ?engine params =
+  let engine = match engine with Some e -> e | None -> Engine.create () in
+  let rng = Drust_util.Rng.create ~seed:params.Params.seed in
+  let fabric =
+    Fabric.create ~engine
+      ~rng:(Drust_util.Rng.split rng)
+      ~model:params.Params.net ~nodes:params.Params.nodes
+  in
+  let make_node id =
+    {
+      id;
+      cores = Resource.create engine ~capacity:params.Params.cores_per_node;
+      partition =
+        Partition.create ~node:id ~capacity_bytes:params.Params.mem_per_node;
+      cache = Cache.create ~node:id;
+      alive = true;
+    }
+  in
+  let uid = !next_uid in
+  incr next_uid;
+  let nodes = Array.init params.Params.nodes make_node in
+  {
+    uid;
+    engine;
+    fabric;
+    params;
+    nodes;
+    serving = Array.init params.Params.nodes (fun i -> i);
+    range_store = Array.map (fun n -> n.partition) nodes;
+    rng;
+  }
+
+let uid t = t.uid
+
+let engine t = t.engine
+let fabric t = t.fabric
+let params t = t.params
+let rng t = t.rng
+
+let node_count t = Array.length t.nodes
+
+let node t i =
+  if i < 0 || i >= Array.length t.nodes then
+    invalid_arg (Printf.sprintf "Cluster.node: %d out of range" i);
+  t.nodes.(i)
+
+let nodes t = t.nodes
+
+let alive_nodes t =
+  Array.to_list t.nodes
+  |> List.filter_map (fun n -> if n.alive then Some n.id else None)
+
+let serving_node t home =
+  if home < 0 || home >= Array.length t.serving then
+    invalid_arg "Cluster.serving_node: out of range";
+  t.serving.(home)
+
+let promote t ~home ~by ~store =
+  if Partition.node store <> home then
+    invalid_arg "Cluster.promote: store must mint addresses in the home range";
+  t.serving.(home) <- by;
+  t.range_store.(home) <- store
+
+let mark_failed t i =
+  let n = node t i in
+  n.alive <- false
+
+let partition_of t a = t.range_store.(Gaddr.node_of a)
+
+(* Allocation "on" node [i] goes to whatever store currently backs [i]'s
+   address range — the node's own partition, or its promoted backup after
+   a failure (addresses keep carrying the home range id either way). *)
+let heap_alloc t ~node:i ~size v = Partition.alloc t.range_store.(i) ~size v
+
+let heap_read t a = Partition.get (partition_of t a) a
+let heap_write t a v = Partition.set (partition_of t a) a v
+let heap_free t a = Partition.free (partition_of t a) a
+let heap_mem t a = Partition.mem (partition_of t a) a
+
+let most_vacant_node t =
+  let best = ref (-1) in
+  let best_usage = ref Float.infinity in
+  Array.iter
+    (fun n ->
+      if n.alive then begin
+        let usage = Partition.usage_fraction n.partition in
+        if usage < !best_usage then begin
+          best := n.id;
+          best_usage := usage
+        end
+      end)
+    t.nodes;
+  if !best < 0 then failwith "Cluster.most_vacant_node: no node alive";
+  !best
+
+let run t = Engine.run t.engine
+let now t = Engine.now t.engine

@@ -1,0 +1,71 @@
+(** The simulated cluster: nodes, fabric, and the partitioned global heap.
+
+    One [Cluster.t] is the unit of an experiment.  Each node bundles its
+    CPU cores (a FIFO resource), its heap partition, and its read-only
+    object cache.  The cluster also carries the primary-serving map used by
+    the fault-tolerance layer: after a failure, another node is promoted to
+    serve a dead node's partition range (§4.2.3). *)
+
+type node = {
+  id : int;
+  cores : Drust_sim.Resource.t;
+  partition : Drust_memory.Partition.t;
+  cache : Drust_memory.Cache.t;
+  mutable alive : bool;
+}
+
+type t
+
+val create : ?engine:Drust_sim.Engine.t -> Params.t -> t
+
+val uid : t -> int
+(** Unique id per cluster instance; lets higher layers keep side tables. *)
+
+val engine : t -> Drust_sim.Engine.t
+val fabric : t -> Drust_net.Fabric.t
+val params : t -> Params.t
+val rng : t -> Drust_util.Rng.t
+
+val node_count : t -> int
+val node : t -> int -> node
+val nodes : t -> node array
+val alive_nodes : t -> int list
+
+(** {1 Partition serving (fault tolerance)} *)
+
+val serving_node : t -> int -> int
+(** [serving_node t home] is the node currently serving [home]'s partition
+    range — [home] itself unless it failed and a backup was promoted. *)
+
+val promote : t -> home:int -> by:int -> store:Drust_memory.Partition.t -> unit
+(** After [home] fails, serve its address range from node [by] using the
+    replica [store] (which must mint addresses in [home]'s range). *)
+
+val mark_failed : t -> int -> unit
+
+(** {1 Global-heap state operations}
+
+    These mutate simulator state only; {e timing} is charged separately by
+    the coherence protocols through the fabric. *)
+
+val heap_alloc : t -> node:int -> size:int -> Drust_util.Univ.t -> Drust_memory.Gaddr.t
+(** Allocate in a specific node's partition. *)
+
+val heap_read : t -> Drust_memory.Gaddr.t -> Drust_memory.Partition.entry
+(** Follows the serving map.  Raises [Not_found] on a dead address. *)
+
+val heap_write : t -> Drust_memory.Gaddr.t -> Drust_util.Univ.t -> unit
+val heap_free : t -> Drust_memory.Gaddr.t -> unit
+val heap_mem : t -> Drust_memory.Gaddr.t -> bool
+
+val partition_of : t -> Drust_memory.Gaddr.t -> Drust_memory.Partition.t
+(** The partition currently serving an address. *)
+
+val most_vacant_node : t -> int
+(** Allocation fallback under memory pressure (§4.2.1): the alive node
+    with the lowest partition usage. *)
+
+val run : t -> unit
+(** Drive the engine until all events drain (delegates to [Engine.run]). *)
+
+val now : t -> float

@@ -1,0 +1,86 @@
+module Engine = Drust_sim.Engine
+module Resource = Drust_sim.Resource
+
+type t = {
+  cluster : Cluster.t;
+  thread_id : int;
+  mutable node : int;
+  rng : Drust_util.Rng.t;
+  mutable pending_cycles : float;
+  mutable local_alloc_bytes : int;
+  remote_accesses : int array;
+  mutable computed_seconds : float;
+  mutable safe_point_hook : (t -> unit) option;
+}
+
+let next_thread_id = ref 0
+
+let make cluster ~node =
+  if node < 0 || node >= Cluster.node_count cluster then
+    invalid_arg "Ctx.make: node out of range";
+  let id = !next_thread_id in
+  incr next_thread_id;
+  {
+    cluster;
+    thread_id = id;
+    node;
+    rng = Drust_util.Rng.split (Cluster.rng cluster);
+    pending_cycles = 0.0;
+    local_alloc_bytes = 0;
+    remote_accesses = Array.make (Cluster.node_count cluster) 0;
+    computed_seconds = 0.0;
+    safe_point_hook = None;
+  }
+
+let cluster t = t.cluster
+let current_node t = Cluster.node t.cluster t.node
+let engine t = Cluster.engine t.cluster
+let fabric t = Cluster.fabric t.cluster
+let params t = Cluster.params t.cluster
+
+let safe_point t =
+  match t.safe_point_hook with None -> () | Some hook -> hook t
+
+let flush t =
+  safe_point t;
+  if t.pending_cycles > 0.0 then begin
+    let cycles = t.pending_cycles in
+    t.pending_cycles <- 0.0;
+    let seconds = Params.cycles_to_seconds (params t) cycles in
+    t.computed_seconds <- t.computed_seconds +. seconds;
+    let cores = (current_node t).Cluster.cores in
+    Resource.use cores (fun () -> Engine.delay (engine t) seconds)
+  end
+
+let charge_cycles t cycles =
+  if cycles < 0.0 then invalid_arg "Ctx.charge_cycles: negative";
+  t.pending_cycles <- t.pending_cycles +. cycles;
+  let grain = (params t).Params.flush_grain in
+  if Params.cycles_to_seconds (params t) t.pending_cycles >= grain then flush t
+
+let compute t ~cycles =
+  t.pending_cycles <- t.pending_cycles +. cycles;
+  flush t
+
+let note_remote_access t ~target =
+  if target <> t.node then
+    t.remote_accesses.(target) <- t.remote_accesses.(target) + 1
+
+let note_local_alloc t ~bytes = t.local_alloc_bytes <- t.local_alloc_bytes + bytes
+
+let remote_access_total t = Array.fold_left ( + ) 0 t.remote_accesses
+
+let hottest_remote_node t =
+  let best = ref (-1) and best_count = ref 0 in
+  Array.iteri
+    (fun i c ->
+      if i <> t.node && c > !best_count then begin
+        best := i;
+        best_count := c
+      end)
+    t.remote_accesses;
+  if !best < 0 then None else Some !best
+
+let reset_counters t =
+  t.local_alloc_bytes <- 0;
+  Array.fill t.remote_accesses 0 (Array.length t.remote_accesses) 0

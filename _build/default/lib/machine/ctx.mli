@@ -1,0 +1,58 @@
+(** Per-thread execution context.
+
+    Every simulated application thread carries a [Ctx.t]: which node it is
+    currently running on (mutable — threads migrate), its RNG stream, and
+    the accounting the global controller's adaptive policies read (local
+    heap consumption, per-node remote-access counts, §4.2.2).
+
+    Compute is charged in {e cycles} and batched: small charges accumulate
+    and are flushed as one core-occupying burst once they exceed the
+    cluster's [flush_grain], or whenever the thread is about to block on
+    the network.  This keeps simulations fast without losing CPU
+    contention. *)
+
+type t = {
+  cluster : Cluster.t;
+  thread_id : int;
+  mutable node : int;
+  rng : Drust_util.Rng.t;
+  mutable pending_cycles : float;
+  mutable local_alloc_bytes : int;
+  remote_accesses : int array;  (** per-target-node counts *)
+  mutable computed_seconds : float;
+  mutable safe_point_hook : (t -> unit) option;
+      (** invoked at flush points; the runtime installs migration here *)
+}
+
+val make : Cluster.t -> node:int -> t
+(** Fresh context with a unique thread id and a split RNG stream. *)
+
+val cluster : t -> Cluster.t
+val current_node : t -> Cluster.node
+val engine : t -> Drust_sim.Engine.t
+val fabric : t -> Drust_net.Fabric.t
+val params : t -> Params.t
+
+val charge_cycles : t -> float -> unit
+(** Accumulate compute; flushes automatically past the grain. *)
+
+val compute : t -> cycles:float -> unit
+(** [charge_cycles] then flush — a synchronous compute burst. *)
+
+val flush : t -> unit
+(** Occupy a core on the current node for all pending cycles.  Runs the
+    safe-point hook first (migration happens at flush boundaries, like the
+    paper's cooperative scheduler). *)
+
+val safe_point : t -> unit
+(** Run the safe-point hook without forcing a flush. *)
+
+val note_remote_access : t -> target:int -> unit
+val note_local_alloc : t -> bytes:int -> unit
+
+val remote_access_total : t -> int
+val hottest_remote_node : t -> int option
+(** The node this thread reads/writes most — the migration target of the
+    controller's CPU-congestion policy. *)
+
+val reset_counters : t -> unit

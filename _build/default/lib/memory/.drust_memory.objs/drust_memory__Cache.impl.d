@@ -1,0 +1,1 @@
+lib/memory/cache.ml: Drust_util Gaddr Hashtbl List

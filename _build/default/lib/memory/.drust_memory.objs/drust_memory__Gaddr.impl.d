@@ -1,0 +1,1 @@
+lib/memory/gaddr.ml: Format Hashtbl Int Printf

@@ -1,0 +1,1 @@
+lib/memory/gaddr.mli: Format

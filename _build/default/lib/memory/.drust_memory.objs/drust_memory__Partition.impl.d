@@ -1,0 +1,1 @@
+lib/memory/partition.ml: Drust_util Float Gaddr Hashtbl Printf

@@ -1,0 +1,1 @@
+lib/memory/partition.mli: Drust_util Gaddr

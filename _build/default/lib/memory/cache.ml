@@ -1,0 +1,103 @@
+type copy = {
+  key : Gaddr.t;
+  mutable value : Drust_util.Univ.t;
+  size : int;
+  mutable refcount : int;
+  mutable dead : bool;
+  mutable detached : bool;
+}
+
+type t = {
+  node : int;
+  (* Keyed by the physical (color-cleared) address; the copy remembers the
+     full colored key so lookups can compare colors in O(1). *)
+  map : (Gaddr.t, copy) Hashtbl.t;
+  mutable used : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~node =
+  { node; map = Hashtbl.create 256; used = 0; hits = 0; misses = 0 }
+
+let node t = t.node
+let entries t = Hashtbl.length t.map
+let used_bytes t = t.used
+
+let lookup t g =
+  match Hashtbl.find_opt t.map (Gaddr.clear_color g) with
+  | Some copy when Gaddr.equal copy.key g && not copy.dead ->
+      t.hits <- t.hits + 1;
+      Some copy
+  | Some _ | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let reclaim t copy =
+  if not copy.dead then begin
+    copy.dead <- true;
+    t.used <- t.used - copy.size
+  end
+
+(* Remove a copy from the map.  If references still pin it they keep
+   reading through their direct record; the bytes are reclaimed when the
+   last reference drains ([release]). *)
+let detach t phys copy =
+  Hashtbl.remove t.map phys;
+  copy.detached <- true;
+  if copy.refcount = 0 then reclaim t copy
+
+let insert t g ~size v =
+  let phys = Gaddr.clear_color g in
+  (match Hashtbl.find_opt t.map phys with
+  | Some old -> detach t phys old
+  | None -> ());
+  let copy =
+    { key = g; value = v; size; refcount = 1; dead = false; detached = false }
+  in
+  Hashtbl.replace t.map phys copy;
+  t.used <- t.used + size;
+  copy
+
+let retain copy =
+  if copy.dead then invalid_arg "Cache.retain: dead copy";
+  copy.refcount <- copy.refcount + 1
+
+let release t copy =
+  if copy.refcount <= 0 then invalid_arg "Cache.release: refcount underflow";
+  copy.refcount <- copy.refcount - 1;
+  if copy.refcount = 0 && copy.detached then reclaim t copy
+
+let invalidate_physical t g =
+  let phys = Gaddr.clear_color g in
+  match Hashtbl.find_opt t.map phys with
+  | None -> ()
+  | Some copy -> detach t phys copy
+
+let evict_unreferenced t =
+  let reclaimed = ref 0 in
+  let victims =
+    Hashtbl.fold
+      (fun phys copy acc -> if copy.refcount = 0 then (phys, copy) :: acc else acc)
+      t.map []
+  in
+  let kill (phys, copy) =
+    reclaimed := !reclaimed + copy.size;
+    detach t phys copy
+  in
+  List.iter kill victims;
+  !reclaimed
+
+let iter t f = Hashtbl.iter (fun _ copy -> f copy) t.map
+
+let clear t =
+  Hashtbl.iter (fun _ copy -> reclaim t copy) t.map;
+  Hashtbl.reset t.map;
+  t.used <- 0
+
+let hits t = t.hits
+let misses t = t.misses
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0

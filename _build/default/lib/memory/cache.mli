@@ -1,0 +1,69 @@
+(** Per-node read-only object cache (the paper's hashmap [H], §4.1.1).
+
+    The "cache" is a virtual aggregation of local copies living in the
+    regular heap: a hashmap from an object's {e colored} global address to
+    the local copy and the count of live immutable references using it.
+    Because the key includes the color, any write to the object (which
+    either moves it or bumps its color) makes every stale entry
+    unreachable — that is the protocol's implicit invalidation.
+
+    Copies are owned by the references that pinned them: an entry may only
+    be evicted once its reference count drops to zero, which the runtime
+    does lazily under memory pressure. *)
+
+type t
+
+type copy = {
+  key : Gaddr.t;  (** colored global address the copy was fetched under *)
+  mutable value : Drust_util.Univ.t;
+  size : int;
+  mutable refcount : int;
+  mutable dead : bool;  (** set on eviction/invalidation *)
+  mutable detached : bool;
+      (** no longer reachable from the map (displaced by a newer version
+          or invalidated) but still pinned by live references *)
+}
+
+val create : node:int -> t
+
+val node : t -> int
+val entries : t -> int
+val used_bytes : t -> int
+
+val lookup : t -> Gaddr.t -> copy option
+(** [lookup t g] finds a live copy cached under exactly the colored
+    address [g]; a copy fetched under a stale color never matches. *)
+
+val insert : t -> Gaddr.t -> size:int -> Drust_util.Univ.t -> copy
+(** [insert t g ~size v] records a fresh copy with refcount 1.  Any older
+    copy cached under the same physical address (different color) is
+    displaced from the map — live references keep reading it through their
+    direct [copy] record, exactly like the paper's dangling-but-refcounted
+    local copies. *)
+
+val retain : copy -> unit
+(** Increment the reference count ([Deref] cache hit, Alg. 4 line 10). *)
+
+val release : t -> copy -> unit
+(** Decrement the reference count ([DropRef], Alg. 4 line 20).  A displaced
+    copy whose count drains to zero is reclaimed immediately.  Raises
+    [Invalid_argument] below zero. *)
+
+val invalidate_physical : t -> Gaddr.t -> unit
+(** Remove whatever copy is cached under this physical address, regardless
+    of color — the asynchronous invalidation performed when an object is
+    deallocated or moved away (App. B.4), preventing a reallocation at the
+    same address from hitting a stale entry. *)
+
+val evict_unreferenced : t -> int
+(** Drop all refcount-0 entries; returns bytes reclaimed.  This is the
+    lazy reclamation the runtime triggers under memory pressure. *)
+
+val iter : t -> (copy -> unit) -> unit
+val clear : t -> unit
+
+(** {1 Statistics} *)
+
+val hits : t -> int
+val misses : t -> int
+val reset_stats : t -> unit

@@ -1,0 +1,135 @@
+type entry = { value : Drust_util.Univ.t; size : int }
+
+(* Size-class free lists: freed offsets are recycled for any request that
+   fits the same class, which keeps the bump pointer from running away in
+   long simulations with allocation churn. *)
+type t = {
+  node : int;
+  capacity : int;
+  objects : (int, entry) Hashtbl.t; (* keyed by color-less offset *)
+  free_lists : (int, int list ref) Hashtbl.t; (* size class -> offsets *)
+  mutable bump : int;
+  mutable used : int;
+}
+
+exception Out_of_memory of { node : int; requested : int }
+
+let create ~node ~capacity_bytes =
+  if capacity_bytes <= 0 then invalid_arg "Partition.create: empty capacity";
+  {
+    node;
+    capacity = capacity_bytes;
+    objects = Hashtbl.create 1024;
+    free_lists = Hashtbl.create 32;
+    bump = 8; (* offset 0 is reserved as a null-like sentinel *)
+    used = 0;
+  }
+
+let node t = t.node
+let capacity_bytes t = t.capacity
+let used_bytes t = t.used
+let live_objects t = Hashtbl.length t.objects
+let usage_fraction t = Float.of_int t.used /. Float.of_int t.capacity
+
+(* Round a request up to its size class: powers of two from 16 bytes. *)
+let size_class size =
+  let rec up c = if c >= size then c else up (c * 2) in
+  up 16
+
+let take_free t cls =
+  match Hashtbl.find_opt t.free_lists cls with
+  | Some ({ contents = off :: rest } as cell) ->
+      cell := rest;
+      Some off
+  | Some { contents = [] } | None -> None
+
+let alloc t ~size v =
+  if size < 0 then invalid_arg "Partition.alloc: negative size";
+  let cls = size_class (max 1 size) in
+  if t.used + cls > t.capacity then
+    raise (Out_of_memory { node = t.node; requested = size });
+  let offset =
+    match take_free t cls with
+    | Some off -> off
+    | None ->
+        let off = t.bump in
+        t.bump <- t.bump + cls;
+        if t.bump > Gaddr.max_offset then
+          raise (Out_of_memory { node = t.node; requested = size });
+        off
+  in
+  Hashtbl.replace t.objects offset { value = v; size };
+  t.used <- t.used + cls;
+  Gaddr.make ~node:t.node ~offset
+
+let check_home t a label =
+  if Gaddr.node_of a <> t.node then
+    invalid_arg
+      (Printf.sprintf "Partition.%s: address on node %d, partition is node %d"
+         label (Gaddr.node_of a) t.node)
+
+let free t a =
+  check_home t a "free";
+  let off = Gaddr.offset_of a in
+  match Hashtbl.find_opt t.objects off with
+  | None -> invalid_arg "Partition.free: dead address"
+  | Some e ->
+      Hashtbl.remove t.objects off;
+      let cls = size_class (max 1 e.size) in
+      t.used <- t.used - cls;
+      let cell =
+        match Hashtbl.find_opt t.free_lists cls with
+        | Some c -> c
+        | None ->
+            let c = ref [] in
+            Hashtbl.replace t.free_lists cls c;
+            c
+      in
+      cell := off :: !cell
+
+let get t a =
+  check_home t a "get";
+  match Hashtbl.find_opt t.objects (Gaddr.offset_of a) with
+  | Some e -> e
+  | None -> raise Not_found
+
+let mem t a =
+  Gaddr.node_of a = t.node && Hashtbl.mem t.objects (Gaddr.offset_of a)
+
+let set t a v =
+  check_home t a "set";
+  let off = Gaddr.offset_of a in
+  match Hashtbl.find_opt t.objects off with
+  | None -> invalid_arg "Partition.set: dead address"
+  | Some e -> Hashtbl.replace t.objects off { e with value = v }
+
+let put t a ~size v =
+  check_home t a "put";
+  let off = Gaddr.offset_of a in
+  let cls = size_class (max 1 size) in
+  (match Hashtbl.find_opt t.objects off with
+  | Some old -> t.used <- t.used - size_class (max 1 old.size)
+  | None -> ());
+  Hashtbl.replace t.objects off { value = v; size };
+  t.used <- t.used + cls;
+  (* Keep the bump pointer ahead of mirrored offsets so that a promoted
+     backup never mints an address that collides with a mirrored object. *)
+  if off + cls > t.bump then t.bump <- off + cls
+
+let remove t a =
+  check_home t a "remove";
+  let off = Gaddr.offset_of a in
+  match Hashtbl.find_opt t.objects off with
+  | None -> ()
+  | Some e ->
+      Hashtbl.remove t.objects off;
+      t.used <- t.used - size_class (max 1 e.size)
+
+let iter t f =
+  Hashtbl.iter (fun off e -> f (Gaddr.make ~node:t.node ~offset:off) e) t.objects
+
+let clear t =
+  Hashtbl.reset t.objects;
+  Hashtbl.reset t.free_lists;
+  t.bump <- 8;
+  t.used <- 0

@@ -1,0 +1,1 @@
+lib/net/fabric.ml: Array Drust_sim Drust_util Float Model Printf

@@ -1,0 +1,1 @@
+lib/net/fabric.mli: Drust_sim Drust_util Model

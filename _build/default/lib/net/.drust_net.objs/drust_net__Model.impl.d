@@ -1,0 +1,1 @@
+lib/net/model.ml: Float Format

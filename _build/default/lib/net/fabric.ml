@@ -1,0 +1,170 @@
+module Engine = Drust_sim.Engine
+
+type node_id = int
+
+type counters = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable atomics : int;
+  mutable rpcs : int;
+  mutable bytes_out : int;
+  mutable remote_ops : int;
+}
+
+type t = {
+  engine : Engine.t;
+  rng : Drust_util.Rng.t;
+  model : Model.t;
+  nodes : int;
+  counters : counters array;
+  (* Egress line-rate serialization: the NIC that sources a payload can
+     push one stream at line rate; concurrent bulk transfers from the
+     same node queue behind each other.  Small control messages are
+     exempt (they ride the latency, not the bandwidth). *)
+  nics : Drust_sim.Resource.t array;
+  mutable trace : Drust_sim.Trace.t option;
+}
+
+(* Transfers below this size do not contend for the DMA engine. *)
+let bulk_threshold = 4096
+
+let fresh_counters () =
+  { reads = 0; writes = 0; atomics = 0; rpcs = 0; bytes_out = 0; remote_ops = 0 }
+
+let create ~engine ~rng ~model ~nodes =
+  if nodes <= 0 then invalid_arg "Fabric.create: need at least one node";
+  {
+    engine;
+    rng;
+    model;
+    nodes;
+    counters = Array.init nodes (fun _ -> fresh_counters ());
+    nics =
+      Array.init nodes (fun _ -> Drust_sim.Resource.create engine ~capacity:1);
+    trace = None;
+  }
+
+let set_trace t trace = t.trace <- trace
+
+let traced t verb ~from ~target ~bytes =
+  match t.trace with
+  | None -> ()
+  | Some tr ->
+      Drust_sim.Trace.recordf tr ~category:"fabric" "%s %d->%d %dB" verb from
+        target bytes
+
+let engine t = t.engine
+let node_count t = t.nodes
+let model t = t.model
+
+let check_node t n label =
+  if n < 0 || n >= t.nodes then
+    invalid_arg (Printf.sprintf "Fabric.%s: node %d out of range" label n)
+
+(* Apply multiplicative gaussian jitter to a base latency, clamped so that
+   a pathological sample can never be negative or more than double. *)
+let jittered t base =
+  if t.model.Model.jitter <= 0.0 then base
+  else
+    let factor =
+      Drust_util.Rng.gaussian t.rng ~mu:1.0 ~sigma:t.model.Model.jitter
+    in
+    base *. Float.max 0.5 (Float.min 2.0 factor)
+
+let latency t ~from ~target ~base ~bytes =
+  let raw =
+    if from = target then t.model.Model.local_base +. Model.transfer_time t.model ~bytes
+    else base +. Model.transfer_time t.model ~bytes
+  in
+  jittered t raw
+
+(* Block for the verb's latency; a bulk payload additionally holds the
+   data source's NIC for its wire time, so concurrent bulk egress from
+   one node serializes at line rate. *)
+let delay_with_nic t ~data_source ~from ~target ~base ~bytes =
+  if bytes >= bulk_threshold && from <> target then begin
+    let wire = Model.transfer_time t.model ~bytes in
+    Engine.delay t.engine (latency t ~from ~target ~base ~bytes:0);
+    Drust_sim.Resource.use t.nics.(data_source) (fun () ->
+        Engine.delay t.engine (jittered t wire))
+  end
+  else Engine.delay t.engine (latency t ~from ~target ~base ~bytes)
+
+let note t ~from ~target ~bytes =
+  let c = t.counters.(from) in
+  c.bytes_out <- c.bytes_out + bytes;
+  if from <> target then c.remote_ops <- c.remote_ops + 1
+
+let rdma_read t ~from ~target ~bytes =
+  check_node t from "rdma_read";
+  check_node t target "rdma_read";
+  t.counters.(from).reads <- t.counters.(from).reads + 1;
+  note t ~from ~target ~bytes;
+  traced t "READ" ~from ~target ~bytes;
+  (* READ pulls data out of the target: the target's NIC is the egress. *)
+  delay_with_nic t ~data_source:target ~from ~target
+    ~base:t.model.Model.oneside_base ~bytes
+
+let rdma_write t ~from ~target ~bytes =
+  check_node t from "rdma_write";
+  check_node t target "rdma_write";
+  t.counters.(from).writes <- t.counters.(from).writes + 1;
+  note t ~from ~target ~bytes;
+  traced t "WRITE" ~from ~target ~bytes;
+  (* WRITE pushes data from the sender: its NIC is the egress. *)
+  delay_with_nic t ~data_source:from ~from ~target
+    ~base:t.model.Model.oneside_base ~bytes
+
+let rdma_write_async t ~from ~target ~bytes k =
+  check_node t from "rdma_write_async";
+  check_node t target "rdma_write_async";
+  t.counters.(from).writes <- t.counters.(from).writes + 1;
+  note t ~from ~target ~bytes;
+  let dt = latency t ~from ~target ~base:t.model.Model.oneside_base ~bytes in
+  Engine.schedule_after t.engine dt k
+
+let rdma_atomic t ~from ~target f =
+  check_node t from "rdma_atomic";
+  check_node t target "rdma_atomic";
+  t.counters.(from).atomics <- t.counters.(from).atomics + 1;
+  note t ~from ~target ~bytes:8;
+  traced t "ATOMIC" ~from ~target ~bytes:8;
+  Engine.delay t.engine (latency t ~from ~target ~base:t.model.Model.atomic_base ~bytes:0);
+  f ()
+
+let rpc t ~from ~target ~req_bytes ~resp_bytes handler =
+  check_node t from "rpc";
+  check_node t target "rpc";
+  t.counters.(from).rpcs <- t.counters.(from).rpcs + 1;
+  note t ~from ~target ~bytes:(req_bytes + resp_bytes);
+  traced t "RPC" ~from ~target ~bytes:(req_bytes + resp_bytes);
+  delay_with_nic t ~data_source:from ~from ~target
+    ~base:t.model.Model.twoside_base ~bytes:req_bytes;
+  let result = handler () in
+  delay_with_nic t ~data_source:target ~from ~target
+    ~base:t.model.Model.twoside_base ~bytes:resp_bytes;
+  result
+
+let send_async t ~from ~target ~bytes handler =
+  check_node t from "send_async";
+  check_node t target "send_async";
+  t.counters.(from).rpcs <- t.counters.(from).rpcs + 1;
+  note t ~from ~target ~bytes;
+  traced t "SEND(async)" ~from ~target ~bytes;
+  let dt =
+    latency t ~from ~target ~base:t.model.Model.twoside_base ~bytes
+  in
+  ignore
+    (Engine.spawn ~at:(Engine.now t.engine +. dt) t.engine (fun () -> handler ()))
+
+let counters_of t node =
+  check_node t node "counters_of";
+  t.counters.(node)
+
+let total_remote_ops t =
+  Array.fold_left (fun acc c -> acc + c.remote_ops) 0 t.counters
+
+let total_bytes t = Array.fold_left (fun acc c -> acc + c.bytes_out) 0 t.counters
+
+let reset_counters t =
+  Array.iteri (fun i _ -> t.counters.(i) <- fresh_counters ()) t.counters

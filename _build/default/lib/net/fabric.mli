@@ -1,0 +1,87 @@
+(** The simulated RDMA fabric.
+
+    Exposes the verbs DRust's communication layer uses (§5 of the paper):
+    one-sided READ/WRITE for the data plane, two-sided SEND/RECV-style RPC
+    for the control plane, and remote atomics for shared state.  All verbs
+    block the calling simulated process for the modelled latency; one-sided
+    verbs never involve the target's CPU, whereas an {!rpc} executes its
+    handler "at" the target (the handler may acquire target-side resources,
+    which is how home-node bottlenecks emerge in the baselines).
+
+    Per-node traffic counters feed the evaluation's coherence-cost
+    breakdowns. *)
+
+type node_id = int
+
+type t
+
+val create :
+  engine:Drust_sim.Engine.t ->
+  rng:Drust_util.Rng.t ->
+  model:Model.t ->
+  nodes:int ->
+  t
+
+val engine : t -> Drust_sim.Engine.t
+
+val set_trace : t -> Drust_sim.Trace.t option -> unit
+(** Attach an event trace: every verb records one "fabric" event.  Free
+    when unset or when the trace is disabled. *)
+
+val node_count : t -> int
+val model : t -> Model.t
+
+(** {1 Verbs — call only from inside a simulated process} *)
+
+val rdma_read : t -> from:node_id -> target:node_id -> bytes:int -> unit
+(** One-sided READ: blocks the caller for the verb latency; the target CPU
+    is not involved. *)
+
+val rdma_write : t -> from:node_id -> target:node_id -> bytes:int -> unit
+(** One-sided WRITE, same cost model as {!rdma_read}. *)
+
+val rdma_write_async : t -> from:node_id -> target:node_id -> bytes:int
+  -> (unit -> unit) -> unit
+(** Posts a WRITE and returns immediately; the completion callback runs
+    when the payload lands at the target.  Used for asynchronous
+    deallocation requests and replication write-backs. *)
+
+val rdma_atomic : t -> from:node_id -> target:node_id -> (unit -> 'a) -> 'a
+(** Remote atomic (FAA / CAS): blocks the caller for the atomic verb
+    latency and then runs [f] — the NIC-serialized atomic update — at the
+    target.  [f] must be instantaneous (no blocking primitives). *)
+
+val rpc :
+  t ->
+  from:node_id ->
+  target:node_id ->
+  req_bytes:int ->
+  resp_bytes:int ->
+  (unit -> 'a) ->
+  'a
+(** Two-sided round trip: the request travels to [target], the handler
+    runs there (it may block on target-side resources), and the response
+    travels back.  Returns the handler's result to the caller. *)
+
+val send_async :
+  t -> from:node_id -> target:node_id -> bytes:int -> (unit -> unit) -> unit
+(** One-way two-sided message; the handler runs at the target when the
+    message arrives.  The caller is not blocked. *)
+
+(** {1 Traffic statistics} *)
+
+type counters = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable atomics : int;
+  mutable rpcs : int;
+  mutable bytes_out : int;
+  mutable remote_ops : int;  (** verbs whose target differs from source *)
+}
+
+val counters_of : t -> node_id -> counters
+(** Mutable per-node counters (indexed by the {e source} node). *)
+
+val total_remote_ops : t -> int
+val total_bytes : t -> int
+val reset_counters : t -> unit

@@ -1,0 +1,32 @@
+type t = {
+  oneside_base : float;
+  twoside_base : float;
+  atomic_base : float;
+  bandwidth : float;
+  local_base : float;
+  jitter : float;
+}
+
+(* 40 Gbps of payload bandwidth is ~5 GB/s; the 3.5 us one-sided base plus
+   512 B / 5 GB/s ~ 0.1 us reproduces the paper's 3.6 us remote object
+   read (S3). *)
+let infiniband_40g =
+  {
+    oneside_base = 3.5e-6;
+    twoside_base = 4.5e-6;
+    atomic_base = 2.2e-6;
+    bandwidth = 5.0e9;
+    local_base = 0.15e-6;
+    jitter = 0.03;
+  }
+
+let transfer_time t ~bytes = Float.of_int bytes /. t.bandwidth
+let oneside_time t ~bytes = t.oneside_base +. transfer_time t ~bytes
+let twoside_time t ~bytes = t.twoside_base +. transfer_time t ~bytes
+let atomic_time t = t.atomic_base
+
+let pp fmt t =
+  Format.fprintf fmt
+    "net{1side=%.2fus 2side=%.2fus atomic=%.2fus bw=%.1fGB/s local=%.2fus}"
+    (t.oneside_base *. 1e6) (t.twoside_base *. 1e6) (t.atomic_base *. 1e6)
+    (t.bandwidth /. 1e9) (t.local_base *. 1e6)

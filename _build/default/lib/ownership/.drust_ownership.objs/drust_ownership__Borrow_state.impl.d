@@ -1,0 +1,1 @@
+lib/ownership/borrow_state.ml: Format

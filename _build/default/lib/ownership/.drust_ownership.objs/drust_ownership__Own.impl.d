@@ -1,0 +1,1 @@
+lib/ownership/own.ml: Borrow_state

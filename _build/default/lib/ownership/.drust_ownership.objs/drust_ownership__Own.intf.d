@@ -1,0 +1,1 @@
+lib/ownership/own.mli: Borrow_state

@@ -1,0 +1,92 @@
+type state = Owned | Shared of int | Mut_borrowed | Dead
+
+type violation_kind =
+  | Mut_while_borrowed
+  | Imm_while_mut_borrowed
+  | Transfer_while_borrowed
+  | Drop_while_borrowed
+  | Use_after_death
+  | Return_without_borrow
+
+exception
+  Violation of {
+    kind : violation_kind;
+    state : state;
+    context : string;
+  }
+
+type t = { mutable st : state }
+
+let pp_violation_kind fmt = function
+  | Mut_while_borrowed -> Format.pp_print_string fmt "mutable borrow while borrowed"
+  | Imm_while_mut_borrowed ->
+      Format.pp_print_string fmt "immutable borrow while mutably borrowed"
+  | Transfer_while_borrowed ->
+      Format.pp_print_string fmt "ownership transfer while borrowed"
+  | Drop_while_borrowed -> Format.pp_print_string fmt "owner dropped while borrowed"
+  | Use_after_death -> Format.pp_print_string fmt "use after move/drop"
+  | Return_without_borrow -> Format.pp_print_string fmt "unbalanced borrow return"
+
+let pp_state fmt = function
+  | Owned -> Format.pp_print_string fmt "Owned"
+  | Shared n -> Format.fprintf fmt "Shared(%d)" n
+  | Mut_borrowed -> Format.pp_print_string fmt "Mut_borrowed"
+  | Dead -> Format.pp_print_string fmt "Dead"
+
+let create () = { st = Owned }
+let state t = t.st
+
+let fail t kind context = raise (Violation { kind; state = t.st; context })
+
+let borrow_imm t ~context =
+  match t.st with
+  | Owned -> t.st <- Shared 1
+  | Shared n -> t.st <- Shared (n + 1)
+  | Mut_borrowed -> fail t Imm_while_mut_borrowed context
+  | Dead -> fail t Use_after_death context
+
+let return_imm t ~context =
+  match t.st with
+  | Shared 1 -> t.st <- Owned
+  | Shared n when n > 1 -> t.st <- Shared (n - 1)
+  | Owned | Shared _ | Mut_borrowed | Dead ->
+      fail t Return_without_borrow context
+
+let borrow_mut t ~context =
+  match t.st with
+  | Owned -> t.st <- Mut_borrowed
+  | Shared _ | Mut_borrowed -> fail t Mut_while_borrowed context
+  | Dead -> fail t Use_after_death context
+
+let return_mut t ~context =
+  match t.st with
+  | Mut_borrowed -> t.st <- Owned
+  | Owned | Shared _ | Dead -> fail t Return_without_borrow context
+
+let assert_owner_usable t ~context =
+  match t.st with
+  | Owned -> ()
+  | Shared _ | Mut_borrowed -> fail t Mut_while_borrowed context
+  | Dead -> fail t Use_after_death context
+
+let assert_owner_readable t ~context =
+  match t.st with
+  | Owned | Shared _ -> ()
+  | Mut_borrowed -> fail t Imm_while_mut_borrowed context
+  | Dead -> fail t Use_after_death context
+
+let transfer t ~context =
+  match t.st with
+  | Owned -> ()
+  | Shared _ | Mut_borrowed -> fail t Transfer_while_borrowed context
+  | Dead -> fail t Use_after_death context
+
+let kill t ~context =
+  match t.st with
+  | Owned -> t.st <- Dead
+  | Shared _ | Mut_borrowed -> fail t Drop_while_borrowed context
+  | Dead -> fail t Use_after_death context
+
+let imm_count t = match t.st with Shared n -> n | Owned | Mut_borrowed | Dead -> 0
+let is_mut_borrowed t = t.st = Mut_borrowed
+let is_dead t = t.st = Dead

@@ -1,0 +1,95 @@
+type 'a cell = { mutable value : 'a; borrow : Borrow_state.t }
+
+type 'a owner = { cell : 'a cell; mutable valid : bool }
+type 'a imm_ref = { icell : 'a cell; mutable ilive : bool }
+type 'a mut_ref = { mcell : 'a cell; mutable mlive : bool }
+
+let own v = { cell = { value = v; borrow = Borrow_state.create () }; valid = true }
+
+let check_owner o context =
+  if not o.valid then
+    raise
+      (Borrow_state.Violation
+         { kind = Borrow_state.Use_after_death; state = Borrow_state.Dead; context })
+
+let borrow o =
+  check_owner o "Own.borrow";
+  Borrow_state.borrow_imm o.cell.borrow ~context:"Own.borrow";
+  { icell = o.cell; ilive = true }
+
+let check_ref live context =
+  if not live then
+    raise
+      (Borrow_state.Violation
+         { kind = Borrow_state.Use_after_death; state = Borrow_state.Dead; context })
+
+let read r =
+  check_ref r.ilive "Own.read";
+  r.icell.value
+
+let drop_ref r =
+  check_ref r.ilive "Own.drop_ref";
+  r.ilive <- false;
+  Borrow_state.return_imm r.icell.borrow ~context:"Own.drop_ref"
+
+let borrow_mut o =
+  check_owner o "Own.borrow_mut";
+  Borrow_state.borrow_mut o.cell.borrow ~context:"Own.borrow_mut";
+  { mcell = o.cell; mlive = true }
+
+let read_mut m =
+  check_ref m.mlive "Own.read_mut";
+  m.mcell.value
+
+let write m v =
+  check_ref m.mlive "Own.write";
+  m.mcell.value <- v
+
+let drop_mut m =
+  check_ref m.mlive "Own.drop_mut";
+  m.mlive <- false;
+  Borrow_state.return_mut m.mcell.borrow ~context:"Own.drop_mut"
+
+let owner_read o =
+  check_owner o "Own.owner_read";
+  Borrow_state.assert_owner_readable o.cell.borrow ~context:"Own.owner_read";
+  o.cell.value
+
+let owner_write o v =
+  check_owner o "Own.owner_write";
+  Borrow_state.assert_owner_usable o.cell.borrow ~context:"Own.owner_write";
+  o.cell.value <- v
+
+let transfer o =
+  check_owner o "Own.transfer";
+  Borrow_state.transfer o.cell.borrow ~context:"Own.transfer";
+  o.valid <- false;
+  { cell = o.cell; valid = true }
+
+let drop_owner o =
+  check_owner o "Own.drop_owner";
+  Borrow_state.kill o.cell.borrow ~context:"Own.drop_owner";
+  o.valid <- false
+
+let with_borrow o f =
+  let r = borrow o in
+  match f (read r) with
+  | v ->
+      drop_ref r;
+      v
+  | exception e ->
+      drop_ref r;
+      raise e
+
+let with_borrow_mut o f =
+  let m = borrow_mut o in
+  match f (read_mut m) with
+  | new_value, result ->
+      write m new_value;
+      drop_mut m;
+      result
+  | exception e ->
+      drop_mut m;
+      raise e
+
+let state o = Borrow_state.state o.cell.borrow

@@ -1,0 +1,1 @@
+lib/runtime/channel.ml: Drust_core Drust_machine Drust_net Drust_sim

@@ -1,0 +1,1 @@
+lib/runtime/channel.mli: Drust_core Drust_machine

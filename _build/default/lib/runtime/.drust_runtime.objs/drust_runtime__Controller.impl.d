@@ -1,0 +1,1 @@
+lib/runtime/controller.ml: Array Drust_machine Drust_memory Drust_net Drust_sim Float List Registry

@@ -1,0 +1,1 @@
+lib/runtime/controller.mli: Drust_machine

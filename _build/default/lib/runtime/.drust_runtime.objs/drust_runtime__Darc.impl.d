@@ -1,0 +1,1 @@
+lib/runtime/darc.ml: Array Drust_machine Drust_memory Drust_net Printf

@@ -1,0 +1,1 @@
+lib/runtime/darc.mli: Drust_machine Drust_util

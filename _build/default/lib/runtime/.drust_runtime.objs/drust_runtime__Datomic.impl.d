@@ -1,0 +1,1 @@
+lib/runtime/datomic.ml: Drust_machine Drust_memory Drust_net Drust_util

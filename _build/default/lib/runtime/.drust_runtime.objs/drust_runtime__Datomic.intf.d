@@ -1,0 +1,1 @@
+lib/runtime/datomic.mli: Drust_machine

@@ -1,0 +1,1 @@
+lib/runtime/dmutex.ml: Drust_machine Drust_memory Drust_net Drust_sim Drust_util Float Printf

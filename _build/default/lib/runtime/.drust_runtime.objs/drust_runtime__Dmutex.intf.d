@@ -1,0 +1,1 @@
+lib/runtime/dmutex.mli: Drust_machine Drust_util

@@ -1,0 +1,1 @@
+lib/runtime/drc.ml: Drust_machine Drust_memory Printf

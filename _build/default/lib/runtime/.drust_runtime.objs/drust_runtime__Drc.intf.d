@@ -1,0 +1,1 @@
+lib/runtime/drc.mli: Drust_machine Drust_util

@@ -1,0 +1,1 @@
+lib/runtime/dthread.ml: Array Drust_core Drust_machine Drust_memory Drust_net Drust_sim Drust_util Hashtbl List Registry

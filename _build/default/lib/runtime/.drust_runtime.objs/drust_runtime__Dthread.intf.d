@@ -1,0 +1,1 @@
+lib/runtime/dthread.mli: Drust_core Drust_machine Drust_util

@@ -1,0 +1,1 @@
+lib/runtime/registry.ml: Drust_machine Hashtbl List

@@ -1,0 +1,1 @@
+lib/runtime/registry.mli: Drust_machine

@@ -1,0 +1,1 @@
+lib/runtime/replication.ml: Array Drust_core Drust_machine Drust_memory Drust_net Drust_util Hashtbl List

@@ -1,0 +1,1 @@
+lib/runtime/replication.mli: Drust_machine

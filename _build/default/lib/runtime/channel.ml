@@ -1,0 +1,41 @@
+module Ctx = Drust_machine.Ctx
+module Mailbox = Drust_sim.Mailbox
+module Fabric = Drust_net.Fabric
+module Protocol = Drust_core.Protocol
+
+type 'a queue = { mb : 'a Mailbox.t; mutable home : int }
+type 'a sender = 'a queue
+type 'a receiver = 'a queue
+
+let create ctx =
+  let q = { mb = Mailbox.create (Ctx.engine ctx); home = ctx.Ctx.node } in
+  (q, q)
+
+let send ctx q ?(bytes = 16) v =
+  if q.home <> ctx.Ctx.node then begin
+    Ctx.flush ctx;
+    (* One-way control-plane message carrying the shallow bytes. *)
+    Fabric.send_async (Ctx.fabric ctx) ~from:ctx.Ctx.node ~target:q.home ~bytes
+      (fun () -> Mailbox.send q.mb v)
+  end
+  else begin
+    Ctx.charge_cycles ctx 150.0;
+    Mailbox.send q.mb v
+  end
+
+let send_owner ctx q owner v =
+  Protocol.transfer ctx owner ~to_node:q.home;
+  send ctx q ~bytes:16 v
+
+let recv ctx q =
+  q.home <- ctx.Ctx.node;
+  Ctx.flush ctx;
+  let v = Mailbox.recv q.mb in
+  Ctx.charge_cycles ctx 150.0;
+  v
+
+let try_recv ctx q =
+  q.home <- ctx.Ctx.node;
+  Mailbox.try_recv q.mb
+
+let pending q = Mailbox.length q.mb

@@ -1,0 +1,35 @@
+(** Inter-thread channels (the paper's adapted [std::sync::mpsc], §4.1.2).
+
+    Cross-server sends go through a network-backed message queue.  Because
+    the global heap gives pointers cluster-wide validity, a message that
+    contains [Box] pointers ships as its raw binary bytes — no
+    serialization on either side; the receiver recovers the value by type
+    conversion.  [send] therefore charges only the {e shallow} byte size
+    of the message (16 bytes per pointer by default), not the size of the
+    heap objects it references. *)
+
+module Ctx = Drust_machine.Ctx
+
+type 'a sender
+type 'a receiver
+
+val create : Ctx.t -> 'a sender * 'a receiver
+(** The queue is homed where the receiver last performed a [recv]
+    (initially the creating node). *)
+
+val send : Ctx.t -> 'a sender -> ?bytes:int -> 'a -> unit
+(** Non-blocking: charges a one-way message of [bytes] (default 16) to
+    the receiver's node and enqueues. *)
+
+val send_owner :
+  Ctx.t -> 'a sender -> Drust_core.Protocol.owner -> 'a -> unit
+(** Send a message that transfers ownership of [owner] to the receiving
+    side: runs the protocol's transfer (evicting the sender-side cached
+    copy) homed at the receiver's node, then sends. *)
+
+val recv : Ctx.t -> 'a receiver -> 'a
+(** Blocks until a message is available; re-homes the queue to the
+    caller's node. *)
+
+val try_recv : Ctx.t -> 'a receiver -> 'a option
+val pending : 'a receiver -> int

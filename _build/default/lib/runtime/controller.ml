@@ -1,0 +1,162 @@
+module Ctx = Drust_machine.Ctx
+module Cluster = Drust_machine.Cluster
+module Engine = Drust_sim.Engine
+module Resource = Drust_sim.Resource
+module Fabric = Drust_net.Fabric
+module Partition = Drust_memory.Partition
+
+type probe = { node : int; cpu : float; mem : float }
+
+type t = {
+  cluster : Cluster.t;
+  probe_interval : float;
+  mem_threshold : float;
+  cpu_threshold : float;
+  mutable running : bool;
+  mutable migrations : int;
+  mutable probes : int;
+  mutable last_probe : probe array;
+}
+
+let probe_all t ctx =
+  let cluster = t.cluster in
+  let fabric = Cluster.fabric cluster in
+  let now = Engine.now (Cluster.engine cluster) in
+  let probe_node n =
+    let id = n.Cluster.id in
+    t.probes <- t.probes + 1;
+    let collect () =
+      let cpu = Resource.utilization n.Cluster.cores ~now in
+      Resource.reset_utilization n.Cluster.cores ~now;
+      let mem = Partition.usage_fraction n.Cluster.partition in
+      { node = id; cpu; mem }
+    in
+    if id = ctx.Ctx.node then collect ()
+    else
+      Fabric.rpc fabric ~from:ctx.Ctx.node ~target:id ~req_bytes:32
+        ~resp_bytes:64 collect
+  in
+  t.last_probe <- Array.map probe_node (Cluster.nodes cluster)
+
+let most_vacant_by_cpu t =
+  let best = ref 0 and best_cpu = ref Float.infinity in
+  Array.iter
+    (fun p ->
+      if (Cluster.node t.cluster p.node).Cluster.alive && p.cpu < !best_cpu
+      then begin
+        best := p.node;
+        best_cpu := p.cpu
+      end)
+    t.last_probe;
+  !best
+
+let heaviest_local_allocator threads =
+  List.fold_left
+    (fun acc r ->
+      match acc with
+      | None -> Some r
+      | Some best ->
+          if r.Registry.ctx.Ctx.local_alloc_bytes
+             > best.Registry.ctx.Ctx.local_alloc_bytes
+          then Some r
+          else acc)
+    None threads
+
+let most_remote_accessor threads =
+  List.fold_left
+    (fun acc r ->
+      match acc with
+      | None -> Some r
+      | Some best ->
+          if Ctx.remote_access_total r.Registry.ctx
+             > Ctx.remote_access_total best.Registry.ctx
+          then Some r
+          else acc)
+    None threads
+
+let rebalance t ctx =
+  probe_all t ctx;
+  let handle_pressure p =
+    let candidates =
+      List.filter
+        (fun r -> r.Registry.migrate_to = None)
+        (Registry.threads_on t.cluster ~node:p.node)
+    in
+    if p.mem > t.mem_threshold then begin
+      (* Move the thread consuming the most local heap off the node. *)
+      match heaviest_local_allocator candidates with
+      | Some r ->
+          let target = Cluster.most_vacant_node t.cluster in
+          if target <> p.node then begin
+            Registry.order_migration r ~target;
+            t.migrations <- t.migrations + 1
+          end
+      | None -> ()
+    end
+    else if p.cpu > t.cpu_threshold then begin
+      (* Move the most remote-chatty thread toward its data — or to a
+         vacant node when its preferred target is also hot. *)
+      match most_remote_accessor candidates with
+      | Some r when Ctx.remote_access_total r.Registry.ctx > 0 ->
+          let preferred =
+            match Ctx.hottest_remote_node r.Registry.ctx with
+            | Some n -> n
+            | None -> most_vacant_by_cpu t
+          in
+          let preferred_cpu = t.last_probe.(preferred).cpu in
+          let target =
+            if preferred_cpu > t.cpu_threshold then most_vacant_by_cpu t
+            else preferred
+          in
+          if target <> p.node then begin
+            Registry.order_migration r ~target;
+            t.migrations <- t.migrations + 1
+          end
+      | Some _ | None -> ()
+    end
+  in
+  Array.iter handle_pressure t.last_probe
+
+let start ?(probe_interval = 1e-3) ?(mem_threshold = 0.9) ?(cpu_threshold = 0.9)
+    cluster =
+  let t =
+    {
+      cluster;
+      probe_interval;
+      mem_threshold;
+      cpu_threshold;
+      running = true;
+      migrations = 0;
+      probes = 0;
+      last_probe = [||];
+    }
+  in
+  let engine = Cluster.engine cluster in
+  ignore
+    (Engine.spawn engine (fun () ->
+         (* The controller daemon lives on the launch node (node 0). *)
+         let ctx = Ctx.make cluster ~node:0 in
+         let rec loop () =
+           if t.running then begin
+             Engine.delay engine t.probe_interval;
+             if t.running then begin
+               rebalance t ctx;
+               loop ()
+             end
+           end
+         in
+         loop ()));
+  t
+
+let stop t = t.running <- false
+
+let migrations_ordered t = t.migrations
+let probes_performed t = t.probes
+
+let pick_spawn_node t =
+  if Array.length t.last_probe = 0 then Cluster.most_vacant_node t.cluster
+  else most_vacant_by_cpu t
+
+let rebalance_once t =
+  let ctx = Ctx.make t.cluster ~node:0 in
+  rebalance t ctx

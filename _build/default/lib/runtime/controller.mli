@@ -1,0 +1,38 @@
+(** The global controller (§4.2.2).
+
+    A daemon on node 0 (where the program was launched) that periodically
+    pings every server for CPU and memory usage and rebalances load by
+    ordering thread migrations:
+
+    - memory pressure (> 90 % heap usage): migrate the thread consuming
+      the most local heap until the pressure resolves;
+    - compute congestion (> 90 % CPU utilization): migrate the thread with
+      the most remote accesses to the server it accesses most — or, if
+      that server is itself overloaded, to a vacant one. *)
+
+module Ctx = Drust_machine.Ctx
+
+type t
+
+val start :
+  ?probe_interval:float ->
+  ?mem_threshold:float ->
+  ?cpu_threshold:float ->
+  Drust_machine.Cluster.t ->
+  t
+(** Spawns the probing daemon (default interval 1 ms of virtual time). *)
+
+val stop : t -> unit
+(** The daemon exits at its next wakeup; required for the event queue to
+    drain. *)
+
+val migrations_ordered : t -> int
+val probes_performed : t -> int
+
+val pick_spawn_node : t -> int
+(** Least-CPU-loaded alive node — the placement answer the runtime asks
+    the controller for when local compute is saturated. *)
+
+val rebalance_once : t -> unit
+(** Run one probing/rebalancing round synchronously (must be called from
+    inside a simulated process); exposed for tests and experiments. *)

@@ -1,0 +1,90 @@
+module Ctx = Drust_machine.Ctx
+module Cluster = Drust_machine.Cluster
+module Fabric = Drust_net.Fabric
+module Gaddr = Drust_memory.Gaddr
+module Cache = Drust_memory.Cache
+
+(* Shared control block: one per allocation, shared by all handles. *)
+type control = {
+  g : Gaddr.t;
+  size : int;
+  mutable count : int;
+  mutable freed : bool;
+}
+
+type t = { control : control; mutable live : bool }
+
+let create ctx ~size v =
+  Ctx.charge_cycles ctx 150.0;
+  let g = Cluster.heap_alloc (Ctx.cluster ctx) ~node:ctx.Ctx.node ~size v in
+  { control = { g; size; count = 1; freed = false }; live = true }
+
+let home t = Gaddr.node_of t.control.g
+
+let check_live t op =
+  if not t.live || t.control.freed then
+    invalid_arg (Printf.sprintf "Darc.%s: handle dropped" op)
+
+let at_home ctx t op =
+  let target = Cluster.serving_node (Ctx.cluster ctx) (home t) in
+  if target = ctx.Ctx.node then begin
+    Ctx.charge_cycles ctx 25.0;
+    op ()
+  end
+  else begin
+    Ctx.flush ctx;
+    Fabric.rdma_atomic (Ctx.fabric ctx) ~from:ctx.Ctx.node ~target op
+  end
+
+let clone ctx t =
+  check_live t "clone";
+  at_home ctx t (fun () -> t.control.count <- t.control.count + 1);
+  { control = t.control; live = true }
+
+let strong_count ctx t =
+  check_live t "strong_count";
+  at_home ctx t (fun () -> t.control.count)
+
+let get ctx t =
+  check_live t "get";
+  let cluster = Ctx.cluster ctx in
+  let target = Cluster.serving_node cluster (home t) in
+  if target = ctx.Ctx.node then begin
+    Ctx.charge_cycles ctx 370.0;
+    (Cluster.heap_read cluster t.control.g).Drust_memory.Partition.value
+  end
+  else begin
+    let cache = (Ctx.current_node ctx).Cluster.cache in
+    Ctx.charge_cycles ctx 150.0;
+    match Cache.lookup cache t.control.g with
+    | Some copy -> copy.Cache.value
+    | None ->
+        Ctx.note_remote_access ctx ~target;
+        Ctx.flush ctx;
+        Fabric.rdma_read (Ctx.fabric ctx) ~from:ctx.Ctx.node ~target
+          ~bytes:t.control.size;
+        let v =
+          (Cluster.heap_read cluster t.control.g).Drust_memory.Partition.value
+        in
+        let copy = Cache.insert cache t.control.g ~size:t.control.size v in
+        (* Arc payloads are immutable: leave the copy unpinned so the
+           runtime may evict it lazily under pressure. *)
+        Cache.release cache copy;
+        v
+  end
+
+let drop ctx t =
+  check_live t "drop";
+  t.live <- false;
+  let last = at_home ctx t (fun () ->
+      t.control.count <- t.control.count - 1;
+      t.control.count = 0)
+  in
+  if last then begin
+    t.control.freed <- true;
+    let cluster = Ctx.cluster ctx in
+    Array.iter
+      (fun n -> Cache.invalidate_physical n.Cluster.cache t.control.g)
+      (Cluster.nodes cluster);
+    Cluster.heap_free cluster t.control.g
+  end

@@ -1,0 +1,62 @@
+module Ctx = Drust_machine.Ctx
+module Cluster = Drust_machine.Cluster
+module Fabric = Drust_net.Fabric
+module Gaddr = Drust_memory.Gaddr
+module Univ = Drust_util.Univ
+
+let int_tag : int Univ.tag = Univ.create_tag ~name:"datomic.int"
+
+type t = { g : Gaddr.t }
+
+let create ctx v =
+  Ctx.charge_cycles ctx 90.0;
+  let g =
+    Cluster.heap_alloc (Ctx.cluster ctx) ~node:ctx.Ctx.node ~size:8
+      (Univ.pack int_tag v)
+  in
+  { g }
+
+let home t = Gaddr.node_of t.g
+
+let current ctx t =
+  Univ.unpack_exn int_tag
+    (Cluster.heap_read (Ctx.cluster ctx) t.g).Drust_memory.Partition.value
+
+let set ctx t v = Cluster.heap_write (Ctx.cluster ctx) t.g (Univ.pack int_tag v)
+
+(* Run [op] atomically at the value's home: locally for same-node access,
+   otherwise as a one-sided RDMA atomic verb. *)
+let at_home ctx t op =
+  let target = Cluster.serving_node (Ctx.cluster ctx) (home t) in
+  if target = ctx.Ctx.node then begin
+    Ctx.charge_cycles ctx 25.0;
+    op ()
+  end
+  else begin
+    Ctx.note_remote_access ctx ~target;
+    Ctx.flush ctx;
+    Fabric.rdma_atomic (Ctx.fabric ctx) ~from:ctx.Ctx.node ~target op
+  end
+
+let load ctx t = at_home ctx t (fun () -> current ctx t)
+
+let store ctx t v = at_home ctx t (fun () -> set ctx t v)
+
+let fetch_add ctx t delta =
+  at_home ctx t (fun () ->
+      let old = current ctx t in
+      set ctx t (old + delta);
+      old)
+
+let compare_and_swap ctx t ~expected ~desired =
+  at_home ctx t (fun () ->
+      let old = current ctx t in
+      if old = expected then begin
+        set ctx t desired;
+        true
+      end
+      else false)
+
+let free ctx t =
+  Ctx.charge_cycles ctx 40.0;
+  Cluster.heap_free (Ctx.cluster ctx) t.g

@@ -1,0 +1,26 @@
+(** Distributed atomics (the paper's adapted [std::sync::atomic], §4.1.2).
+
+    The actual value lives at a fixed spot on the global heap; atomic
+    handles hold only the pointer and may be freely replicated across
+    servers.  Operations are forwarded to the value's home server —
+    implemented with one-sided RDMA atomic verbs (ATOMIC_FETCH_AND_ADD /
+    ATOMIC_CMP_AND_SWP, §5) — so exactly one version of the value exists. *)
+
+module Ctx = Drust_machine.Ctx
+
+type t
+
+val create : Ctx.t -> int -> t
+(** Allocates the backing value in the caller's heap partition. *)
+
+val home : t -> int
+
+val load : Ctx.t -> t -> int
+val store : Ctx.t -> t -> int -> unit
+val fetch_add : Ctx.t -> t -> int -> int
+(** Returns the previous value. *)
+
+val compare_and_swap : Ctx.t -> t -> expected:int -> desired:int -> bool
+(** True iff the swap happened. *)
+
+val free : Ctx.t -> t -> unit

@@ -1,0 +1,73 @@
+(** Distributed threading (§4.1.2).
+
+    Mirrors Rust's [std::thread] interface: [spawn] captures the body as a
+    closure and lets the runtime choose where it runs — the current server
+    unless its compute is saturated, otherwise the least-loaded alive
+    node.  [spawn_to] (§4.1.3) places the thread next to the data it will
+    touch.  Cross-server spawning ships only the closure and any captured
+    pointers (not the heap objects) over a control message.
+
+    Threads are cooperative: migration orders from the global controller
+    take effect at safe points (compute-flush boundaries), mirroring the
+    paper's non-preemptive scheduler. *)
+
+module Ctx = Drust_machine.Ctx
+
+type handle
+
+val stack_bytes : int
+(** Bytes shipped per thread migration (768 KiB): function pointer, saved
+    register state, and the padded stack (§4.2.1 / §5). *)
+
+val spawn : Ctx.t -> (Ctx.t -> unit) -> handle
+(** Runtime placement: local node if it has spare cores, else the node
+    with the fewest registered threads. *)
+
+val spawn_on : Ctx.t -> node:int -> (Ctx.t -> unit) -> handle
+(** Explicit placement. *)
+
+val spawn_to : Ctx.t -> Drust_core.Protocol.owner -> (Ctx.t -> unit) -> handle
+(** The paper's [spawn_to]: run the thread on the server hosting the given
+    object. *)
+
+val await : Ctx.t -> unit
+(** Cooperative yield (§4.2.1): flush pending compute, let other ready
+    threads run, and take a migration safe point. *)
+
+val join : Ctx.t -> handle -> unit
+(** Blocks the caller until the thread finishes; re-raises its failure. *)
+
+val join_all : Ctx.t -> handle list -> unit
+
+(** {1 Scoped threads}
+
+    The [thread::scope] utility the paper keeps compatible (§4.1.2):
+    every thread spawned inside the scope is joined before [scope]
+    returns, so scoped threads may safely borrow data whose lifetime
+    outlives the scope. *)
+
+type scope
+
+val scope : Ctx.t -> (scope -> unit) -> unit
+(** [scope ctx f] runs [f] and joins every thread spawned through the
+    scope before returning — also on exception, in which case the
+    original exception is re-raised after the joins. *)
+
+val spawn_in : scope -> ?node:int -> (Ctx.t -> unit) -> handle
+(** Spawn inside the scope; placement as {!spawn} unless [node] is
+    given. *)
+
+val node_of : handle -> int
+(** Node the thread currently runs on. *)
+
+val migrations_of : handle -> int
+
+val migrate_now : Ctx.t -> target:int -> float
+(** Perform the migration protocol for the calling thread immediately:
+    coordinate with the controller, ship the stack, update the thread
+    table.  Returns the latency incurred (also advanced in virtual time).
+    Used by the safe-point hook and by drill-down experiments. *)
+
+val migration_latency_stats : Drust_machine.Cluster.t -> Drust_util.Stats.t
+(** Latency samples of every migration performed on this cluster (the
+    §7.3 drill-down reports their average). *)

@@ -1,0 +1,43 @@
+module Ctx = Drust_machine.Ctx
+module Cluster = Drust_machine.Cluster
+
+type record = {
+  ctx : Ctx.t;
+  mutable running : bool;
+  mutable migrate_to : int option;
+  mutable migrations : int;
+}
+
+(* One bucket of records per cluster uid. *)
+let table : (int, record list ref) Hashtbl.t = Hashtbl.create 8
+
+let bucket cluster =
+  let uid = Cluster.uid cluster in
+  match Hashtbl.find_opt table uid with
+  | Some b -> b
+  | None ->
+      let b = ref [] in
+      Hashtbl.replace table uid b;
+      b
+
+let register ctx =
+  let r = { ctx; running = true; migrate_to = None; migrations = 0 } in
+  let b = bucket (Ctx.cluster ctx) in
+  b := r :: !b;
+  r
+
+let unregister r =
+  r.running <- false;
+  let b = bucket (Ctx.cluster r.ctx) in
+  b := List.filter (fun r' -> r' != r) !b
+
+let live_threads cluster = List.filter (fun r -> r.running) !(bucket cluster)
+
+let threads_on cluster ~node =
+  List.filter (fun r -> r.ctx.Ctx.node = node) (live_threads cluster)
+
+let thread_count_on cluster ~node = List.length (threads_on cluster ~node)
+
+let order_migration r ~target = r.migrate_to <- Some target
+
+let clear cluster = Hashtbl.remove table (Cluster.uid cluster)

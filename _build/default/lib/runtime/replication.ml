@@ -1,0 +1,135 @@
+module Ctx = Drust_machine.Ctx
+module Cluster = Drust_machine.Cluster
+module Fabric = Drust_net.Fabric
+module Gaddr = Drust_memory.Gaddr
+module Partition = Drust_memory.Partition
+module Protocol = Drust_core.Protocol
+
+type dirty = { size : int; value : Drust_util.Univ.t }
+
+type t = {
+  cluster : Cluster.t;
+  replicas : int;
+  (* backups.(r).(home): the r-th replica of node [home]'s range, hosted
+     on node (home + 1 + r) mod n.  Every replica receives the initial
+     snapshot and every write-back, so any of them can be promoted. *)
+  backups : Partition.t array array;
+  pending : (Gaddr.t, dirty) Hashtbl.t;
+  mutable writebacks : int;
+  mutable enabled : bool;
+}
+
+let replica_host t ~home ~r = (home + 1 + r) mod Cluster.node_count t.cluster
+
+let backup_node t home = replica_host t ~home ~r:0
+
+let record_commit t _ctx g size value =
+  if t.enabled then Hashtbl.replace t.pending g { size; value }
+
+(* Flush the batched modifications belonging to one physical range or all
+   of them.  One-sided asynchronous WRITEs to the backup server keep this
+   off the mutator's critical path. *)
+let flush_pending t ctx ~only =
+  let fabric = Cluster.fabric t.cluster in
+  let flush g d acc =
+    match only with
+    | Some phys when not (Gaddr.equal phys g) -> acc
+    | _ ->
+        let home = Gaddr.node_of g in
+        for r = 0 to t.replicas - 1 do
+          let target = replica_host t ~home ~r in
+          if target <> ctx.Ctx.node then
+            Fabric.rdma_write_async fabric ~from:ctx.Ctx.node ~target
+              ~bytes:d.size (fun () -> ());
+          Partition.put t.backups.(r).(home) g ~size:d.size d.value
+        done;
+        t.writebacks <- t.writebacks + 1;
+        g :: acc
+  in
+  let flushed = Hashtbl.fold flush t.pending [] in
+  List.iter (Hashtbl.remove t.pending) flushed
+
+let on_transfer t ctx g = if t.enabled then flush_pending t ctx ~only:(Some g)
+
+let enable ?(replicas = 1) cluster =
+  let n = Cluster.node_count cluster in
+  if replicas < 1 || replicas >= n then
+    invalid_arg "Replication.enable: need 1 <= replicas < nodes";
+  let backups =
+    Array.init replicas (fun _ ->
+        Array.init n (fun i ->
+            Partition.create ~node:i
+              ~capacity_bytes:
+                (Cluster.params cluster).Drust_machine.Params.mem_per_node))
+  in
+  let t =
+    {
+      cluster;
+      replicas;
+      backups;
+      pending = Hashtbl.create 256;
+      writebacks = 0;
+      enabled = true;
+    }
+  in
+  (* Initial snapshot: mirror every live object into every replica. *)
+  Array.iteri
+    (fun i node ->
+      Partition.iter node.Cluster.partition (fun g e ->
+          for r = 0 to replicas - 1 do
+            Partition.put backups.(r).(i) g ~size:e.Partition.size
+              e.Partition.value
+          done))
+    (Cluster.nodes cluster);
+  Protocol.set_commit_listener cluster (Some (record_commit t));
+  Protocol.set_transfer_listener cluster (Some (on_transfer t));
+  t
+
+let disable t =
+  t.enabled <- false;
+  Protocol.set_commit_listener t.cluster None;
+  Protocol.set_transfer_listener t.cluster None
+
+let pending_writes t = Hashtbl.length t.pending
+
+let sync_now ctx t = flush_pending t ctx ~only:None
+
+let writebacks_performed t = t.writebacks
+
+let fail_and_promote ctx t ~node =
+  if node < 0 || node >= Cluster.node_count t.cluster then
+    invalid_arg "Replication.fail_and_promote: node out of range";
+  (* Everything the failed node had committed-and-escaped is in the
+     backups; un-flushed pending entries for its range are lost. *)
+  let lost =
+    Hashtbl.fold
+      (fun g _ acc -> if Gaddr.node_of g = node then g :: acc else acc)
+      t.pending []
+  in
+  List.iter (Hashtbl.remove t.pending) lost;
+  Cluster.mark_failed t.cluster node;
+  (* Re-serve every range whose current server just died (including the
+     failed node's own range) from its first replica on an alive host. *)
+  let n = Cluster.node_count t.cluster in
+  for home = 0 to n - 1 do
+    if Cluster.serving_node t.cluster home = node then begin
+      let rec pick r =
+        if r >= t.replicas then
+          failwith "Replication: no alive replica host left for a range"
+        else
+          let host = replica_host t ~home ~r in
+          if (Cluster.node t.cluster host).Cluster.alive then (host, r)
+          else pick (r + 1)
+      in
+      let by, r = pick 0 in
+      Cluster.promote t.cluster ~home ~by ~store:t.backups.(r).(home)
+    end
+  done;
+  (* The controller announces the promotion to every alive server. *)
+  let fabric = Cluster.fabric t.cluster in
+  List.iter
+    (fun id ->
+      if id <> ctx.Ctx.node then
+        Fabric.rpc fabric ~from:ctx.Ctx.node ~target:id ~req_bytes:32
+          ~resp_bytes:8 (fun () -> ()))
+    (Cluster.alive_nodes t.cluster)

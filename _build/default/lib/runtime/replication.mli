@@ -1,0 +1,45 @@
+(** Fault tolerance by heap replication (§4.2.3).
+
+    Each heap partition gets a backup copy at the same virtual addresses
+    on the next server in the ring.  Threads are not replicated.  A thread
+    batches its modifications and writes them back to the backup when the
+    object's ownership is transferred to another server — the moment the
+    object becomes visible to other threads — rather than after every
+    mutable borrow.  When a primary fails, the controller promotes its
+    backup to primary.
+
+    The manager hooks the protocol's commit/transfer notifications, so
+    applications need no code changes. *)
+
+module Ctx = Drust_machine.Ctx
+
+type t
+
+val enable : ?replicas:int -> Drust_machine.Cluster.t -> t
+(** Snapshot every partition into [replicas] backup copies (default 1,
+    hosted on the next servers in the ring) and start intercepting
+    writes.  With [replicas = k] the heap survives any [k] failures whose
+    replica hosts remain alive.  Call before the workload mutates the
+    heap. *)
+
+val disable : t -> unit
+(** Unhook from the protocol (end of experiment). *)
+
+val backup_node : t -> int -> int
+(** [backup_node t i] is the server holding node [i]'s first replica
+    ([(i+1) mod n]); replica [r] lives on [(i+1+r) mod n]. *)
+
+val pending_writes : t -> int
+(** Objects modified since their last write-back (across all threads). *)
+
+val sync_now : Ctx.t -> t -> unit
+(** Flush every batched modification to the backups (asynchronous
+    one-sided WRITEs), e.g. at a checkpoint. *)
+
+val writebacks_performed : t -> int
+
+val fail_and_promote : Ctx.t -> t -> node:int -> unit
+(** Kill a primary: mark the node failed and promote its backup so the
+    dead range is served by the backup server.  Objects modified but not
+    yet written back are lost, exactly as in the paper's design (their
+    ownership had not yet escaped the failed server). *)

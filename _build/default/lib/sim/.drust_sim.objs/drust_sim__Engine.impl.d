@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Drust_util Effect List Printexc Printf

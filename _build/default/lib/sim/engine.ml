@@ -1,0 +1,134 @@
+open Effect.Deep
+
+type t = {
+  events : (unit -> unit) Drust_util.Pqueue.t;
+  mutable clock : float;
+  mutable live : int;
+  mutable failures : exn list;
+}
+
+type process_state = Running | Finished | Failed of exn
+
+type process_handle = {
+  mutable state : process_state;
+  mutable join_waiters : (unit -> unit) list;
+}
+
+type _ Effect.t += Suspend : (('a -> unit) -> unit) -> 'a Effect.t
+
+exception Process_failure of exn
+
+let () =
+  Printexc.register_printer (function
+    | Process_failure inner ->
+        Some ("Engine.Process_failure(" ^ Printexc.to_string inner ^ ")")
+    | _ -> None)
+
+let create () =
+  { events = Drust_util.Pqueue.create (); clock = 0.0; live = 0; failures = [] }
+
+let now t = t.clock
+
+let schedule t ~at f =
+  if at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule: at=%g is in the past (now=%g)" at
+         t.clock);
+  Drust_util.Pqueue.push t.events ~time:at f
+
+let schedule_after t dt f = schedule t ~at:(t.clock +. dt) f
+
+let suspend register = Effect.perform (Suspend register)
+
+let finish_handle t handle state =
+  handle.state <- state;
+  let waiters = handle.join_waiters in
+  handle.join_waiters <- [];
+  List.iter (fun resume -> schedule t ~at:t.clock resume) (List.rev waiters)
+
+(* Run a process body under the engine's deep effect handler.  A [Suspend]
+   effect hands the one-shot resumer to the registration function; resuming
+   trampolines through the event queue so process steps never nest. *)
+let run_fiber t handle body =
+  t.live <- t.live + 1;
+  let handler : (unit, unit) handler =
+    {
+      retc =
+        (fun () ->
+          t.live <- t.live - 1;
+          finish_handle t handle Finished);
+      exnc =
+        (fun e ->
+          t.live <- t.live - 1;
+          t.failures <- e :: t.failures;
+          finish_handle t handle (Failed e));
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Suspend register ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  let resumed = ref false in
+                  let resume v =
+                    if !resumed then
+                      failwith "Engine: process resumed twice";
+                    resumed := true;
+                    schedule t ~at:t.clock (fun () -> continue k v)
+                  in
+                  register resume)
+          | _ -> None);
+    }
+  in
+  match_with body () handler
+
+let spawn ?at t body =
+  let at = match at with None -> t.clock | Some a -> a in
+  let handle = { state = Running; join_waiters = [] } in
+  schedule t ~at (fun () -> run_fiber t handle body);
+  handle
+
+let delay t dt =
+  if dt < 0.0 then invalid_arg "Engine.delay: negative delay";
+  suspend (fun resume -> schedule t ~at:(t.clock +. dt) (fun () -> resume ()))
+
+let yield t = suspend (fun resume -> schedule t ~at:t.clock (fun () -> resume ()))
+
+let join _t handle =
+  (match handle.state with
+  | Finished | Failed _ -> ()
+  | Running ->
+      suspend (fun resume ->
+          handle.join_waiters <- (fun () -> resume ()) :: handle.join_waiters));
+  match handle.state with
+  | Failed e -> raise (Process_failure e)
+  | Finished -> ()
+  | Running -> assert false
+
+let step t =
+  match Drust_util.Pqueue.pop t.events with
+  | None -> false
+  | Some (time, f) ->
+      t.clock <- time;
+      f ();
+      true
+
+let run ?until t =
+  let keep_going () =
+    match until with
+    | None -> true
+    | Some limit -> (
+        match Drust_util.Pqueue.peek_time t.events with
+        | None -> false
+        | Some next -> next <= limit)
+  in
+  while (not (Drust_util.Pqueue.is_empty t.events)) && keep_going () do
+    ignore (step t)
+  done;
+  match List.rev t.failures with
+  | [] -> ()
+  | e :: _ ->
+      t.failures <- [];
+      raise (Process_failure e)
+
+let pending_events t = Drust_util.Pqueue.length t.events
+let live_processes t = t.live

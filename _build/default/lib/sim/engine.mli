@@ -1,0 +1,71 @@
+(** Discrete-event simulation engine.
+
+    The engine owns a virtual clock and an event queue.  Simulated
+    activities run as {e processes}: ordinary OCaml functions that may call
+    the blocking primitives of this library ({!delay}, {!suspend},
+    [Mailbox.recv], [Resource.acquire]...).  Blocking is implemented with
+    OCaml 5 effect handlers, so a process suspends mid-function without
+    threads and resumes when the event it waits for fires.
+
+    Determinism: events scheduled for the same instant fire in insertion
+    order, and all randomness flows through seeded {!Drust_util.Rng}
+    generators, so a simulation is a pure function of its configuration. *)
+
+type t
+(** An engine instance. *)
+
+type process_handle
+(** Handle to a spawned process, used to {!join} it. *)
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time in seconds. *)
+
+val schedule : t -> at:float -> (unit -> unit) -> unit
+(** [schedule t ~at f] runs callback [f] at virtual time [at].  [at] must
+    not be in the past. *)
+
+val schedule_after : t -> float -> (unit -> unit) -> unit
+(** [schedule_after t dt f] is [schedule t ~at:(now t +. dt) f]. *)
+
+val spawn : ?at:float -> t -> (unit -> unit) -> process_handle
+(** [spawn t body] starts a new process at time [at] (default: now).
+    The body runs inside the engine's effect handler and may block. *)
+
+(** {1 Blocking primitives — only valid inside a process} *)
+
+val delay : t -> float -> unit
+(** [delay t dt] suspends the calling process for [dt] simulated seconds. *)
+
+val suspend : (('a -> unit) -> unit) -> 'a
+(** [suspend register] parks the calling process.  [register] receives a
+    one-shot [resume] function; calling [resume v] (from any other process
+    or callback) schedules the parked process to continue with value [v] at
+    the current virtual time.  Raises [Failure] if resumed twice. *)
+
+val join : t -> process_handle -> unit
+(** [join t h] blocks until the process behind [h] has finished.  Returns
+    immediately when it is already done.  If the process died with an
+    exception, [join] re-raises it in the caller. *)
+
+val yield : t -> unit
+(** [yield t] reschedules the caller at the current time, letting other
+    ready processes run first (cooperative multitasking). *)
+
+(** {1 Driving the simulation} *)
+
+val run : ?until:float -> t -> unit
+(** [run t] executes events until the queue drains (or virtual time exceeds
+    [until]).  If any process died with an uncaught exception, the first
+    such exception is re-raised after the loop stops. *)
+
+val step : t -> bool
+(** [step t] executes a single event; [false] when the queue is empty. *)
+
+val pending_events : t -> int
+val live_processes : t -> int
+
+exception Process_failure of exn
+(** Wrapper re-raised by {!run} for a process that died; carries the
+    original exception. *)

@@ -1,0 +1,24 @@
+type 'a t = {
+  engine : Engine.t;
+  queue : 'a Queue.t;
+  receivers : ('a -> unit) Queue.t;
+}
+
+let create engine = { engine; queue = Queue.create (); receivers = Queue.create () }
+
+let send mb v =
+  ignore mb.engine;
+  if Queue.is_empty mb.receivers then Queue.push v mb.queue
+  else
+    let resume = Queue.pop mb.receivers in
+    resume v
+
+let recv mb =
+  if not (Queue.is_empty mb.queue) then Queue.pop mb.queue
+  else Engine.suspend (fun resume -> Queue.push resume mb.receivers)
+
+let try_recv mb =
+  if Queue.is_empty mb.queue then None else Some (Queue.pop mb.queue)
+
+let length mb = Queue.length mb.queue
+let waiters mb = Queue.length mb.receivers

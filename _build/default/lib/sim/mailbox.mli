@@ -1,0 +1,25 @@
+(** Unbounded typed mailboxes for inter-process messages.
+
+    A mailbox decouples senders and receivers inside the simulation: sends
+    never block; a receive blocks until a message is available.  Multiple
+    receivers are served FIFO.  The network fabric delivers every message
+    through a mailbox on the destination node. *)
+
+type 'a t
+
+val create : Engine.t -> 'a t
+
+val send : 'a t -> 'a -> unit
+(** [send mb v] enqueues [v]; wakes one waiting receiver if any. *)
+
+val recv : 'a t -> 'a
+(** [recv mb] blocks the calling process until a message arrives. *)
+
+val try_recv : 'a t -> 'a option
+(** Non-blocking receive. *)
+
+val length : 'a t -> int
+(** Number of queued (undelivered) messages. *)
+
+val waiters : 'a t -> int
+(** Number of processes blocked in {!recv}. *)

@@ -1,0 +1,77 @@
+module Condvar = struct
+  type t = { engine : Engine.t; waiters : (unit -> unit) Queue.t }
+
+  let create engine = { engine; waiters = Queue.create () }
+
+  let wait t =
+    ignore t.engine;
+    Engine.suspend (fun resume -> Queue.push resume t.waiters)
+
+  let signal t =
+    if not (Queue.is_empty t.waiters) then (Queue.pop t.waiters) ()
+
+  let broadcast t =
+    (* Drain first so waiters that re-wait are not woken again. *)
+    let batch = Queue.create () in
+    Queue.transfer t.waiters batch;
+    Queue.iter (fun resume -> resume ()) batch
+
+  let waiters t = Queue.length t.waiters
+end
+
+module Barrier = struct
+  type t = {
+    engine : Engine.t;
+    parties : int;
+    mutable arrived : int;
+    mutable generation : int;
+    cv : Condvar.t;
+  }
+
+  let create engine ~parties =
+    if parties <= 0 then invalid_arg "Barrier.create: parties must be positive";
+    { engine; parties; arrived = 0; generation = 0; cv = Condvar.create engine }
+
+  let await t =
+    let index = t.arrived in
+    t.arrived <- t.arrived + 1;
+    if t.arrived = t.parties then begin
+      (* Last arrival trips the barrier and starts the next round. *)
+      t.arrived <- 0;
+      t.generation <- t.generation + 1;
+      Condvar.broadcast t.cv
+    end
+    else begin
+      let gen = t.generation in
+      (* Guard against spurious ordering: wait until our generation has
+         been released. *)
+      while t.generation = gen do
+        Condvar.wait t.cv
+      done
+    end;
+    index
+
+  let waiting t = t.arrived
+end
+
+module Waitgroup = struct
+  type t = { engine : Engine.t; mutable n : int; cv : Condvar.t }
+
+  let create engine = { engine; n = 0; cv = Condvar.create engine }
+
+  let add t k =
+    if t.n + k < 0 then invalid_arg "Waitgroup.add: negative count";
+    t.n <- t.n + k
+
+  let done_ t =
+    if t.n <= 0 then invalid_arg "Waitgroup.done_: count underflow";
+    t.n <- t.n - 1;
+    if t.n = 0 then Condvar.broadcast t.cv
+
+  let wait t =
+    while t.n > 0 do
+      Condvar.wait t.cv
+    done
+
+  let count t = t.n
+end

@@ -1,0 +1,56 @@
+(** Synchronization primitives for simulated processes.
+
+    Built on the engine's suspend/resume machinery: condition variables
+    (wait/signal/broadcast), reusable barriers, and wait-groups.  These are
+    conveniences for application code and tests; the runtime's distributed
+    primitives ([Dmutex], [Datomic]) model network costs, these do not. *)
+
+(** Condition variables. *)
+module Condvar : sig
+  type t
+
+  val create : Engine.t -> t
+
+  val wait : t -> unit
+  (** Park the calling process until a signal arrives.  There is no
+      associated mutex: the simulator is single-threaded, so the usual
+      lost-wakeup race cannot happen between a check and a [wait] unless
+      the process blocks in between. *)
+
+  val signal : t -> unit
+  (** Wake one waiter (FIFO); no-op when nobody waits. *)
+
+  val broadcast : t -> unit
+  (** Wake every current waiter. *)
+
+  val waiters : t -> int
+end
+
+(** Reusable barriers. *)
+module Barrier : sig
+  type t
+
+  val create : Engine.t -> parties:int -> t
+  (** [parties] must be positive. *)
+
+  val await : t -> int
+  (** Block until [parties] processes have arrived; returns the arrival
+      index (0 = first).  The barrier then resets for the next round. *)
+
+  val waiting : t -> int
+end
+
+(** Wait-groups (Go-style). *)
+module Waitgroup : sig
+  type t
+
+  val create : Engine.t -> t
+  val add : t -> int -> unit
+  val done_ : t -> unit
+  (** Raises [Invalid_argument] below zero. *)
+
+  val wait : t -> unit
+  (** Block until the count reaches zero (returns immediately at zero). *)
+
+  val count : t -> int
+end

@@ -1,0 +1,62 @@
+type event = { time : float; category : string; detail : string }
+
+type t = {
+  engine : Engine.t;
+  ring : event option array;
+  mutable next : int;
+  mutable total : int;
+  mutable enabled : bool;
+}
+
+let create ?(capacity = 4096) engine =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { engine; ring = Array.make capacity None; next = 0; total = 0; enabled = false }
+
+let enable t = t.enabled <- true
+let disable t = t.enabled <- false
+let is_enabled t = t.enabled
+
+let record t ~category detail =
+  if t.enabled then begin
+    t.ring.(t.next) <-
+      Some { time = Engine.now t.engine; category; detail };
+    t.next <- (t.next + 1) mod Array.length t.ring;
+    t.total <- t.total + 1
+  end
+
+let recordf t ~category fmt =
+  if t.enabled then
+    Printf.ksprintf (fun s -> record t ~category s) fmt
+  else Printf.ikfprintf (fun _ -> ()) () fmt
+
+let events t =
+  let cap = Array.length t.ring in
+  let out = ref [] in
+  for i = 0 to cap - 1 do
+    (* Oldest entry sits at [next] once the ring has wrapped. *)
+    match t.ring.((t.next + i) mod cap) with
+    | Some e -> out := e :: !out
+    | None -> ()
+  done;
+  List.rev !out
+
+let count t = t.total
+
+let clear t =
+  Array.fill t.ring 0 (Array.length t.ring) None;
+  t.next <- 0;
+  t.total <- 0
+
+let dump ?(limit = 40) fmt t =
+  let all = events t in
+  let n = List.length all in
+  let tail =
+    if n <= limit then all
+    else List.filteri (fun i _ -> i >= n - limit) all
+  in
+  Format.fprintf fmt "trace: %d event(s) recorded, showing last %d@\n" t.total
+    (List.length tail);
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "  [%10.6f] %-10s %s@\n" e.time e.category e.detail)
+    tail

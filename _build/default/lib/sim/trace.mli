@@ -1,0 +1,42 @@
+(** Lightweight event tracing for the simulator.
+
+    A bounded ring of timestamped events, recorded by any layer (fabric
+    verbs, protocol moves, controller decisions) when tracing is enabled.
+    Costs nothing when disabled.  Used for debugging simulations and by
+    the examples to show what the runtime did. *)
+
+type t
+
+type event = {
+  time : float;
+  category : string;  (** e.g. "fabric", "protocol", "controller" *)
+  detail : string;
+}
+
+val create : ?capacity:int -> Engine.t -> t
+(** Default capacity: 4096 events; older events are overwritten. *)
+
+val enable : t -> unit
+val disable : t -> unit
+val is_enabled : t -> bool
+
+val record : t -> category:string -> string -> unit
+(** No-op when disabled; [detail] should be cheap to build — prefer
+    [recordf] for formatted messages so the cost is skipped entirely when
+    tracing is off. *)
+
+val recordf :
+  t -> category:string -> ('a, unit, string, unit) format4 -> 'a
+(** Formatted record; the format arguments are not evaluated when
+    disabled. *)
+
+val events : t -> event list
+(** Oldest first; at most [capacity] entries. *)
+
+val count : t -> int
+(** Total events recorded since creation (including overwritten ones). *)
+
+val clear : t -> unit
+
+val dump : ?limit:int -> Format.formatter -> t -> unit
+(** Human-readable tail of the trace. *)

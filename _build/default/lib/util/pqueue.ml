@@ -1,0 +1,74 @@
+type 'a entry = { time : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable len : int;
+  mutable next_seq : int;
+  mutable dummy : 'a entry option;
+}
+
+let create () = { heap = [||]; len = 0; next_seq = 0; dummy = None }
+
+let is_empty t = t.len = 0
+let length t = t.len
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < t.len && before t.heap.(left) t.heap.(!smallest) then
+    smallest := left;
+  if right < t.len && before t.heap.(right) t.heap.(!smallest) then
+    smallest := right;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t ~time value =
+  let entry = { time; seq = t.next_seq; value } in
+  t.next_seq <- t.next_seq + 1;
+  if t.dummy = None then t.dummy <- Some entry;
+  if t.len = Array.length t.heap then begin
+    let cap = max 16 (2 * t.len) in
+    let bigger = Array.make cap entry in
+    Array.blit t.heap 0 bigger 0 t.len;
+    t.heap <- bigger
+  end;
+  t.heap.(t.len) <- entry;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1)
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.heap.(0) <- t.heap.(t.len);
+      sift_down t 0
+    end;
+    Some (top.time, top.value)
+  end
+
+let peek_time t = if t.len = 0 then None else Some t.heap.(0).time
+
+let clear t =
+  t.len <- 0;
+  t.heap <- [||];
+  t.dummy <- None

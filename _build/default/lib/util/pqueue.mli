@@ -1,0 +1,24 @@
+(** Priority queue keyed by (time, sequence).
+
+    The simulation engine pops the earliest pending event on every step; the
+    sequence number breaks ties so that events scheduled at the same instant
+    fire in insertion order, which keeps simulations deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val push : 'a t -> time:float -> 'a -> unit
+(** [push t ~time v] inserts [v] at priority [time]. *)
+
+val pop : 'a t -> (float * 'a) option
+(** [pop t] removes and returns the minimum-time element, FIFO among
+    equal times. *)
+
+val peek_time : 'a t -> float option
+(** [peek_time t] is the time of the next element without removing it. *)
+
+val clear : 'a t -> unit

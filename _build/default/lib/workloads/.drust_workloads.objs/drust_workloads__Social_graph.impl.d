@@ -1,0 +1,1 @@
+lib/workloads/social_graph.ml: Array Drust_util Float Hashtbl List

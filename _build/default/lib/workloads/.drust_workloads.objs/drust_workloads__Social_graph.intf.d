@@ -1,0 +1,1 @@
+lib/workloads/social_graph.mli: Drust_util

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Drust_dsm Drust_experiments Drust_gam Drust_grappa Drust_machine Drust_runtime Drust_sim Drust_util List Printf

@@ -1,0 +1,1 @@
+test/test_dbox.ml: Alcotest Array Bytes Drust_core Drust_machine Drust_memory Drust_ownership Drust_runtime Drust_sim Drust_util Int64 Printf QCheck QCheck_alcotest

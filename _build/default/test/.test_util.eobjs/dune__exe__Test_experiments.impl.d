@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Drust_appkit Drust_experiments Drust_workloads Float List Printf String

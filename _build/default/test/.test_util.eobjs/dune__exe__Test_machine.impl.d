@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Drust_machine Drust_memory Drust_sim Drust_util Float List

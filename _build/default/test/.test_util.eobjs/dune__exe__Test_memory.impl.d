@@ -1,0 +1,1 @@
+test/test_memory.ml: Alcotest Drust_memory Drust_util Gen Hashtbl List QCheck QCheck_alcotest

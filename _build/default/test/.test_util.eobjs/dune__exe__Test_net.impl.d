@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Drust_net Drust_sim Drust_util List

@@ -1,0 +1,1 @@
+test/test_ownership.ml: Alcotest Drust_ownership List QCheck QCheck_alcotest String

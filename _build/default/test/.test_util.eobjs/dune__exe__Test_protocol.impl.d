@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest Array Drust_core Drust_machine Drust_memory Drust_ownership Drust_sim Drust_util Gen List Printf QCheck QCheck_alcotest

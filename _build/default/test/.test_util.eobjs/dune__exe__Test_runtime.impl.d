@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Drust_core Drust_machine Drust_memory Drust_runtime Drust_sim Drust_util List

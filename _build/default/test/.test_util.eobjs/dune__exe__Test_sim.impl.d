@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Drust_sim Float Gen List Printf QCheck QCheck_alcotest String

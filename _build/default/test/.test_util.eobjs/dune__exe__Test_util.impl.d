@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Drust_util Float Format Fun List Printf QCheck QCheck_alcotest

@@ -1,0 +1,219 @@
+(* Tests for the four evaluation applications and the workload
+   generators: each app must run to completion on every backend, conserve
+   its operation counts, and show the qualitative behaviours the
+   evaluation relies on (caching helps DRust, delegation hurts Grappa,
+   affinity helps DataFrame). *)
+
+module Cluster = Drust_machine.Cluster
+module Params = Drust_machine.Params
+module Appkit = Drust_appkit.Appkit
+module B = Drust_experiments.Bench_setup
+module Ycsb = Drust_workloads.Ycsb
+module Social_graph = Drust_workloads.Social_graph
+module Df = Drust_dataframe.Dataframe
+module Gm = Drust_gemm.Gemm
+module Kv = Drust_kvstore.Kvstore
+module Sn = Drust_socialnet.Socialnet
+
+let tiny_params nodes =
+  {
+    Params.default with
+    Params.nodes;
+    cores_per_node = 4;
+    mem_per_node = Drust_util.Units.mib 256;
+  }
+
+let tiny_df =
+  {
+    Df.default_config with
+    Df.partitions = 16;
+    chunk_bytes = Drust_util.Units.kib 32;
+    index_entries = 32;
+    queries = 2;
+  }
+
+let tiny_gemm =
+  {
+    Gm.default_config with
+    Gm.grid = 4;
+    block_bytes = Drust_util.Units.kib 16;
+    strips = 8;
+  }
+
+let tiny_kv =
+  {
+    Kv.default_config with
+    Kv.keys = 10_000;
+    buckets = 512;
+    ops = 800;
+    clients_per_node = 4;
+  }
+
+let tiny_sn = { Sn.default_config with Sn.users = 200; requests = 400; clients_per_node = 4 }
+
+let run_app ?(nodes = 4) system runner =
+  let cluster = Cluster.create (tiny_params nodes) in
+  let backend = B.make_backend system cluster in
+  runner ~cluster ~backend
+
+(* ------------------------------------------------------------------ *)
+(* Workload generators *)
+
+let test_ycsb_mix () =
+  let gen = Ycsb.create ~keys:1000 ~seed:5 () in
+  let gets = ref 0 and total = 10_000 in
+  for _ = 1 to total do
+    match Ycsb.next gen with
+    | Ycsb.Get _ -> incr gets
+    | Ycsb.Set _ -> ()
+    | Ycsb.Insert _ | Ycsb.Scan _ | Ycsb.Rmw _ ->
+        Alcotest.fail "paper mix only emits Get/Set" 
+  done;
+  let ratio = Float.of_int !gets /. Float.of_int total in
+  Alcotest.(check bool) "~90% gets" true (Float.abs (ratio -. 0.9) < 0.02)
+
+let test_ycsb_keys_in_range () =
+  let gen = Ycsb.create ~keys:50 ~seed:6 () in
+  for _ = 1 to 1000 do
+    let k =
+      match Ycsb.next gen with
+      | Ycsb.Get k | Ycsb.Set k | Ycsb.Insert k | Ycsb.Scan (k, _) | Ycsb.Rmw k
+        -> k
+    in
+    Alcotest.(check bool) "range" true (k >= 0 && k < 50)
+  done
+
+let test_ycsb_shared_zipf () =
+  let zipf = Drust_util.Zipf.create ~n:100 ~theta:0.9 in
+  let a = Ycsb.with_zipf ~zipf ~get_ratio:0.5 ~seed:1 in
+  let b = Ycsb.with_zipf ~zipf ~get_ratio:0.5 ~seed:2 in
+  Alcotest.(check bool) "independent streams" true
+    (List.init 20 (fun _ -> Ycsb.next a) <> List.init 20 (fun _ -> Ycsb.next b))
+
+let test_social_graph_shape () =
+  let g = Social_graph.create ~users:500 ~seed:3 () in
+  Alcotest.(check int) "users" 500 (Social_graph.users g);
+  (* Power law: user 0 has many more followers than user 400. *)
+  Alcotest.(check bool) "skewed fanout" true
+    (Social_graph.fanout g 0 > 4 * Social_graph.fanout g 400);
+  let f = Social_graph.followers g 0 in
+  Alcotest.(check bool) "bounded" true (List.length f <= 256);
+  List.iter
+    (fun u -> Alcotest.(check bool) "valid ids" true (u >= 0 && u < 500))
+    f;
+  Alcotest.(check bool) "memoized deterministic" true
+    (Social_graph.followers g 0 == Social_graph.followers g 0)
+
+(* ------------------------------------------------------------------ *)
+(* Applications complete with the right op counts on every backend *)
+
+let app_completes name runner expected_ops system () =
+  let r = run_app system runner in
+  Alcotest.(check (float 0.5)) (name ^ " ops") expected_ops r.Appkit.ops;
+  Alcotest.(check bool) (name ^ " advanced time") true (r.Appkit.elapsed > 0.0);
+  Alcotest.(check bool) (name ^ " positive throughput") true (r.Appkit.throughput > 0.0)
+
+let df_runner ~cluster ~backend = Df.run ~cluster ~backend tiny_df
+let gemm_runner ~cluster ~backend = Gm.run ~cluster ~backend tiny_gemm
+let kv_runner ~cluster ~backend = Kv.run ~cluster ~backend tiny_kv
+let sn_runner ~cluster ~backend = Sn.run ~cluster ~backend tiny_sn
+
+let test_kv_get_fraction () =
+  let r = run_app B.Drust kv_runner in
+  let gf = List.assoc "get_fraction" r.Appkit.extra in
+  Alcotest.(check bool) "~0.9 gets" true (Float.abs (gf -. 0.9) < 0.05)
+
+(* ------------------------------------------------------------------ *)
+(* Qualitative behaviours the evaluation depends on *)
+
+let test_drust_beats_grappa_on_gemm () =
+  (* Caching vs re-delegation on a reuse-heavy workload. *)
+  let d = run_app ~nodes:4 B.Drust gemm_runner in
+  let g = run_app ~nodes:4 B.Grappa gemm_runner in
+  Alcotest.(check bool)
+    (Printf.sprintf "drust %.0f > grappa %.0f" d.Appkit.throughput
+       g.Appkit.throughput)
+    true
+    (d.Appkit.throughput > g.Appkit.throughput)
+
+let test_drust_single_node_overhead_small () =
+  (* The paper: at most 2.42% slower than the original on one node. *)
+  let params = { (tiny_params 1) with Params.cores_per_node = 8 } in
+  let orig =
+    let cluster = Cluster.create params in
+    Kv.run ~cluster ~backend:(B.make_backend B.Original cluster) tiny_kv
+  in
+  let drust =
+    let cluster = Cluster.create params in
+    Kv.run ~cluster ~backend:(B.make_backend B.Drust cluster) tiny_kv
+  in
+  let overhead = 1.0 -. (drust.Appkit.throughput /. orig.Appkit.throughput) in
+  Alcotest.(check bool)
+    (Printf.sprintf "overhead %.2f%% < 5%%" (overhead *. 100.0))
+    true (overhead < 0.05)
+
+let test_dataframe_affinity_helps () =
+  let plain =
+    run_app ~nodes:4 B.Drust (fun ~cluster ~backend ->
+        Df.run ~cluster ~backend tiny_df)
+  in
+  let annotated =
+    run_app ~nodes:4 B.Drust (fun ~cluster ~backend ->
+        Df.run ~cluster ~backend
+          { tiny_df with Df.use_tbox = true; use_spawn_to = true })
+  in
+  Alcotest.(check bool) "annotations never hurt" true
+    (annotated.Appkit.throughput >= 0.95 *. plain.Appkit.throughput)
+
+let test_socialnet_dsm_beats_original () =
+  (* Reference passing eliminates serialization. *)
+  let orig =
+    run_app ~nodes:2 B.Original (fun ~cluster ~backend ->
+        Sn.run ~cluster ~backend { tiny_sn with Sn.pass_by_value = true })
+  in
+  let drust = run_app ~nodes:2 B.Drust sn_runner in
+  Alcotest.(check bool) "drust faster" true
+    (drust.Appkit.throughput > orig.Appkit.throughput)
+
+let test_determinism () =
+  (* Same seed, same cluster, same workload -> identical throughput. *)
+  let a = run_app B.Drust kv_runner in
+  let b = run_app B.Drust kv_runner in
+  Alcotest.(check (float 1e-6)) "deterministic" a.Appkit.throughput b.Appkit.throughput
+
+let () =
+  let app_cases name runner ops =
+    List.map
+      (fun sys ->
+        Alcotest.test_case
+          (Printf.sprintf "%s on %s" name (B.system_name sys))
+          `Quick
+          (app_completes name runner ops sys))
+      [ B.Drust; B.Gam; B.Grappa; B.Original ]
+  in
+  Alcotest.run "apps"
+    [
+      ( "workloads",
+        [
+          Alcotest.test_case "ycsb mix" `Quick test_ycsb_mix;
+          Alcotest.test_case "ycsb range" `Quick test_ycsb_keys_in_range;
+          Alcotest.test_case "ycsb shared zipf" `Quick test_ycsb_shared_zipf;
+          Alcotest.test_case "social graph" `Quick test_social_graph_shape;
+        ] );
+      ("dataframe", app_cases "dataframe" df_runner 2.0);
+      ("gemm", app_cases "gemm" gemm_runner 64.0);
+      ("kvstore", app_cases "kvstore" kv_runner 800.0);
+      ("socialnet", app_cases "socialnet" sn_runner 400.0);
+      ( "behaviour",
+        [
+          Alcotest.test_case "kv get fraction" `Quick test_kv_get_fraction;
+          Alcotest.test_case "caching beats delegation" `Quick
+            test_drust_beats_grappa_on_gemm;
+          Alcotest.test_case "single-node overhead" `Quick
+            test_drust_single_node_overhead_small;
+          Alcotest.test_case "affinity helps" `Quick test_dataframe_affinity_helps;
+          Alcotest.test_case "dsm beats serialization" `Quick
+            test_socialnet_dsm_beats_original;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+        ] );
+    ]

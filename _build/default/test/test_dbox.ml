@@ -1,0 +1,308 @@
+(* Tests for the typed public API (Dbox / Imm / Mut / Tbox) and the
+   unsafe global-heap primitives (dalloc / dread / dwrite). *)
+
+module Engine = Drust_sim.Engine
+module Cluster = Drust_machine.Cluster
+module Params = Drust_machine.Params
+module Ctx = Drust_machine.Ctx
+module Dbox = Drust_core.Dbox
+module U = Drust_core.Unsafe_prims
+module Univ = Drust_util.Univ
+module B = Drust_ownership.Borrow_state
+
+let int_tag : int Univ.tag = Univ.create_tag ~name:"dbox.int"
+let str_tag : string Univ.tag = Univ.create_tag ~name:"dbox.str"
+
+let small_params nodes =
+  {
+    Params.default with
+    Params.nodes;
+    cores_per_node = 4;
+    mem_per_node = Drust_util.Units.mib 64;
+  }
+
+let in_cluster ?(nodes = 4) body =
+  let cluster = Cluster.create (small_params nodes) in
+  let result = ref None in
+  ignore
+    (Engine.spawn (Cluster.engine cluster) (fun () ->
+         let ctx = Ctx.make cluster ~node:0 in
+         result := Some (body cluster ctx)));
+  Cluster.run cluster;
+  match !result with Some v -> v | None -> Alcotest.fail "body did not run"
+
+(* ------------------------------------------------------------------ *)
+(* Dbox typed layer *)
+
+let test_make_read_write () =
+  in_cluster (fun _ ctx ->
+      let b = Dbox.make ctx ~tag:int_tag ~size:8 41 in
+      Alcotest.(check int) "read" 41 (Dbox.read ctx b);
+      Dbox.write ctx b 42;
+      Alcotest.(check int) "write" 42 (Dbox.read ctx b);
+      Dbox.modify ctx b succ;
+      Alcotest.(check int) "modify" 43 (Dbox.read ctx b);
+      Dbox.drop ctx b)
+
+let test_type_safety () =
+  in_cluster (fun _ ctx ->
+      (* Two boxes with different tags cannot be confused even though the
+         heap stores untyped values. *)
+      let a = Dbox.make ctx ~tag:int_tag ~size:8 1 in
+      let s = Dbox.make ctx ~tag:str_tag ~size:16 "hi" in
+      Alcotest.(check int) "int box" 1 (Dbox.read ctx a);
+      Alcotest.(check string) "string box" "hi" (Dbox.read ctx s))
+
+let test_scoped_borrows () =
+  in_cluster (fun _ ctx ->
+      let b = Dbox.make ctx ~tag:int_tag ~size:8 10 in
+      let doubled = Dbox.with_borrow ctx b (fun v -> v * 2) in
+      Alcotest.(check int) "scoped read" 20 doubled;
+      let old = Dbox.with_borrow_mut ctx b (fun v -> (v + 5, v)) in
+      Alcotest.(check int) "returned result" 10 old;
+      Alcotest.(check int) "wrote through" 15 (Dbox.read ctx b))
+
+let test_imm_refs_shared_across_nodes () =
+  in_cluster (fun _ ctx ->
+      let b = Dbox.make_on ctx ~node:1 ~tag:int_tag ~size:64 7 in
+      let r1 = Dbox.Imm.borrow ctx b in
+      let r2 = Dbox.Imm.clone ctx r1 in
+      Alcotest.(check int) "r1" 7 (Dbox.Imm.deref ctx r1);
+      Alcotest.(check int) "r2" 7 (Dbox.Imm.deref ctx r2);
+      Dbox.Imm.drop ctx r1;
+      Dbox.Imm.drop ctx r2;
+      Dbox.write ctx b 8;
+      Alcotest.(check int) "post-borrow write" 8 (Dbox.read ctx b))
+
+let test_mut_ref_cycle () =
+  in_cluster (fun _ ctx ->
+      let b = Dbox.make ctx ~tag:int_tag ~size:8 0 in
+      let m = Dbox.Mut.borrow ctx b in
+      Alcotest.(check int) "deref" 0 (Dbox.Mut.deref ctx m);
+      Dbox.Mut.write ctx m 9;
+      Dbox.Mut.modify ctx m succ;
+      Dbox.Mut.drop ctx m;
+      Alcotest.(check int) "owner sees" 10 (Dbox.read ctx b))
+
+let test_borrow_conflicts_raise () =
+  in_cluster (fun _ ctx ->
+      let b = Dbox.make ctx ~tag:int_tag ~size:8 0 in
+      let r = Dbox.Imm.borrow ctx b in
+      Alcotest.(check bool) "mut during imm" true
+        (try
+           ignore (Dbox.Mut.borrow ctx b);
+           false
+         with B.Violation _ -> true);
+      Dbox.Imm.drop ctx r)
+
+let test_transfer_and_exception_safety () =
+  in_cluster (fun _ ctx ->
+      let b = Dbox.make ctx ~tag:int_tag ~size:8 1 in
+      (* Exceptions inside scoped borrows release them. *)
+      (try Dbox.with_borrow ctx b (fun _ -> failwith "x") with Failure _ -> ());
+      (try Dbox.with_borrow_mut ctx b (fun _ -> failwith "x") with Failure _ -> ());
+      (* Borrow machinery is balanced, so transfer succeeds. *)
+      Dbox.transfer ctx b ~to_node:2;
+      Alcotest.(check int) "still readable" 1 (Dbox.read ctx b))
+
+let test_tbox_list () =
+  in_cluster (fun cluster ctx ->
+      (* The Listing 3 pattern: tying nodes makes traversal one fetch. *)
+      let nodes_ =
+        Array.init 8 (fun i -> Dbox.make_on ctx ~node:1 ~tag:int_tag ~size:64 i)
+      in
+      for i = 1 to 7 do
+        Dbox.Tbox.tie ctx ~parent:nodes_.(i - 1) ~child:nodes_.(i)
+      done;
+      Ctx.flush ctx;
+      let t0 = Engine.now (Cluster.engine cluster) in
+      let total = Array.fold_left (fun acc n -> acc + Dbox.read ctx n) 0 nodes_ in
+      Ctx.flush ctx;
+      let dt = Engine.now (Cluster.engine cluster) -. t0 in
+      Alcotest.(check int) "sum" 28 total;
+      (* One batched fetch, not eight round trips (8 x ~3.6us). *)
+      Alcotest.(check bool)
+        (Printf.sprintf "one batch: %.1fus < 10us" (dt *. 1e6))
+        true (dt < 10e-6))
+
+(* ------------------------------------------------------------------ *)
+(* Stack values (App. D.1): copy-and-write-back, eager cache eviction *)
+
+module Sr = Drust_core.Stack_ref
+
+let test_stack_value_roundtrip () =
+  in_cluster (fun _ ctx ->
+      let s = Sr.create ctx ~tag:int_tag ~size:32 5 in
+      Alcotest.(check int) "read" 5 (Sr.read ctx s);
+      let old = Sr.with_mut ctx s (fun v -> (v + 1, v)) in
+      Alcotest.(check int) "old" 5 old;
+      Alcotest.(check int) "written back" 6 (Sr.read ctx s);
+      Sr.drop ctx s)
+
+let test_stack_value_never_moves () =
+  in_cluster (fun _ ctx ->
+      let s = Sr.create ctx ~tag:int_tag ~size:32 1 in
+      let home = Sr.home s in
+      (* A remote writer works on a copy and writes back; the slot stays
+         pinned to its frame. *)
+      let h =
+        Drust_runtime.Dthread.spawn_on ctx ~node:2 (fun w ->
+            ignore (Sr.with_mut w s (fun v -> (v * 10, ()))))
+      in
+      Drust_runtime.Dthread.join ctx h;
+      Alcotest.(check int) "home unchanged" home (Sr.home s);
+      Alcotest.(check int) "write-back visible" 10 (Sr.read ctx s);
+      Sr.drop ctx s)
+
+let test_stack_value_eager_eviction () =
+  in_cluster (fun cluster ctx ->
+      let s = Sr.create ctx ~tag:int_tag ~size:32 1 in
+      let h =
+        Drust_runtime.Dthread.spawn_on ctx ~node:3 (fun w ->
+            ignore (Sr.read w s);
+            (* Eager eviction: nothing lingers in node 3's cache. *)
+            Alcotest.(check int) "no cached copy" 0
+              (Drust_memory.Cache.entries
+                 (Cluster.node cluster 3).Cluster.cache))
+      in
+      Drust_runtime.Dthread.join ctx h;
+      Sr.drop ctx s)
+
+let test_stack_value_borrow_discipline () =
+  in_cluster (fun _ ctx ->
+      let s = Sr.create ctx ~tag:int_tag ~size:32 1 in
+      Alcotest.(check bool) "exception releases borrow" true
+        (try
+           Sr.with_mut ctx s (fun _ -> failwith "boom")
+         with Failure _ -> true);
+      Alcotest.(check int) "usable after" 1 (Sr.read ctx s);
+      Sr.drop ctx s;
+      Alcotest.(check bool) "use after drop" true
+        (try
+           ignore (Sr.read ctx s);
+           false
+         with B.Violation _ -> true))
+
+(* ------------------------------------------------------------------ *)
+(* Unsafe primitives *)
+
+let test_unsafe_roundtrip () =
+  in_cluster (fun _ ctx ->
+      let g = U.dalloc ctx ~size:32 (Univ.pack int_tag 5) in
+      Alcotest.(check int) "dread" 5
+        (Univ.unpack_exn int_tag (U.dread ctx g ~size:32));
+      U.dwrite ctx g ~size:32 (Univ.pack int_tag 6);
+      Alcotest.(check int) "dwrite" 6
+        (Univ.unpack_exn int_tag (U.dread ctx g ~size:32));
+      U.dfree ctx g)
+
+let test_unsafe_remote_costs () =
+  in_cluster (fun cluster ctx ->
+      let g = U.dalloc_on ctx ~node:2 ~size:512 (Univ.pack int_tag 0) in
+      Ctx.flush ctx;
+      let t0 = Engine.now (Cluster.engine cluster) in
+      ignore (U.dread ctx g ~size:512);
+      Ctx.flush ctx;
+      let dt = Engine.now (Cluster.engine cluster) -. t0 in
+      (* One one-sided READ, never cached. *)
+      Alcotest.(check bool) "first ~3.6us" true (dt > 3e-6 && dt < 5e-6);
+      let t1 = Engine.now (Cluster.engine cluster) in
+      ignore (U.dread ctx g ~size:512);
+      Ctx.flush ctx;
+      let dt2 = Engine.now (Cluster.engine cluster) -. t1 in
+      Alcotest.(check bool) "second still remote" true (dt2 > 3e-6))
+
+let test_unsafe_atomic_update () =
+  in_cluster (fun _ ctx ->
+      let g = U.dalloc_on ctx ~node:1 ~size:8 (Univ.pack int_tag 10) in
+      let old =
+        U.datomic_update ctx g (fun v ->
+            Univ.pack int_tag (Univ.unpack_exn int_tag v + 1))
+      in
+      Alcotest.(check int) "old value returned" 10 (Univ.unpack_exn int_tag old);
+      Alcotest.(check int) "updated" 11
+        (Univ.unpack_exn int_tag (U.dread ctx g ~size:8)))
+
+(* ------------------------------------------------------------------ *)
+(* Wire pointer layout (Fig. 8) *)
+
+module Pl = Drust_core.Pointer_layout
+module Gaddr = Drust_memory.Gaddr
+
+let test_layout_roundtrip () =
+  let g = Gaddr.with_color (Gaddr.make ~node:5 ~offset:0xABCDE) 1234 in
+  let w = Pl.encode ~gaddr:g ~ubit:true ~ext:42L in
+  let g', ubit, ext = Pl.decode w in
+  Alcotest.(check bool) "gaddr" true (Gaddr.equal g g');
+  Alcotest.(check bool) "ubit" true ubit;
+  Alcotest.(check int64) "ext" 42L ext
+
+let test_layout_bytes () =
+  let g = Gaddr.make ~node:1 ~offset:64 in
+  let w = Pl.encode ~gaddr:g ~ubit:false ~ext:7L in
+  let b = Pl.to_bytes w in
+  Alcotest.(check int) "16 bytes on the wire" 16 (Bytes.length b);
+  let w' = Pl.of_bytes b in
+  Alcotest.(check bool) "identical after the wire" true (w = w');
+  Alcotest.(check bool) "null detection" true (Pl.is_null Pl.null);
+  Alcotest.(check bool) "nonnull" false (Pl.is_null w)
+
+let test_layout_ext_overflow () =
+  let g = Gaddr.make ~node:0 ~offset:8 in
+  Alcotest.(check bool) "64-bit ext rejected" true
+    (try
+       ignore (Pl.encode ~gaddr:g ~ubit:false ~ext:Int64.min_int);
+       false
+     with Invalid_argument _ -> true)
+
+let prop_layout_roundtrip =
+  QCheck.Test.make ~name:"wire layout roundtrips every pointer" ~count:500
+    QCheck.(
+      quad
+        (int_bound (Gaddr.max_nodes - 1))
+        (int_bound 1_000_000)
+        (int_bound Gaddr.max_color)
+        (pair bool (int_bound max_int)))
+    (fun (node, offset, color, (ubit, ext)) ->
+      let g = Gaddr.with_color (Gaddr.make ~node ~offset) color in
+      let ext = Int64.of_int ext in
+      let w = Pl.of_bytes (Pl.to_bytes (Pl.encode ~gaddr:g ~ubit ~ext)) in
+      let g', ubit', ext' = Pl.decode w in
+      Gaddr.equal g g' && ubit = ubit' && ext = ext')
+
+let () =
+  Alcotest.run "dbox"
+    [
+      ( "typed",
+        [
+          Alcotest.test_case "make/read/write" `Quick test_make_read_write;
+          Alcotest.test_case "type safety" `Quick test_type_safety;
+          Alcotest.test_case "scoped borrows" `Quick test_scoped_borrows;
+          Alcotest.test_case "imm refs" `Quick test_imm_refs_shared_across_nodes;
+          Alcotest.test_case "mut ref cycle" `Quick test_mut_ref_cycle;
+          Alcotest.test_case "conflicts raise" `Quick test_borrow_conflicts_raise;
+          Alcotest.test_case "transfer + exception safety" `Quick
+            test_transfer_and_exception_safety;
+          Alcotest.test_case "tbox list" `Quick test_tbox_list;
+        ] );
+      ( "stack-values",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_stack_value_roundtrip;
+          Alcotest.test_case "never moves" `Quick test_stack_value_never_moves;
+          Alcotest.test_case "eager eviction" `Quick test_stack_value_eager_eviction;
+          Alcotest.test_case "borrow discipline" `Quick test_stack_value_borrow_discipline;
+        ] );
+      ( "wire-layout",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_layout_roundtrip;
+          Alcotest.test_case "bytes" `Quick test_layout_bytes;
+          Alcotest.test_case "ext overflow" `Quick test_layout_ext_overflow;
+          QCheck_alcotest.to_alcotest prop_layout_roundtrip;
+        ] );
+      ( "unsafe",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_unsafe_roundtrip;
+          Alcotest.test_case "remote costs" `Quick test_unsafe_remote_costs;
+          Alcotest.test_case "atomic update" `Quick test_unsafe_atomic_update;
+        ] );
+    ]

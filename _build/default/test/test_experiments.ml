@@ -1,0 +1,198 @@
+(* Integration tests at the experiment-harness level: the headline shapes
+   of the paper's evaluation must hold when the harness runs its (scaled)
+   experiments.  These are the repository's "does the reproduction still
+   reproduce?" guard rails. *)
+
+module E = Drust_experiments
+module B = E.Bench_setup
+module Appkit = Drust_appkit.Appkit
+
+(* ------------------------------------------------------------------ *)
+(* Motivation (S3) *)
+
+let test_motivation_breakdown () =
+  let r = E.Motivation.run () in
+  Alcotest.(check bool)
+    (Printf.sprintf "GAM read %.1fus in [13,19]" (r.E.Motivation.gam_total *. 1e6))
+    true
+    (r.E.Motivation.gam_total > 13e-6 && r.E.Motivation.gam_total < 19e-6);
+  Alcotest.(check bool) "coherence fraction ~77%" true
+    (r.E.Motivation.coherence_fraction > 0.70
+    && r.E.Motivation.coherence_fraction < 0.82);
+  Alcotest.(check bool) "DRust read near wire time" true
+    (r.E.Motivation.drust_total < 1.5 *. r.E.Motivation.wire_time)
+
+(* ------------------------------------------------------------------ *)
+(* Table 2 *)
+
+let test_table2_shape () =
+  let rows = E.Table2.run ~samples:50_000 ~seed:11 () in
+  let find l = List.find (fun r -> String.equal r.E.Table2.label l) rows in
+  let drust = find "DRust" and rust = find "Rust" in
+  (* DRust adds a small constant overhead over plain Rust. *)
+  let delta = drust.E.Table2.average -. rust.E.Table2.average in
+  Alcotest.(check bool)
+    (Printf.sprintf "check overhead %.0f cycles in [25, 40]" delta)
+    true
+    (delta > 25.0 && delta < 40.0);
+  (* Within 10% of the paper's Rust row. *)
+  Alcotest.(check bool) "avg near 364" true
+    (Float.abs (rust.E.Table2.average -. 364.0) < 36.0);
+  Alcotest.(check bool) "median near 332" true
+    (Float.abs (rust.E.Table2.median -. 332.0) < 33.0);
+  Alcotest.(check bool) "p90 near 496" true
+    (Float.abs (rust.E.Table2.p90 -. 496.0) < 50.0)
+
+(* ------------------------------------------------------------------ *)
+(* Fig 5 headline shapes (scaled-down runs: just 1 and 8 nodes) *)
+
+let speedup app system nodes =
+  let base = B.single_node_baseline app in
+  let r = B.run_app app system ~params:(B.testbed ~nodes ()) in
+  r.Appkit.throughput /. base.Appkit.throughput
+
+let test_fig5_kv_ordering () =
+  let drust = speedup B.Kvstore_app B.Drust 8 in
+  let gam = speedup B.Kvstore_app B.Gam 8 in
+  let grappa = speedup B.Kvstore_app B.Grappa 8 in
+  Alcotest.(check bool)
+    (Printf.sprintf "DRust %.2f > GAM %.2f > Grappa %.2f" drust gam grappa)
+    true
+    (drust > gam && gam > grappa);
+  Alcotest.(check bool) "DRust gains from scale" true (drust > 2.0);
+  Alcotest.(check bool) "Grappa stays near/below original" true (grappa < 1.3)
+
+let test_fig5_gemm_ordering () =
+  let drust = speedup B.Gemm_app B.Drust 8 in
+  let grappa = speedup B.Gemm_app B.Grappa 8 in
+  Alcotest.(check bool) "DRust scales well" true (drust > 5.0);
+  Alcotest.(check bool) "Grappa can't cache" true (drust > 2.0 *. grappa)
+
+let test_fig5_dataframe_ordering () =
+  let drust = speedup B.Dataframe_app B.Drust 8 in
+  let gam = speedup B.Dataframe_app B.Gam 8 in
+  let grappa = speedup B.Dataframe_app B.Grappa 8 in
+  Alcotest.(check bool)
+    (Printf.sprintf "DRust %.2f > GAM %.2f > Grappa %.2f" drust gam grappa)
+    true
+    (drust > gam && gam > grappa)
+
+let test_fig5_single_node_overhead () =
+  (* DRust on one node stays within a few percent of the original. *)
+  List.iter
+    (fun app ->
+      let s = speedup app B.Drust 1 in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s 1-node %.3f >= 0.95" (B.app_name app) s)
+        true (s >= 0.95))
+    [ B.Dataframe_app; B.Gemm_app; B.Kvstore_app ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig 6 / Fig 7 *)
+
+let test_fig6_monotone () =
+  let rows = E.Fig6.run () in
+  match rows with
+  | [ plain; tbox; both ] ->
+      Alcotest.(check bool) "tbox ~ plain (no regression)" true
+        (tbox.E.Fig6.vs_plain >= 0.97);
+      Alcotest.(check bool) "both > plain" true (both.E.Fig6.vs_plain > 1.02);
+      Alcotest.(check bool) "plain is the reference" true
+        (Float.abs (plain.E.Fig6.vs_plain -. 1.0) < 1e-6)
+  | _ -> Alcotest.fail "expected three variants"
+
+let test_fig7_drust_cheapest () =
+  let rows = E.Fig7.run () in
+  List.iter
+    (fun app ->
+      let overhead system =
+        let r =
+          List.find
+            (fun x -> x.E.Fig7.app = app && x.E.Fig7.system = system)
+            rows
+        in
+        r.E.Fig7.overhead
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: DRust %.2f < GAM %.2f and < Grappa %.2f"
+           (B.app_name app) (overhead B.Drust) (overhead B.Gam)
+           (overhead B.Grappa))
+        true
+        (overhead B.Drust < overhead B.Gam
+        && overhead B.Drust < overhead B.Grappa))
+    [ B.Dataframe_app; B.Gemm_app; B.Kvstore_app ]
+
+(* ------------------------------------------------------------------ *)
+(* YCSB extension: DRust's lead tracks the read share (the S6 limitation
+   made quantitative) *)
+
+let test_ycsb_suite_shape () =
+  let rows = E.Ycsb_suite.run () in
+  let drust w =
+    (List.find
+       (fun r -> r.E.Ycsb_suite.workload = w && r.E.Ycsb_suite.system = B.Drust)
+       rows)
+      .E.Ycsb_suite.speedup
+  in
+  let module Y = Drust_workloads.Ycsb in
+  Alcotest.(check bool) "read-only best" true
+    (drust Y.C >= drust Y.B && drust Y.B > drust Y.A);
+  Alcotest.(check bool) "RMW degenerates" true (drust Y.F < 1.5);
+  Alcotest.(check bool) "read-mostly scales" true (drust Y.B > 3.0)
+
+(* ------------------------------------------------------------------ *)
+(* Migration drill-down *)
+
+let test_migration_drilldown () =
+  let r = E.Migration.run () in
+  Alcotest.(check int) "15 threads" 15 r.E.Migration.migrations;
+  Alcotest.(check bool)
+    (Printf.sprintf "avg %.0fus within 2x of 218us"
+       (r.E.Migration.average_latency *. 1e6))
+    true
+    (r.E.Migration.average_latency > 109e-6
+    && r.E.Migration.average_latency < 436e-6);
+  Alcotest.(check bool) "controller rebalanced the overload" true
+    (r.E.Migration.controller_migrations > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Ablations *)
+
+let test_ablation_directions () =
+  let rows = E.Ablation.run () in
+  let value variant =
+    (List.find (fun r -> String.equal r.E.Ablation.variant variant) rows)
+      .E.Ablation.value
+  in
+  Alcotest.(check bool) "coloring beats always-move" true
+    (value "pointer coloring (default)" < value "always-move (ablated)");
+  Alcotest.(check bool) "TBox batch beats pointer chase" true
+    (value "TBox (batched)" < value "plain Box (chase)" /. 5.0);
+  Alcotest.(check bool) "1-sided lock beats 2-sided" true
+    (value "DRust 1-sided CAS" < value "GAM-style 2-sided RPC")
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "motivation",
+        [ Alcotest.test_case "S3 breakdown" `Quick test_motivation_breakdown ] );
+      ("table2", [ Alcotest.test_case "deref shape" `Quick test_table2_shape ]);
+      ( "fig5",
+        [
+          Alcotest.test_case "kv ordering" `Slow test_fig5_kv_ordering;
+          Alcotest.test_case "gemm ordering" `Slow test_fig5_gemm_ordering;
+          Alcotest.test_case "dataframe ordering" `Slow test_fig5_dataframe_ordering;
+          Alcotest.test_case "single-node overhead" `Slow test_fig5_single_node_overhead;
+        ] );
+      ( "fig6-fig7",
+        [
+          Alcotest.test_case "fig6 monotone" `Slow test_fig6_monotone;
+          Alcotest.test_case "fig7 drust cheapest" `Slow test_fig7_drust_cheapest;
+        ] );
+      ( "drilldowns",
+        [
+          Alcotest.test_case "migration" `Quick test_migration_drilldown;
+          Alcotest.test_case "ablations" `Quick test_ablation_directions;
+          Alcotest.test_case "ycsb suite shape" `Slow test_ycsb_suite_shape;
+        ] );
+    ]

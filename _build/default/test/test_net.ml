@@ -1,0 +1,250 @@
+(* Tests for the simulated RDMA fabric: verb latencies, cost model
+   calibration, RPC handler semantics, and traffic counters. *)
+
+module Engine = Drust_sim.Engine
+module Model = Drust_net.Model
+module Fabric = Drust_net.Fabric
+module Rng = Drust_util.Rng
+
+(* A fabric with jitter disabled so latencies are exact. *)
+let quiet_fabric ?(nodes = 4) () =
+  let engine = Engine.create () in
+  let model = { Model.infiniband_40g with Model.jitter = 0.0 } in
+  let fabric =
+    Fabric.create ~engine ~rng:(Rng.create ~seed:1) ~model ~nodes
+  in
+  (engine, fabric)
+
+let run_in engine body =
+  let out = ref None in
+  ignore (Engine.spawn engine (fun () -> out := Some (body ())));
+  Engine.run engine;
+  match !out with Some v -> v | None -> Alcotest.fail "no result"
+
+let checkf epsilon = Alcotest.check (Alcotest.float epsilon)
+
+(* ------------------------------------------------------------------ *)
+(* Model calibration *)
+
+let test_oneside_512b_is_3_6us () =
+  (* The paper's S3 measurement: 512 B over the wire is 3.6 us. *)
+  checkf 1e-8 "3.6us" 3.6e-6 (Model.oneside_time Model.infiniband_40g ~bytes:512)
+
+let test_transfer_time_scales () =
+  let m = Model.infiniband_40g in
+  checkf 1e-9 "1MB at 5GB/s" 2.097152e-4
+    (Model.transfer_time m ~bytes:(Drust_util.Units.mib 1))
+
+let test_twoside_slower_than_oneside () =
+  let m = Model.infiniband_40g in
+  Alcotest.(check bool) "receiver CPU costs" true
+    (Model.twoside_time m ~bytes:64 > Model.oneside_time m ~bytes:64)
+
+(* ------------------------------------------------------------------ *)
+(* Fabric verbs *)
+
+let test_rdma_read_latency () =
+  let engine, fabric = quiet_fabric () in
+  let elapsed =
+    run_in engine (fun () ->
+        let t0 = Engine.now engine in
+        Fabric.rdma_read fabric ~from:0 ~target:1 ~bytes:512;
+        Engine.now engine -. t0)
+  in
+  checkf 1e-8 "read latency" 3.6e-6 elapsed
+
+let test_local_verb_cheap () =
+  let engine, fabric = quiet_fabric () in
+  let elapsed =
+    run_in engine (fun () ->
+        let t0 = Engine.now engine in
+        Fabric.rdma_read fabric ~from:2 ~target:2 ~bytes:512;
+        Engine.now engine -. t0)
+  in
+  Alcotest.(check bool) "loopback ~0.25us" true (elapsed < 0.5e-6)
+
+let test_rpc_runs_handler_and_returns () =
+  let engine, fabric = quiet_fabric () in
+  let v =
+    run_in engine (fun () ->
+        Fabric.rpc fabric ~from:0 ~target:3 ~req_bytes:64 ~resp_bytes:64
+          (fun () -> 41 + 1))
+  in
+  Alcotest.(check int) "handler result" 42 v
+
+let test_rpc_latency_includes_both_legs () =
+  let engine, fabric = quiet_fabric () in
+  let elapsed =
+    run_in engine (fun () ->
+        let t0 = Engine.now engine in
+        ignore
+          (Fabric.rpc fabric ~from:0 ~target:1 ~req_bytes:0 ~resp_bytes:0
+             (fun () -> ()));
+        Engine.now engine -. t0)
+  in
+  checkf 1e-8 "two one-way legs" 9.0e-6 elapsed
+
+let test_rdma_atomic_executes_at_target () =
+  let engine, fabric = quiet_fabric () in
+  let cell = ref 0 in
+  let old =
+    run_in engine (fun () ->
+        Fabric.rdma_atomic fabric ~from:0 ~target:1 (fun () ->
+            let v = !cell in
+            cell := v + 1;
+            v))
+  in
+  Alcotest.(check int) "faa old" 0 old;
+  Alcotest.(check int) "faa applied" 1 !cell
+
+let test_write_async_completion () =
+  let engine, fabric = quiet_fabric () in
+  let landed = ref (-1.0) in
+  ignore
+    (Engine.spawn engine (fun () ->
+         Fabric.rdma_write_async fabric ~from:0 ~target:1 ~bytes:64 (fun () ->
+             landed := Engine.now engine);
+         (* Caller was not blocked: *)
+         Alcotest.(check bool) "not blocked" true (Engine.now engine < 1e-9)));
+  Engine.run engine;
+  Alcotest.(check bool) "completion fired later" true (!landed > 3e-6)
+
+let test_send_async_handler_can_block () =
+  let engine, fabric = quiet_fabric () in
+  let done_ = ref false in
+  ignore
+    (Engine.spawn engine (fun () ->
+         Fabric.send_async fabric ~from:0 ~target:1 ~bytes:32 (fun () ->
+             (* Handlers run as processes: blocking is allowed. *)
+             Engine.delay engine 1e-6;
+             done_ := true)));
+  Engine.run engine;
+  Alcotest.(check bool) "handler completed" true !done_
+
+let test_counters () =
+  let engine, fabric = quiet_fabric () in
+  run_in engine (fun () ->
+      Fabric.rdma_read fabric ~from:0 ~target:1 ~bytes:100;
+      Fabric.rdma_write fabric ~from:0 ~target:2 ~bytes:50;
+      ignore
+        (Fabric.rpc fabric ~from:0 ~target:1 ~req_bytes:10 ~resp_bytes:20
+           (fun () -> ()));
+      Fabric.rdma_read fabric ~from:0 ~target:0 ~bytes:10);
+  let c = Fabric.counters_of fabric 0 in
+  Alcotest.(check int) "reads" 2 c.Fabric.reads;
+  Alcotest.(check int) "writes" 1 c.Fabric.writes;
+  Alcotest.(check int) "rpcs" 1 c.Fabric.rpcs;
+  Alcotest.(check int) "remote ops exclude loopback" 3 c.Fabric.remote_ops;
+  Alcotest.(check int) "bytes" 190 c.Fabric.bytes_out;
+  Fabric.reset_counters fabric;
+  Alcotest.(check int) "reset" 0 (Fabric.counters_of fabric 0).Fabric.reads
+
+let test_jitter_bounded () =
+  let engine = Engine.create () in
+  let fabric =
+    Fabric.create ~engine ~rng:(Rng.create ~seed:3)
+      ~model:Model.infiniband_40g ~nodes:2
+  in
+  let base = Model.oneside_time Model.infiniband_40g ~bytes:512 in
+  ignore
+    (Engine.spawn engine (fun () ->
+         for _ = 1 to 200 do
+           let t0 = Engine.now engine in
+           Fabric.rdma_read fabric ~from:0 ~target:1 ~bytes:512;
+           let dt = Engine.now engine -. t0 in
+           Alcotest.(check bool) "within clamp" true
+             (dt >= 0.5 *. base && dt <= 2.0 *. base)
+         done));
+  Engine.run engine
+
+let test_nic_egress_serializes_bulk () =
+  let engine, fabric = quiet_fabric () in
+  let finish = ref [] in
+  (* Two 1 MiB reads pulling from the same node must queue at its NIC
+     (~0.21 s of wire time each at 5 GB/s... scaled: 0.21 ms). *)
+  for _ = 1 to 2 do
+    ignore
+      (Engine.spawn engine (fun () ->
+           Fabric.rdma_read fabric ~from:0 ~target:1
+             ~bytes:(Drust_util.Units.mib 1);
+           finish := Engine.now engine :: !finish))
+  done;
+  Engine.run engine;
+  let times = List.sort compare !finish in
+  (match times with
+  | [ first; second ] ->
+      Alcotest.(check bool) "second waits for the wire" true
+        (second -. first > 1.5e-4)
+  | _ -> Alcotest.fail "expected two completions");
+  (* Different sources do not contend. *)
+  let engine2, fabric2 = quiet_fabric () in
+  let finish2 = ref [] in
+  List.iter
+    (fun target ->
+      ignore
+        (Engine.spawn engine2 (fun () ->
+             Fabric.rdma_read fabric2 ~from:0 ~target
+               ~bytes:(Drust_util.Units.mib 1);
+             finish2 := Engine.now engine2 :: !finish2)))
+    [ 1; 2 ];
+  Engine.run engine2;
+  match List.sort compare !finish2 with
+  | [ a; b ] ->
+      Alcotest.(check bool) "parallel from distinct NICs" true (b -. a < 1e-5)
+  | _ -> Alcotest.fail "expected two completions"
+
+let test_small_messages_skip_nic () =
+  let engine, fabric = quiet_fabric () in
+  let finish = ref [] in
+  for _ = 1 to 4 do
+    ignore
+      (Engine.spawn engine (fun () ->
+           Fabric.rdma_read fabric ~from:0 ~target:1 ~bytes:64;
+           finish := Engine.now engine :: !finish))
+  done;
+  Engine.run engine;
+  (* All four complete at (virtually) the same time: no queuing. *)
+  match (List.sort compare !finish : float list) with
+  | first :: rest ->
+      List.iter
+        (fun t ->
+          Alcotest.(check bool) "no serialization" true (t -. first < 1e-6))
+        rest
+  | [] -> Alcotest.fail "no completions"
+
+let test_bad_node_rejected () =
+  let engine, fabric = quiet_fabric () in
+  ignore engine;
+  Alcotest.(check bool) "out of range" true
+    (try
+       Fabric.rdma_read fabric ~from:0 ~target:9 ~bytes:1;
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "512B = 3.6us" `Quick test_oneside_512b_is_3_6us;
+          Alcotest.test_case "transfer scales" `Quick test_transfer_time_scales;
+          Alcotest.test_case "twoside > oneside" `Quick test_twoside_slower_than_oneside;
+        ] );
+      ( "fabric",
+        [
+          Alcotest.test_case "read latency" `Quick test_rdma_read_latency;
+          Alcotest.test_case "local verb" `Quick test_local_verb_cheap;
+          Alcotest.test_case "rpc result" `Quick test_rpc_runs_handler_and_returns;
+          Alcotest.test_case "rpc latency" `Quick test_rpc_latency_includes_both_legs;
+          Alcotest.test_case "atomic" `Quick test_rdma_atomic_executes_at_target;
+          Alcotest.test_case "write async" `Quick test_write_async_completion;
+          Alcotest.test_case "send async blocks ok" `Quick test_send_async_handler_can_block;
+          Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "jitter bounded" `Quick test_jitter_bounded;
+          Alcotest.test_case "nic egress serializes" `Quick
+            test_nic_egress_serializes_bulk;
+          Alcotest.test_case "small msgs skip nic" `Quick
+            test_small_messages_skip_nic;
+          Alcotest.test_case "bad node" `Quick test_bad_node_rejected;
+        ] );
+    ]

@@ -1,0 +1,460 @@
+(* Tests for the discrete-event engine: virtual time, process scheduling,
+   blocking primitives, mailboxes and resources. *)
+
+module Engine = Drust_sim.Engine
+module Mailbox = Drust_sim.Mailbox
+module Resource = Drust_sim.Resource
+
+let checkf = Alcotest.check (Alcotest.float 1e-12)
+
+let test_clock_starts_at_zero () =
+  let e = Engine.create () in
+  checkf "t=0" 0.0 (Engine.now e)
+
+let test_schedule_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~at:2.0 (fun () -> log := "b" :: !log);
+  Engine.schedule e ~at:1.0 (fun () -> log := "a" :: !log);
+  Engine.schedule e ~at:3.0 (fun () -> log := "c" :: !log);
+  Engine.run e;
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev !log);
+  checkf "final time" 3.0 (Engine.now e)
+
+let test_same_time_fifo () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    Engine.schedule e ~at:1.0 (fun () -> log := i :: !log)
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] (List.rev !log)
+
+let test_schedule_past_rejected () =
+  let e = Engine.create () in
+  Engine.schedule e ~at:5.0 (fun () ->
+      Alcotest.(check bool) "raises" true
+        (try
+           Engine.schedule e ~at:1.0 (fun () -> ());
+           false
+         with Invalid_argument _ -> true));
+  Engine.run e
+
+let test_delay () =
+  let e = Engine.create () in
+  let finished = ref (-1.0) in
+  ignore
+    (Engine.spawn e (fun () ->
+         Engine.delay e 1.5;
+         Engine.delay e 0.5;
+         finished := Engine.now e));
+  Engine.run e;
+  checkf "delays add" 2.0 !finished
+
+let test_spawn_at () =
+  let e = Engine.create () in
+  let started = ref (-1.0) in
+  ignore (Engine.spawn ~at:4.0 e (fun () -> started := Engine.now e));
+  Engine.run e;
+  checkf "starts at 4" 4.0 !started
+
+let test_join () =
+  let e = Engine.create () in
+  let order = ref [] in
+  let child =
+    Engine.spawn e (fun () ->
+        Engine.delay e 1.0;
+        order := "child" :: !order)
+  in
+  ignore
+    (Engine.spawn e (fun () ->
+         Engine.join e child;
+         order := "parent" :: !order));
+  Engine.run e;
+  Alcotest.(check (list string)) "join order" [ "child"; "parent" ] (List.rev !order)
+
+let test_join_already_done () =
+  let e = Engine.create () in
+  let child = Engine.spawn e (fun () -> ()) in
+  let joined = ref false in
+  ignore
+    (Engine.spawn ~at:1.0 e (fun () ->
+         Engine.join e child;
+         joined := true));
+  Engine.run e;
+  Alcotest.(check bool) "joined" true !joined
+
+let test_process_failure_propagates () =
+  let e = Engine.create () in
+  ignore (Engine.spawn e (fun () -> failwith "boom"));
+  Alcotest.(check bool) "run raises Process_failure" true
+    (try
+       Engine.run e;
+       false
+     with Engine.Process_failure (Failure msg) -> String.equal msg "boom")
+
+let test_join_reraises () =
+  let e = Engine.create () in
+  let child = Engine.spawn e (fun () -> failwith "child-died") in
+  let saw = ref false in
+  ignore
+    (Engine.spawn ~at:1.0 e (fun () ->
+         try Engine.join e child
+         with Engine.Process_failure (Failure msg) when String.equal msg "child-died" ->
+           saw := true));
+  (try Engine.run e with Engine.Process_failure _ -> ());
+  Alcotest.(check bool) "join re-raised" true !saw
+
+let test_yield_interleaves () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let worker name =
+    Engine.spawn e (fun () ->
+        for i = 1 to 3 do
+          log := Printf.sprintf "%s%d" name i :: !log;
+          Engine.yield e
+        done)
+  in
+  ignore (worker "a");
+  ignore (worker "b");
+  Engine.run e;
+  Alcotest.(check (list string)) "interleaved"
+    [ "a1"; "b1"; "a2"; "b2"; "a3"; "b3" ]
+    (List.rev !log)
+
+let test_run_until () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  Engine.schedule e ~at:1.0 (fun () -> incr fired);
+  Engine.schedule e ~at:10.0 (fun () -> incr fired);
+  Engine.run ~until:5.0 e;
+  Alcotest.(check int) "only first fired" 1 !fired;
+  Alcotest.(check int) "one pending" 1 (Engine.pending_events e)
+
+(* ------------------------------------------------------------------ *)
+(* Mailbox *)
+
+let test_mailbox_send_then_recv () =
+  let e = Engine.create () in
+  let mb = Mailbox.create e in
+  let got = ref 0 in
+  Mailbox.send mb 42;
+  ignore (Engine.spawn e (fun () -> got := Mailbox.recv mb));
+  Engine.run e;
+  Alcotest.(check int) "received" 42 !got
+
+let test_mailbox_recv_blocks () =
+  let e = Engine.create () in
+  let mb = Mailbox.create e in
+  let got_at = ref (-1.0) in
+  ignore
+    (Engine.spawn e (fun () ->
+         ignore (Mailbox.recv mb);
+         got_at := Engine.now e));
+  ignore
+    (Engine.spawn e (fun () ->
+         Engine.delay e 2.0;
+         Mailbox.send mb "late"));
+  Engine.run e;
+  checkf "woke at send time" 2.0 !got_at
+
+let test_mailbox_fifo () =
+  let e = Engine.create () in
+  let mb = Mailbox.create e in
+  let got = ref [] in
+  List.iter (Mailbox.send mb) [ 1; 2; 3 ];
+  ignore
+    (Engine.spawn e (fun () ->
+         for _ = 1 to 3 do
+           got := Mailbox.recv mb :: !got
+         done));
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3 ] (List.rev !got)
+
+let test_mailbox_multiple_receivers () =
+  let e = Engine.create () in
+  let mb = Mailbox.create e in
+  let got = ref [] in
+  for _ = 1 to 2 do
+    ignore
+      (Engine.spawn e (fun () ->
+           (* Bind before consing: the recv suspends, and [!got] must be
+              read after resumption. *)
+           let v = Mailbox.recv mb in
+           got := v :: !got))
+  done;
+  ignore
+    (Engine.spawn ~at:1.0 e (fun () ->
+         Mailbox.send mb "x";
+         Mailbox.send mb "y"));
+  Engine.run e;
+  Alcotest.(check int) "both served" 2 (List.length !got)
+
+let test_mailbox_try_recv () =
+  let e = Engine.create () in
+  let mb = Mailbox.create e in
+  Alcotest.(check (option int)) "empty" None (Mailbox.try_recv mb);
+  Mailbox.send mb 5;
+  Alcotest.(check (option int)) "nonempty" (Some 5) (Mailbox.try_recv mb)
+
+(* ------------------------------------------------------------------ *)
+(* Resource *)
+
+let test_resource_serializes () =
+  let e = Engine.create () in
+  let r = Resource.create e ~capacity:1 in
+  let finish = ref [] in
+  let worker name =
+    Engine.spawn e (fun () ->
+        Resource.use r (fun () -> Engine.delay e 1.0);
+        finish := (name, Engine.now e) :: !finish)
+  in
+  ignore (worker "a");
+  ignore (worker "b");
+  Engine.run e;
+  (* Capacity 1: the second worker finishes one second after the first. *)
+  let times = List.sort compare (List.map snd !finish) in
+  Alcotest.(check (list (float 1e-9))) "staggered" [ 1.0; 2.0 ] times
+
+let test_resource_parallel_within_capacity () =
+  let e = Engine.create () in
+  let r = Resource.create e ~capacity:2 in
+  let finish = ref [] in
+  for _ = 1 to 2 do
+    ignore
+      (Engine.spawn e (fun () ->
+           Resource.use r (fun () -> Engine.delay e 1.0);
+           finish := Engine.now e :: !finish))
+  done;
+  Engine.run e;
+  Alcotest.(check (list (float 1e-9))) "both at t=1" [ 1.0; 1.0 ] !finish
+
+let test_resource_fifo_fairness () =
+  let e = Engine.create () in
+  let r = Resource.create e ~capacity:1 in
+  let order = ref [] in
+  for i = 0 to 4 do
+    ignore
+      (Engine.spawn e (fun () ->
+           Resource.use r (fun () -> Engine.delay e 0.1);
+           order := i :: !order))
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo" [ 0; 1; 2; 3; 4 ] (List.rev !order)
+
+let test_resource_release_unheld () =
+  let e = Engine.create () in
+  let r = Resource.create e ~capacity:1 in
+  Alcotest.(check bool) "raises" true
+    (try
+       Resource.release r;
+       false
+     with Invalid_argument _ -> true)
+
+let test_resource_utilization () =
+  let e = Engine.create () in
+  let r = Resource.create e ~capacity:2 in
+  ignore
+    (Engine.spawn e (fun () ->
+         Resource.use r (fun () -> Engine.delay e 1.0);
+         Engine.delay e 1.0));
+  Engine.run e;
+  (* One of two cores busy for 1s out of a 2s window = 0.25. *)
+  let u = Resource.utilization r ~now:(Engine.now e) in
+  Alcotest.(check (float 1e-9)) "utilization" 0.25 u
+
+let test_resource_exception_releases () =
+  let e = Engine.create () in
+  let r = Resource.create e ~capacity:1 in
+  ignore
+    (Engine.spawn e (fun () ->
+         (try Resource.use r (fun () -> failwith "inner") with Failure _ -> ());
+         Alcotest.(check int) "released" 0 (Resource.in_use r)));
+  Engine.run e
+
+(* Property: however many processes contend, a resource never exceeds its
+   capacity and always drains back to zero. *)
+let prop_resource_capacity =
+  QCheck.Test.make ~name:"resource never exceeds capacity" ~count:100
+    QCheck.(pair (int_range 1 4) (list_of_size Gen.(1 -- 20) (int_range 1 5)))
+    (fun (capacity, jobs) ->
+      let e = Engine.create () in
+      let r = Resource.create e ~capacity in
+      let max_seen = ref 0 in
+      List.iter
+        (fun dur ->
+          ignore
+            (Engine.spawn e (fun () ->
+                 Resource.use r (fun () ->
+                     max_seen := max !max_seen (Resource.in_use r);
+                     Engine.delay e (Float.of_int dur *. 0.01)))))
+        jobs;
+      Engine.run e;
+      !max_seen <= capacity && Resource.in_use r = 0 && Resource.queued r = 0)
+
+(* ------------------------------------------------------------------ *)
+(* Sync primitives *)
+
+module Sync = Drust_sim.Sync
+
+let test_condvar_signal_fifo () =
+  let e = Engine.create () in
+  let cv = Sync.Condvar.create e in
+  let woke = ref [] in
+  for i = 1 to 3 do
+    ignore
+      (Engine.spawn e (fun () ->
+           Sync.Condvar.wait cv;
+           woke := i :: !woke))
+  done;
+  ignore
+    (Engine.spawn ~at:1.0 e (fun () ->
+         Sync.Condvar.signal cv;
+         Engine.delay e 1.0;
+         Sync.Condvar.broadcast cv));
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo then broadcast" [ 1; 2; 3 ] (List.rev !woke)
+
+let test_condvar_signal_empty_ok () =
+  let e = Engine.create () in
+  let cv = Sync.Condvar.create e in
+  Sync.Condvar.signal cv;
+  Sync.Condvar.broadcast cv;
+  Alcotest.(check int) "no waiters" 0 (Sync.Condvar.waiters cv)
+
+let test_barrier_trips_and_reuses () =
+  let e = Engine.create () in
+  let b = Sync.Barrier.create e ~parties:3 in
+  let rounds = ref [] in
+  for i = 0 to 2 do
+    ignore
+      (Engine.spawn e (fun () ->
+           Engine.delay e (Float.of_int i);
+           ignore (Sync.Barrier.await b);
+           rounds := (1, Engine.now e) :: !rounds;
+           ignore (Sync.Barrier.await b);
+           rounds := (2, Engine.now e) :: !rounds))
+  done;
+  Engine.run e;
+  (* Everyone leaves round 1 at t=2 (the last arrival), then round 2
+     immediately after. *)
+  List.iter
+    (fun (_round, t) -> Alcotest.(check (float 1e-9)) "released together" 2.0 t)
+    !rounds;
+  Alcotest.(check int) "all passed twice" 6 (List.length !rounds)
+
+let test_waitgroup () =
+  let e = Engine.create () in
+  let wg = Sync.Waitgroup.create e in
+  Sync.Waitgroup.add wg 3;
+  let finished_at = ref (-1.0) in
+  ignore
+    (Engine.spawn e (fun () ->
+         Sync.Waitgroup.wait wg;
+         finished_at := Engine.now e));
+  for i = 1 to 3 do
+    ignore
+      (Engine.spawn e (fun () ->
+           Engine.delay e (Float.of_int i);
+           Sync.Waitgroup.done_ wg))
+  done;
+  Engine.run e;
+  Alcotest.(check (float 1e-9)) "released by last done" 3.0 !finished_at;
+  Alcotest.(check bool) "underflow raises" true
+    (try
+       Sync.Waitgroup.done_ wg;
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Trace *)
+
+module Trace = Drust_sim.Trace
+
+let test_trace_disabled_by_default () =
+  let e = Engine.create () in
+  let t = Trace.create e in
+  Trace.record t ~category:"x" "ignored";
+  Alcotest.(check int) "nothing recorded" 0 (Trace.count t)
+
+let test_trace_records_with_time () =
+  let e = Engine.create () in
+  let t = Trace.create e in
+  Trace.enable t;
+  ignore
+    (Engine.spawn e (fun () ->
+         Trace.record t ~category:"a" "first";
+         Engine.delay e 1.5;
+         Trace.recordf t ~category:"b" "second %d" 42));
+  Engine.run e;
+  match Trace.events t with
+  | [ e1; e2 ] ->
+      Alcotest.(check string) "cat" "a" e1.Trace.category;
+      Alcotest.(check (float 1e-9)) "t1" 0.0 e1.Trace.time;
+      Alcotest.(check (float 1e-9)) "t2" 1.5 e2.Trace.time;
+      Alcotest.(check string) "formatted" "second 42" e2.Trace.detail
+  | l -> Alcotest.failf "expected 2 events, got %d" (List.length l)
+
+let test_trace_ring_overwrites () =
+  let e = Engine.create () in
+  let t = Trace.create ~capacity:4 e in
+  Trace.enable t;
+  for i = 1 to 10 do
+    Trace.record t ~category:"n" (string_of_int i)
+  done;
+  Alcotest.(check int) "total counts all" 10 (Trace.count t);
+  let kept = List.map (fun ev -> ev.Trace.detail) (Trace.events t) in
+  Alcotest.(check (list string)) "last four, oldest first"
+    [ "7"; "8"; "9"; "10" ] kept
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "clock zero" `Quick test_clock_starts_at_zero;
+          Alcotest.test_case "schedule order" `Quick test_schedule_order;
+          Alcotest.test_case "same-time fifo" `Quick test_same_time_fifo;
+          Alcotest.test_case "past rejected" `Quick test_schedule_past_rejected;
+          Alcotest.test_case "delay" `Quick test_delay;
+          Alcotest.test_case "spawn at" `Quick test_spawn_at;
+          Alcotest.test_case "join" `Quick test_join;
+          Alcotest.test_case "join done" `Quick test_join_already_done;
+          Alcotest.test_case "failure propagates" `Quick test_process_failure_propagates;
+          Alcotest.test_case "join re-raises" `Quick test_join_reraises;
+          Alcotest.test_case "yield interleaves" `Quick test_yield_interleaves;
+          Alcotest.test_case "run until" `Quick test_run_until;
+        ] );
+      ( "mailbox",
+        [
+          Alcotest.test_case "send then recv" `Quick test_mailbox_send_then_recv;
+          Alcotest.test_case "recv blocks" `Quick test_mailbox_recv_blocks;
+          Alcotest.test_case "fifo" `Quick test_mailbox_fifo;
+          Alcotest.test_case "multi receivers" `Quick test_mailbox_multiple_receivers;
+          Alcotest.test_case "try_recv" `Quick test_mailbox_try_recv;
+        ] );
+      ( "sync",
+        [
+          Alcotest.test_case "condvar fifo+broadcast" `Quick test_condvar_signal_fifo;
+          Alcotest.test_case "condvar empty ok" `Quick test_condvar_signal_empty_ok;
+          Alcotest.test_case "barrier reuses" `Quick test_barrier_trips_and_reuses;
+          Alcotest.test_case "waitgroup" `Quick test_waitgroup;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "disabled by default" `Quick test_trace_disabled_by_default;
+          Alcotest.test_case "records with time" `Quick test_trace_records_with_time;
+          Alcotest.test_case "ring overwrites" `Quick test_trace_ring_overwrites;
+        ] );
+      ( "resource",
+        [
+          Alcotest.test_case "serializes" `Quick test_resource_serializes;
+          Alcotest.test_case "parallel within capacity" `Quick
+            test_resource_parallel_within_capacity;
+          Alcotest.test_case "fifo fairness" `Quick test_resource_fifo_fairness;
+          Alcotest.test_case "release unheld" `Quick test_resource_release_unheld;
+          Alcotest.test_case "utilization" `Quick test_resource_utilization;
+          Alcotest.test_case "exception releases" `Quick test_resource_exception_releases;
+          QCheck_alcotest.to_alcotest prop_resource_capacity;
+        ] );
+    ]

@@ -1,0 +1,382 @@
+(* Unit and property tests for the utility substrate: RNG determinism,
+   zipf distribution shape, statistics, the priority queue, and universal
+   values. *)
+
+module Rng = Drust_util.Rng
+module Zipf = Drust_util.Zipf
+module Stats = Drust_util.Stats
+module Pqueue = Drust_util.Pqueue
+module Univ = Drust_util.Univ
+
+let check = Alcotest.check
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  Alcotest.(check bool)
+    "different seeds differ" false
+    (Rng.bits64 a = Rng.bits64 b)
+
+let test_rng_int_bounds () =
+  let r = Rng.create ~seed:3 in
+  for _ = 1 to 10_000 do
+    let x = Rng.int r 17 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 17)
+  done
+
+let test_rng_int_in_bounds () =
+  let r = Rng.create ~seed:4 in
+  for _ = 1 to 10_000 do
+    let x = Rng.int_in r (-5) 5 in
+    Alcotest.(check bool) "in range" true (x >= -5 && x <= 5)
+  done
+
+let test_rng_float_mean () =
+  let r = Rng.create ~seed:5 in
+  let n = 100_000 in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. Rng.float r 1.0
+  done;
+  let mean = !acc /. Float.of_int n in
+  Alcotest.(check bool) "mean near 0.5" true (Float.abs (mean -. 0.5) < 0.01)
+
+let test_rng_split_independent () =
+  let r = Rng.create ~seed:6 in
+  let a = Rng.split r and b = Rng.split r in
+  Alcotest.(check bool) "split streams differ" false (Rng.bits64 a = Rng.bits64 b)
+
+let test_rng_copy () =
+  let r = Rng.create ~seed:8 in
+  ignore (Rng.bits64 r);
+  let c = Rng.copy r in
+  check Alcotest.int64 "copy replays" (Rng.bits64 r) (Rng.bits64 c)
+
+let test_rng_bernoulli () =
+  let r = Rng.create ~seed:9 in
+  let n = 50_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Rng.bernoulli r ~p:0.3 then incr hits
+  done;
+  let freq = Float.of_int !hits /. Float.of_int n in
+  Alcotest.(check bool) "p=0.3" true (Float.abs (freq -. 0.3) < 0.02)
+
+let test_rng_exponential_mean () =
+  let r = Rng.create ~seed:10 in
+  let n = 100_000 in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. Rng.exponential r ~mean:2.0
+  done;
+  let mean = !acc /. Float.of_int n in
+  Alcotest.(check bool) "mean near 2" true (Float.abs (mean -. 2.0) < 0.05)
+
+let test_rng_gaussian_moments () =
+  let r = Rng.create ~seed:11 in
+  let n = 100_000 in
+  let acc = ref 0.0 and acc2 = ref 0.0 in
+  for _ = 1 to n do
+    let x = Rng.gaussian r ~mu:1.0 ~sigma:2.0 in
+    acc := !acc +. x;
+    acc2 := !acc2 +. (x *. x)
+  done;
+  let mean = !acc /. Float.of_int n in
+  let var = (!acc2 /. Float.of_int n) -. (mean *. mean) in
+  Alcotest.(check bool) "mu" true (Float.abs (mean -. 1.0) < 0.05);
+  Alcotest.(check bool) "sigma^2" true (Float.abs (var -. 4.0) < 0.2)
+
+let test_rng_shuffle_permutes () =
+  let r = Rng.create ~seed:12 in
+  let a = Array.init 100 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "permutation" (Array.init 100 Fun.id) sorted
+
+(* ------------------------------------------------------------------ *)
+(* Zipf *)
+
+let test_zipf_range () =
+  let z = Zipf.create ~n:1000 ~theta:0.99 in
+  let r = Rng.create ~seed:13 in
+  for _ = 1 to 10_000 do
+    let k = Zipf.sample z r in
+    Alcotest.(check bool) "in range" true (k >= 0 && k < 1000)
+  done
+
+let test_zipf_skew () =
+  (* With theta=0.99 over 10k keys, the top 10 keys should carry far more
+     mass than a uniform draw would (10/10000 = 0.1%). *)
+  let z = Zipf.create ~n:10_000 ~theta:0.99 in
+  let r = Rng.create ~seed:14 in
+  let n = 100_000 in
+  let top = ref 0 in
+  for _ = 1 to n do
+    if Zipf.sample z r < 10 then incr top
+  done;
+  let share = Float.of_int !top /. Float.of_int n in
+  Alcotest.(check bool) "skewed head" true (share > 0.2)
+
+let test_zipf_expected_share_monotone () =
+  let z = Zipf.create ~n:1000 ~theta:0.9 in
+  let s10 = Zipf.expected_top_share z ~k:10 in
+  let s100 = Zipf.expected_top_share z ~k:100 in
+  let s1000 = Zipf.expected_top_share z ~k:1000 in
+  Alcotest.(check bool) "monotone" true (s10 < s100 && s100 < s1000);
+  checkf "full mass" 1.0 s1000
+
+let test_zipf_matches_expectation () =
+  let z = Zipf.create ~n:1000 ~theta:0.99 in
+  let r = Rng.create ~seed:15 in
+  let n = 200_000 in
+  let top100 = ref 0 in
+  for _ = 1 to n do
+    if Zipf.sample z r < 100 then incr top100
+  done;
+  let observed = Float.of_int !top100 /. Float.of_int n in
+  let expected = Zipf.expected_top_share z ~k:100 in
+  Alcotest.(check bool)
+    (Printf.sprintf "observed %.3f vs expected %.3f" observed expected)
+    true
+    (Float.abs (observed -. expected) < 0.03)
+
+let test_zipf_invalid_args () =
+  Alcotest.check_raises "n=0" (Invalid_argument "Zipf.create: n must be positive")
+    (fun () -> ignore (Zipf.create ~n:0 ~theta:0.5));
+  Alcotest.check_raises "theta=1"
+    (Invalid_argument "Zipf.create: theta must be in (0, 1)") (fun () ->
+      ignore (Zipf.create ~n:10 ~theta:1.0))
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_stats_mean_median () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.0; 2.0; 3.0; 4.0; 5.0 ];
+  checkf "mean" 3.0 (Stats.mean s);
+  checkf "median" 3.0 (Stats.median s);
+  checkf "min" 1.0 (Stats.min_value s);
+  checkf "max" 5.0 (Stats.max_value s)
+
+let test_stats_percentile () =
+  let s = Stats.create () in
+  for i = 1 to 100 do
+    Stats.add s (Float.of_int i)
+  done;
+  checkf "p90" 90.0 (Stats.percentile s 90.0);
+  checkf "p100" 100.0 (Stats.percentile s 100.0);
+  checkf "p1" 1.0 (Stats.percentile s 1.0)
+
+let test_stats_add_after_percentile () =
+  (* Percentile sorts lazily; adding afterwards must still work. *)
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 3.0; 1.0; 2.0 ];
+  checkf "median" 2.0 (Stats.median s);
+  Stats.add s 10.0;
+  checkf "max" 10.0 (Stats.max_value s);
+  checkf "p100" 10.0 (Stats.percentile s 100.0)
+
+let test_stats_stddev () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  Alcotest.(check bool) "stddev ~2.14" true
+    (Float.abs (Stats.stddev s -. 2.138) < 0.01)
+
+let test_stats_merge () =
+  let a = Stats.create () and b = Stats.create () in
+  Stats.add a 1.0;
+  Stats.add b 3.0;
+  let m = Stats.merge a b in
+  check Alcotest.int "count" 2 (Stats.count m);
+  checkf "mean" 2.0 (Stats.mean m)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  checkf "empty mean" 0.0 (Stats.mean s);
+  check Alcotest.int "empty count" 0 (Stats.count s);
+  Alcotest.check_raises "empty percentile"
+    (Invalid_argument "Stats.percentile: empty") (fun () ->
+      ignore (Stats.percentile s 50.0))
+
+let test_histogram () =
+  let h = Stats.Histogram.create ~buckets:[| 1.0; 10.0; 100.0 |] in
+  List.iter (Stats.Histogram.add h) [ 0.5; 5.0; 50.0; 500.0; 7.0 ];
+  check Alcotest.(array int) "counts" [| 1; 2; 1; 1 |] (Stats.Histogram.counts h);
+  check Alcotest.int "total" 5 (Stats.Histogram.total h)
+
+(* ------------------------------------------------------------------ *)
+(* Pqueue *)
+
+let test_pqueue_order () =
+  let q = Pqueue.create () in
+  Pqueue.push q ~time:3.0 "c";
+  Pqueue.push q ~time:1.0 "a";
+  Pqueue.push q ~time:2.0 "b";
+  let pop () = match Pqueue.pop q with Some (_, v) -> v | None -> "?" in
+  check Alcotest.string "a first" "a" (pop ());
+  check Alcotest.string "b second" "b" (pop ());
+  check Alcotest.string "c third" "c" (pop ());
+  Alcotest.(check bool) "empty" true (Pqueue.is_empty q)
+
+let test_pqueue_fifo_ties () =
+  let q = Pqueue.create () in
+  for i = 0 to 9 do
+    Pqueue.push q ~time:1.0 i
+  done;
+  for i = 0 to 9 do
+    match Pqueue.pop q with
+    | Some (_, v) -> check Alcotest.int "fifo among ties" i v
+    | None -> Alcotest.fail "queue exhausted early"
+  done
+
+let test_pqueue_peek () =
+  let q = Pqueue.create () in
+  check Alcotest.(option (float 0.0)) "empty peek" None (Pqueue.peek_time q);
+  Pqueue.push q ~time:5.0 ();
+  check Alcotest.(option (float 0.0)) "peek" (Some 5.0) (Pqueue.peek_time q);
+  check Alcotest.int "peek does not pop" 1 (Pqueue.length q)
+
+let prop_pqueue_sorted =
+  QCheck.Test.make ~name:"pqueue pops in nondecreasing time order" ~count:200
+    QCheck.(list (float_bound_inclusive 1000.0))
+    (fun times ->
+      let q = Pqueue.create () in
+      List.iter (fun t -> Pqueue.push q ~time:t ()) times;
+      let rec drain last =
+        match Pqueue.pop q with
+        | None -> true
+        | Some (t, ()) -> t >= last && drain t
+      in
+      drain neg_infinity)
+
+(* ------------------------------------------------------------------ *)
+(* Units *)
+
+module Units = Drust_util.Units
+
+let test_units_sizes () =
+  Alcotest.(check int) "kib" 2048 (Units.kib 2);
+  Alcotest.(check int) "mib" (1024 * 1024) (Units.mib 1);
+  Alcotest.(check int) "gib" (1024 * 1024 * 1024) (Units.gib 1)
+
+let test_units_times () =
+  checkf "usec" 3e-6 (Units.usec 3.0);
+  checkf "nsec" 5e-9 (Units.nsec 5.0);
+  checkf "msec" 2e-3 (Units.msec 2.0)
+
+let test_units_cycles () =
+  checkf "1 GHz" 1e-6 (Units.cycles_to_seconds ~cycles:1000.0 ~ghz:1.0);
+  checkf "roundtrip" 1000.0
+    (Units.seconds_to_cycles
+       ~seconds:(Units.cycles_to_seconds ~cycles:1000.0 ~ghz:2.6)
+       ~ghz:2.6)
+
+let test_units_pretty () =
+  let s pp v = Format.asprintf "%a" pp v in
+  Alcotest.(check string) "bytes" "512 B" (s Units.pp_bytes 512);
+  Alcotest.(check string) "kib" "1.5 KiB" (s Units.pp_bytes 1536);
+  Alcotest.(check string) "mib" "2.0 MiB" (s Units.pp_bytes (Units.mib 2));
+  Alcotest.(check string) "ns" "250 ns" (s Units.pp_seconds 250e-9);
+  Alcotest.(check string) "us" "3.60 us" (s Units.pp_seconds 3.6e-6);
+  Alcotest.(check string) "ms" "1.50 ms" (s Units.pp_seconds 1.5e-3);
+  Alcotest.(check string) "mops" "1.20 Mops/s" (s Units.pp_rate 1.2e6);
+  Alcotest.(check string) "kops" "3.00 Kops/s" (s Units.pp_rate 3e3)
+
+(* ------------------------------------------------------------------ *)
+(* Univ *)
+
+let test_univ_roundtrip () =
+  let tag = Univ.create_tag ~name:"int-list" in
+  let v = Univ.pack tag [ 1; 2; 3 ] in
+  check Alcotest.(option (list int)) "roundtrip" (Some [ 1; 2; 3 ]) (Univ.unpack tag v)
+
+let test_univ_mismatch () =
+  let ti : int Univ.tag = Univ.create_tag ~name:"int" in
+  let ts : string Univ.tag = Univ.create_tag ~name:"string" in
+  let v = Univ.pack ti 42 in
+  check Alcotest.(option string) "mismatch is None" None (Univ.unpack ts v);
+  Alcotest.(check bool) "unpack_exn raises" true
+    (try
+       ignore (Univ.unpack_exn ts v);
+       false
+     with Univ.Type_mismatch _ -> true)
+
+let test_univ_same_name_distinct () =
+  let a : int Univ.tag = Univ.create_tag ~name:"x" in
+  let b : int Univ.tag = Univ.create_tag ~name:"x" in
+  let v = Univ.pack a 1 in
+  check Alcotest.(option int) "same-name tags are distinct" None (Univ.unpack b v)
+
+let test_univ_packed_name () =
+  let tag : unit Univ.tag = Univ.create_tag ~name:"marker" in
+  check Alcotest.string "name" "marker" (Univ.packed_name (Univ.pack tag ()))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int_in bounds" `Quick test_rng_int_in_bounds;
+          Alcotest.test_case "float mean" `Quick test_rng_float_mean;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "copy replays" `Quick test_rng_copy;
+          Alcotest.test_case "bernoulli" `Quick test_rng_bernoulli;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+        ] );
+      ( "zipf",
+        [
+          Alcotest.test_case "range" `Quick test_zipf_range;
+          Alcotest.test_case "skew" `Quick test_zipf_skew;
+          Alcotest.test_case "share monotone" `Quick test_zipf_expected_share_monotone;
+          Alcotest.test_case "matches expectation" `Quick test_zipf_matches_expectation;
+          Alcotest.test_case "invalid args" `Quick test_zipf_invalid_args;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean/median" `Quick test_stats_mean_median;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "add after percentile" `Quick test_stats_add_after_percentile;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "merge" `Quick test_stats_merge;
+          Alcotest.test_case "empty" `Quick test_stats_empty;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+        ] );
+      ( "pqueue",
+        [
+          Alcotest.test_case "order" `Quick test_pqueue_order;
+          Alcotest.test_case "fifo ties" `Quick test_pqueue_fifo_ties;
+          Alcotest.test_case "peek" `Quick test_pqueue_peek;
+          QCheck_alcotest.to_alcotest prop_pqueue_sorted;
+        ] );
+      ( "units",
+        [
+          Alcotest.test_case "sizes" `Quick test_units_sizes;
+          Alcotest.test_case "times" `Quick test_units_times;
+          Alcotest.test_case "cycles" `Quick test_units_cycles;
+          Alcotest.test_case "pretty" `Quick test_units_pretty;
+        ] );
+      ( "univ",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_univ_roundtrip;
+          Alcotest.test_case "mismatch" `Quick test_univ_mismatch;
+          Alcotest.test_case "same-name distinct" `Quick test_univ_same_name_distinct;
+          Alcotest.test_case "packed name" `Quick test_univ_packed_name;
+        ] );
+    ]
