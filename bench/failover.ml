@@ -1,0 +1,7 @@
+(* Headless runner for the failover chaos experiment: crashes a primary
+   mid-workload and verifies detection, automatic promotion, recovery,
+   and seed-determinism.  Wired into the @smoke alias.
+
+   Run with:  dune exec bench/failover.exe *)
+
+let () = ignore (Drust_experiments.Failover.run ())

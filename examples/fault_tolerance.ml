@@ -1,16 +1,23 @@
-(* Fault tolerance (S4.2.3): replicate the global heap, batch write-backs
-   until ownership escapes, kill a primary, and read on through the
-   promoted backup.
+(* Fault tolerance (S4.2.3), end to end and fully automatic: replicate
+   the global heap, batch write-backs until ownership escapes, then crash
+   a primary through the fault plan — nobody calls [fail_and_promote].
+   The controller's heartbeat detector notices the missed probes,
+   promotes the backup, and a retried read comes back with the committed
+   value.
 
    Run with:  dune exec examples/fault_tolerance.exe *)
 
 module Engine = Drust_sim.Engine
+module Fault = Drust_sim.Fault
 module Cluster = Drust_machine.Cluster
 module Params = Drust_machine.Params
 module Ctx = Drust_machine.Ctx
+module Fabric = Drust_net.Fabric
 module P = Drust_core.Protocol
 module Replication = Drust_runtime.Replication
+module Controller = Drust_runtime.Controller
 module Dthread = Drust_runtime.Dthread
+module Rng = Drust_util.Rng
 module Univ = Drust_util.Univ
 module Gaddr = Drust_memory.Gaddr
 
@@ -18,8 +25,12 @@ let tag : string Univ.tag = Univ.create_tag ~name:"ft.doc"
 
 let () =
   let cluster = Cluster.create { Params.default with Params.nodes = 4 } in
+  let engine = Cluster.engine cluster in
+  let fabric = Cluster.fabric cluster in
+  let plan = Fault.create ~engine ~rng:(Rng.create ~seed:7) ~nodes:4 () in
+  Fabric.set_fault_plan fabric plan;
   ignore
-    (Engine.spawn (Cluster.engine cluster) (fun () ->
+    (Engine.spawn engine (fun () ->
          let ctx = Ctx.make cluster ~node:0 in
          let doc = P.create_on ctx ~node:1 ~size:256 (Univ.pack tag "v1") in
          Printf.printf "doc lives on node %d\n" (Gaddr.node_of (P.gaddr doc));
@@ -27,6 +38,18 @@ let () =
          let repl = Replication.enable cluster in
          Printf.printf "replication on: node 1's backup is node %d\n"
            (Replication.backup_node repl 1);
+
+         (* The heartbeat failure detector rides on the controller's
+            probe loop; handing it the replication manager is all it
+            takes to make promotion automatic. *)
+         let ctrl =
+           Controller.start ~probe_interval:0.5e-3 ~probe_timeout:2e-4
+             ~miss_threshold:3 ~replication:repl cluster
+         in
+         let detected = ref false in
+         Controller.set_on_death ctrl (fun n ->
+             Printf.printf "detector: node %d declared dead, promoting\n" n;
+             detected := true);
 
          (* A writer thread on node 1 commits v2 and hands the document
             away — the transfer flushes the batched backup write-back. *)
@@ -43,14 +66,28 @@ let () =
          in
          Dthread.join ctx writer;
 
-         (* Kill whichever node now hosts the object. *)
+         (* Crash whichever node now hosts the object.  This only injects
+            the fault: from here on, detection and promotion happen with
+            zero application involvement. *)
          let victim = Cluster.serving_node cluster (Gaddr.node_of (P.gaddr doc)) in
-         Printf.printf "killing node %d...\n" victim;
-         Replication.fail_and_promote ctx repl ~node:victim;
-         Printf.printf "promoted: node %d's range now served by node %d\n" victim
+         Printf.printf "crashing node %d...\n" victim;
+         Fault.crash_at plan ~node:victim ~at:(Engine.now engine);
+
+         while not !detected do
+           Engine.delay engine 0.5e-3
+         done;
+         Printf.printf "promoted: node %d's range now served by node %d\n"
+           victim
            (Cluster.serving_node cluster victim);
 
-         let v = Univ.unpack_exn tag (P.owner_read ctx doc) in
+         (* Reads during the detection window would raise [Node_down];
+            bounded retries carry the client across the failover. *)
+         let v =
+           Fabric.retry_with_backoff fabric ~from:ctx.Ctx.node (fun () ->
+               Univ.unpack_exn tag (P.owner_read ctx doc))
+         in
          Printf.printf "read after failover: %S (expected \"v2\")\n" v;
+         assert (v = "v2");
+         Controller.stop ctrl;
          Replication.disable repl));
   Cluster.run cluster

@@ -1,0 +1,32 @@
+(** Availability-under-crash experiment.
+
+    Runs a pinned-key KV workload on 4 nodes while the fault plan crashes
+    a primary mid-flight; the controller's heartbeat detector declares it
+    dead and promotes the backups with {e zero} application involvement.
+    Reports detection latency, recovery time, and a throughput
+    dip-and-recover curve. *)
+
+type result = {
+  seed : int;
+  victim : int;
+  crash_time : float;
+  detection_time : float option;
+      (** absolute virtual time of the detector's verdict *)
+  recovery_time : float option;
+      (** first successful write to the victim's range after the crash *)
+  curve : int array;  (** completed ops per [bucket]-second window *)
+  bucket : float;
+  total_ops : int;
+  failed_ops : int;
+  retries : int;
+  timeouts : int;
+  drops : int;
+}
+
+val run_once : seed:int -> unit -> result
+(** One seeded chaos run (pure function of [seed]). *)
+
+val run : ?seed:int -> unit -> result
+(** Run twice with the same seed, print the curve and latencies, and fail
+    if the detector never fired, recovery never happened, or the two runs
+    were not bit-identical. *)

@@ -1,6 +1,24 @@
 module Engine = Drust_sim.Engine
+module Fault = Drust_sim.Fault
 
 type node_id = int
+
+(* A verb targeting (or issued from) a crashed node: the transport's
+   retry period expires and the work request completes in error. *)
+exception Node_down of int
+
+(* A wrapped operation that did not complete within its simulated-time
+   budget (e.g. the message or its reply was dropped or blackholed). *)
+exception Rpc_timeout of { from : int; target : int; timeout : float }
+
+let () =
+  Printexc.register_printer (function
+    | Node_down n -> Some (Printf.sprintf "Fabric.Node_down(node %d)" n)
+    | Rpc_timeout { from; target; timeout } ->
+        Some
+          (Printf.sprintf "Fabric.Rpc_timeout(%d->%d after %gus)" from target
+             (timeout *. 1e6))
+    | _ -> None)
 
 type counters = {
   mutable reads : int;
@@ -9,6 +27,9 @@ type counters = {
   mutable rpcs : int;
   mutable bytes_out : int;
   mutable remote_ops : int;
+  mutable timeouts : int; (* wrapped ops that expired their budget *)
+  mutable retries : int; (* backoff re-attempts issued from this node *)
+  mutable drops : int; (* messages lost to partitions or lossy links *)
 }
 
 type t = {
@@ -23,13 +44,24 @@ type t = {
      exempt (they ride the latency, not the bandwidth). *)
   nics : Drust_sim.Resource.t array;
   mutable trace : Drust_sim.Trace.t option;
+  mutable fault : Fault.t option;
 }
 
 (* Transfers below this size do not contend for the DMA engine. *)
 let bulk_threshold = 4096
 
 let fresh_counters () =
-  { reads = 0; writes = 0; atomics = 0; rpcs = 0; bytes_out = 0; remote_ops = 0 }
+  {
+    reads = 0;
+    writes = 0;
+    atomics = 0;
+    rpcs = 0;
+    bytes_out = 0;
+    remote_ops = 0;
+    timeouts = 0;
+    retries = 0;
+    drops = 0;
+  }
 
 let create ~engine ~rng ~model ~nodes =
   if nodes <= 0 then invalid_arg "Fabric.create: need at least one node";
@@ -42,9 +74,12 @@ let create ~engine ~rng ~model ~nodes =
     nics =
       Array.init nodes (fun _ -> Drust_sim.Resource.create engine ~capacity:1);
     trace = None;
+    fault = None;
   }
 
 let set_trace t trace = t.trace <- trace
+let set_fault_plan t plan = t.fault <- Some plan
+let fault_plan t = t.fault
 
 let traced t verb ~from ~target ~bytes =
   match t.trace with
@@ -61,6 +96,58 @@ let check_node t n label =
   if n < 0 || n >= t.nodes then
     invalid_arg (Printf.sprintf "Fabric.%s: node %d out of range" label n)
 
+(* ------------------------------------------------------------------ *)
+(* Fault-plan consultation.  With no plan installed every check is a
+   no-op, so fault-free runs keep their exact event and RNG sequences. *)
+
+(* Park the calling process forever: the registration function discards
+   the resumer, so the continuation is never scheduled. *)
+let blackhole () : unit = Engine.suspend (fun _resume -> ())
+
+(* Synchronous verbs: a dead source kills the issuing thread's op
+   outright; a dead target costs the transport's retry period and then
+   completes in error; a severed or lossy link swallows the message, so
+   the op never completes (callers bound this with [rpc_with_timeout]). *)
+let sync_guard t ~from ~target =
+  match t.fault with
+  | None -> ()
+  | Some p ->
+      if Fault.is_down p from then raise (Node_down from);
+      if from <> target then begin
+        if Fault.is_down p target then begin
+          Engine.delay t.engine (Fault.nak_delay p);
+          raise (Node_down target)
+        end;
+        if Fault.severed p ~from ~target || Fault.drops p ~from ~target then begin
+          t.counters.(from).drops <- t.counters.(from).drops + 1;
+          traced t "DROP" ~from ~target ~bytes:0;
+          blackhole ()
+        end
+      end
+
+(* Fire-and-forget verbs never raise: a message to a dead or unreachable
+   node is silently lost, exactly like a one-sided WRITE whose completion
+   nobody polls. *)
+let async_delivers t ~from ~target =
+  match t.fault with
+  | None -> true
+  | Some p ->
+      if
+        Fault.is_down p from || Fault.is_down p target
+        || (from <> target
+           && (Fault.severed p ~from ~target || Fault.drops p ~from ~target))
+      then begin
+        t.counters.(from).drops <- t.counters.(from).drops + 1;
+        traced t "DROP(async)" ~from ~target ~bytes:0;
+        false
+      end
+      else true
+
+let fault_extra_latency t ~from ~target =
+  match t.fault with
+  | Some p when from <> target -> Fault.extra_latency p ~from ~target
+  | Some _ | None -> 0.0
+
 (* Apply multiplicative gaussian jitter to a base latency, clamped so that
    a pathological sample can never be negative or more than double. *)
 let jittered t base =
@@ -76,7 +163,7 @@ let latency t ~from ~target ~base ~bytes =
     if from = target then t.model.Model.local_base +. Model.transfer_time t.model ~bytes
     else base +. Model.transfer_time t.model ~bytes
   in
-  jittered t raw
+  jittered t raw +. fault_extra_latency t ~from ~target
 
 (* Block for the verb's latency; a bulk payload additionally holds the
    data source's NIC for its wire time, so concurrent bulk egress from
@@ -100,6 +187,7 @@ let rdma_read t ~from ~target ~bytes =
   check_node t target "rdma_read";
   t.counters.(from).reads <- t.counters.(from).reads + 1;
   note t ~from ~target ~bytes;
+  sync_guard t ~from ~target;
   traced t "READ" ~from ~target ~bytes;
   (* READ pulls data out of the target: the target's NIC is the egress. *)
   delay_with_nic t ~data_source:target ~from ~target
@@ -110,6 +198,7 @@ let rdma_write t ~from ~target ~bytes =
   check_node t target "rdma_write";
   t.counters.(from).writes <- t.counters.(from).writes + 1;
   note t ~from ~target ~bytes;
+  sync_guard t ~from ~target;
   traced t "WRITE" ~from ~target ~bytes;
   (* WRITE pushes data from the sender: its NIC is the egress. *)
   delay_with_nic t ~data_source:from ~from ~target
@@ -120,14 +209,17 @@ let rdma_write_async t ~from ~target ~bytes k =
   check_node t target "rdma_write_async";
   t.counters.(from).writes <- t.counters.(from).writes + 1;
   note t ~from ~target ~bytes;
-  let dt = latency t ~from ~target ~base:t.model.Model.oneside_base ~bytes in
-  Engine.schedule_after t.engine dt k
+  if async_delivers t ~from ~target then begin
+    let dt = latency t ~from ~target ~base:t.model.Model.oneside_base ~bytes in
+    Engine.schedule_after t.engine dt k
+  end
 
 let rdma_atomic t ~from ~target f =
   check_node t from "rdma_atomic";
   check_node t target "rdma_atomic";
   t.counters.(from).atomics <- t.counters.(from).atomics + 1;
   note t ~from ~target ~bytes:8;
+  sync_guard t ~from ~target;
   traced t "ATOMIC" ~from ~target ~bytes:8;
   Engine.delay t.engine (latency t ~from ~target ~base:t.model.Model.atomic_base ~bytes:0);
   f ()
@@ -137,6 +229,7 @@ let rpc t ~from ~target ~req_bytes ~resp_bytes handler =
   check_node t target "rpc";
   t.counters.(from).rpcs <- t.counters.(from).rpcs + 1;
   note t ~from ~target ~bytes:(req_bytes + resp_bytes);
+  sync_guard t ~from ~target;
   traced t "RPC" ~from ~target ~bytes:(req_bytes + resp_bytes);
   delay_with_nic t ~data_source:from ~from ~target
     ~base:t.model.Model.twoside_base ~bytes:req_bytes;
@@ -145,17 +238,88 @@ let rpc t ~from ~target ~req_bytes ~resp_bytes handler =
     ~base:t.model.Model.twoside_base ~bytes:resp_bytes;
   result
 
+(* ------------------------------------------------------------------ *)
+(* Bounded failure semantics: race an operation against a virtual-time
+   timer, and retry with exponential backoff.  Without these, a dropped
+   or blackholed message parks its caller forever.                     *)
+
+type 'a raced = Settled of 'a | Crashed of exn | Expired
+
+(* Run [f] in a helper process and suspend the caller until the first of
+   {f completes, f raises, the timer fires} — later outcomes are
+   discarded.  An abandoned [f] keeps running in virtual time (its heap
+   side effects still land, like a request the server processed after
+   the client gave up), or parks forever if its message was dropped. *)
+let race_against_timer t ~timeout f =
+  Engine.suspend (fun resume ->
+      let settled = ref false in
+      let settle outcome =
+        if not !settled then begin
+          settled := true;
+          resume outcome
+        end
+      in
+      ignore
+        (Engine.spawn t.engine (fun () ->
+             match f () with
+             | v -> settle (Settled v)
+             | exception e -> settle (Crashed e)));
+      Engine.schedule_after t.engine timeout (fun () -> settle Expired))
+
+let rpc_with_timeout t ~from ~target ~req_bytes ~resp_bytes ~timeout handler =
+  check_node t from "rpc_with_timeout";
+  check_node t target "rpc_with_timeout";
+  if timeout <= 0.0 then invalid_arg "Fabric.rpc_with_timeout: timeout <= 0";
+  match
+    race_against_timer t ~timeout (fun () ->
+        rpc t ~from ~target ~req_bytes ~resp_bytes handler)
+  with
+  | Settled v -> v
+  | Crashed e -> raise e
+  | Expired ->
+      t.counters.(from).timeouts <- t.counters.(from).timeouts + 1;
+      traced t "TIMEOUT" ~from ~target ~bytes:0;
+      raise (Rpc_timeout { from; target; timeout })
+
+(* Retry [op] on Node_down / Rpc_timeout with exponential backoff, giving
+   up (re-raising the last error) when the attempt count or the
+   simulated-time budget runs out.  [op] re-resolves its own target each
+   attempt, which is what lets a retry land on a freshly promoted
+   backup. *)
+let retry_with_backoff t ~from ?(attempts = 8) ?(base_delay = 50e-6)
+    ?(max_delay = 5e-3) ?(budget = Float.infinity) op =
+  check_node t from "retry_with_backoff";
+  if attempts < 1 then invalid_arg "Fabric.retry_with_backoff: attempts < 1";
+  let deadline = Engine.now t.engine +. budget in
+  let rec go n delay =
+    match op () with
+    | v -> v
+    | exception ((Node_down _ | Rpc_timeout _) as e) ->
+        if n + 1 >= attempts || Engine.now t.engine +. delay > deadline then
+          raise e
+        else begin
+          t.counters.(from).retries <- t.counters.(from).retries + 1;
+          (* +-25% seeded jitter decorrelates retry storms. *)
+          let d = delay *. (0.75 +. Drust_util.Rng.float t.rng 0.5) in
+          Engine.delay t.engine d;
+          go (n + 1) (Float.min max_delay (delay *. 2.0))
+        end
+  in
+  go 0 base_delay
+
 let send_async t ~from ~target ~bytes handler =
   check_node t from "send_async";
   check_node t target "send_async";
   t.counters.(from).rpcs <- t.counters.(from).rpcs + 1;
   note t ~from ~target ~bytes;
-  traced t "SEND(async)" ~from ~target ~bytes;
-  let dt =
-    latency t ~from ~target ~base:t.model.Model.twoside_base ~bytes
-  in
-  ignore
-    (Engine.spawn ~at:(Engine.now t.engine +. dt) t.engine (fun () -> handler ()))
+  if async_delivers t ~from ~target then begin
+    traced t "SEND(async)" ~from ~target ~bytes;
+    let dt =
+      latency t ~from ~target ~base:t.model.Model.twoside_base ~bytes
+    in
+    ignore
+      (Engine.spawn ~at:(Engine.now t.engine +. dt) t.engine (fun () -> handler ()))
+  end
 
 let counters_of t node =
   check_node t node "counters_of";

@@ -15,6 +15,15 @@ type node_id = int
 
 type t
 
+exception Node_down of int
+(** A synchronous verb was issued from, or targeted, a crashed node: the
+    transport's retry period expired and the work request completed in
+    error.  Carries the dead node's id. *)
+
+exception Rpc_timeout of { from : node_id; target : node_id; timeout : float }
+(** An operation wrapped in {!rpc_with_timeout} did not complete within
+    its simulated-time budget. *)
+
 val create :
   engine:Drust_sim.Engine.t ->
   rng:Drust_util.Rng.t ->
@@ -27,6 +36,17 @@ val engine : t -> Drust_sim.Engine.t
 val set_trace : t -> Drust_sim.Trace.t option -> unit
 (** Attach an event trace: every verb records one "fabric" event.  Free
     when unset or when the trace is disabled. *)
+
+val set_fault_plan : t -> Drust_sim.Fault.t -> unit
+(** Install a fault plan: from now on every verb consults it.  Verbs
+    from or to a crashed node raise {!Node_down}; messages crossing an
+    active partition, or lost to a lossy link, {e never complete} (the
+    calling process parks forever — bound such calls with
+    {!rpc_with_timeout}).  Fire-and-forget verbs never raise; their
+    messages are silently dropped.  Without a plan (the default) every
+    check is a no-op and event/RNG sequences are unchanged. *)
+
+val fault_plan : t -> Drust_sim.Fault.t option
 
 val node_count : t -> int
 val model : t -> Model.t
@@ -68,6 +88,40 @@ val send_async :
 (** One-way two-sided message; the handler runs at the target when the
     message arrives.  The caller is not blocked. *)
 
+(** {1 Bounded failure semantics} *)
+
+val rpc_with_timeout :
+  t ->
+  from:node_id ->
+  target:node_id ->
+  req_bytes:int ->
+  resp_bytes:int ->
+  timeout:float ->
+  (unit -> 'a) ->
+  'a
+(** Like {!rpc}, but raises {!Rpc_timeout} (and counts a timeout against
+    [from]) if the round trip has not completed after [timeout] simulated
+    seconds — e.g. because the request was dropped or the target is
+    partitioned away.  An abandoned request keeps travelling: the handler
+    may still execute at the target even though the caller gave up. *)
+
+val retry_with_backoff :
+  t ->
+  from:node_id ->
+  ?attempts:int ->
+  ?base_delay:float ->
+  ?max_delay:float ->
+  ?budget:float ->
+  (unit -> 'a) ->
+  'a
+(** [retry_with_backoff t ~from op] runs [op], retrying on {!Node_down}
+    and {!Rpc_timeout} with exponential backoff (seeded ±25 % jitter,
+    starting at [base_delay] = 50 µs, doubling up to [max_delay] = 5 ms)
+    until it succeeds, [attempts] (default 8) run out, or the next
+    backoff would exceed the simulated-time [budget] — then re-raises the
+    last error.  [op] should re-resolve its target each attempt so a
+    retry can land on a freshly promoted backup. *)
+
 (** {1 Traffic statistics} *)
 
 type counters = {
@@ -77,6 +131,9 @@ type counters = {
   mutable rpcs : int;
   mutable bytes_out : int;
   mutable remote_ops : int;  (** verbs whose target differs from source *)
+  mutable timeouts : int;  (** wrapped ops that expired their budget *)
+  mutable retries : int;  (** backoff re-attempts issued from this node *)
+  mutable drops : int;  (** messages lost to partitions or lossy links *)
 }
 
 val counters_of : t -> node_id -> counters

@@ -12,11 +12,31 @@ type t = {
   probe_interval : float;
   mem_threshold : float;
   cpu_threshold : float;
+  probe_timeout : float;
+  miss_threshold : int;
+  replication : Replication.t option;
+  misses : int array; (* consecutive missed heartbeats, per node *)
+  mutable deaths : (int * float) list; (* (node, declared-dead time), newest first *)
+  mutable on_death : (int -> unit) option;
   mutable running : bool;
   mutable migrations : int;
   mutable probes : int;
   mutable last_probe : probe array;
 }
+
+(* K consecutive missed probes: the failure detector's verdict.  Promotion
+   runs through Replication when one is attached (the §4.2.3 path: backups
+   take over the dead ranges and every server learns the new routing);
+   otherwise the node is merely marked failed so placement avoids it. *)
+let declare_dead t ctx node =
+  if (Cluster.node t.cluster node).Cluster.alive then begin
+    let at = Engine.now (Cluster.engine t.cluster) in
+    t.deaths <- (node, at) :: t.deaths;
+    (match t.replication with
+    | Some repl -> Replication.fail_and_promote ctx repl ~node
+    | None -> Cluster.mark_failed t.cluster node);
+    match t.on_death with Some f -> f node | None -> ()
+  end
 
 let probe_all t ctx =
   let cluster = t.cluster in
@@ -24,17 +44,30 @@ let probe_all t ctx =
   let now = Engine.now (Cluster.engine cluster) in
   let probe_node n =
     let id = n.Cluster.id in
-    t.probes <- t.probes + 1;
-    let collect () =
-      let cpu = Resource.utilization n.Cluster.cores ~now in
-      Resource.reset_utilization n.Cluster.cores ~now;
-      let mem = Partition.usage_fraction n.Cluster.partition in
-      { node = id; cpu; mem }
-    in
-    if id = ctx.Ctx.node then collect ()
-    else
-      Fabric.rpc fabric ~from:ctx.Ctx.node ~target:id ~req_bytes:32
-        ~resp_bytes:64 collect
+    let silent = { node = id; cpu = 0.0; mem = 0.0 } in
+    if not n.Cluster.alive then silent
+    else begin
+      t.probes <- t.probes + 1;
+      let collect () =
+        let cpu = Resource.utilization n.Cluster.cores ~now in
+        Resource.reset_utilization n.Cluster.cores ~now;
+        let mem = Partition.usage_fraction n.Cluster.partition in
+        { node = id; cpu; mem }
+      in
+      if id = ctx.Ctx.node then collect ()
+      else
+        match
+          Fabric.rpc_with_timeout fabric ~from:ctx.Ctx.node ~target:id
+            ~req_bytes:32 ~resp_bytes:64 ~timeout:t.probe_timeout collect
+        with
+        | p ->
+            t.misses.(id) <- 0;
+            p
+        | exception (Fabric.Node_down _ | Fabric.Rpc_timeout _) ->
+            t.misses.(id) <- t.misses.(id) + 1;
+            if t.misses.(id) >= t.miss_threshold then declare_dead t ctx id;
+            silent
+    end
   in
   t.last_probe <- Array.map probe_node (Cluster.nodes cluster)
 
@@ -77,6 +110,8 @@ let most_remote_accessor threads =
 let rebalance t ctx =
   probe_all t ctx;
   let handle_pressure p =
+    if not (Cluster.node t.cluster p.node).Cluster.alive then ()
+    else
     let candidates =
       List.filter
         (fun r -> r.Registry.migrate_to = None)
@@ -118,13 +153,19 @@ let rebalance t ctx =
   Array.iter handle_pressure t.last_probe
 
 let start ?(probe_interval = 1e-3) ?(mem_threshold = 0.9) ?(cpu_threshold = 0.9)
-    cluster =
+    ?(probe_timeout = 2e-4) ?(miss_threshold = 3) ?replication cluster =
   let t =
     {
       cluster;
       probe_interval;
       mem_threshold;
       cpu_threshold;
+      probe_timeout;
+      miss_threshold;
+      replication;
+      misses = Array.make (Cluster.node_count cluster) 0;
+      deaths = [];
+      on_death = None;
       running = true;
       migrations = 0;
       probes = 0;
@@ -152,6 +193,8 @@ let stop t = t.running <- false
 
 let migrations_ordered t = t.migrations
 let probes_performed t = t.probes
+let set_on_death t f = t.on_death <- Some f
+let deaths t = List.rev t.deaths
 
 let pick_spawn_node t =
   if Array.length t.last_probe = 0 then Cluster.most_vacant_node t.cluster

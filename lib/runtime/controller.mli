@@ -1,4 +1,4 @@
-(** The global controller (§4.2.2).
+(** The global controller (§4.2.2) and heartbeat failure detector.
 
     A daemon on node 0 (where the program was launched) that periodically
     pings every server for CPU and memory usage and rebalances load by
@@ -8,7 +8,13 @@
       the most local heap until the pressure resolves;
     - compute congestion (> 90 % CPU utilization): migrate the thread with
       the most remote accesses to the server it accesses most — or, if
-      that server is itself overloaded, to a vacant one. *)
+      that server is itself overloaded, to a vacant one.
+
+    The probe loop doubles as the failure detector: each probe is bounded
+    by [probe_timeout], and [miss_threshold] consecutive misses declare
+    the node dead.  With a {!Drust_runtime.Replication} manager attached,
+    the verdict automatically triggers backup promotion — the application
+    never calls [fail_and_promote] itself. *)
 
 module Ctx = Drust_machine.Ctx
 
@@ -18,9 +24,18 @@ val start :
   ?probe_interval:float ->
   ?mem_threshold:float ->
   ?cpu_threshold:float ->
+  ?probe_timeout:float ->
+  ?miss_threshold:int ->
+  ?replication:Replication.t ->
   Drust_machine.Cluster.t ->
   t
-(** Spawns the probing daemon (default interval 1 ms of virtual time). *)
+(** Spawns the probing daemon (default interval 1 ms of virtual time).
+    Each remote probe is bounded by [probe_timeout] (default 200 µs —
+    comfortably above a healthy probe's ~10 µs round trip);
+    [miss_threshold] consecutive misses (default 3) declare the node
+    dead, so worst-case detection latency is roughly
+    [miss_threshold × (probe_interval + probe_timeout)] after the crash.
+    Pass [replication] to have the verdict drive backup promotion. *)
 
 val stop : t -> unit
 (** The daemon exits at its next wakeup; required for the event queue to
@@ -28,6 +43,15 @@ val stop : t -> unit
 
 val migrations_ordered : t -> int
 val probes_performed : t -> int
+
+val deaths : t -> (int * float) list
+(** Nodes the detector has declared dead, with the virtual time of each
+    verdict, in declaration order.  Detection latency is this time minus
+    the injected crash time. *)
+
+val set_on_death : t -> (int -> unit) -> unit
+(** Callback invoked (from the controller's process, after promotion)
+    each time a node is declared dead. *)
 
 val pick_spawn_node : t -> int
 (** Least-CPU-loaded alive node — the placement answer the runtime asks

@@ -38,10 +38,14 @@ let flush_pending t ctx ~only =
         let home = Gaddr.node_of g in
         for r = 0 to t.replicas - 1 do
           let target = replica_host t ~home ~r in
-          if target <> ctx.Ctx.node then
-            Fabric.rdma_write_async fabric ~from:ctx.Ctx.node ~target
-              ~bytes:d.size (fun () -> ());
-          Partition.put t.backups.(r).(home) g ~size:d.size d.value
+          (* A dead replica host receives nothing: its copy is frozen at
+             the failure point and must not masquerade as current. *)
+          if (Cluster.node t.cluster target).Cluster.alive then begin
+            if target <> ctx.Ctx.node then
+              Fabric.rdma_write_async fabric ~from:ctx.Ctx.node ~target
+                ~bytes:d.size (fun () -> ());
+            Partition.put t.backups.(r).(home) g ~size:d.size d.value
+          end
         done;
         t.writebacks <- t.writebacks + 1;
         g :: acc

@@ -1,0 +1,116 @@
+(* Deterministic fault injection: a seeded plan of node crashes, transient
+   network partitions, and per-link impairments (message-drop probability,
+   extra fixed latency, latency jitter).
+
+   The plan is *declarative and lazy*: injecting a fault records it, and
+   the fabric consults the plan against the engine's virtual clock on
+   every verb.  Nothing here schedules events or races the event queue,
+   so a chaos run is a pure function of the plan plus the RNG seed —
+   two runs with the same configuration are bit-identical, which is what
+   lets failover experiments assert reproducibility. *)
+
+module Rng = Drust_util.Rng
+
+type link = { drop : float; extra_latency : float; jitter : float }
+
+type crash = { node : int; at : float }
+
+(* A transient partition: while [from_t <= now < until], messages whose
+   endpoints fall on different sides of [members] are blackholed. *)
+type cut = { members : bool array; from_t : float; until : float }
+
+type t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  nodes : int;
+  nak_delay : float;
+  mutable crashes : crash list;
+  mutable cuts : cut list;
+  links : link option array array; (* links.(from).(target) *)
+}
+
+let create ?(nak_delay = 15e-6) ~engine ~rng ~nodes () =
+  if nodes <= 0 then invalid_arg "Fault.create: need at least one node";
+  if nak_delay < 0.0 then invalid_arg "Fault.create: negative nak_delay";
+  {
+    engine;
+    rng;
+    nodes;
+    nak_delay;
+    crashes = [];
+    cuts = [];
+    links = Array.make_matrix nodes nodes None;
+  }
+
+let check_node t n label =
+  if n < 0 || n >= t.nodes then
+    invalid_arg (Printf.sprintf "Fault.%s: node %d out of range" label n)
+
+let crash_at t ~node ~at =
+  check_node t node "crash_at";
+  if at < 0.0 then invalid_arg "Fault.crash_at: negative time";
+  t.crashes <- { node; at } :: t.crashes
+
+let partition_at t ~group ~at ~heal_at =
+  if heal_at <= at then invalid_arg "Fault.partition_at: empty window";
+  let members = Array.make t.nodes false in
+  List.iter
+    (fun n ->
+      check_node t n "partition_at";
+      members.(n) <- true)
+    group;
+  t.cuts <- { members; from_t = at; until = heal_at } :: t.cuts
+
+let degrade_link t ~from ~target ?(drop = 0.0) ?(extra_latency = 0.0)
+    ?(jitter = 0.0) () =
+  check_node t from "degrade_link";
+  check_node t target "degrade_link";
+  if drop < 0.0 || drop > 1.0 then invalid_arg "Fault.degrade_link: drop not a probability";
+  if extra_latency < 0.0 || jitter < 0.0 then
+    invalid_arg "Fault.degrade_link: negative latency";
+  t.links.(from).(target) <- Some { drop; extra_latency; jitter }
+
+let now t = Engine.now t.engine
+
+let is_down t node =
+  check_node t node "is_down";
+  let n = now t in
+  List.exists (fun c -> c.node = node && c.at <= n) t.crashes
+
+let crash_time t node =
+  check_node t node "crash_time";
+  List.fold_left
+    (fun acc c ->
+      if c.node <> node then acc
+      else match acc with Some a when a <= c.at -> acc | _ -> Some c.at)
+    None t.crashes
+
+let severed t ~from ~target =
+  let n = now t in
+  List.exists
+    (fun c ->
+      c.from_t <= n && n < c.until && c.members.(from) <> c.members.(target))
+    t.cuts
+
+(* Sample the drop coin for one message.  Draws from the plan's own RNG
+   stream, so drops are reproducible given the same verb sequence. *)
+let drops t ~from ~target =
+  match t.links.(from).(target) with
+  | Some l when l.drop > 0.0 -> Rng.bernoulli t.rng ~p:l.drop
+  | Some _ | None -> false
+
+let extra_latency t ~from ~target =
+  match t.links.(from).(target) with
+  | None -> 0.0
+  | Some l ->
+      l.extra_latency
+      +. (if l.jitter > 0.0 then Rng.float t.rng l.jitter else 0.0)
+
+let nak_delay t = t.nak_delay
+
+let crashed_nodes t =
+  let n = now t in
+  List.sort_uniq Int.compare
+    (List.filter_map
+       (fun c -> if c.at <= n then Some c.node else None)
+       t.crashes)

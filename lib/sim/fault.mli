@@ -1,0 +1,69 @@
+(** Deterministic fault injection.
+
+    A fault plan is a declarative schedule of node crashes, transient
+    network partitions, and per-link impairments (drop probability, extra
+    latency, jitter).  The plan is evaluated {e lazily}: the fabric asks
+    "is this message deliverable {e now}?" on every verb, against the
+    engine's virtual clock.  All randomness (drop coins, jitter samples)
+    flows through the plan's own seeded {!Drust_util.Rng} stream, so a
+    chaos run is a pure function of its configuration — two runs with the
+    same seed are bit-identical. *)
+
+type t
+
+val create :
+  ?nak_delay:float ->
+  engine:Engine.t ->
+  rng:Drust_util.Rng.t ->
+  nodes:int ->
+  unit ->
+  t
+(** An empty plan (no faults).  [nak_delay] (default 15 µs) is the
+    simulated transport retry period a verb burns before completing in
+    error against a crashed node. *)
+
+(** {1 Injecting faults} *)
+
+val crash_at : t -> node:int -> at:float -> unit
+(** The node fail-stops at virtual time [at]: verbs from it or to it
+    raise, and it never comes back. *)
+
+val partition_at : t -> group:int list -> at:float -> heal_at:float -> unit
+(** During [[at, heal_at)], messages between [group] and the rest of the
+    cluster are blackholed (they never complete — bound them with
+    [Fabric.rpc_with_timeout]).  Traffic within either side is
+    unaffected. *)
+
+val degrade_link :
+  t ->
+  from:int ->
+  target:int ->
+  ?drop:float ->
+  ?extra_latency:float ->
+  ?jitter:float ->
+  unit ->
+  unit
+(** Impair the directed link [from → target]: each message is lost with
+    probability [drop]; delivered messages gain [extra_latency] plus a
+    uniform sample from [[0, jitter]] seconds. *)
+
+(** {1 Queries (used by the fabric)} *)
+
+val is_down : t -> int -> bool
+val crash_time : t -> int -> float option
+(** Earliest scheduled crash of the node, even if still in the future. *)
+
+val severed : t -> from:int -> target:int -> bool
+(** An active partition separates the two nodes right now. *)
+
+val drops : t -> from:int -> target:int -> bool
+(** Flip the seeded drop coin for one message on this link.  Stateful:
+    advances the plan's RNG stream. *)
+
+val extra_latency : t -> from:int -> target:int -> float
+(** Extra one-way latency for one message (samples jitter; stateful). *)
+
+val nak_delay : t -> float
+
+val crashed_nodes : t -> int list
+(** Nodes already down at the current virtual time, ascending. *)

@@ -1,0 +1,309 @@
+(* Fault injection and automatic failover: the fabric's failure semantics
+   (Node_down, blackholed partitions, seeded drops, timeouts, retries)
+   and the controller's heartbeat detector driving backup promotion with
+   zero application involvement. *)
+
+module Engine = Drust_sim.Engine
+module Fault = Drust_sim.Fault
+module Cluster = Drust_machine.Cluster
+module Params = Drust_machine.Params
+module Ctx = Drust_machine.Ctx
+module Fabric = Drust_net.Fabric
+module Controller = Drust_runtime.Controller
+module Replication = Drust_runtime.Replication
+module P = Drust_core.Protocol
+module Rng = Drust_util.Rng
+module Univ = Drust_util.Univ
+
+let int_tag : int Univ.tag = Univ.create_tag ~name:"repl.int"
+let pack = Univ.pack int_tag
+let unpack v = Univ.unpack_exn int_tag v
+
+let small_params nodes =
+  {
+    Params.default with
+    Params.nodes;
+    cores_per_node = 4;
+    mem_per_node = Drust_util.Units.mib 64;
+  }
+
+let in_cluster ?(nodes = 4) body =
+  let cluster = Cluster.create (small_params nodes) in
+  let plan =
+    Fault.create
+      ~engine:(Cluster.engine cluster)
+      ~rng:(Rng.create ~seed:5) ~nodes ()
+  in
+  Fabric.set_fault_plan (Cluster.fabric cluster) plan;
+  let result = ref None in
+  ignore
+    (Engine.spawn (Cluster.engine cluster) (fun () ->
+         let ctx = Ctx.make cluster ~node:0 in
+         result := Some (body cluster plan ctx)));
+  Cluster.run cluster;
+  match !result with Some v -> v | None -> Alcotest.fail "body did not run"
+
+(* ------------------------------------------------------------------ *)
+(* Fault plan semantics *)
+
+let test_plan_is_lazy () =
+  in_cluster (fun cluster plan _ctx ->
+      let engine = Cluster.engine cluster in
+      Fault.crash_at plan ~node:2 ~at:1e-3;
+      Alcotest.(check bool) "not down before its time" false
+        (Fault.is_down plan 2);
+      Alcotest.(check (list int)) "nobody crashed yet" [] (Fault.crashed_nodes plan);
+      Engine.delay engine 2e-3;
+      Alcotest.(check bool) "down after its time" true (Fault.is_down plan 2);
+      Alcotest.(check (list int)) "listed" [ 2 ] (Fault.crashed_nodes plan);
+      Alcotest.(check (option (float 1e-9))) "crash time" (Some 1e-3)
+        (Fault.crash_time plan 2))
+
+let test_partition_severs_across_but_not_within () =
+  in_cluster (fun cluster plan _ctx ->
+      let engine = Cluster.engine cluster in
+      Fault.partition_at plan ~group:[ 0; 1 ] ~at:0.0 ~heal_at:1e-3;
+      Alcotest.(check bool) "across" true (Fault.severed plan ~from:0 ~target:2);
+      Alcotest.(check bool) "within group" false
+        (Fault.severed plan ~from:0 ~target:1);
+      Alcotest.(check bool) "within rest" false
+        (Fault.severed plan ~from:2 ~target:3);
+      Engine.delay engine 2e-3;
+      Alcotest.(check bool) "healed" false (Fault.severed plan ~from:0 ~target:2))
+
+(* ------------------------------------------------------------------ *)
+(* Fabric failure semantics *)
+
+let test_node_down_raised () =
+  in_cluster (fun cluster plan _ctx ->
+      let engine = Cluster.engine cluster in
+      let fabric = Cluster.fabric cluster in
+      Fault.crash_at plan ~node:2 ~at:(Engine.now engine);
+      (match Fabric.rdma_read fabric ~from:0 ~target:2 ~bytes:64 with
+      | () -> Alcotest.fail "read to a crashed node must raise"
+      | exception Fabric.Node_down n ->
+          Alcotest.(check int) "carries the dead node" 2 n);
+      (* A verb issued *from* the dead node dies too. *)
+      match Fabric.rpc fabric ~from:2 ~target:0 ~req_bytes:8 ~resp_bytes:8
+              (fun () -> ())
+      with
+      | () -> Alcotest.fail "verb from a crashed node must raise"
+      | exception Fabric.Node_down n -> Alcotest.(check int) "from" 2 n)
+
+let test_async_drops_silently () =
+  in_cluster (fun cluster plan _ctx ->
+      let engine = Cluster.engine cluster in
+      let fabric = Cluster.fabric cluster in
+      Fault.crash_at plan ~node:2 ~at:(Engine.now engine);
+      let landed = ref false in
+      Fabric.rdma_write_async fabric ~from:0 ~target:2 ~bytes:64 (fun () ->
+          landed := true);
+      Engine.delay engine 1e-3;
+      Alcotest.(check bool) "payload never lands" false !landed;
+      Alcotest.(check bool) "drop counted" true
+        ((Fabric.counters_of fabric 0).Fabric.drops > 0))
+
+let test_partition_times_out () =
+  in_cluster (fun cluster plan _ctx ->
+      let fabric = Cluster.fabric cluster in
+      Fault.partition_at plan ~group:[ 0 ] ~at:0.0 ~heal_at:10e-3;
+      (match
+         Fabric.rpc_with_timeout fabric ~from:0 ~target:1 ~req_bytes:8
+           ~resp_bytes:8 ~timeout:2e-4 (fun () -> 41)
+       with
+      | _ -> Alcotest.fail "partitioned rpc must time out"
+      | exception Fabric.Rpc_timeout { from; target; _ } ->
+          Alcotest.(check int) "from" 0 from;
+          Alcotest.(check int) "target" 1 target);
+      Alcotest.(check bool) "timeout counted" true
+        ((Fabric.counters_of fabric 0).Fabric.timeouts > 0))
+
+let test_retry_spans_heal () =
+  in_cluster (fun cluster plan _ctx ->
+      let engine = Cluster.engine cluster in
+      let fabric = Cluster.fabric cluster in
+      Fault.partition_at plan ~group:[ 0 ] ~at:0.0 ~heal_at:1e-3;
+      let v =
+        Fabric.retry_with_backoff fabric ~from:0 ~base_delay:3e-4 (fun () ->
+            Fabric.rpc_with_timeout fabric ~from:0 ~target:1 ~req_bytes:8
+              ~resp_bytes:8 ~timeout:2e-4 (fun () -> 42))
+      in
+      Alcotest.(check int) "succeeds after the heal" 42 v;
+      Alcotest.(check bool) "past the heal" true (Engine.now engine >= 1e-3);
+      Alcotest.(check bool) "retries counted" true
+        ((Fabric.counters_of fabric 0).Fabric.retries > 0))
+
+let test_retry_gives_up () =
+  in_cluster (fun cluster plan _ctx ->
+      let engine = Cluster.engine cluster in
+      let fabric = Cluster.fabric cluster in
+      Fault.crash_at plan ~node:3 ~at:(Engine.now engine);
+      match
+        Fabric.retry_with_backoff fabric ~from:0 ~attempts:3 (fun () ->
+            Fabric.rdma_read fabric ~from:0 ~target:3 ~bytes:8)
+      with
+      | () -> Alcotest.fail "dead forever: retries must be exhausted"
+      | exception Fabric.Node_down n -> Alcotest.(check int) "re-raised" 3 n)
+
+let drop_run () =
+  let nodes = 4 in
+  let cluster = Cluster.create (small_params nodes) in
+  let engine = Cluster.engine cluster in
+  let fabric = Cluster.fabric cluster in
+  let plan = Fault.create ~engine ~rng:(Rng.create ~seed:9) ~nodes () in
+  Fault.degrade_link plan ~from:0 ~target:1 ~drop:0.5 ();
+  Fabric.set_fault_plan fabric plan;
+  let landed = ref 0 in
+  ignore
+    (Engine.spawn engine (fun () ->
+         for _ = 1 to 100 do
+           Fabric.rdma_write_async fabric ~from:0 ~target:1 ~bytes:32 (fun () ->
+               incr landed)
+         done));
+  Cluster.run cluster;
+  (!landed, (Fabric.counters_of fabric 0).Fabric.drops)
+
+let test_seeded_drops_deterministic () =
+  let l1, d1 = drop_run () in
+  let l2, d2 = drop_run () in
+  Alcotest.(check bool) "some dropped" true (d1 > 0);
+  Alcotest.(check bool) "some landed" true (l1 > 0);
+  Alcotest.(check int) "landed identical" l1 l2;
+  Alcotest.(check int) "drops identical" d1 d2
+
+(* ------------------------------------------------------------------ *)
+(* Heartbeat detector and automatic promotion *)
+
+let test_detector_promotes_automatically () =
+  in_cluster (fun cluster plan ctx ->
+      let engine = Cluster.engine cluster in
+      let fabric = Cluster.fabric cluster in
+      let o = P.create_on ctx ~node:1 ~size:64 (pack 7) in
+      let repl = Replication.enable cluster in
+      let ctrl =
+        Controller.start ~probe_interval:0.5e-3 ~probe_timeout:2e-4
+          ~miss_threshold:3 ~replication:repl cluster
+      in
+      (* Inject the crash; nobody calls fail_and_promote. *)
+      Fault.crash_at plan ~node:1 ~at:(Engine.now engine);
+      while Controller.deaths ctrl = [] && Engine.now engine < 20e-3 do
+        Engine.delay engine 0.5e-3
+      done;
+      (match Controller.deaths ctrl with
+      | [ (n, at) ] ->
+          Alcotest.(check int) "declared the victim dead" 1 n;
+          Alcotest.(check bool) "within 5 probe intervals" true (at < 5e-3)
+      | _ -> Alcotest.fail "expected exactly one death verdict");
+      Alcotest.(check int) "backup promoted" 2 (Cluster.serving_node cluster 1);
+      Alcotest.(check bool) "marked dead" false (Cluster.node cluster 1).Cluster.alive;
+      (* Retried reads land on the promoted server. *)
+      let v =
+        Fabric.retry_with_backoff fabric ~from:ctx.Ctx.node (fun () ->
+            unpack (P.owner_read ctx o))
+      in
+      Alcotest.(check int) "snapshot value survives" 7 v;
+      Controller.stop ctrl;
+      Replication.disable repl)
+
+let test_transient_partition_no_false_positive () =
+  in_cluster (fun cluster plan _ctx ->
+      let engine = Cluster.engine cluster in
+      let repl = Replication.enable cluster in
+      let ctrl =
+        Controller.start ~probe_interval:0.5e-3 ~probe_timeout:2e-4
+          ~miss_threshold:3 ~replication:repl cluster
+      in
+      (* One missed probe at most: far below the K=3 threshold. *)
+      Fault.partition_at plan ~group:[ 1 ] ~at:0.2e-3 ~heal_at:0.9e-3;
+      Engine.delay engine 6e-3;
+      Alcotest.(check (list (pair int (float 1e-9)))) "no verdicts" []
+        (Controller.deaths ctrl);
+      Alcotest.(check bool) "still alive" true (Cluster.node cluster 1).Cluster.alive;
+      Controller.stop ctrl;
+      Replication.disable repl)
+
+let test_detector_double_failure_two_replicas () =
+  in_cluster (fun cluster plan ctx ->
+      let engine = Cluster.engine cluster in
+      let o = P.create_on ctx ~node:1 ~size:64 (pack 9) in
+      let repl = Replication.enable ~replicas:2 cluster in
+      let ctrl =
+        Controller.start ~probe_interval:0.5e-3 ~probe_timeout:2e-4
+          ~miss_threshold:3 ~replication:repl cluster
+      in
+      (* Node 1's replicas live on nodes 2 and 3; kill 1, then its first
+         backup, and the detector must walk the ring twice. *)
+      Fault.crash_at plan ~node:1 ~at:1e-3;
+      Fault.crash_at plan ~node:2 ~at:8e-3;
+      while
+        List.length (Controller.deaths ctrl) < 2 && Engine.now engine < 30e-3
+      do
+        Engine.delay engine 0.5e-3
+      done;
+      Alcotest.(check (list int)) "both declared dead" [ 1; 2 ]
+        (List.map fst (Controller.deaths ctrl));
+      Alcotest.(check int) "served by the second replica" 3
+        (Cluster.serving_node cluster 1);
+      Alcotest.(check int) "value intact" 9 (unpack (P.owner_read ctx o));
+      Controller.stop ctrl;
+      Replication.disable repl)
+
+(* ------------------------------------------------------------------ *)
+(* Batching and read-through (no faults involved) *)
+
+let test_batching_and_promoted_read_through () =
+  in_cluster (fun cluster ctx_plan ctx ->
+      ignore ctx_plan;
+      let o = P.create_on ctx ~node:1 ~size:64 (pack 1) in
+      let repl = Replication.enable cluster in
+      let m = P.borrow_mut ctx o in
+      P.mut_write ctx m (pack 2);
+      P.drop_mut ctx m;
+      Alcotest.(check bool) "write batched, not yet flushed" true
+        (Replication.pending_writes repl > 0);
+      P.transfer ctx o ~to_node:2;
+      Alcotest.(check int) "escape flushes the batch" 0
+        (Replication.pending_writes repl);
+      Replication.sync_now ctx repl;
+      let victim =
+        Cluster.serving_node cluster (Drust_memory.Gaddr.node_of (P.gaddr o))
+      in
+      Replication.fail_and_promote ctx repl ~node:victim;
+      Alcotest.(check int) "promoted read-through" 2 (unpack (P.owner_read ctx o));
+      Replication.disable repl)
+
+let () =
+  Alcotest.run "replication"
+    [
+      ( "fault-plan",
+        [
+          Alcotest.test_case "lazy crash schedule" `Quick test_plan_is_lazy;
+          Alcotest.test_case "partition membership" `Quick
+            test_partition_severs_across_but_not_within;
+        ] );
+      ( "fabric-faults",
+        [
+          Alcotest.test_case "node_down raised" `Quick test_node_down_raised;
+          Alcotest.test_case "async drops silently" `Quick
+            test_async_drops_silently;
+          Alcotest.test_case "partition times out" `Quick test_partition_times_out;
+          Alcotest.test_case "retry spans heal" `Quick test_retry_spans_heal;
+          Alcotest.test_case "retry gives up" `Quick test_retry_gives_up;
+          Alcotest.test_case "seeded drops deterministic" `Quick
+            test_seeded_drops_deterministic;
+        ] );
+      ( "detector",
+        [
+          Alcotest.test_case "automatic promotion" `Quick
+            test_detector_promotes_automatically;
+          Alcotest.test_case "no false positive" `Quick
+            test_transient_partition_no_false_positive;
+          Alcotest.test_case "double failure, two replicas" `Quick
+            test_detector_double_failure_two_replicas;
+        ] );
+      ( "batching",
+        [
+          Alcotest.test_case "batch+read-through" `Quick
+            test_batching_and_promoted_read_through;
+        ] );
+    ]
