@@ -8,7 +8,12 @@
      dune exec bench/main.exe -- fig5 --out results  # + CSV files
 
    Experiments: motivation fig5 fig6 fig7 table1 table2 migration
-                ablation traffic ycsb latency micro *)
+                ablation traffic ycsb latency trace micro
+
+   The [trace] experiment re-runs GEMM on DRust with the span tracer
+   enabled and writes a Chrome trace_event JSON (Perfetto-loadable) plus
+   a JSONL metrics dump; set DRUST_TRACE=<prefix> to choose the output
+   path prefix (default "drust-trace"). *)
 
 module E = Drust_experiments
 
@@ -23,6 +28,50 @@ let run_ablation () = ignore (E.Ablation.run ())
 let run_traffic () = ignore (E.Traffic.run ())
 let run_ycsb () = ignore (E.Ycsb_suite.run ())
 let run_latency () = ignore (E.Latency.run ())
+
+(* ------------------------------------------------------------------ *)
+(* Observability demo: one traced run, exported for Perfetto.          *)
+
+let run_trace () =
+  let module B = E.Bench_setup in
+  let module Cluster = Drust_machine.Cluster in
+  let module Metrics = Drust_obs.Metrics in
+  let module Span = Drust_obs.Span in
+  E.Report.section "Observability: traced GEMM on DRust (4 nodes)";
+  let prefix =
+    match Sys.getenv_opt "DRUST_TRACE" with
+    | Some p when p <> "" && p <> "0" && p <> "1" -> p
+    | _ -> "drust-trace"
+  in
+  let params = B.testbed ~nodes:4 () in
+  let cluster = Cluster.create params in
+  let spans = Cluster.spans cluster in
+  Span.enable spans;
+  let before = Metrics.snapshot (Cluster.metrics cluster) in
+  let backend = B.make_backend B.Drust cluster in
+  let r =
+    Drust_gemm.Gemm.run ~cluster ~backend Drust_gemm.Gemm.default_config
+  in
+  let after = Metrics.snapshot (Cluster.metrics cluster) in
+  E.Report.note
+    (Printf.sprintf "GEMM: %.0f ops in %.6f virtual s"
+       r.Drust_appkit.Appkit.ops r.Drust_appkit.Appkit.elapsed);
+  E.Report.metrics_table (Metrics.diff ~before ~after);
+  List.iter
+    (fun (cat, st) ->
+      E.Report.note
+        (Printf.sprintf "spans[%-10s] %6d complete, %.6f virtual s total" cat
+           st.Span.d_count st.Span.d_total))
+    (Span.duration_stats spans);
+  let trace_path = prefix ^ ".trace.json" in
+  let metrics_path = prefix ^ ".metrics.jsonl" in
+  Drust_obs.Export.write_chrome_trace ~path:trace_path spans;
+  Drust_obs.Export.write_metrics_jsonl ~time:(Cluster.now cluster)
+    ~path:metrics_path after;
+  E.Report.note
+    (Printf.sprintf "%d trace events -> %s (load in ui.perfetto.dev)"
+       (Span.count spans) trace_path);
+  E.Report.note (Printf.sprintf "metrics snapshot -> %s" metrics_path)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: wall-clock cost of the hot OCaml paths
@@ -42,7 +91,7 @@ let bechamel_tests () =
         ignore (Drust_memory.Gaddr.clear_color (Drust_memory.Gaddr.bump_color g))))
   in
   let cache_ops =
-    let cache = Drust_memory.Cache.create ~node:0 in
+    let cache = Drust_memory.Cache.create ~node:0 () in
     let tag : int Drust_util.Univ.tag = Drust_util.Univ.create_tag ~name:"b" in
     let g = Drust_memory.Gaddr.make ~node:1 ~offset:64 in
     let copy = Drust_memory.Cache.insert cache g ~size:64 (Drust_util.Univ.pack tag 1) in
@@ -113,6 +162,7 @@ let experiments =
     ("traffic", run_traffic);
     ("ycsb", run_ycsb);
     ("latency", run_latency);
+    ("trace", run_trace);
     ("micro", run_micro);
   ]
 

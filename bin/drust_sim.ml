@@ -37,9 +37,20 @@ let affinity = Arg.(value & flag & info [ "affinity" ] ~doc:"Enable TBox/spawn_t
 let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Deterministic seed")
 
 let trace_n =
-  Arg.(value & opt int 0 & info [ "trace" ] ~doc:"Dump the last N fabric events")
+  Arg.(
+    value & opt int 0
+    & info [ "trace" ] ~doc:"Dump the last N trace events of an instrumented re-run")
 
-let run app system nodes affinity seed trace_n =
+let chrome_path =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chrome-trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event JSON (load it in Perfetto or \
+           chrome://tracing) of an instrumented re-run to $(docv)")
+
+let run app system nodes affinity seed trace_n chrome_path =
   let params = B.testbed ~nodes ~seed () in
   let t0 = Unix.gettimeofday () in
   (* With --trace the run is repeated on an instrumented cluster so the
@@ -54,13 +65,12 @@ let run app system nodes affinity seed trace_n =
   Printf.printf "  throughput : %.1f ops/s\n" r.Appkit.throughput;
   List.iter (fun (k, v) -> Printf.printf "  %-10s : %.3f\n" k v) r.Appkit.extra;
   Printf.printf "  (wall-clock: %.2f s)\n" (Unix.gettimeofday () -. t0);
-  if trace_n > 0 then begin
+  if trace_n > 0 || chrome_path <> None then begin
     let module Cluster = Drust_machine.Cluster in
-    let module Trace = Drust_sim.Trace in
+    let module Span = Drust_obs.Span in
     let cluster = Cluster.create params in
-    let trace = Trace.create ~capacity:(max 16 trace_n) (Cluster.engine cluster) in
-    Trace.enable trace;
-    Drust_net.Fabric.set_trace (Cluster.fabric cluster) (Some trace);
+    let spans = Cluster.spans cluster in
+    Span.enable spans;
     let backend = B.make_backend system cluster in
     (match app with
     | B.Dataframe_app ->
@@ -77,13 +87,22 @@ let run app system nodes affinity seed trace_n =
         ignore
           (Drust_kvstore.Kvstore.run ~cluster ~backend
              Drust_kvstore.Kvstore.default_config));
-    Format.printf "%a@." (Trace.dump ~limit:trace_n) trace
+    if trace_n > 0 then Format.printf "%a@." (Span.dump ~limit:trace_n) spans;
+    match chrome_path with
+    | Some path ->
+        Drust_obs.Export.write_chrome_trace ~path spans;
+        Printf.printf "wrote Chrome trace (%d events) to %s\n"
+          (List.length (Span.events spans))
+          path
+    | None -> ()
   end
 
 let cmd =
   Cmd.v
     (Cmd.info "drust_sim"
        ~doc:"Run a DRust evaluation application on the simulated cluster")
-    Term.(const run $ app_t $ system_t $ nodes $ affinity $ seed $ trace_n)
+    Term.(
+      const run $ app_t $ system_t $ nodes $ affinity $ seed $ trace_n
+      $ chrome_path)
 
 let () = exit (Cmd.eval cmd)

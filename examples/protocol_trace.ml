@@ -1,69 +1,76 @@
-(* Watch the coherence protocol on the wire: enable fabric tracing and
-   replay a small ownership story — create, remote read (one-sided READ),
-   local write (color bump: silence!), remote write (move + owner
-   write-back), and a TBox group fetch.
+(* Watch the coherence protocol on the wire: enable the cluster's span
+   tracer and replay a small ownership story — create, remote read
+   (one-sided READ), local write (color bump: silence!), remote write
+   (move + owner write-back), and a TBox group fetch.
 
    Run with:  dune exec examples/protocol_trace.exe *)
 
 module Engine = Drust_sim.Engine
-module Trace = Drust_sim.Trace
+module Span = Drust_obs.Span
 module Cluster = Drust_machine.Cluster
 module Params = Drust_machine.Params
 module Ctx = Drust_machine.Ctx
-module Fabric = Drust_net.Fabric
 module P = Drust_core.Protocol
 module Univ = Drust_util.Univ
 
 let tag : int Univ.tag = Univ.create_tag ~name:"trace.int"
 
-let step trace name f =
+let pp_event (e : Span.event) =
+  let args =
+    match e.Span.args with
+    | [] -> ""
+    | kvs ->
+        " ("
+        ^ String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) kvs)
+        ^ ")"
+  in
+  Printf.printf "  [%-10s] node %d  %s%s\n" e.Span.category e.Span.track
+    e.Span.name args
+
+let step spans name f =
   Printf.printf "\n--- %s ---\n" name;
-  let before = Trace.count trace in
+  let before = Span.count spans in
   f ();
-  if Trace.count trace = before then
-    print_endline "  (no network traffic — the point of the protocol)"
+  if Span.count spans = before then
+    print_endline "  (no traffic — the point of the protocol)"
   else
-    List.iteri
-      (fun i e ->
-        if i >= before then
-          Printf.printf "  %s\n" e.Trace.detail)
-      (Trace.events trace)
+    List.iteri (fun i e -> if i >= before then pp_event e) (Span.events spans)
 
 let () =
   let cluster = Cluster.create { Params.default with Params.nodes = 4 } in
-  let trace = Trace.create (Cluster.engine cluster) in
-  Trace.enable trace;
-  Fabric.set_trace (Cluster.fabric cluster) (Some trace);
+  let spans = Cluster.spans cluster in
+  Span.enable spans;
   ignore
     (Engine.spawn (Cluster.engine cluster) (fun () ->
          let ctx0 = Ctx.make cluster ~node:0 in
          let ctx2 = Ctx.make cluster ~node:2 in
 
          let o = ref None in
-         step trace "create on node 0 (local: silent)" (fun () ->
+         step spans "create on node 0 (local: silent)" (fun () ->
              o := Some (P.create ctx0 ~size:256 (Univ.pack tag 1)));
          let o = Option.get !o in
 
-         step trace "remote read from node 2 (one one-sided READ)" (fun () ->
+         step spans "remote read from node 2 (one one-sided READ)" (fun () ->
              let r = P.borrow_imm ctx2 o in
              ignore (P.imm_deref ctx2 r);
              P.drop_imm ctx2 r);
 
-         step trace "second remote read (cache hit: silent)" (fun () ->
+         step spans "second remote read (cache hit: silent)" (fun () ->
              let r = P.borrow_imm ctx2 o in
              ignore (P.imm_deref ctx2 r);
              P.drop_imm ctx2 r);
 
-         step trace "local write on node 0 (color bump: silent)" (fun () ->
-             P.owner_write ctx0 o (Univ.pack tag 2));
+         step spans "local write on node 0 (color bump: one BUMP mark)"
+           (fun () -> P.owner_write ctx0 o (Univ.pack tag 2));
 
-         step trace "remote write from node 2 (move + async dealloc + owner update)"
+         step spans
+           "remote write from node 2 (move + async dealloc + owner update)"
            (fun () ->
              let m = P.borrow_mut ctx2 o in
              P.mut_write ctx2 m (Univ.pack tag 3);
              P.drop_mut ctx2 m);
 
-         step trace "TBox group: tie two children, fetch all in one READ"
+         step spans "TBox group: tie two children, fetch all in one READ"
            (fun () ->
              let p = P.create_on ctx0 ~node:0 ~size:128 (Univ.pack tag 10) in
              let c1 = P.create_on ctx0 ~node:0 ~size:128 (Univ.pack tag 11) in
@@ -74,7 +81,7 @@ let () =
              ignore (P.imm_deref ctx2 r);
              P.drop_imm ctx2 r);
 
-         Printf.printf "\n%d fabric events total; final value lives on node %d\n"
-           (Trace.count trace)
+         Printf.printf "\n%d trace events total; final value lives on node %d\n"
+           (Span.count spans)
            (Drust_memory.Gaddr.node_of (P.gaddr o))));
   Cluster.run cluster

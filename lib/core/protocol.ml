@@ -7,6 +7,8 @@ module Cache = Drust_memory.Cache
 module Fabric = Drust_net.Fabric
 module Borrow_state = Drust_ownership.Borrow_state
 module Univ = Drust_util.Univ
+module Metrics = Drust_obs.Metrics
+module Span = Drust_obs.Span
 
 type owner = {
   mutable g : Gaddr.t;
@@ -40,20 +42,42 @@ type mut = {
 }
 
 (* ------------------------------------------------------------------ *)
-(* Per-cluster protocol statistics                                     *)
+(* Per-cluster protocol statistics: counters in the cluster's metrics
+   registry, with the handles memoized per cluster uid.                *)
 
-type stats = { mutable moves : int; mutable bumps : int }
+type stats = {
+  moves : Metrics.counter;
+  bumps : Metrics.counter;
+  fetches : Metrics.counter;
+}
 
 let stats_table : (int, stats) Hashtbl.t = Hashtbl.create 8
 
 let stats_of ctx =
-  let uid = Cluster.uid (Ctx.cluster ctx) in
+  let cluster = Ctx.cluster ctx in
+  let uid = Cluster.uid cluster in
   match Hashtbl.find_opt stats_table uid with
   | Some s -> s
   | None ->
-      let s = { moves = 0; bumps = 0 } in
+      let m = Cluster.metrics cluster in
+      let s =
+        {
+          moves = Metrics.counter m ~unit_:"ops" "protocol.moves";
+          bumps = Metrics.counter m ~unit_:"ops" "protocol.color_bumps";
+          fetches = Metrics.counter m ~unit_:"ops" "protocol.fetches";
+        }
+      in
       Hashtbl.replace stats_table uid s;
       s
+
+(* Instant span mark on the acting node's timeline; argument lists are
+   only built when tracing is live. *)
+let proto_mark ctx name ~bytes =
+  let sp = Cluster.spans (Ctx.cluster ctx) in
+  if Span.is_enabled sp then
+    Span.instant sp ~track:ctx.Ctx.node ~category:"protocol"
+      ~args:[ ("bytes", string_of_int bytes) ]
+      name
 
 (* Registry of live owners, per cluster — powers the executable audit of
    the paper's Appendix C invariants. *)
@@ -76,13 +100,15 @@ let prune_registry cluster =
   let r = registry_of_cluster cluster in
   r := List.filter (fun o -> o.valid) !r
 
-let moves ctx = (stats_of ctx).moves
-let color_bumps ctx = (stats_of ctx).bumps
+let moves ctx = Metrics.value (stats_of ctx).moves
+let color_bumps ctx = Metrics.value (stats_of ctx).bumps
+let fetches ctx = Metrics.value (stats_of ctx).fetches
 
 let reset_protocol_stats ctx =
   let s = stats_of ctx in
-  s.moves <- 0;
-  s.bumps <- 0
+  Metrics.reset_counter s.moves;
+  Metrics.reset_counter s.bumps;
+  Metrics.reset_counter s.fetches
 
 (* Listeners installed by the fault-tolerance layer, keyed by cluster. *)
 let commit_listeners :
@@ -287,6 +313,8 @@ let mut_gaddr m = m.m_g
 
 let fetch_into_cache ctx ~g ~size ~group_bytes ~children =
   let cluster = Ctx.cluster ctx in
+  Metrics.incr (stats_of ctx).fetches;
+  proto_mark ctx "FETCH" ~bytes:group_bytes;
   let target = serving ctx g in
   Ctx.note_remote_access ctx ~target;
   Ctx.flush ctx;
@@ -388,10 +416,10 @@ let drop_imm ctx r =
    along in the same batched verb. *)
 let move_local ctx ~g ~size ~children =
   let cluster = Ctx.cluster ctx in
-  let s = stats_of ctx in
-  s.moves <- 1 + s.moves;
+  Metrics.incr (stats_of ctx).moves;
   let group_members = List.concat_map group children in
   let batch = size + List.fold_left (fun a m -> a + m.size) 0 group_members in
+  proto_mark ctx "MOVE" ~bytes:batch;
   let target = serving ctx g in
   Ctx.note_remote_access ctx ~target;
   Ctx.flush ctx;
@@ -431,11 +459,13 @@ let bump_or_move ctx ~g ~size =
     match forced_move with Some e -> raise e | None -> Gaddr.bump_color g
   with
   | g' ->
-      s.bumps <- 1 + s.bumps;
+      Metrics.incr s.bumps;
+      proto_mark ctx "BUMP" ~bytes:size;
       g'
   | exception Gaddr.Color_overflow _ ->
       let cluster = Ctx.cluster ctx in
-      s.moves <- 1 + s.moves;
+      Metrics.incr s.moves;
+      proto_mark ctx "MOVE(overflow)" ~bytes:size;
       let entry = Cluster.heap_read cluster g in
       let fresh =
         Cluster.heap_alloc cluster ~node:ctx.Ctx.node ~size entry.Partition.value
@@ -489,8 +519,8 @@ let mut_claim ctx m ~for_write =
     charge_local_deref ctx;
     if for_write && ((not m.m_ubit) || (options_of ctx).no_ubit) then begin
       m.m_ubit <- true;
-      let s = stats_of ctx in
-      s.bumps <- 1 + s.bumps;
+      Metrics.incr (stats_of ctx).bumps;
+      proto_mark ctx "BUMP" ~bytes:m.m_size;
       m.m_g <- (try Gaddr.bump_color m.m_g with Gaddr.Color_overflow g -> Gaddr.clear_color g)
     end
   end
@@ -630,8 +660,8 @@ let owner_claim_mut ctx o =
               member.ubit <- false
             end)
           (List.concat_map group o.children);
-        let s = stats_of ctx in
-        s.moves <- 1 + s.moves;
+        Metrics.incr (stats_of ctx).moves;
+        proto_mark ctx "MOVE(reuse-copy)" ~bytes:o.size;
         o.g <- fresh
     | stale ->
         (match stale with

@@ -160,10 +160,17 @@ val set_transfer_listener :
 val color : owner -> int
 val ubit : owner -> bool
 val moves : Ctx.t -> int
-(** Number of object moves performed through this context's cluster. *)
+(** Number of object moves performed through this context's cluster.
+    Backed by the cluster metrics registry ([protocol.moves]). *)
 
 val color_bumps : Ctx.t -> int
+(** Writes resolved by a color bump alone ([protocol.color_bumps]). *)
+
+val fetches : Ctx.t -> int
+(** Remote fetches into a node cache ([protocol.fetches]). *)
+
 val reset_protocol_stats : Ctx.t -> unit
+(** Zero this cluster's [protocol.*] counters. *)
 
 val audit : Drust_machine.Cluster.t -> string list
 (** Executable form of the Appendix C coherence proof: checks, for every

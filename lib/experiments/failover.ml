@@ -160,13 +160,10 @@ let run_once ~seed () =
     | None -> None
     | Some c -> List.assoc_opt victim (Controller.deaths c)
   in
-  let retries = ref 0 and timeouts = ref 0 and drops = ref 0 in
-  for n = 0 to nodes - 1 do
-    let c = Fabric.counters_of fabric n in
-    retries := !retries + c.Fabric.retries;
-    timeouts := !timeouts + c.Fabric.timeouts;
-    drops := !drops + c.Fabric.drops
-  done;
+  let snap = Drust_obs.Metrics.snapshot (Cluster.metrics cluster) in
+  let retries = ref (Report.metric_total snap "fabric.retries")
+  and timeouts = ref (Report.metric_total snap "fabric.timeouts")
+  and drops = ref (Report.metric_total snap "fabric.drops") in
   {
     seed;
     victim;

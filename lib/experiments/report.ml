@@ -87,3 +87,36 @@ let cell_rate v = Format.asprintf "%a" Drust_util.Units.pp_rate v
 let cell_time v = Format.asprintf "%a" Drust_util.Units.pp_seconds v
 
 let note s = Printf.printf "  %s\n" s
+
+(* ------------------------------------------------------------------ *)
+(* Metrics-snapshot rendering                                          *)
+
+module Metrics = Drust_obs.Metrics
+
+let metric_total snap name = Metrics.total snap name
+
+let metrics_table ?(prefix = "") snap =
+  let fmt_labels = function
+    | [] -> ""
+    | kvs ->
+        "{"
+        ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) kvs)
+        ^ "}"
+  in
+  let rows =
+    List.filter_map
+      (fun (e : Metrics.sample) ->
+        if not (String.starts_with ~prefix e.Metrics.s_name) then None
+        else
+          let value =
+            match e.Metrics.s_value with
+            | Metrics.Count n -> string_of_int n
+            | Metrics.Level v -> Printf.sprintf "%g" v
+            | Metrics.Histo h ->
+                Printf.sprintf "n=%d sum=%g" h.Metrics.h_count h.Metrics.h_sum
+          in
+          Some
+            [ e.Metrics.s_name ^ fmt_labels e.Metrics.s_labels; value; e.Metrics.s_unit ])
+      snap
+  in
+  if rows <> [] then table ~header:[ "metric"; "value"; "unit" ] ~rows

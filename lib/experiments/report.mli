@@ -28,3 +28,14 @@ val cell_time : float -> string
 (** Human-readable duration. *)
 
 val note : string -> unit
+
+(** {1 Metrics snapshots} *)
+
+val metric_total : Drust_obs.Metrics.snapshot -> string -> int
+(** Sum of a counter across all label sets (see
+    {!Drust_obs.Metrics.total}). *)
+
+val metrics_table : ?prefix:string -> Drust_obs.Metrics.snapshot -> unit
+(** Render a snapshot as a table, one row per (name, labels) sample;
+    [prefix] filters by metric-name prefix.  Empty selections print
+    nothing. *)

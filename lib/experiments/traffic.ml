@@ -30,13 +30,18 @@ let run_one app system =
         Drust_kvstore.Kvstore.run ~cluster ~backend
           Drust_kvstore.Kvstore.default_config
   in
-  let fabric = Cluster.fabric cluster in
+  (* Read totals from the cluster's metrics snapshot rather than the
+     fabric's convenience accessors — same numbers, one source of truth. *)
+  let snap = Drust_obs.Metrics.snapshot (Cluster.metrics cluster) in
   {
     app;
     system;
     remote_ops_per_op =
-      Float.of_int (Fabric.total_remote_ops fabric) /. result.Appkit.ops;
-    bytes_per_op = Float.of_int (Fabric.total_bytes fabric) /. result.Appkit.ops;
+      Float.of_int (Report.metric_total snap "fabric.remote_ops")
+      /. result.Appkit.ops;
+    bytes_per_op =
+      Float.of_int (Report.metric_total snap "fabric.bytes_out")
+      /. result.Appkit.ops;
   }
 
 let run () =

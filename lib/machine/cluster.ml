@@ -4,6 +4,8 @@ module Fabric = Drust_net.Fabric
 module Gaddr = Drust_memory.Gaddr
 module Partition = Drust_memory.Partition
 module Cache = Drust_memory.Cache
+module Metrics = Drust_obs.Metrics
+module Span = Drust_obs.Span
 
 type node = {
   id : int;
@@ -23,6 +25,8 @@ type t = {
   range_store : Partition.t array;
       (* partition object backing each home range; swapped on promotion *)
   rng : Drust_util.Rng.t;
+  metrics : Metrics.t;
+  spans : Span.t;
 }
 
 let next_uid = ref 0
@@ -30,10 +34,15 @@ let next_uid = ref 0
 let create ?engine params =
   let engine = match engine with Some e -> e | None -> Engine.create () in
   let rng = Drust_util.Rng.create ~seed:params.Params.seed in
+  (* One registry and one (disabled-by-default) span tracer per cluster:
+     every layer reports into these.  Recording never touches the engine
+     or any RNG, so instrumented runs stay bit-identical. *)
+  let metrics = Metrics.create () in
+  let spans = Span.create ~clock:(fun () -> Engine.now engine) () in
   let fabric =
-    Fabric.create ~engine
+    Fabric.create ~metrics ~spans ~engine
       ~rng:(Drust_util.Rng.split rng)
-      ~model:params.Params.net ~nodes:params.Params.nodes
+      ~model:params.Params.net ~nodes:params.Params.nodes ()
   in
   let make_node id =
     {
@@ -41,7 +50,7 @@ let create ?engine params =
       cores = Resource.create engine ~capacity:params.Params.cores_per_node;
       partition =
         Partition.create ~node:id ~capacity_bytes:params.Params.mem_per_node;
-      cache = Cache.create ~node:id;
+      cache = Cache.create ~metrics ~node:id ();
       alive = true;
     }
   in
@@ -57,6 +66,8 @@ let create ?engine params =
     serving = Array.init params.Params.nodes (fun i -> i);
     range_store = Array.map (fun n -> n.partition) nodes;
     rng;
+    metrics;
+    spans;
   }
 
 let uid t = t.uid
@@ -65,6 +76,8 @@ let engine t = t.engine
 let fabric t = t.fabric
 let params t = t.params
 let rng t = t.rng
+let metrics t = t.metrics
+let spans t = t.spans
 
 let node_count t = Array.length t.nodes
 

@@ -26,6 +26,16 @@ val fabric : t -> Drust_net.Fabric.t
 val params : t -> Params.t
 val rng : t -> Drust_util.Rng.t
 
+(** {1 Observability}
+
+    One metrics registry and one span tracer per cluster; the fabric,
+    the caches, the protocol, and the controller all report into them
+    (docs/OBSERVABILITY.md has the catalogue).  The tracer starts
+    disabled — [Drust_obs.Span.enable (Cluster.spans c)] turns it on. *)
+
+val metrics : t -> Drust_obs.Metrics.t
+val spans : t -> Drust_obs.Span.t
+
 val node_count : t -> int
 val node : t -> int -> node
 val nodes : t -> node array

@@ -7,36 +7,59 @@ type copy = {
   mutable detached : bool;
 }
 
+module Metrics = Drust_obs.Metrics
+
 type t = {
   node : int;
   (* Keyed by the physical (color-cleared) address; the copy remembers the
      full colored key so lookups can compare colors in O(1). *)
   map : (Gaddr.t, copy) Hashtbl.t;
   mutable used : int;
-  mutable hits : int;
-  mutable misses : int;
+  (* Registry-backed statistics (names cache.*, labelled by node). *)
+  c_hits : Metrics.counter;
+  c_misses : Metrics.counter;
+  c_inserts : Metrics.counter;
+  c_evictions : Metrics.counter;
+  g_used : Metrics.gauge;
 }
 
-let create ~node =
-  { node; map = Hashtbl.create 256; used = 0; hits = 0; misses = 0 }
+let create ?metrics ~node () =
+  let metrics =
+    match metrics with Some m -> m | None -> Metrics.create ()
+  in
+  let labels = [ ("node", string_of_int node) ] in
+  {
+    node;
+    map = Hashtbl.create 256;
+    used = 0;
+    c_hits = Metrics.counter metrics ~labels ~unit_:"ops" "cache.hits";
+    c_misses = Metrics.counter metrics ~labels ~unit_:"ops" "cache.misses";
+    c_inserts = Metrics.counter metrics ~labels ~unit_:"ops" "cache.inserts";
+    c_evictions =
+      Metrics.counter metrics ~labels ~unit_:"ops" "cache.evictions";
+    g_used = Metrics.gauge metrics ~labels ~unit_:"bytes" "cache.used_bytes";
+  }
 
 let node t = t.node
 let entries t = Hashtbl.length t.map
 let used_bytes t = t.used
+let set_used t used =
+  t.used <- used;
+  Metrics.set t.g_used (float_of_int used)
 
 let lookup t g =
   match Hashtbl.find_opt t.map (Gaddr.clear_color g) with
   | Some copy when Gaddr.equal copy.key g && not copy.dead ->
-      t.hits <- t.hits + 1;
+      Metrics.incr t.c_hits;
       Some copy
   | Some _ | None ->
-      t.misses <- t.misses + 1;
+      Metrics.incr t.c_misses;
       None
 
 let reclaim t copy =
   if not copy.dead then begin
     copy.dead <- true;
-    t.used <- t.used - copy.size
+    set_used t (t.used - copy.size)
   end
 
 (* Remove a copy from the map.  If references still pin it they keep
@@ -56,7 +79,8 @@ let insert t g ~size v =
     { key = g; value = v; size; refcount = 1; dead = false; detached = false }
   in
   Hashtbl.replace t.map phys copy;
-  t.used <- t.used + size;
+  Metrics.incr t.c_inserts;
+  set_used t (t.used + size);
   copy
 
 let retain copy =
@@ -83,6 +107,7 @@ let evict_unreferenced t =
   in
   let kill (phys, copy) =
     reclaimed := !reclaimed + copy.size;
+    Metrics.incr t.c_evictions;
     detach t phys copy
   in
   List.iter kill victims;
@@ -93,11 +118,11 @@ let iter t f = Hashtbl.iter (fun _ copy -> f copy) t.map
 let clear t =
   Hashtbl.iter (fun _ copy -> reclaim t copy) t.map;
   Hashtbl.reset t.map;
-  t.used <- 0
+  set_used t 0
 
-let hits t = t.hits
-let misses t = t.misses
+let hits t = Metrics.value t.c_hits
+let misses t = Metrics.value t.c_misses
 
 let reset_stats t =
-  t.hits <- 0;
-  t.misses <- 0
+  Metrics.reset_counter t.c_hits;
+  Metrics.reset_counter t.c_misses

@@ -24,7 +24,10 @@ type copy = {
           or invalidated) but still pinned by live references *)
 }
 
-val create : node:int -> t
+val create : ?metrics:Drust_obs.Metrics.t -> node:int -> unit -> t
+(** [metrics] is the registry the [cache.*] statistics (hits, misses,
+    inserts, evictions, used bytes — labelled by node) report into;
+    defaults to a fresh private registry. *)
 
 val node : t -> int
 val entries : t -> int
@@ -62,8 +65,13 @@ val evict_unreferenced : t -> int
 val iter : t -> (copy -> unit) -> unit
 val clear : t -> unit
 
-(** {1 Statistics} *)
+(** {1 Statistics}
+
+    Backed by the metrics registry ([cache.hits] / [cache.misses]);
+    these accessors read the node's counters. *)
 
 val hits : t -> int
 val misses : t -> int
+
 val reset_stats : t -> unit
+(** Zero hits and misses (inserts/evictions are left to accumulate). *)

@@ -1,5 +1,7 @@
 module Engine = Drust_sim.Engine
 module Fault = Drust_sim.Fault
+module Metrics = Drust_obs.Metrics
+module Span = Drust_obs.Span
 
 type node_id = int
 
@@ -21,15 +23,29 @@ let () =
     | _ -> None)
 
 type counters = {
-  mutable reads : int;
-  mutable writes : int;
-  mutable atomics : int;
-  mutable rpcs : int;
-  mutable bytes_out : int;
-  mutable remote_ops : int;
-  mutable timeouts : int; (* wrapped ops that expired their budget *)
-  mutable retries : int; (* backoff re-attempts issued from this node *)
-  mutable drops : int; (* messages lost to partitions or lossy links *)
+  reads : int;
+  writes : int;
+  atomics : int;
+  rpcs : int;
+  bytes_out : int;
+  remote_ops : int;
+  timeouts : int; (* wrapped ops that expired their budget *)
+  retries : int; (* backoff re-attempts issued from this node *)
+  drops : int; (* messages lost to partitions or lossy links *)
+}
+
+(* Per-node registry handles; the public [counters] record is a snapshot
+   of these. *)
+type verbs = {
+  c_reads : Metrics.counter;
+  c_writes : Metrics.counter;
+  c_atomics : Metrics.counter;
+  c_rpcs : Metrics.counter;
+  c_bytes_out : Metrics.counter;
+  c_remote_ops : Metrics.counter;
+  c_timeouts : Metrics.counter;
+  c_retries : Metrics.counter;
+  c_drops : Metrics.counter;
 }
 
 type t = {
@@ -37,56 +53,78 @@ type t = {
   rng : Drust_util.Rng.t;
   model : Model.t;
   nodes : int;
-  counters : counters array;
+  metrics : Metrics.t;
+  counters : verbs array;
   (* Egress line-rate serialization: the NIC that sources a payload can
      push one stream at line rate; concurrent bulk transfers from the
      same node queue behind each other.  Small control messages are
      exempt (they ride the latency, not the bandwidth). *)
   nics : Drust_sim.Resource.t array;
-  mutable trace : Drust_sim.Trace.t option;
+  mutable spans : Span.t option;
   mutable fault : Fault.t option;
 }
 
 (* Transfers below this size do not contend for the DMA engine. *)
 let bulk_threshold = 4096
 
-let fresh_counters () =
+let register_verbs metrics node =
+  let labels = [ ("node", string_of_int node) ] in
+  let c ?(unit_ = "ops") name = Metrics.counter metrics ~labels ~unit_ name in
   {
-    reads = 0;
-    writes = 0;
-    atomics = 0;
-    rpcs = 0;
-    bytes_out = 0;
-    remote_ops = 0;
-    timeouts = 0;
-    retries = 0;
-    drops = 0;
+    c_reads = c "fabric.reads";
+    c_writes = c "fabric.writes";
+    c_atomics = c "fabric.atomics";
+    c_rpcs = c "fabric.rpcs";
+    c_bytes_out = c ~unit_:"bytes" "fabric.bytes_out";
+    c_remote_ops = c "fabric.remote_ops";
+    c_timeouts = c "fabric.timeouts";
+    c_retries = c "fabric.retries";
+    c_drops = c "fabric.drops";
   }
 
-let create ~engine ~rng ~model ~nodes =
+let create ?metrics ?spans ~engine ~rng ~model ~nodes () =
   if nodes <= 0 then invalid_arg "Fabric.create: need at least one node";
+  let metrics =
+    match metrics with Some m -> m | None -> Metrics.create ()
+  in
   {
     engine;
     rng;
     model;
     nodes;
-    counters = Array.init nodes (fun _ -> fresh_counters ());
+    metrics;
+    counters = Array.init nodes (register_verbs metrics);
     nics =
       Array.init nodes (fun _ -> Drust_sim.Resource.create engine ~capacity:1);
-    trace = None;
+    spans;
     fault = None;
   }
 
-let set_trace t trace = t.trace <- trace
+let set_spans t spans = t.spans <- spans
+let metrics t = t.metrics
 let set_fault_plan t plan = t.fault <- Some plan
 let fault_plan t = t.fault
 
-let traced t verb ~from ~target ~bytes =
-  match t.trace with
-  | None -> ()
-  | Some tr ->
-      Drust_sim.Trace.recordf tr ~category:"fabric" "%s %d->%d %dB" verb from
-        target bytes
+(* Instant mark on the issuing node's timeline (drops, timeouts, async
+   sends); argument lists are only built when tracing is live. *)
+let mark t verb ~from ~target ~bytes =
+  match t.spans with
+  | Some sp when Span.is_enabled sp ->
+      Span.instant sp ~track:from ~category:"fabric"
+        ~args:
+          [ ("target", string_of_int target); ("bytes", string_of_int bytes) ]
+        verb
+  | _ -> ()
+
+(* Complete span covering a blocking verb's latency. *)
+let with_verb_span t verb ~from ~target ~bytes f =
+  match t.spans with
+  | Some sp when Span.is_enabled sp ->
+      Span.with_span sp ~track:from ~category:"fabric"
+        ~args:
+          [ ("target", string_of_int target); ("bytes", string_of_int bytes) ]
+        verb f
+  | _ -> f ()
 
 let engine t = t.engine
 let node_count t = t.nodes
@@ -119,8 +157,8 @@ let sync_guard t ~from ~target =
           raise (Node_down target)
         end;
         if Fault.severed p ~from ~target || Fault.drops p ~from ~target then begin
-          t.counters.(from).drops <- t.counters.(from).drops + 1;
-          traced t "DROP" ~from ~target ~bytes:0;
+          Metrics.incr t.counters.(from).c_drops;
+          mark t "DROP" ~from ~target ~bytes:0;
           blackhole ()
         end
       end
@@ -137,8 +175,8 @@ let async_delivers t ~from ~target =
         || (from <> target
            && (Fault.severed p ~from ~target || Fault.drops p ~from ~target))
       then begin
-        t.counters.(from).drops <- t.counters.(from).drops + 1;
-        traced t "DROP(async)" ~from ~target ~bytes:0;
+        Metrics.incr t.counters.(from).c_drops;
+        mark t "DROP(async)" ~from ~target ~bytes:0;
         false
       end
       else true
@@ -179,37 +217,38 @@ let delay_with_nic t ~data_source ~from ~target ~base ~bytes =
 
 let note t ~from ~target ~bytes =
   let c = t.counters.(from) in
-  c.bytes_out <- c.bytes_out + bytes;
-  if from <> target then c.remote_ops <- c.remote_ops + 1
+  Metrics.add c.c_bytes_out bytes;
+  if from <> target then Metrics.incr c.c_remote_ops
 
 let rdma_read t ~from ~target ~bytes =
   check_node t from "rdma_read";
   check_node t target "rdma_read";
-  t.counters.(from).reads <- t.counters.(from).reads + 1;
+  Metrics.incr t.counters.(from).c_reads;
   note t ~from ~target ~bytes;
   sync_guard t ~from ~target;
-  traced t "READ" ~from ~target ~bytes;
   (* READ pulls data out of the target: the target's NIC is the egress. *)
-  delay_with_nic t ~data_source:target ~from ~target
-    ~base:t.model.Model.oneside_base ~bytes
+  with_verb_span t "READ" ~from ~target ~bytes (fun () ->
+      delay_with_nic t ~data_source:target ~from ~target
+        ~base:t.model.Model.oneside_base ~bytes)
 
 let rdma_write t ~from ~target ~bytes =
   check_node t from "rdma_write";
   check_node t target "rdma_write";
-  t.counters.(from).writes <- t.counters.(from).writes + 1;
+  Metrics.incr t.counters.(from).c_writes;
   note t ~from ~target ~bytes;
   sync_guard t ~from ~target;
-  traced t "WRITE" ~from ~target ~bytes;
   (* WRITE pushes data from the sender: its NIC is the egress. *)
-  delay_with_nic t ~data_source:from ~from ~target
-    ~base:t.model.Model.oneside_base ~bytes
+  with_verb_span t "WRITE" ~from ~target ~bytes (fun () ->
+      delay_with_nic t ~data_source:from ~from ~target
+        ~base:t.model.Model.oneside_base ~bytes)
 
 let rdma_write_async t ~from ~target ~bytes k =
   check_node t from "rdma_write_async";
   check_node t target "rdma_write_async";
-  t.counters.(from).writes <- t.counters.(from).writes + 1;
+  Metrics.incr t.counters.(from).c_writes;
   note t ~from ~target ~bytes;
   if async_delivers t ~from ~target then begin
+    mark t "WRITE(async)" ~from ~target ~bytes;
     let dt = latency t ~from ~target ~base:t.model.Model.oneside_base ~bytes in
     Engine.schedule_after t.engine dt k
   end
@@ -217,26 +256,28 @@ let rdma_write_async t ~from ~target ~bytes k =
 let rdma_atomic t ~from ~target f =
   check_node t from "rdma_atomic";
   check_node t target "rdma_atomic";
-  t.counters.(from).atomics <- t.counters.(from).atomics + 1;
+  Metrics.incr t.counters.(from).c_atomics;
   note t ~from ~target ~bytes:8;
   sync_guard t ~from ~target;
-  traced t "ATOMIC" ~from ~target ~bytes:8;
-  Engine.delay t.engine (latency t ~from ~target ~base:t.model.Model.atomic_base ~bytes:0);
-  f ()
+  with_verb_span t "ATOMIC" ~from ~target ~bytes:8 (fun () ->
+      Engine.delay t.engine
+        (latency t ~from ~target ~base:t.model.Model.atomic_base ~bytes:0);
+      f ())
 
 let rpc t ~from ~target ~req_bytes ~resp_bytes handler =
   check_node t from "rpc";
   check_node t target "rpc";
-  t.counters.(from).rpcs <- t.counters.(from).rpcs + 1;
+  Metrics.incr t.counters.(from).c_rpcs;
   note t ~from ~target ~bytes:(req_bytes + resp_bytes);
   sync_guard t ~from ~target;
-  traced t "RPC" ~from ~target ~bytes:(req_bytes + resp_bytes);
-  delay_with_nic t ~data_source:from ~from ~target
-    ~base:t.model.Model.twoside_base ~bytes:req_bytes;
-  let result = handler () in
-  delay_with_nic t ~data_source:target ~from ~target
-    ~base:t.model.Model.twoside_base ~bytes:resp_bytes;
-  result
+  with_verb_span t "RPC" ~from ~target ~bytes:(req_bytes + resp_bytes)
+    (fun () ->
+      delay_with_nic t ~data_source:from ~from ~target
+        ~base:t.model.Model.twoside_base ~bytes:req_bytes;
+      let result = handler () in
+      delay_with_nic t ~data_source:target ~from ~target
+        ~base:t.model.Model.twoside_base ~bytes:resp_bytes;
+      result)
 
 (* ------------------------------------------------------------------ *)
 (* Bounded failure semantics: race an operation against a virtual-time
@@ -277,8 +318,8 @@ let rpc_with_timeout t ~from ~target ~req_bytes ~resp_bytes ~timeout handler =
   | Settled v -> v
   | Crashed e -> raise e
   | Expired ->
-      t.counters.(from).timeouts <- t.counters.(from).timeouts + 1;
-      traced t "TIMEOUT" ~from ~target ~bytes:0;
+      Metrics.incr t.counters.(from).c_timeouts;
+      mark t "TIMEOUT" ~from ~target ~bytes:0;
       raise (Rpc_timeout { from; target; timeout })
 
 (* Retry [op] on Node_down / Rpc_timeout with exponential backoff, giving
@@ -298,7 +339,7 @@ let retry_with_backoff t ~from ?(attempts = 8) ?(base_delay = 50e-6)
         if n + 1 >= attempts || Engine.now t.engine +. delay > deadline then
           raise e
         else begin
-          t.counters.(from).retries <- t.counters.(from).retries + 1;
+          Metrics.incr t.counters.(from).c_retries;
           (* +-25% seeded jitter decorrelates retry storms. *)
           let d = delay *. (0.75 +. Drust_util.Rng.float t.rng 0.5) in
           Engine.delay t.engine d;
@@ -310,10 +351,10 @@ let retry_with_backoff t ~from ?(attempts = 8) ?(base_delay = 50e-6)
 let send_async t ~from ~target ~bytes handler =
   check_node t from "send_async";
   check_node t target "send_async";
-  t.counters.(from).rpcs <- t.counters.(from).rpcs + 1;
+  Metrics.incr t.counters.(from).c_rpcs;
   note t ~from ~target ~bytes;
   if async_delivers t ~from ~target then begin
-    traced t "SEND(async)" ~from ~target ~bytes;
+    mark t "SEND(async)" ~from ~target ~bytes;
     let dt =
       latency t ~from ~target ~base:t.model.Model.twoside_base ~bytes
     in
@@ -323,12 +364,35 @@ let send_async t ~from ~target ~bytes handler =
 
 let counters_of t node =
   check_node t node "counters_of";
-  t.counters.(node)
+  let c = t.counters.(node) in
+  {
+    reads = Metrics.value c.c_reads;
+    writes = Metrics.value c.c_writes;
+    atomics = Metrics.value c.c_atomics;
+    rpcs = Metrics.value c.c_rpcs;
+    bytes_out = Metrics.value c.c_bytes_out;
+    remote_ops = Metrics.value c.c_remote_ops;
+    timeouts = Metrics.value c.c_timeouts;
+    retries = Metrics.value c.c_retries;
+    drops = Metrics.value c.c_drops;
+  }
 
 let total_remote_ops t =
-  Array.fold_left (fun acc c -> acc + c.remote_ops) 0 t.counters
+  Array.fold_left (fun acc c -> acc + Metrics.value c.c_remote_ops) 0 t.counters
 
-let total_bytes t = Array.fold_left (fun acc c -> acc + c.bytes_out) 0 t.counters
+let total_bytes t =
+  Array.fold_left (fun acc c -> acc + Metrics.value c.c_bytes_out) 0 t.counters
 
 let reset_counters t =
-  Array.iteri (fun i _ -> t.counters.(i) <- fresh_counters ()) t.counters
+  Array.iter
+    (fun c ->
+      Metrics.reset_counter c.c_reads;
+      Metrics.reset_counter c.c_writes;
+      Metrics.reset_counter c.c_atomics;
+      Metrics.reset_counter c.c_rpcs;
+      Metrics.reset_counter c.c_bytes_out;
+      Metrics.reset_counter c.c_remote_ops;
+      Metrics.reset_counter c.c_timeouts;
+      Metrics.reset_counter c.c_retries;
+      Metrics.reset_counter c.c_drops)
+    t.counters

@@ -8,8 +8,11 @@
     handler "at" the target (the handler may acquire target-side resources,
     which is how home-node bottlenecks emerge in the baselines).
 
-    Per-node traffic counters feed the evaluation's coherence-cost
-    breakdowns. *)
+    Per-node traffic counters live in a {!Drust_obs.Metrics} registry
+    (names [fabric.*], labelled by source node) and feed the
+    evaluation's coherence-cost breakdowns; when a {!Drust_obs.Span}
+    tracer is attached and enabled, every verb also lands on the issuing
+    node's timeline (category ["fabric"]). *)
 
 type node_id = int
 
@@ -25,17 +28,28 @@ exception Rpc_timeout of { from : node_id; target : node_id; timeout : float }
     its simulated-time budget. *)
 
 val create :
+  ?metrics:Drust_obs.Metrics.t ->
+  ?spans:Drust_obs.Span.t ->
   engine:Drust_sim.Engine.t ->
   rng:Drust_util.Rng.t ->
   model:Model.t ->
   nodes:int ->
+  unit ->
   t
+(** [metrics] defaults to a fresh private registry; pass the cluster's
+    registry so fabric counters land next to everyone else's.  [spans]
+    defaults to none (no tracing). *)
 
 val engine : t -> Drust_sim.Engine.t
 
-val set_trace : t -> Drust_sim.Trace.t option -> unit
-(** Attach an event trace: every verb records one "fabric" event.  Free
-    when unset or when the trace is disabled. *)
+val metrics : t -> Drust_obs.Metrics.t
+(** The registry the verb counters report into. *)
+
+val set_spans : t -> Drust_obs.Span.t option -> unit
+(** Attach a span tracer: every blocking verb records a complete span
+    covering its latency, and drops/timeouts/async sends record instant
+    events — all on the issuing node's track, category ["fabric"].
+    Free when unset or when the tracer is disabled. *)
 
 val set_fault_plan : t -> Drust_sim.Fault.t -> unit
 (** Install a fault plan: from now on every verb consults it.  Verbs
@@ -122,22 +136,25 @@ val retry_with_backoff :
     last error.  [op] should re-resolve its target each attempt so a
     retry can land on a freshly promoted backup. *)
 
-(** {1 Traffic statistics} *)
+(** {1 Traffic statistics}
+
+    Counters are held in the metrics registry under [fabric.*] names
+    with a [node] label; the record below is a convenience snapshot. *)
 
 type counters = {
-  mutable reads : int;
-  mutable writes : int;
-  mutable atomics : int;
-  mutable rpcs : int;
-  mutable bytes_out : int;
-  mutable remote_ops : int;  (** verbs whose target differs from source *)
-  mutable timeouts : int;  (** wrapped ops that expired their budget *)
-  mutable retries : int;  (** backoff re-attempts issued from this node *)
-  mutable drops : int;  (** messages lost to partitions or lossy links *)
+  reads : int;
+  writes : int;
+  atomics : int;
+  rpcs : int;
+  bytes_out : int;
+  remote_ops : int;  (** verbs whose target differs from source *)
+  timeouts : int;  (** wrapped ops that expired their budget *)
+  retries : int;  (** backoff re-attempts issued from this node *)
+  drops : int;  (** messages lost to partitions or lossy links *)
 }
 
 val counters_of : t -> node_id -> counters
-(** Mutable per-node counters (indexed by the {e source} node). *)
+(** Snapshot of one node's counters (indexed by the {e source} node). *)
 
 val total_remote_ops : t -> int
 val total_bytes : t -> int

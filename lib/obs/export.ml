@@ -1,0 +1,108 @@
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let str s = "\"" ^ json_escape s ^ "\""
+
+(* JSON numbers: finite floats only; trace timestamps use plain decimal
+   notation (Perfetto rejects exponents in some paths), metrics use %g. *)
+let num v = if Float.is_finite v then Printf.sprintf "%g" v else str (Float.to_string v)
+
+let obj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> str k ^ ":" ^ v) fields) ^ "}"
+
+let args_obj args =
+  obj (List.map (fun (k, v) -> (k, str v)) args)
+
+let us t = Printf.sprintf "%.3f" (t *. 1e6)
+
+let chrome_trace ?(process_name = "drust-sim") spans =
+  let events = Span.events spans in
+  let tracks =
+    List.sort_uniq compare (List.map (fun e -> e.Span.track) events)
+  in
+  let meta =
+    obj
+      [ ("ph", str "M"); ("pid", "0"); ("tid", "0");
+        ("name", str "process_name"); ("args", obj [ ("name", str process_name) ]) ]
+    :: List.map
+         (fun track ->
+           obj
+             [ ("ph", str "M"); ("pid", "0");
+               ("tid", string_of_int track); ("name", str "thread_name");
+               ("args", obj [ ("name", str (Printf.sprintf "node %d" track)) ]) ])
+         tracks
+  in
+  let body =
+    List.stable_sort (fun a b -> compare a.Span.ts b.Span.ts) events
+    |> List.map (fun e ->
+           let common =
+             [ ("pid", "0"); ("tid", string_of_int e.Span.track);
+               ("ts", us e.Span.ts); ("name", str e.Span.name);
+               ("cat", str e.Span.category); ("args", args_obj e.Span.args) ]
+           in
+           match e.Span.kind with
+           | Span.Complete ->
+               obj (("ph", str "X") :: ("dur", us e.Span.dur) :: common)
+           | Span.Instant ->
+               obj (("ph", str "i") :: ("s", str "t") :: common))
+  in
+  "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+  ^ String.concat ",\n" (meta @ body)
+  ^ "\n]}\n"
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let write_chrome_trace ?process_name ~path spans =
+  write_file path (chrome_trace ?process_name spans)
+
+let sample_line ?time (s : Metrics.sample) =
+  let labels =
+    obj (List.map (fun (k, v) -> (k, str v)) s.Metrics.s_labels)
+  in
+  let base =
+    (match time with Some t -> [ ("time", num t) ] | None -> [])
+    @ [ ("name", str s.Metrics.s_name); ("labels", labels) ]
+    @ (if s.Metrics.s_unit = "" then [] else [ ("unit", str s.Metrics.s_unit) ])
+  in
+  match s.Metrics.s_value with
+  | Metrics.Count n ->
+      obj (base @ [ ("type", str "counter"); ("value", string_of_int n) ])
+  | Metrics.Level v -> obj (base @ [ ("type", str "gauge"); ("value", num v) ])
+  | Metrics.Histo h ->
+      let buckets =
+        "["
+        ^ String.concat ","
+            (List.map
+               (fun (le, c) ->
+                 obj [ ("le", num le); ("count", string_of_int c) ])
+               h.Metrics.h_buckets)
+        ^ "]"
+      in
+      obj
+        (base
+        @ [ ("type", str "histogram");
+            ("count", string_of_int h.Metrics.h_count);
+            ("sum", num h.Metrics.h_sum); ("min", num h.Metrics.h_min);
+            ("max", num h.Metrics.h_max); ("buckets", buckets) ])
+
+let metrics_jsonl ?time snap =
+  String.concat "" (List.map (fun s -> sample_line ?time s ^ "\n") snap)
+
+let write_metrics_jsonl ?time ~path snap =
+  write_file path (metrics_jsonl ?time snap)

@@ -1,0 +1,27 @@
+(** Exporters: Chrome [trace_event] JSON and a JSONL metrics dump.
+
+    [chrome_trace] renders a {!Span.t}'s events in the Chrome trace-event
+    format (JSON object form), loadable in [chrome://tracing] and
+    Perfetto ({:https://ui.perfetto.dev}): one process, one timeline row
+    (tid) per track — i.e. per node — complete spans as ["X"] events and
+    instants as ["i"] events, timestamps in microseconds of virtual
+    time, sorted ascending.
+
+    [metrics_jsonl] renders a {!Metrics.snapshot} as one JSON object per
+    line, friendly to [jq] and dataframe loaders. *)
+
+val chrome_trace : ?process_name:string -> Span.t -> string
+(** The whole trace as one JSON document. *)
+
+val write_chrome_trace : ?process_name:string -> path:string -> Span.t -> unit
+
+val metrics_jsonl : ?time:float -> Metrics.snapshot -> string
+(** One line per sample:
+    [{"name":...,"labels":{...},"unit":...,"type":...,"value":...}];
+    histograms carry count/sum/min/max/buckets.  [time] (virtual
+    seconds) is stamped on every line when given. *)
+
+val write_metrics_jsonl : ?time:float -> path:string -> Metrics.snapshot -> unit
+
+val json_escape : string -> string
+(** JSON string-body escaping (exposed for the tests). *)

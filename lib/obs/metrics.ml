@@ -1,0 +1,236 @@
+type labels = (string * string) list
+
+type owner = { mutable enabled : bool }
+
+type counter = { c_owner : owner; mutable count : int }
+type gauge = { g_owner : owner; mutable g_level : float }
+
+type histogram = {
+  h_owner : owner;
+  bounds : float array; (* ascending upper bounds *)
+  counts : int array; (* one slot per bound + a final overflow slot *)
+  mutable sum : float;
+  mutable n : int;
+  mutable lo : float;
+  mutable hi : float;
+}
+
+type instrument = C of counter | G of gauge | H of histogram
+
+type metric = {
+  m_name : string;
+  m_labels : labels;
+  m_unit : string;
+  m_inst : instrument;
+}
+
+type t = {
+  o : owner;
+  tbl : (string * labels, metric) Hashtbl.t;
+}
+
+let create ?(enabled = true) () = { o = { enabled }; tbl = Hashtbl.create 64 }
+let enable t = t.o.enabled <- true
+let disable t = t.o.enabled <- false
+let is_enabled t = t.o.enabled
+
+let norm_labels labels =
+  List.sort_uniq (fun (a, _) (b, _) -> compare a b) labels
+
+let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+
+let register t ~labels ~unit_ name make check =
+  let labels = norm_labels labels in
+  match Hashtbl.find_opt t.tbl (name, labels) with
+  | Some m -> (
+      match check m.m_inst with
+      | Some v -> v
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %S already registered as a %s" name
+               (kind_name m.m_inst)))
+  | None ->
+      let inst, v = make () in
+      Hashtbl.replace t.tbl (name, labels)
+        { m_name = name; m_labels = labels; m_unit = unit_; m_inst = inst };
+      v
+
+let counter t ?(labels = []) ?(unit_ = "") ?(help = "") name =
+  ignore help;
+  register t ~labels ~unit_ name
+    (fun () ->
+      let c = { c_owner = t.o; count = 0 } in
+      (C c, c))
+    (function C c -> Some c | _ -> None)
+
+let gauge t ?(labels = []) ?(unit_ = "") ?(help = "") name =
+  ignore help;
+  register t ~labels ~unit_ name
+    (fun () ->
+      let g = { g_owner = t.o; g_level = 0.0 } in
+      (G g, g))
+    (function G g -> Some g | _ -> None)
+
+(* 1us .. 100ms, log-spaced: the span of one simulated network verb up to
+   a whole experiment phase. *)
+let default_buckets =
+  [| 1e-6; 2e-6; 5e-6; 1e-5; 2e-5; 5e-5; 1e-4; 2e-4; 5e-4; 1e-3; 2e-3; 5e-3;
+     1e-2; 2e-2; 5e-2; 1e-1 |]
+
+let histogram t ?(buckets = default_buckets) ?(labels = []) ?(unit_ = "")
+    ?(help = "") name =
+  ignore help;
+  let k = Array.length buckets in
+  if k = 0 then invalid_arg "Metrics.histogram: need at least one bucket";
+  for i = 1 to k - 1 do
+    if buckets.(i - 1) >= buckets.(i) then
+      invalid_arg "Metrics.histogram: buckets must be strictly ascending"
+  done;
+  register t ~labels ~unit_ name
+    (fun () ->
+      let h =
+        { h_owner = t.o; bounds = Array.copy buckets;
+          counts = Array.make (k + 1) 0; sum = 0.0; n = 0; lo = infinity;
+          hi = neg_infinity }
+      in
+      (H h, h))
+    (function H h -> Some h | _ -> None)
+
+let incr c = if c.c_owner.enabled then c.count <- c.count + 1
+let add c n = if c.c_owner.enabled then c.count <- c.count + n
+let set g v = if g.g_owner.enabled then g.g_level <- v
+
+let observe h v =
+  if h.h_owner.enabled then begin
+    let k = Array.length h.bounds in
+    let i = ref 0 in
+    while !i < k && v > h.bounds.(!i) do Stdlib.incr i done;
+    h.counts.(!i) <- h.counts.(!i) + 1;
+    h.sum <- h.sum +. v;
+    h.n <- h.n + 1;
+    if v < h.lo then h.lo <- v;
+    if v > h.hi then h.hi <- v
+  end
+
+let value c = c.count
+let level g = g.g_level
+let reset_counter c = c.count <- 0
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+
+type histo = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+  h_buckets : (float * int) list;
+}
+
+type value = Count of int | Level of float | Histo of histo
+
+type sample = {
+  s_name : string;
+  s_labels : labels;
+  s_unit : string;
+  s_value : value;
+}
+
+type snapshot = sample list
+
+let sample_of m =
+  let v =
+    match m.m_inst with
+    | C c -> Count c.count
+    | G g -> Level g.g_level
+    | H h ->
+        let k = Array.length h.bounds in
+        let buckets =
+          List.init (k + 1) (fun i ->
+              ((if i < k then h.bounds.(i) else infinity), h.counts.(i)))
+        in
+        Histo
+          {
+            h_count = h.n;
+            h_sum = h.sum;
+            h_min = (if h.n = 0 then nan else h.lo);
+            h_max = (if h.n = 0 then nan else h.hi);
+            h_buckets = buckets;
+          }
+  in
+  { s_name = m.m_name; s_labels = m.m_labels; s_unit = m.m_unit; s_value = v }
+
+let snapshot t =
+  Hashtbl.fold (fun _ m acc -> sample_of m :: acc) t.tbl []
+  |> List.sort (fun a b ->
+         match compare a.s_name b.s_name with
+         | 0 -> compare a.s_labels b.s_labels
+         | c -> c)
+
+let diff ~before ~after =
+  let key s = (s.s_name, s.s_labels) in
+  let prior = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace prior (key s) s.s_value) before;
+  List.map
+    (fun s ->
+      let v =
+        match (s.s_value, Hashtbl.find_opt prior (key s)) with
+        | Count a, Some (Count b) -> Count (a - b)
+        | Histo a, Some (Histo b) ->
+            let sub =
+              List.map2
+                (fun (bound, ca) (_, cb) -> (bound, ca - cb))
+                a.h_buckets b.h_buckets
+            in
+            Histo
+              {
+                a with
+                h_count = a.h_count - b.h_count;
+                h_sum = a.h_sum -. b.h_sum;
+                h_buckets = sub;
+              }
+        | v, _ -> v
+      in
+      { s with s_value = v })
+    after
+
+let names t =
+  Hashtbl.fold (fun (name, _) _ acc -> name :: acc) t.tbl []
+  |> List.sort_uniq compare
+
+let total snap name =
+  List.fold_left
+    (fun acc s ->
+      match s.s_value with
+      | Count n when s.s_name = name -> acc + n
+      | _ -> acc)
+    0 snap
+
+let find snap ?(labels = []) name =
+  let labels = norm_labels labels in
+  List.find_map
+    (fun s ->
+      if s.s_name = name && s.s_labels = labels then Some s.s_value else None)
+    snap
+
+let pp_labels fmt = function
+  | [] -> ()
+  | labels ->
+      Format.fprintf fmt "{%s}"
+        (String.concat ","
+           (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) labels))
+
+let pp fmt snap =
+  List.iter
+    (fun s ->
+      (match s.s_value with
+      | Count n ->
+          Format.fprintf fmt "%s%a = %d" s.s_name pp_labels s.s_labels n
+      | Level v ->
+          Format.fprintf fmt "%s%a = %g" s.s_name pp_labels s.s_labels v
+      | Histo h ->
+          Format.fprintf fmt "%s%a = histogram(n=%d, sum=%g, min=%g, max=%g)"
+            s.s_name pp_labels s.s_labels h.h_count h.h_sum h.h_min h.h_max);
+      (if s.s_unit <> "" then Format.fprintf fmt " %s" s.s_unit);
+      Format.fprintf fmt "@\n")
+    snap

@@ -1,0 +1,113 @@
+(** Unified metrics registry.
+
+    Every layer of the system (fabric verbs, protocol moves, cache
+    hits/misses, controller decisions) reports into one [Metrics.t] of
+    named, labelled instruments — counters, gauges, and histograms — so
+    experiments and the CLI read a single snapshot instead of poking at
+    per-module counter structs.
+
+    Conventions (see docs/OBSERVABILITY.md for the full catalogue):
+    - names are dotted, [layer.metric] ("fabric.reads", "cache.hits");
+    - labels identify the sub-series ([("node", "3")]); a registry is
+      per-cluster, so no cluster label is needed;
+    - recording is {e observational only}: nothing here touches the
+      simulation engine or any RNG, so instrumented and uninstrumented
+      runs are bit-identical.
+
+    Recording against a disabled registry is a no-op that allocates
+    nothing and leaves every value untouched. *)
+
+type t
+(** A registry. *)
+
+type labels = (string * string) list
+(** Label set; normalized (sorted by key) on registration. *)
+
+type counter
+type gauge
+type histogram
+
+val create : ?enabled:bool -> unit -> t
+(** Fresh registry; [enabled] defaults to [true]. *)
+
+val enable : t -> unit
+val disable : t -> unit
+val is_enabled : t -> bool
+
+(** {1 Registration}
+
+    Registering the same (name, labels) pair twice returns the existing
+    instrument (handles are shared); registering it with a different
+    instrument kind raises [Invalid_argument]. *)
+
+val counter : t -> ?labels:labels -> ?unit_:string -> ?help:string -> string -> counter
+(** Monotonic event count ([unit_] e.g. "ops", "bytes"). *)
+
+val gauge : t -> ?labels:labels -> ?unit_:string -> ?help:string -> string -> gauge
+(** Instantaneous level (e.g. cache bytes in use). *)
+
+val histogram :
+  t -> ?buckets:float array -> ?labels:labels -> ?unit_:string -> ?help:string -> string -> histogram
+(** Distribution with cumulative-style buckets: [buckets] are upper
+    bounds, ascending; samples above the last bound land in an implicit
+    overflow bucket.  Default buckets suit latencies in seconds
+    (1us .. 100ms, log-spaced). *)
+
+(** {1 Recording} — no-ops (and allocation-free) when the registry is
+    disabled. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val set : gauge -> float -> unit
+val observe : histogram -> float -> unit
+
+(** {1 Reading} *)
+
+val value : counter -> int
+val level : gauge -> float
+
+val reset_counter : counter -> unit
+(** Maintenance, not recording: works even when the registry is
+    disabled (experiment harnesses zero counters between phases). *)
+
+(** {1 Snapshots} *)
+
+type histo = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;  (** [nan] when empty *)
+  h_max : float;  (** [nan] when empty *)
+  h_buckets : (float * int) list;  (** (upper bound, count per bucket), plus ([infinity], overflow) *)
+}
+
+type value = Count of int | Level of float | Histo of histo
+
+type sample = {
+  s_name : string;
+  s_labels : labels;
+  s_unit : string;
+  s_value : value;
+}
+
+type snapshot = sample list
+(** Sorted by (name, labels): deterministic, diffable. *)
+
+val snapshot : t -> snapshot
+
+val diff : before:snapshot -> after:snapshot -> snapshot
+(** Per-sample difference: counters and histogram counts/sums subtract
+    (a sample absent from [before] counts from zero); gauges keep the
+    [after] level.  Samples absent from [after] are dropped. *)
+
+val names : t -> string list
+(** Distinct registered metric names, sorted — the registry side of the
+    docs-catalogue check. *)
+
+val total : snapshot -> string -> int
+(** Sum of all [Count] samples with this name across label sets. *)
+
+val find : snapshot -> ?labels:labels -> string -> value option
+(** Exact (name, labels) lookup. *)
+
+val pp : Format.formatter -> snapshot -> unit
+(** Text rendering, one sample per line. *)

@@ -1,0 +1,165 @@
+type kind = Complete | Instant
+
+type event = {
+  name : string;
+  category : string;
+  track : int;
+  ts : float;
+  dur : float;
+  depth : int;
+  args : (string * string) list;
+  kind : kind;
+}
+
+type span = {
+  sp_name : string;
+  sp_cat : string;
+  sp_track : int;
+  sp_ts : float;
+  sp_depth : int;
+  sp_args : (string * string) list;
+  mutable sp_live : bool;
+}
+
+type dur_stats = {
+  d_count : int;
+  d_total : float;
+  d_min : float;
+  d_max : float;
+}
+
+type t = {
+  clock : unit -> float;
+  ring : event option array;
+  mutable next : int;
+  mutable total : int;
+  mutable enabled : bool;
+  depths : (int, int) Hashtbl.t; (* track -> open span count *)
+  stats : (string, dur_stats) Hashtbl.t; (* category -> durations *)
+}
+
+let create ?(capacity = 65536) ~clock () =
+  if capacity <= 0 then invalid_arg "Span.create: capacity must be positive";
+  {
+    clock;
+    ring = Array.make capacity None;
+    next = 0;
+    total = 0;
+    enabled = false;
+    depths = Hashtbl.create 16;
+    stats = Hashtbl.create 16;
+  }
+
+let enable t = t.enabled <- true
+let disable t = t.enabled <- false
+let is_enabled t = t.enabled
+
+let null_span =
+  { sp_name = ""; sp_cat = ""; sp_track = 0; sp_ts = 0.0; sp_depth = 0;
+    sp_args = []; sp_live = false }
+
+let record t ev =
+  t.ring.(t.next) <- Some ev;
+  t.next <- (t.next + 1) mod Array.length t.ring;
+  t.total <- t.total + 1
+
+let depth t ~track =
+  match Hashtbl.find_opt t.depths track with Some d -> d | None -> 0
+
+let start t ?(track = 0) ?(args = []) ~category name =
+  if not t.enabled then null_span
+  else begin
+    let d = depth t ~track + 1 in
+    Hashtbl.replace t.depths track d;
+    { sp_name = name; sp_cat = category; sp_track = track;
+      sp_ts = t.clock (); sp_depth = d; sp_args = args; sp_live = true }
+  end
+
+let note_duration t category dur =
+  let s =
+    match Hashtbl.find_opt t.stats category with
+    | Some s ->
+        { d_count = s.d_count + 1; d_total = s.d_total +. dur;
+          d_min = Float.min s.d_min dur; d_max = Float.max s.d_max dur }
+    | None -> { d_count = 1; d_total = dur; d_min = dur; d_max = dur }
+  in
+  Hashtbl.replace t.stats category s
+
+let finish t sp =
+  if sp.sp_live then begin
+    sp.sp_live <- false;
+    let d = depth t ~track:sp.sp_track in
+    if d > 0 then Hashtbl.replace t.depths sp.sp_track (d - 1);
+    if t.enabled then begin
+      let dur = t.clock () -. sp.sp_ts in
+      note_duration t sp.sp_cat dur;
+      record t
+        { name = sp.sp_name; category = sp.sp_cat; track = sp.sp_track;
+          ts = sp.sp_ts; dur; depth = sp.sp_depth; args = sp.sp_args;
+          kind = Complete }
+    end
+  end
+
+let with_span t ?track ?args ~category name f =
+  let sp = start t ?track ?args ~category name in
+  match f () with
+  | v ->
+      finish t sp;
+      v
+  | exception e ->
+      finish t sp;
+      raise e
+
+let instant t ?(track = 0) ?(args = []) ~category name =
+  if t.enabled then
+    record t
+      { name; category; track; ts = t.clock (); dur = 0.0;
+        depth = depth t ~track; args; kind = Instant }
+
+let events t =
+  let cap = Array.length t.ring in
+  let out = ref [] in
+  for i = cap - 1 downto 0 do
+    (* Oldest entry sits at [next] once the ring has wrapped. *)
+    match t.ring.((t.next + i) mod cap) with
+    | Some e -> out := e :: !out
+    | None -> ()
+  done;
+  !out
+
+let count t = t.total
+
+let duration_stats t =
+  Hashtbl.fold (fun cat s acc -> (cat, s) :: acc) t.stats []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let clear t =
+  Array.fill t.ring 0 (Array.length t.ring) None;
+  t.next <- 0;
+  t.total <- 0;
+  Hashtbl.reset t.depths;
+  Hashtbl.reset t.stats
+
+let pp_args fmt = function
+  | [] -> ()
+  | args ->
+      Format.fprintf fmt " (%s)"
+        (String.concat ", "
+           (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) args))
+
+let dump ?(limit = 40) fmt t =
+  let all = events t in
+  let n = List.length all in
+  let tail = if n <= limit then all else List.filteri (fun i _ -> i >= n - limit) all in
+  Format.fprintf fmt "spans: %d event(s) recorded, showing last %d@\n" t.total
+    (List.length tail);
+  List.iter
+    (fun e ->
+      match e.kind with
+      | Instant ->
+          Format.fprintf fmt "  [%10.6f] #%d %-10s %s%a@\n" e.ts e.track
+            e.category e.name pp_args e.args
+      | Complete ->
+          Format.fprintf fmt "  [%10.6f] #%d %-10s %s (%.1f us)%a@\n" e.ts
+            e.track e.category e.name (e.dur *. 1e6) pp_args e.args)
+    tail

@@ -1,0 +1,95 @@
+(** Span tracing layered on virtual time.
+
+    A bounded ring of trace events recorded against an injected clock
+    (the simulation engine's virtual clock in practice — this library
+    stays below [Drust_sim] in the dependency order, so the clock is a
+    plain [unit -> float]).  Two event shapes:
+
+    - {e complete spans}: [start] .. [finish] pairs with a category, a
+      track (one per node by convention), free-form attributes, nesting
+      depth, and a duration; per-category duration statistics accumulate
+      as spans finish;
+    - {e instants}: zero-duration marks ("DROP", "FAILOVER", ...).
+
+    This subsumes the old flat [Trace] ring: events carry structure
+    (category / track / args / duration) instead of one pre-formatted
+    string, which is what lets {!Export.chrome_trace} lay a run out on a
+    per-node timeline.
+
+    Recording against a disabled tracer is a no-op: nothing is
+    allocated, [count] stays 0, and [start] hands back a shared null
+    span that [finish] ignores.  Tracers default to disabled — tracing
+    is opt-in (DRUST_TRACE / --trace). *)
+
+type t
+
+type kind = Complete | Instant
+
+type event = {
+  name : string;
+  category : string;  (** "fabric", "protocol", "controller", "app", ... *)
+  track : int;  (** timeline lane; by convention the node id *)
+  ts : float;  (** virtual start time, seconds *)
+  dur : float;  (** 0 for instants *)
+  depth : int;  (** nesting depth on this track at [start] time, >= 1 *)
+  args : (string * string) list;
+  kind : kind;
+}
+
+type span
+(** In-flight span handle returned by {!start}. *)
+
+val create : ?capacity:int -> clock:(unit -> float) -> unit -> t
+(** Default capacity: 65536 events; older events are overwritten.
+    The tracer starts {e disabled}. *)
+
+val enable : t -> unit
+val disable : t -> unit
+val is_enabled : t -> bool
+
+val start :
+  t -> ?track:int -> ?args:(string * string) list -> category:string ->
+  string -> span
+(** Open a span at [clock ()].  The event is recorded when the span
+    {!finish}es.  When disabled, returns a null span without recording
+    or allocating. *)
+
+val finish : t -> span -> unit
+(** Close the span: records a [Complete] event with
+    [dur = clock () - ts] and folds the duration into the per-category
+    stats.  Finishing a span twice, or a null span, is a no-op. *)
+
+val with_span :
+  t -> ?track:int -> ?args:(string * string) list -> category:string ->
+  string -> (unit -> 'a) -> 'a
+(** [start]/[finish] around a thunk, exception-safe. *)
+
+val instant :
+  t -> ?track:int -> ?args:(string * string) list -> category:string ->
+  string -> unit
+
+val events : t -> event list
+(** In recording order (completes are recorded at finish time); at most
+    [capacity] entries, oldest first. *)
+
+val count : t -> int
+(** Total events recorded since creation (including overwritten ones). *)
+
+val depth : t -> track:int -> int
+(** Currently open spans on a track (0 when none). *)
+
+type dur_stats = {
+  d_count : int;
+  d_total : float;
+  d_min : float;
+  d_max : float;
+}
+
+val duration_stats : t -> (string * dur_stats) list
+(** Per-category accumulated span durations (completes only), sorted by
+    category.  Survives ring overwrites. *)
+
+val clear : t -> unit
+
+val dump : ?limit:int -> Format.formatter -> t -> unit
+(** Human-readable tail of the event ring. *)

@@ -4,6 +4,8 @@ module Engine = Drust_sim.Engine
 module Resource = Drust_sim.Resource
 module Fabric = Drust_net.Fabric
 module Partition = Drust_memory.Partition
+module Metrics = Drust_obs.Metrics
+module Span = Drust_obs.Span
 
 type probe = { node : int; cpu : float; mem : float }
 
@@ -19,10 +21,20 @@ type t = {
   mutable deaths : (int * float) list; (* (node, declared-dead time), newest first *)
   mutable on_death : (int -> unit) option;
   mutable running : bool;
-  mutable migrations : int;
-  mutable probes : int;
+  c_migrations : Metrics.counter;
+  c_probes : Metrics.counter;
+  c_failovers : Metrics.counter;
+  c_heartbeat_misses : Metrics.counter;
   mutable last_probe : probe array;
 }
+
+(* Instant mark on node 0's timeline (where the controller daemon runs). *)
+let ctl_mark t name ~node =
+  let sp = Cluster.spans t.cluster in
+  if Span.is_enabled sp then
+    Span.instant sp ~track:0 ~category:"controller"
+      ~args:[ ("node", string_of_int node) ]
+      name
 
 (* K consecutive missed probes: the failure detector's verdict.  Promotion
    runs through Replication when one is attached (the §4.2.3 path: backups
@@ -32,6 +44,8 @@ let declare_dead t ctx node =
   if (Cluster.node t.cluster node).Cluster.alive then begin
     let at = Engine.now (Cluster.engine t.cluster) in
     t.deaths <- (node, at) :: t.deaths;
+    Metrics.incr t.c_failovers;
+    ctl_mark t "FAILOVER" ~node;
     (match t.replication with
     | Some repl -> Replication.fail_and_promote ctx repl ~node
     | None -> Cluster.mark_failed t.cluster node);
@@ -47,7 +61,7 @@ let probe_all t ctx =
     let silent = { node = id; cpu = 0.0; mem = 0.0 } in
     if not n.Cluster.alive then silent
     else begin
-      t.probes <- t.probes + 1;
+      Metrics.incr t.c_probes;
       let collect () =
         let cpu = Resource.utilization n.Cluster.cores ~now in
         Resource.reset_utilization n.Cluster.cores ~now;
@@ -65,6 +79,8 @@ let probe_all t ctx =
             p
         | exception (Fabric.Node_down _ | Fabric.Rpc_timeout _) ->
             t.misses.(id) <- t.misses.(id) + 1;
+            Metrics.incr t.c_heartbeat_misses;
+            ctl_mark t "HEARTBEAT_MISS" ~node:id;
             if t.misses.(id) >= t.miss_threshold then declare_dead t ctx id;
             silent
     end
@@ -124,7 +140,8 @@ let rebalance t ctx =
           let target = Cluster.most_vacant_node t.cluster in
           if target <> p.node then begin
             Registry.order_migration r ~target;
-            t.migrations <- t.migrations + 1
+            Metrics.incr t.c_migrations;
+            ctl_mark t "MIGRATE(mem)" ~node:p.node
           end
       | None -> ()
     end
@@ -145,7 +162,8 @@ let rebalance t ctx =
           in
           if target <> p.node then begin
             Registry.order_migration r ~target;
-            t.migrations <- t.migrations + 1
+            Metrics.incr t.c_migrations;
+            ctl_mark t "MIGRATE(cpu)" ~node:p.node
           end
       | Some _ | None -> ()
     end
@@ -154,6 +172,7 @@ let rebalance t ctx =
 
 let start ?(probe_interval = 1e-3) ?(mem_threshold = 0.9) ?(cpu_threshold = 0.9)
     ?(probe_timeout = 2e-4) ?(miss_threshold = 3) ?replication cluster =
+  let m = Cluster.metrics cluster in
   let t =
     {
       cluster;
@@ -167,8 +186,11 @@ let start ?(probe_interval = 1e-3) ?(mem_threshold = 0.9) ?(cpu_threshold = 0.9)
       deaths = [];
       on_death = None;
       running = true;
-      migrations = 0;
-      probes = 0;
+      c_migrations = Metrics.counter m ~unit_:"ops" "controller.migrations";
+      c_probes = Metrics.counter m ~unit_:"ops" "controller.probes";
+      c_failovers = Metrics.counter m ~unit_:"ops" "controller.failovers";
+      c_heartbeat_misses =
+        Metrics.counter m ~unit_:"ops" "controller.heartbeat_misses";
       last_probe = [||];
     }
   in
@@ -191,8 +213,8 @@ let start ?(probe_interval = 1e-3) ?(mem_threshold = 0.9) ?(cpu_threshold = 0.9)
 
 let stop t = t.running <- false
 
-let migrations_ordered t = t.migrations
-let probes_performed t = t.probes
+let migrations_ordered t = Metrics.value t.c_migrations
+let probes_performed t = Metrics.value t.c_probes
 let set_on_death t f = t.on_death <- Some f
 let deaths t = List.rev t.deaths
 

@@ -42,6 +42,10 @@ val stop : t -> unit
     drain. *)
 
 val migrations_ordered : t -> int
+(** Thread migrations ordered so far ([controller.migrations] in the
+    cluster's metrics registry, alongside [controller.probes],
+    [controller.failovers] and [controller.heartbeat_misses]). *)
+
 val probes_performed : t -> int
 
 val deaths : t -> (int * float) list

@@ -179,7 +179,7 @@ let prop_partition_usage_balanced =
 (* Cache *)
 
 let test_cache_insert_lookup () =
-  let c = Cache.create ~node:0 in
+  let c = Cache.create ~node:0 () in
   let g = Gaddr.make ~node:1 ~offset:16 in
   let copy = Cache.insert c g ~size:64 (pack 10) in
   Alcotest.(check int) "refcount starts 1" 1 copy.Cache.refcount;
@@ -190,14 +190,14 @@ let test_cache_insert_lookup () =
 let test_cache_color_miss () =
   (* The heart of DRust's implicit invalidation: a lookup under a newer
      color must miss even though the physical address matches. *)
-  let c = Cache.create ~node:0 in
+  let c = Cache.create ~node:0 () in
   let g = Gaddr.make ~node:1 ~offset:16 in
   ignore (Cache.insert c g ~size:64 (pack 10));
   let newer = Gaddr.with_color g 1 in
   Alcotest.(check bool) "stale copy not returned" true (Cache.lookup c newer = None)
 
 let test_cache_displacement_keeps_pinned_copy () =
-  let c = Cache.create ~node:0 in
+  let c = Cache.create ~node:0 () in
   let g = Gaddr.make ~node:1 ~offset:16 in
   let old_copy = Cache.insert c g ~size:64 (pack 1) in
   (* Old copy still pinned (refcount 1) when a newer color arrives. *)
@@ -215,7 +215,7 @@ let test_cache_displacement_keeps_pinned_copy () =
   Alcotest.(check bool) "new copy still mapped" true (Cache.lookup c newer <> None)
 
 let test_cache_refcount_underflow () =
-  let c = Cache.create ~node:0 in
+  let c = Cache.create ~node:0 () in
   let g = Gaddr.make ~node:1 ~offset:16 in
   let copy = Cache.insert c g ~size:8 (pack 0) in
   Cache.release c copy;
@@ -226,7 +226,7 @@ let test_cache_refcount_underflow () =
      with Invalid_argument _ -> true)
 
 let test_cache_evict_unreferenced () =
-  let c = Cache.create ~node:0 in
+  let c = Cache.create ~node:0 () in
   let g1 = Gaddr.make ~node:1 ~offset:16 in
   let g2 = Gaddr.make ~node:1 ~offset:32 in
   let c1 = Cache.insert c g1 ~size:100 (pack 1) in
@@ -238,7 +238,7 @@ let test_cache_evict_unreferenced () =
   Alcotest.(check bool) "g2 kept" true (Cache.lookup c g2 <> None)
 
 let test_cache_invalidate_physical () =
-  let c = Cache.create ~node:0 in
+  let c = Cache.create ~node:0 () in
   let g = Gaddr.make ~node:1 ~offset:16 in
   let copy = Cache.insert c g ~size:8 (pack 1) in
   Cache.release c copy;
@@ -248,7 +248,7 @@ let test_cache_invalidate_physical () =
   Alcotest.(check int) "bytes reclaimed" 0 (Cache.used_bytes c)
 
 let test_cache_used_bytes () =
-  let c = Cache.create ~node:0 in
+  let c = Cache.create ~node:0 () in
   let g = Gaddr.make ~node:1 ~offset:16 in
   let copy = Cache.insert c g ~size:256 (pack 1) in
   Alcotest.(check int) "counted" 256 (Cache.used_bytes c);
@@ -257,7 +257,7 @@ let test_cache_used_bytes () =
   Alcotest.(check int) "reclaimed" 0 (Cache.used_bytes c)
 
 let test_cache_hit_miss_stats () =
-  let c = Cache.create ~node:0 in
+  let c = Cache.create ~node:0 () in
   let g = Gaddr.make ~node:1 ~offset:16 in
   ignore (Cache.lookup c g);
   ignore (Cache.insert c g ~size:8 (pack 1));
@@ -272,7 +272,7 @@ let prop_cache_accounting =
   QCheck.Test.make ~name:"cache accounting stays consistent" ~count:200
     QCheck.(list_of_size Gen.(1 -- 80) (pair small_int small_int))
     (fun script ->
-      let c = Cache.create ~node:0 in
+      let c = Cache.create ~node:0 () in
       let live : (int, Cache.copy) Hashtbl.t = Hashtbl.create 8 in
       let ok = ref true in
       let check b = if not b then ok := false in

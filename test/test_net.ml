@@ -11,7 +11,7 @@ let quiet_fabric ?(nodes = 4) () =
   let engine = Engine.create () in
   let model = { Model.infiniband_40g with Model.jitter = 0.0 } in
   let fabric =
-    Fabric.create ~engine ~rng:(Rng.create ~seed:1) ~model ~nodes
+    Fabric.create ~engine ~rng:(Rng.create ~seed:1) ~model ~nodes ()
   in
   (engine, fabric)
 
@@ -143,7 +143,7 @@ let test_jitter_bounded () =
   let engine = Engine.create () in
   let fabric =
     Fabric.create ~engine ~rng:(Rng.create ~seed:3)
-      ~model:Model.infiniband_40g ~nodes:2
+      ~model:Model.infiniband_40g ~nodes:2 ()
   in
   let base = Model.oneside_time Model.infiniband_40g ~bytes:512 in
   ignore

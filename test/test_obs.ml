@@ -1,0 +1,356 @@
+(* Tests for the observability layer: the metrics registry, the span
+   tracer, and the exporters (Chrome trace_event JSON, metrics JSONL). *)
+
+module Metrics = Drust_obs.Metrics
+module Span = Drust_obs.Span
+module Export = Drust_obs.Export
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry *)
+
+let test_counter_roundtrip () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m ~unit_:"ops" "test.ops" in
+  Alcotest.(check int) "starts at 0" 0 (Metrics.value c);
+  Metrics.incr c;
+  Metrics.add c 4;
+  Alcotest.(check int) "1 + 4" 5 (Metrics.value c);
+  Metrics.reset_counter c;
+  Alcotest.(check int) "reset" 0 (Metrics.value c)
+
+let test_get_or_create_shares_handles () =
+  let m = Metrics.create () in
+  let a = Metrics.counter m ~labels:[ ("node", "1") ] "test.shared" in
+  let b = Metrics.counter m ~labels:[ ("node", "1") ] "test.shared" in
+  Metrics.incr a;
+  Metrics.incr b;
+  Alcotest.(check int) "same instrument" 2 (Metrics.value a);
+  (* Different labels: a distinct series. *)
+  let c = Metrics.counter m ~labels:[ ("node", "2") ] "test.shared" in
+  Alcotest.(check int) "distinct series" 0 (Metrics.value c)
+
+let test_labels_normalized () =
+  let m = Metrics.create () in
+  let a = Metrics.counter m ~labels:[ ("a", "1"); ("b", "2") ] "test.norm" in
+  let b = Metrics.counter m ~labels:[ ("b", "2"); ("a", "1") ] "test.norm" in
+  Metrics.incr a;
+  Alcotest.(check int) "label order irrelevant" 1 (Metrics.value b)
+
+let test_kind_mismatch_rejected () =
+  let m = Metrics.create () in
+  ignore (Metrics.counter m "test.kind");
+  Alcotest.(check bool) "counter-then-gauge raises" true
+    (try
+       ignore (Metrics.gauge m "test.kind");
+       false
+     with Invalid_argument _ -> true)
+
+let test_disabled_registry_records_nothing () =
+  let m = Metrics.create ~enabled:false () in
+  let c = Metrics.counter m "test.quiet" in
+  let g = Metrics.gauge m "test.level" in
+  let h = Metrics.histogram m "test.dist" in
+  Metrics.incr c;
+  Metrics.add c 10;
+  Metrics.set g 3.0;
+  Metrics.observe h 0.5;
+  Alcotest.(check int) "counter still 0" 0 (Metrics.value c);
+  Alcotest.(check (float 0.0)) "gauge still 0" 0.0 (Metrics.level g);
+  (match Metrics.find (Metrics.snapshot m) "test.dist" with
+  | Some (Metrics.Histo hs) ->
+      Alcotest.(check int) "histogram empty" 0 hs.Metrics.h_count
+  | _ -> Alcotest.fail "histogram sample missing");
+  (* Re-enabling starts recording. *)
+  Metrics.enable m;
+  Metrics.incr c;
+  Alcotest.(check int) "records after enable" 1 (Metrics.value c)
+
+let test_histogram_bucketing () =
+  let m = Metrics.create () in
+  let h =
+    Metrics.histogram m ~buckets:[| 1.0; 10.0; 100.0 |] ~unit_:"s" "test.lat"
+  in
+  List.iter (Metrics.observe h) [ 0.5; 5.0; 5.0; 50.0; 5000.0 ];
+  match Metrics.find (Metrics.snapshot m) "test.lat" with
+  | Some (Metrics.Histo hs) ->
+      Alcotest.(check int) "count" 5 hs.Metrics.h_count;
+      Alcotest.(check (float 1e-9)) "sum" 5060.5 hs.Metrics.h_sum;
+      Alcotest.(check (float 1e-9)) "min" 0.5 hs.Metrics.h_min;
+      Alcotest.(check (float 1e-9)) "max" 5000.0 hs.Metrics.h_max;
+      let counts = List.map snd hs.Metrics.h_buckets in
+      Alcotest.(check (list int)) "per-bucket + overflow" [ 1; 2; 1; 1 ] counts;
+      (match List.rev hs.Metrics.h_buckets with
+      | (bound, _) :: _ ->
+          Alcotest.(check bool) "overflow bound is inf" true
+            (bound = infinity)
+      | [] -> Alcotest.fail "no buckets")
+  | _ -> Alcotest.fail "histogram sample missing"
+
+let test_snapshot_sorted_and_diff () =
+  let m = Metrics.create () in
+  let a = Metrics.counter m "test.b" in
+  let b = Metrics.counter m "test.a" in
+  let g = Metrics.gauge m "test.g" in
+  Metrics.incr a;
+  Metrics.set g 1.0;
+  let before = Metrics.snapshot m in
+  Alcotest.(check (list string)) "sorted by name"
+    [ "test.a"; "test.b"; "test.g" ]
+    (List.map (fun s -> s.Metrics.s_name) before);
+  Metrics.add a 2;
+  Metrics.incr b;
+  Metrics.set g 7.5;
+  let after = Metrics.snapshot m in
+  let d = Metrics.diff ~before ~after in
+  Alcotest.(check int) "counter delta" 2 (Metrics.total d "test.b");
+  Alcotest.(check int) "counter delta from 0" 1 (Metrics.total d "test.a");
+  match Metrics.find d "test.g" with
+  | Some (Metrics.Level v) ->
+      Alcotest.(check (float 0.0)) "gauge keeps after" 7.5 v
+  | _ -> Alcotest.fail "gauge sample missing"
+
+let test_names_sorted_distinct () =
+  let m = Metrics.create () in
+  ignore (Metrics.counter m ~labels:[ ("node", "0") ] "test.x");
+  ignore (Metrics.counter m ~labels:[ ("node", "1") ] "test.x");
+  ignore (Metrics.gauge m "test.a");
+  Alcotest.(check (list string)) "distinct sorted" [ "test.a"; "test.x" ]
+    (Metrics.names m)
+
+(* ------------------------------------------------------------------ *)
+(* Span tracer *)
+
+let manual_clock () =
+  let now = ref 0.0 in
+  (now, fun () -> !now)
+
+let test_span_disabled_by_default () =
+  let _, clock = manual_clock () in
+  let t = Span.create ~clock () in
+  Alcotest.(check bool) "disabled" false (Span.is_enabled t);
+  Span.instant t ~category:"x" "ignored";
+  let sp = Span.start t ~category:"x" "also ignored" in
+  Span.finish t sp;
+  Alcotest.(check int) "count stays 0" 0 (Span.count t);
+  Alcotest.(check int) "no events" 0 (List.length (Span.events t))
+
+let test_span_durations_and_nesting () =
+  let now, clock = manual_clock () in
+  let t = Span.create ~clock () in
+  Span.enable t;
+  let outer = Span.start t ~track:2 ~category:"fabric" "outer" in
+  now := 1.0;
+  Alcotest.(check int) "one open span" 1 (Span.depth t ~track:2);
+  let inner = Span.start t ~track:2 ~category:"fabric" "inner" in
+  Alcotest.(check int) "nested" 2 (Span.depth t ~track:2);
+  now := 3.0;
+  Span.finish t inner;
+  now := 10.0;
+  Span.finish t outer;
+  Alcotest.(check int) "drained" 0 (Span.depth t ~track:2);
+  (match Span.events t with
+  | [ i; o ] ->
+      (* Completes are recorded at finish time: inner first. *)
+      Alcotest.(check string) "inner first" "inner" i.Span.name;
+      Alcotest.(check (float 1e-9)) "inner ts" 1.0 i.Span.ts;
+      Alcotest.(check (float 1e-9)) "inner dur" 2.0 i.Span.dur;
+      Alcotest.(check int) "inner depth" 2 i.Span.depth;
+      Alcotest.(check (float 1e-9)) "outer dur" 10.0 o.Span.dur;
+      Alcotest.(check int) "outer depth" 1 o.Span.depth
+  | l -> Alcotest.failf "expected 2 events, got %d" (List.length l));
+  match Span.duration_stats t with
+  | [ ("fabric", st) ] ->
+      Alcotest.(check int) "2 completes" 2 st.Span.d_count;
+      Alcotest.(check (float 1e-9)) "total" 12.0 st.Span.d_total;
+      Alcotest.(check (float 1e-9)) "min" 2.0 st.Span.d_min;
+      Alcotest.(check (float 1e-9)) "max" 10.0 st.Span.d_max
+  | l -> Alcotest.failf "expected 1 category, got %d" (List.length l)
+
+let test_span_ring_overwrites () =
+  let _, clock = manual_clock () in
+  let t = Span.create ~capacity:4 ~clock () in
+  Span.enable t;
+  for i = 1 to 10 do
+    Span.instant t ~category:"n" (string_of_int i)
+  done;
+  Alcotest.(check int) "total counts all" 10 (Span.count t);
+  Alcotest.(check (list string)) "last four, oldest first"
+    [ "7"; "8"; "9"; "10" ]
+    (List.map (fun e -> e.Span.name) (Span.events t))
+
+let test_with_span_exception_safe () =
+  let now, clock = manual_clock () in
+  let t = Span.create ~clock () in
+  Span.enable t;
+  (try
+     Span.with_span t ~category:"c" "boom" (fun () ->
+         now := 2.0;
+         failwith "boom")
+   with Failure _ -> ());
+  match Span.events t with
+  | [ e ] -> Alcotest.(check (float 1e-9)) "closed on raise" 2.0 e.Span.dur
+  | l -> Alcotest.failf "expected 1 event, got %d" (List.length l)
+
+(* ------------------------------------------------------------------ *)
+(* Exporters.  A tiny structural JSON check: balanced braces/brackets
+   outside strings, plus field probes — not a full parser, but enough
+   to catch broken quoting or truncation. *)
+
+let check_balanced_json s =
+  let depth = ref 0 and in_str = ref false and escaped = ref false in
+  String.iter
+    (fun c ->
+      if !in_str then
+        if !escaped then escaped := false
+        else if c = '\\' then escaped := true
+        else if c = '"' then in_str := false
+        else ()
+      else
+        match c with
+        | '"' -> in_str := true
+        | '{' | '[' -> incr depth
+        | '}' | ']' -> decr depth
+        | _ -> ())
+    s;
+  Alcotest.(check int) "balanced nesting" 0 !depth;
+  Alcotest.(check bool) "string closed" false !in_str
+
+let test_chrome_trace_shape () =
+  let now, clock = manual_clock () in
+  let t = Span.create ~clock () in
+  Span.enable t;
+  (* Deliberately record completes out of start order: "late" starts
+     first but finishes last, so raw ring order is not ts order. *)
+  let late = Span.start t ~track:1 ~category:"fabric" "late" in
+  now := 1.0;
+  Span.with_span t ~track:0 ~category:"protocol"
+    ~args:[ ("g", "0x2a"); ("quote", "a\"b") ]
+    "early"
+    (fun () -> now := 2.0);
+  now := 5.0;
+  Span.finish t late;
+  Span.instant t ~track:1 ~category:"controller" "mark";
+  let json = Export.chrome_trace ~process_name:"test-proc" t in
+  check_balanced_json json;
+  Alcotest.(check bool) "has traceEvents" true
+    (String.length json > 0
+    && Astring.String.is_infix ~affix:"\"traceEvents\"" json);
+  Alcotest.(check bool) "names the process" true
+    (Astring.String.is_infix ~affix:"test-proc" json);
+  Alcotest.(check bool) "escapes arg quotes" true
+    (Astring.String.is_infix ~affix:{|a\"b|} json);
+  Alcotest.(check bool) "complete event" true
+    (Astring.String.is_infix ~affix:{|"ph":"X"|} json);
+  Alcotest.(check bool) "instant event" true
+    (Astring.String.is_infix ~affix:{|"ph":"i"|} json);
+  (* Body events must be sorted by ts: "early" (ts 1.0) before "late"
+     (ts 0.0)?  No — late STARTED at 0.0, so it must come first even
+     though it finished last. *)
+  let late_pos =
+    Astring.String.find_sub ~sub:{|"name":"late"|} json |> Option.get
+  in
+  let early_pos =
+    Astring.String.find_sub ~sub:{|"name":"early"|} json |> Option.get
+  in
+  Alcotest.(check bool) "sorted by start ts" true (late_pos < early_pos)
+
+let test_metrics_jsonl_shape () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m ~labels:[ ("node", "3") ] ~unit_:"ops" "t.c" in
+  Metrics.add c 7;
+  Metrics.set (Metrics.gauge m "t.g") 1.5;
+  Metrics.observe (Metrics.histogram m ~buckets:[| 1.0 |] "t.h") 0.5;
+  let out = Export.metrics_jsonl ~time:2.5 (Metrics.snapshot m) in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' out)
+  in
+  Alcotest.(check int) "one line per sample" 3 (List.length lines);
+  List.iter check_balanced_json lines;
+  Alcotest.(check bool) "counter line" true
+    (List.exists
+       (fun l ->
+         Astring.String.is_infix ~affix:{|"name":"t.c"|} l
+         && Astring.String.is_infix ~affix:{|"node":"3"|} l
+         && Astring.String.is_infix ~affix:{|"value":7|} l
+         && Astring.String.is_infix ~affix:{|"time":2.5|} l)
+       lines);
+  Alcotest.(check bool) "histogram carries count" true
+    (List.exists
+       (fun l ->
+         Astring.String.is_infix ~affix:{|"name":"t.h"|} l
+         && Astring.String.is_infix ~affix:{|"count":1|} l)
+       lines)
+
+let test_json_escape () =
+  Alcotest.(check string) "quotes and control chars" {|a\"b\\c\nd|}
+    (Export.json_escape "a\"b\\c\nd")
+
+(* ------------------------------------------------------------------ *)
+(* Integration: a traced cluster run produces consistent data *)
+
+let test_cluster_trace_integration () =
+  let module Cluster = Drust_machine.Cluster in
+  let module Params = Drust_machine.Params in
+  let module Fabric = Drust_net.Fabric in
+  let cluster = Cluster.create { Params.default with Params.nodes = 2 } in
+  let spans = Cluster.spans cluster in
+  Span.enable spans;
+  ignore
+    (Drust_sim.Engine.spawn (Cluster.engine cluster) (fun () ->
+         Fabric.rdma_read (Cluster.fabric cluster) ~from:0 ~target:1 ~bytes:256));
+  Cluster.run cluster;
+  Alcotest.(check int) "one fabric span" 1 (Span.count spans);
+  (match Span.events spans with
+  | [ e ] ->
+      Alcotest.(check string) "category" "fabric" e.Span.category;
+      Alcotest.(check string) "verb" "READ" e.Span.name;
+      Alcotest.(check int) "issuing node's track" 0 e.Span.track;
+      Alcotest.(check bool) "positive latency" true (e.Span.dur > 0.0)
+  | l -> Alcotest.failf "expected 1 event, got %d" (List.length l));
+  let snap = Metrics.snapshot (Cluster.metrics cluster) in
+  Alcotest.(check int) "fabric.reads counted" 1
+    (Metrics.total snap "fabric.reads");
+  Alcotest.(check int) "bytes counted" 256
+    (Metrics.total snap "fabric.bytes_out")
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter roundtrip" `Quick test_counter_roundtrip;
+          Alcotest.test_case "get-or-create shares" `Quick
+            test_get_or_create_shares_handles;
+          Alcotest.test_case "labels normalized" `Quick test_labels_normalized;
+          Alcotest.test_case "kind mismatch" `Quick test_kind_mismatch_rejected;
+          Alcotest.test_case "disabled records nothing" `Quick
+            test_disabled_registry_records_nothing;
+          Alcotest.test_case "histogram bucketing" `Quick
+            test_histogram_bucketing;
+          Alcotest.test_case "snapshot + diff" `Quick
+            test_snapshot_sorted_and_diff;
+          Alcotest.test_case "names" `Quick test_names_sorted_distinct;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "disabled by default" `Quick
+            test_span_disabled_by_default;
+          Alcotest.test_case "durations + nesting" `Quick
+            test_span_durations_and_nesting;
+          Alcotest.test_case "ring overwrites" `Quick test_span_ring_overwrites;
+          Alcotest.test_case "with_span exception-safe" `Quick
+            test_with_span_exception_safe;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "chrome trace shape" `Quick test_chrome_trace_shape;
+          Alcotest.test_case "metrics jsonl shape" `Quick
+            test_metrics_jsonl_shape;
+          Alcotest.test_case "json escape" `Quick test_json_escape;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "traced cluster run" `Quick
+            test_cluster_trace_integration;
+        ] );
+    ]

@@ -366,47 +366,6 @@ let test_waitgroup () =
        false
      with Invalid_argument _ -> true)
 
-(* ------------------------------------------------------------------ *)
-(* Trace *)
-
-module Trace = Drust_sim.Trace
-
-let test_trace_disabled_by_default () =
-  let e = Engine.create () in
-  let t = Trace.create e in
-  Trace.record t ~category:"x" "ignored";
-  Alcotest.(check int) "nothing recorded" 0 (Trace.count t)
-
-let test_trace_records_with_time () =
-  let e = Engine.create () in
-  let t = Trace.create e in
-  Trace.enable t;
-  ignore
-    (Engine.spawn e (fun () ->
-         Trace.record t ~category:"a" "first";
-         Engine.delay e 1.5;
-         Trace.recordf t ~category:"b" "second %d" 42));
-  Engine.run e;
-  match Trace.events t with
-  | [ e1; e2 ] ->
-      Alcotest.(check string) "cat" "a" e1.Trace.category;
-      Alcotest.(check (float 1e-9)) "t1" 0.0 e1.Trace.time;
-      Alcotest.(check (float 1e-9)) "t2" 1.5 e2.Trace.time;
-      Alcotest.(check string) "formatted" "second 42" e2.Trace.detail
-  | l -> Alcotest.failf "expected 2 events, got %d" (List.length l)
-
-let test_trace_ring_overwrites () =
-  let e = Engine.create () in
-  let t = Trace.create ~capacity:4 e in
-  Trace.enable t;
-  for i = 1 to 10 do
-    Trace.record t ~category:"n" (string_of_int i)
-  done;
-  Alcotest.(check int) "total counts all" 10 (Trace.count t);
-  let kept = List.map (fun ev -> ev.Trace.detail) (Trace.events t) in
-  Alcotest.(check (list string)) "last four, oldest first"
-    [ "7"; "8"; "9"; "10" ] kept
-
 let () =
   Alcotest.run "sim"
     [
@@ -439,12 +398,6 @@ let () =
           Alcotest.test_case "condvar empty ok" `Quick test_condvar_signal_empty_ok;
           Alcotest.test_case "barrier reuses" `Quick test_barrier_trips_and_reuses;
           Alcotest.test_case "waitgroup" `Quick test_waitgroup;
-        ] );
-      ( "trace",
-        [
-          Alcotest.test_case "disabled by default" `Quick test_trace_disabled_by_default;
-          Alcotest.test_case "records with time" `Quick test_trace_records_with_time;
-          Alcotest.test_case "ring overwrites" `Quick test_trace_ring_overwrites;
         ] );
       ( "resource",
         [

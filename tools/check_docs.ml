@@ -1,0 +1,141 @@
+(* Documentation consistency checker, run by the @docs alias (a dep of
+   @runtest, so stale docs fail the build).  Three checks:
+
+   1. every relative .md link in docs/README.md (the index) resolves,
+      and every docs/*.md file is reachable from the index;
+   2. every repo path a doc names (lib/..., bench/..., examples/...,
+      with a .ml/.mli/.md/.exe extension) exists — .exe is resolved to
+      the executable's .ml source;
+   3. every metric name registered at runtime appears in
+      docs/OBSERVABILITY.md, and vice versa every `layer.metric` name
+      the catalogue tables list is actually registered. *)
+
+let errors = ref []
+let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt
+let read_file path = In_channel.with_open_text path In_channel.input_all
+
+let docs_files () =
+  Sys.readdir "docs" |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".md")
+  |> List.sort compare
+
+(* --- 1: the index ------------------------------------------------- *)
+
+let md_link_re = Str.regexp {|](\([A-Za-z0-9_./-]+\.md\))|}
+
+let check_index () =
+  let index = read_file "docs/README.md" in
+  let referenced = ref [] in
+  let pos = ref 0 in
+  (try
+     while true do
+       pos := Str.search_forward md_link_re index !pos + 1;
+       let target = Str.matched_group 1 index in
+       let path =
+         if String.length target > 3 && String.sub target 0 3 = "../" then
+           String.sub target 3 (String.length target - 3)
+         else Filename.concat "docs" target
+       in
+       referenced := path :: !referenced;
+       if not (Sys.file_exists path) then
+         err "docs/README.md links to %s, which does not exist" target
+     done
+   with Not_found -> ());
+  List.iter
+    (fun f ->
+      if f <> "README.md" then
+        let path = Filename.concat "docs" f in
+        if not (List.mem path !referenced) then
+          err "docs/%s is not referenced from the docs/README.md index" f)
+    (docs_files ())
+
+(* --- 2: repo paths named in docs ---------------------------------- *)
+
+let path_re =
+  Str.regexp
+    {|\(lib\|bench\|bin\|examples\|test\|tools\|docs\)/[A-Za-z0-9_./-]+\.\(mli\|ml\|md\|exe\)|}
+
+let check_paths_in doc =
+  let text = read_file doc in
+  let pos = ref 0 in
+  try
+    while true do
+      pos := Str.search_forward path_re text !pos + 1;
+      let p = Str.matched_string text in
+      let target =
+        if Filename.check_suffix p ".exe" then Filename.remove_extension p ^ ".ml"
+        else p
+      in
+      if not (Sys.file_exists target) then
+        err "%s names %s, but %s does not exist" doc p target
+    done
+  with Not_found -> ()
+
+(* --- 3: the metrics catalogue ------------------------------------- *)
+
+(* Materialize every registration site: cluster creation registers the
+   fabric and cache instruments, a protocol-stats read registers the
+   protocol counters, Controller.start registers its own.  Nothing here
+   runs the engine. *)
+let registered_names () =
+  let cluster =
+    Drust_machine.Cluster.create
+      { Drust_machine.Params.default with Drust_machine.Params.nodes = 2 }
+  in
+  let ctx = Drust_machine.Ctx.make cluster ~node:0 in
+  ignore (Drust_core.Protocol.moves ctx);
+  let ctl = Drust_runtime.Controller.start cluster in
+  Drust_runtime.Controller.stop ctl;
+  Drust_obs.Metrics.names (Drust_machine.Cluster.metrics cluster)
+
+let catalogue_name_re = Str.regexp {|`\([a-z_]+\.[a-z_]+\)`|}
+
+let check_catalogue () =
+  let doc = "docs/OBSERVABILITY.md" in
+  let text = read_file doc in
+  let registered = registered_names () in
+  List.iter
+    (fun name ->
+      let quoted = "`" ^ name ^ "`" in
+      let found =
+        try
+          ignore (Str.search_forward (Str.regexp_string quoted) text 0);
+          true
+        with Not_found -> false
+      in
+      if not found then
+        err "metric %s is registered but missing from %s" name doc)
+    registered;
+  (* Reverse direction: every backtick-quoted layer.metric token in the
+     doc must be a registered name (catch typos / renames).  Tokens with
+     an uppercase letter or a path-ish shape never match the regex. *)
+  let pos = ref 0 in
+  (try
+     while true do
+       pos := Str.search_forward catalogue_name_re text !pos + 1;
+       let name = Str.matched_group 1 text in
+       (* `layer.*` wildcards and non-metric dotted tokens (module or
+          file references) are skipped via an allowlist of prefixes. *)
+       let is_metric_prefix =
+         List.exists
+           (fun p -> String.length name > String.length p
+                     && String.sub name 0 (String.length p) = p)
+           [ "fabric."; "cache."; "protocol."; "controller." ]
+       in
+       if is_metric_prefix && not (List.mem name registered) then
+         err "%s documents metric %s, which is not registered" doc name
+     done
+   with Not_found -> ())
+
+let () =
+  check_index ();
+  List.iter
+    (fun f -> check_paths_in (Filename.concat "docs" f))
+    (docs_files ());
+  check_paths_in "README.md";
+  check_catalogue ();
+  match List.rev !errors with
+  | [] -> print_endline "docs check: OK"
+  | msgs ->
+      List.iter (Printf.eprintf "docs check: %s\n") msgs;
+      exit 1
