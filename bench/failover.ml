@@ -1,7 +1,33 @@
 (* Headless runner for the failover chaos experiment: crashes a primary
    mid-workload and verifies detection, automatic promotion, recovery,
-   and seed-determinism.  Wired into the @smoke alias.
+   and seed-determinism.  Wired into the @smoke alias, which passes
+   --sanitize so the DSan shadow-state checker cross-checks the whole
+   failure/promotion sequence on every test run.
 
-   Run with:  dune exec bench/failover.exe *)
+   Run with:  dune exec bench/failover.exe -- [--sanitize] *)
 
-let () = ignore (Drust_experiments.Failover.run ())
+module Dsan = Drust_check.Dsan
+
+let () =
+  let sanitize = Array.exists (String.equal "--sanitize") Sys.argv in
+  if sanitize then Dsan.install_global ();
+  ignore (Drust_experiments.Failover.run ());
+  if sanitize then begin
+    let total =
+      List.fold_left
+        (fun acc t -> acc + Dsan.violation_count t)
+        0 (Dsan.attached ())
+    in
+    if total = 0 then
+      Printf.eprintf
+        "DSan: chaos failover completed with zero violations (%d cluster(s) \
+         checked)\n"
+        (List.length (Dsan.attached ()))
+    else begin
+      List.iter
+        (fun r -> prerr_endline (Dsan.report_to_string r))
+        (Dsan.global_reports ());
+      Printf.eprintf "DSan: %d invariant violation(s)\n" total;
+      exit 3
+    end
+  end

@@ -168,9 +168,15 @@ let experiments =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let out_dir = ref None in
+  let sanitize = ref false in
   let rec split_args acc = function
     | "--out" :: dir :: rest ->
+        out_dir := Some dir;
         E.Report.set_csv_dir (Some dir);
+        split_args acc rest
+    | "--sanitize" :: rest ->
+        sanitize := true;
         split_args acc rest
     | x :: rest -> split_args (x :: acc) rest
     | [] -> List.rev acc
@@ -180,6 +186,7 @@ let () =
     | [] -> List.map fst experiments
     | names -> names
   in
+  if !sanitize then Drust_check.Dsan.install_global ();
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun name ->
@@ -190,4 +197,33 @@ let () =
             (String.concat " " (List.map fst experiments));
           exit 1)
     requested;
-  Printf.printf "\n(total harness wall-clock: %.1f s)\n" (Unix.gettimeofday () -. t0)
+  (* Machine-readable headline rates (docs/BENCHMARKS.md has the schema);
+     status lines go to stderr so stdout stays comparable across runs. *)
+  let summary_path =
+    match !out_dir with
+    | Some dir -> Filename.concat dir "BENCH_summary.json"
+    | None -> "BENCH_summary.json"
+  in
+  E.Report.write_bench_summary ~path:summary_path;
+  Printf.eprintf "wrote %s (%d entr(y/ies))\n" summary_path
+    (List.length (E.Report.recorded_rates ()));
+  Printf.printf "\n(total harness wall-clock: %.1f s)\n"
+    (Unix.gettimeofday () -. t0);
+  if !sanitize then begin
+    let module Dsan = Drust_check.Dsan in
+    let total =
+      List.fold_left
+        (fun acc t -> acc + Dsan.violation_count t)
+        0 (Dsan.attached ())
+    in
+    if total = 0 then
+      Printf.eprintf "DSan: no invariant violations (%d cluster(s) checked)\n"
+        (List.length (Dsan.attached ()))
+    else begin
+      List.iter
+        (fun r -> prerr_endline (Dsan.report_to_string r))
+        (Dsan.global_reports ());
+      Printf.eprintf "DSan: %d invariant violation(s)\n" total;
+      exit 3
+    end
+  end

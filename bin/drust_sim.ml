@@ -50,7 +50,17 @@ let chrome_path =
           "Write a Chrome trace_event JSON (load it in Perfetto or \
            chrome://tracing) of an instrumented re-run to $(docv)")
 
-let run app system nodes affinity seed trace_n chrome_path =
+let sanitize_t =
+  Arg.(
+    value & flag
+    & info [ "sanitize" ]
+        ~doc:
+          "Attach the DSan shadow-state sanitizer to every cluster the run \
+           creates and report any coherence/ownership invariant violations \
+           (exit status 3 if any are found)")
+
+let run app system nodes affinity seed trace_n chrome_path sanitize =
+  if sanitize then Drust_check.Dsan.install_global ();
   let params = B.testbed ~nodes ~seed () in
   let t0 = Unix.gettimeofday () in
   (* With --trace the run is repeated on an instrumented cluster so the
@@ -95,6 +105,24 @@ let run app system nodes affinity seed trace_n chrome_path =
           (List.length (Span.events spans))
           path
     | None -> ()
+  end;
+  if sanitize then begin
+    let module Dsan = Drust_check.Dsan in
+    let total =
+      List.fold_left
+        (fun acc t -> acc + Dsan.violation_count t)
+        0 (Dsan.attached ())
+    in
+    if total = 0 then
+      Printf.printf "DSan: no invariant violations (%d cluster(s) checked)\n"
+        (List.length (Dsan.attached ()))
+    else begin
+      List.iter
+        (fun r -> prerr_endline (Dsan.report_to_string r))
+        (Dsan.global_reports ());
+      Printf.eprintf "DSan: %d invariant violation(s)\n" total;
+      exit 3
+    end
   end
 
 let cmd =
@@ -103,6 +131,6 @@ let cmd =
        ~doc:"Run a DRust evaluation application on the simulated cluster")
     Term.(
       const run $ app_t $ system_t $ nodes $ affinity $ seed $ trace_n
-      $ chrome_path)
+      $ chrome_path $ sanitize_t)
 
 let () = exit (Cmd.eval cmd)

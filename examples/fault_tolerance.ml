@@ -3,7 +3,9 @@
    a primary through the fault plan — nobody calls [fail_and_promote].
    The controller's heartbeat detector notices the missed probes,
    promotes the backup, and a retried read comes back with the committed
-   value.
+   value.  The whole sequence runs under the DSan shadow-state sanitizer
+   (docs/SANITIZER.md), which cross-checks every coherence transition of
+   the crash/promotion path.
 
    Run with:  dune exec examples/fault_tolerance.exe *)
 
@@ -20,11 +22,13 @@ module Dthread = Drust_runtime.Dthread
 module Rng = Drust_util.Rng
 module Univ = Drust_util.Univ
 module Gaddr = Drust_memory.Gaddr
+module Dsan = Drust_check.Dsan
 
 let tag : string Univ.tag = Univ.create_tag ~name:"ft.doc"
 
 let () =
   let cluster = Cluster.create { Params.default with Params.nodes = 4 } in
+  let dsan = Dsan.attach cluster in
   let engine = Cluster.engine cluster in
   let fabric = Cluster.fabric cluster in
   let plan = Fault.create ~engine ~rng:(Rng.create ~seed:7) ~nodes:4 () in
@@ -90,4 +94,11 @@ let () =
          assert (v = "v2");
          Controller.stop ctrl;
          Replication.disable repl));
-  Cluster.run cluster
+  Cluster.run cluster;
+  (match Dsan.violations dsan with
+  | [] ->
+      Printf.printf "sanitizer: zero invariant violations across the failover\n"
+  | rs ->
+      List.iter (fun r -> prerr_endline (Dsan.report_to_string r)) rs;
+      assert false);
+  Dsan.detach dsan

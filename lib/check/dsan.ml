@@ -1,0 +1,869 @@
+module Cluster = Drust_machine.Cluster
+module Ctx = Drust_machine.Ctx
+module Engine = Drust_sim.Engine
+module Fabric = Drust_net.Fabric
+module Gaddr = Drust_memory.Gaddr
+module Cache = Drust_memory.Cache
+module Metrics = Drust_obs.Metrics
+module Protocol = Drust_core.Protocol
+module Darc = Drust_runtime.Darc
+module Drc = Drust_runtime.Drc
+module Dmutex = Drust_runtime.Dmutex
+module Replication = Drust_runtime.Replication
+
+(* ------------------------------------------------------------------ *)
+(* Invariants                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type invariant =
+  | Single_owner
+  | Stale_cache_read
+  | Move_invalidation
+  | Refcount_sanity
+  | Borrow_discipline
+  | Lock_discipline
+  | Promotion_uniqueness
+  | Use_after_free
+
+let invariant_name = function
+  | Single_owner -> "dsan.single_owner"
+  | Stale_cache_read -> "dsan.stale_cache_read"
+  | Move_invalidation -> "dsan.move_invalidation"
+  | Refcount_sanity -> "dsan.refcount_sanity"
+  | Borrow_discipline -> "dsan.borrow_discipline"
+  | Lock_discipline -> "dsan.lock_discipline"
+  | Promotion_uniqueness -> "dsan.promotion_uniqueness"
+  | Use_after_free -> "dsan.use_after_free"
+
+let invariant_names =
+  List.map invariant_name
+    [
+      Single_owner;
+      Stale_cache_read;
+      Move_invalidation;
+      Refcount_sanity;
+      Borrow_discipline;
+      Lock_discipline;
+      Promotion_uniqueness;
+      Use_after_free;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Reports                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type report = {
+  invariant : invariant;
+  time : float;
+  node : int;
+  thread : int;
+  addr : int option;
+  detail : string;
+  provenance : string list;
+}
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>DSan violation: %s@,  t=%.9fs  node %d%s%s@,  %s"
+    (invariant_name r.invariant)
+    r.time r.node
+    (if r.thread >= 0 then Printf.sprintf "  thread %d" r.thread else "")
+    (match r.addr with
+    | None -> ""
+    | Some a -> Format.asprintf "  addr %a" Gaddr.pp (Gaddr.of_int_exn a))
+    r.detail;
+  List.iter (fun l -> Format.fprintf ppf "@,    | %s" l) r.provenance;
+  Format.fprintf ppf "@]"
+
+let report_to_string r = Format.asprintf "%a" pp_report r
+
+type mode = Record | Raise
+
+exception Violation of report
+
+let () =
+  Printexc.register_printer (function
+    | Violation r -> Some (report_to_string r)
+    | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Shadow state                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-entity event history: a bounded, newest-first list of raw events,
+   formatted lazily only when a report is built. *)
+type traced =
+  | Tr_proto of int * Protocol.probe_event (* thread *)
+  | Tr_cache of Cache.event
+  | Tr_rc of int * Darc.rc_event (* thread *)
+  | Tr_lock of Dmutex.event
+  | Tr_failover of Replication.event
+
+type trace = { tr_time : float; tr_node : int; tr_ev : traced }
+
+type histo = { mutable h_items : trace list; mutable h_len : int }
+
+let histo () = { h_items = []; h_len = 0 }
+
+let hist_push h tr =
+  h.h_items <- tr :: h.h_items;
+  h.h_len <- h.h_len + 1;
+  if h.h_len > 16 then begin
+    let rec take n = function
+      | [] -> []
+      | x :: tl -> if n = 0 then [] else x :: take (n - 1) tl
+    in
+    h.h_items <- take 8 h.h_items;
+    h.h_len <- 8
+  end
+
+(* The borrow automaton mirrored per physical address. *)
+type status = Owned | Shared of int | Mut | Dead
+
+type shadow = {
+  mutable sh_color : int;
+  mutable sh_size : int;
+  mutable sh_status : status;
+  mutable sh_box : int;  (* node holding the owner box *)
+  mutable sh_home : int;  (* partition range the address lives in *)
+  sh_copies : (int, int) Hashtbl.t;  (* node -> color the copy was fetched under *)
+  sh_hist : histo;
+}
+
+type rc_shadow = {
+  mutable rc_expected : int;
+  mutable rc_freed : bool;
+  rc_hist : histo;
+}
+
+type lock_shadow = { mutable lk_holder : int option; lk_hist : histo }
+
+type t = {
+  cluster : Cluster.t;
+  mode : mode;
+  shadows : (int, shadow) Hashtbl.t;
+  rcs : (int, rc_shadow) Hashtbl.t;
+  locks : (int, lock_shadow) Hashtbl.t;
+  serving : int array;
+  alive : bool array;
+  ring : (float * string * int * int * int) option array;
+  mutable ring_idx : int;
+  mutable reports : report list;  (* newest first *)
+  mutable report_count : int;
+  counter : Metrics.counter;
+  mutable active : bool;
+}
+
+let phys g = Gaddr.to_int (Gaddr.clear_color g)
+let gstr g = Format.asprintf "%a" Gaddr.pp g
+
+(* ------------------------------------------------------------------ *)
+(* Trace formatting (lazy: only on violation)                          *)
+(* ------------------------------------------------------------------ *)
+
+let format_proto = function
+  | Protocol.Ev_create { g; size } ->
+      Printf.sprintf "create %s (%dB)" (gstr g) size
+  | Ev_read { g; path } -> (
+      match path with
+      | Protocol.Path_local -> Printf.sprintf "read %s [local]" (gstr g)
+      | Path_cache key ->
+          Printf.sprintf "read %s [cache copy %s]" (gstr g) (gstr key)
+      | Path_fetch -> Printf.sprintf "read %s [fetch]" (gstr g))
+  | Ev_write { before; after; size = _; kind } ->
+      let k =
+        match kind with
+        | Protocol.W_bump -> "bump"
+        | W_move -> "move"
+        | W_in_place -> "in-place"
+      in
+      Printf.sprintf "write(%s) %s -> %s" k (gstr before) (gstr after)
+  | Ev_borrow_imm { g } -> "borrow-imm " ^ gstr g
+  | Ev_return_imm { g } -> "return-imm " ^ gstr g
+  | Ev_borrow_mut { g } -> "borrow-mut " ^ gstr g
+  | Ev_return_mut { g } -> "return-mut " ^ gstr g
+  | Ev_transfer { g; to_node } ->
+      Printf.sprintf "transfer %s -> node %d" (gstr g) to_node
+  | Ev_drop { g } -> "drop " ^ gstr g
+  | Ev_app { g; verb; tag } -> Printf.sprintf "%s %s :%s" verb (gstr g) tag
+
+let format_cache = function
+  | Cache.Hit { key } -> "cache hit " ^ gstr key
+  | Stale_miss { sought; cached } ->
+      Printf.sprintf "cache stale-miss sought %s, held %s" (gstr sought)
+        (gstr cached)
+  | Insert { key; size } -> Printf.sprintf "cache insert %s (%dB)" (gstr key) size
+  | Release { key; refcount } ->
+      Printf.sprintf "cache release %s rc=%d" (gstr key) refcount
+  | Invalidate { key } -> "cache invalidate " ^ gstr key
+
+let format_rc = function
+  | Darc.Rc_created { g; size; count } ->
+      Printf.sprintf "rc create %s (%dB) count=%d" (gstr g) size count
+  | Rc_retained { g; count } ->
+      Printf.sprintf "rc retain %s count=%d" (gstr g) count
+  | Rc_released { g; count } ->
+      Printf.sprintf "rc release %s count=%d" (gstr g) count
+  | Rc_freed { g } -> "rc free " ^ gstr g
+
+let format_lock = function
+  | Dmutex.Lock_created { g } -> "lock create " ^ gstr g
+  | Lock_acquired { g; thread } ->
+      Printf.sprintf "lock acquire %s by thread %d" (gstr g) thread
+  | Lock_released { g; thread } ->
+      Printf.sprintf "lock release %s by thread %d" (gstr g) thread
+
+let format_failover = function
+  | Replication.Node_failed { node } -> Printf.sprintf "node %d failed" node
+  | Promoted { home; by; replica } ->
+      Printf.sprintf "range %d promoted to node %d (replica %d)" home by replica
+
+let format_trace tr =
+  let body =
+    match tr.tr_ev with
+    | Tr_proto (thread, ev) ->
+        Printf.sprintf "thr %d: %s" thread (format_proto ev)
+    | Tr_cache ev -> format_cache ev
+    | Tr_rc (thread, ev) -> Printf.sprintf "thr %d: %s" thread (format_rc ev)
+    | Tr_lock ev -> format_lock ev
+    | Tr_failover ev -> format_failover ev
+  in
+  Printf.sprintf "t=%.9f node %d: %s" tr.tr_time tr.tr_node body
+
+(* ------------------------------------------------------------------ *)
+(* Violation machinery                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let ring_push t entry =
+  let n = Array.length t.ring in
+  t.ring.(t.ring_idx mod n) <- Some entry;
+  t.ring_idx <- t.ring_idx + 1
+
+let ring_lines t =
+  let n = Array.length t.ring in
+  let out = ref [] in
+  for i = 0 to min 5 (n - 1) do
+    let idx = t.ring_idx - 1 - i in
+    if idx >= 0 then
+      match t.ring.(idx mod n) with
+      | Some (time, verb, from, target, bytes) ->
+          out :=
+            Printf.sprintf "fabric %s %d -> %d (%dB) t=%.9f" verb from target
+              bytes time
+            :: !out
+      | None -> ()
+  done;
+  !out (* oldest first *)
+
+let violate t inv ~time ~node ~thread ~addr ~detail hist =
+  t.report_count <- t.report_count + 1;
+  Metrics.incr t.counter;
+  let prov =
+    (match hist with
+    | None -> []
+    | Some h -> List.rev_map format_trace h.h_items)
+    @ ring_lines t
+  in
+  let r =
+    { invariant = inv; time; node; thread; addr; detail; provenance = prov }
+  in
+  if t.report_count <= 1000 then t.reports <- r :: t.reports;
+  match t.mode with Record -> () | Raise -> raise (Violation r)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol events                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_shadow ~color ~size ~box ~home =
+  {
+    sh_color = color;
+    sh_size = size;
+    sh_status = Owned;
+    sh_box = box;
+    sh_home = home;
+    sh_copies = Hashtbl.create 4;
+    sh_hist = histo ();
+  }
+
+let observe_protocol t ~time ~node ~thread ev =
+  let viol inv ~addr detail hist =
+    violate t inv ~time ~node ~thread ~addr ~detail hist
+  in
+  let record sh = hist_push sh.sh_hist { tr_time = time; tr_node = node; tr_ev = Tr_proto (thread, ev) } in
+  match ev with
+  | Protocol.Ev_create { g; size } ->
+      let p = phys g in
+      (match Hashtbl.find_opt t.shadows p with
+      | Some sh when sh.sh_status <> Dead ->
+          viol Single_owner ~addr:(Some p)
+            (Printf.sprintf
+               "second owner registered at %s while the address is live"
+               (gstr g))
+            (Some sh.sh_hist)
+      | _ -> ());
+      let sh =
+        fresh_shadow ~color:(Gaddr.color_of g) ~size ~box:node
+          ~home:(Gaddr.node_of g)
+      in
+      Hashtbl.replace t.shadows p sh;
+      record sh
+  | Ev_read { g; path } -> (
+      let p = phys g in
+      match Hashtbl.find_opt t.shadows p with
+      | None -> ()
+      | Some sh ->
+          (if sh.sh_status = Dead then
+             viol Use_after_free ~addr:(Some p)
+               (Printf.sprintf "read of dropped object %s" (gstr g))
+               (Some sh.sh_hist)
+           else begin
+             (match sh.sh_status with
+             | Mut ->
+                 viol Borrow_discipline ~addr:(Some p)
+                   (Printf.sprintf "read of %s while mutably borrowed" (gstr g))
+                   (Some sh.sh_hist)
+             | _ -> ());
+             match path with
+             | Protocol.Path_cache key ->
+                 if Gaddr.color_of key <> sh.sh_color then
+                   viol Stale_cache_read ~addr:(Some p)
+                     (Printf.sprintf
+                        "read served from cached copy %s but the current \
+                         colored address is c%d"
+                        (gstr key) sh.sh_color)
+                     (Some sh.sh_hist)
+             | Path_local ->
+                 if Gaddr.color_of g <> sh.sh_color then
+                   viol Stale_cache_read ~addr:(Some p)
+                     (Printf.sprintf
+                        "local read through stale address %s (current color \
+                         c%d)"
+                        (gstr g) sh.sh_color)
+                     (Some sh.sh_hist)
+             | Path_fetch ->
+                 (* fetch completion is emitted after a fabric round-trip,
+                    so the color may legally have advanced meanwhile *)
+                 ()
+           end);
+          record sh)
+  | Ev_write { before; after; size; kind } -> (
+      let pb = phys before and pa = phys after in
+      match Hashtbl.find_opt t.shadows pb with
+      | None ->
+          (* lineage unknown (created before attach): start tracking *)
+          let sh =
+            fresh_shadow ~color:(Gaddr.color_of after) ~size ~box:node
+              ~home:(Gaddr.node_of after)
+          in
+          Hashtbl.replace t.shadows pa sh;
+          record sh
+      | Some sh ->
+          (match sh.sh_status with
+          | Dead ->
+              viol Use_after_free ~addr:(Some pb)
+                (Printf.sprintf "write to dropped object %s" (gstr before))
+                (Some sh.sh_hist)
+          | Shared n ->
+              viol Borrow_discipline ~addr:(Some pb)
+                (Printf.sprintf
+                   "write to %s while %d immutable borrow(s) outstanding"
+                   (gstr before) n)
+                (Some sh.sh_hist)
+          | Owned | Mut -> ());
+          (match kind with
+          | Protocol.W_in_place ->
+              let reachable =
+                Hashtbl.fold
+                  (fun n c acc -> if c = sh.sh_color then n :: acc else acc)
+                  sh.sh_copies []
+              in
+              if reachable <> [] then
+                viol Move_invalidation ~addr:(Some pb)
+                  (Printf.sprintf
+                     "in-place write at %s with cached copies still reachable \
+                      under the current color on node(s) %s — a move or \
+                      color bump must make prior copies unreachable before \
+                      the value changes"
+                     (gstr after)
+                     (String.concat ", "
+                        (List.map string_of_int (List.sort compare reachable))))
+                  (Some sh.sh_hist)
+          | W_bump ->
+              sh.sh_color <- Gaddr.color_of after;
+              sh.sh_size <- size
+          | W_move ->
+              Hashtbl.remove t.shadows pb;
+              (match Hashtbl.find_opt t.shadows pa with
+              | Some other when other.sh_status <> Dead ->
+                  viol Single_owner ~addr:(Some pa)
+                    (Printf.sprintf "move of %s onto live address %s"
+                       (gstr before) (gstr after))
+                    (Some other.sh_hist)
+              | _ -> ());
+              (* the old address's copies belong to a dead lineage now;
+                 their invalidations will no-op against this shadow *)
+              Hashtbl.reset sh.sh_copies;
+              sh.sh_color <- Gaddr.color_of after;
+              sh.sh_size <- size;
+              sh.sh_home <- Gaddr.node_of after;
+              Hashtbl.replace t.shadows pa sh);
+          record sh)
+  | Ev_borrow_imm { g } -> (
+      let p = phys g in
+      match Hashtbl.find_opt t.shadows p with
+      | None -> ()
+      | Some sh ->
+          (match sh.sh_status with
+          | Dead ->
+              viol Use_after_free ~addr:(Some p)
+                (Printf.sprintf "immutable borrow of dropped object %s"
+                   (gstr g))
+                (Some sh.sh_hist)
+          | Mut ->
+              viol Borrow_discipline ~addr:(Some p)
+                (Printf.sprintf
+                   "immutable borrow of %s while mutably borrowed" (gstr g))
+                (Some sh.sh_hist)
+          | Owned -> sh.sh_status <- Shared 1
+          | Shared n -> sh.sh_status <- Shared (n + 1));
+          record sh)
+  | Ev_return_imm { g } -> (
+      let p = phys g in
+      match Hashtbl.find_opt t.shadows p with
+      | None -> ()
+      | Some sh ->
+          (match sh.sh_status with
+          | Shared 1 -> sh.sh_status <- Owned
+          | Shared n -> sh.sh_status <- Shared (n - 1)
+          | Dead ->
+              viol Use_after_free ~addr:(Some p)
+                (Printf.sprintf "immutable return on dropped object %s"
+                   (gstr g))
+                (Some sh.sh_hist)
+          | Owned | Mut ->
+              viol Borrow_discipline ~addr:(Some p)
+                (Printf.sprintf "unbalanced immutable return on %s" (gstr g))
+                (Some sh.sh_hist));
+          record sh)
+  | Ev_borrow_mut { g } -> (
+      let p = phys g in
+      match Hashtbl.find_opt t.shadows p with
+      | None -> ()
+      | Some sh ->
+          (match sh.sh_status with
+          | Dead ->
+              viol Use_after_free ~addr:(Some p)
+                (Printf.sprintf "mutable borrow of dropped object %s" (gstr g))
+                (Some sh.sh_hist)
+          | Shared n ->
+              viol Borrow_discipline ~addr:(Some p)
+                (Printf.sprintf
+                   "mutable borrow of %s while %d immutable borrow(s) \
+                    outstanding"
+                   (gstr g) n)
+                (Some sh.sh_hist)
+          | Mut ->
+              viol Borrow_discipline ~addr:(Some p)
+                (Printf.sprintf "second mutable borrow of %s" (gstr g))
+                (Some sh.sh_hist)
+          | Owned -> sh.sh_status <- Mut);
+          record sh)
+  | Ev_return_mut { g } -> (
+      let p = phys g in
+      match Hashtbl.find_opt t.shadows p with
+      | None -> ()
+      | Some sh ->
+          (match sh.sh_status with
+          | Mut -> sh.sh_status <- Owned
+          | Dead ->
+              viol Use_after_free ~addr:(Some p)
+                (Printf.sprintf "mutable return on dropped object %s" (gstr g))
+                (Some sh.sh_hist)
+          | Owned | Shared _ ->
+              viol Borrow_discipline ~addr:(Some p)
+                (Printf.sprintf "unbalanced mutable return on %s" (gstr g))
+                (Some sh.sh_hist));
+          record sh)
+  | Ev_transfer { g; to_node } -> (
+      let p = phys g in
+      match Hashtbl.find_opt t.shadows p with
+      | None -> ()
+      | Some sh ->
+          (match sh.sh_status with
+          | Dead ->
+              viol Use_after_free ~addr:(Some p)
+                (Printf.sprintf "ownership transfer of dropped object %s"
+                   (gstr g))
+                (Some sh.sh_hist)
+          | Shared _ | Mut ->
+              viol Borrow_discipline ~addr:(Some p)
+                (Printf.sprintf "ownership transfer of %s while borrowed"
+                   (gstr g))
+                (Some sh.sh_hist)
+          | Owned -> ());
+          sh.sh_box <- to_node;
+          record sh)
+  | Ev_drop { g } -> (
+      let p = phys g in
+      match Hashtbl.find_opt t.shadows p with
+      | None -> ()
+      | Some sh ->
+          (match sh.sh_status with
+          | Dead ->
+              viol Use_after_free ~addr:(Some p)
+                (Printf.sprintf "double drop of %s" (gstr g))
+                (Some sh.sh_hist)
+          | Shared _ | Mut ->
+              viol Borrow_discipline ~addr:(Some p)
+                (Printf.sprintf "drop of %s while borrowed" (gstr g))
+                (Some sh.sh_hist)
+          | Owned -> ());
+          sh.sh_status <- Dead;
+          record sh)
+  | Ev_app { g; _ } -> (
+      match Hashtbl.find_opt t.shadows (phys g) with
+      | Some sh -> record sh
+      | None -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Cache events                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let observe_cache t ~time ~node ev =
+  let key =
+    match ev with
+    | Cache.Hit { key }
+    | Insert { key; _ }
+    | Release { key; _ }
+    | Invalidate { key } ->
+        key
+    | Stale_miss { sought; _ } -> sought
+  in
+  let p = phys key in
+  let sh = Hashtbl.find_opt t.shadows p in
+  let hist = Option.map (fun s -> s.sh_hist) sh in
+  let viol inv detail =
+    violate t inv ~time ~node ~thread:(-1) ~addr:(Some p) ~detail hist
+  in
+  (match (ev, sh) with
+  | Cache.Hit { key }, Some s when s.sh_status <> Dead ->
+      if Gaddr.color_of key <> s.sh_color then
+        viol Stale_cache_read
+          (Printf.sprintf
+             "cache on node %d served a hit for %s whose color is stale \
+              (current c%d)"
+             node (gstr key) s.sh_color)
+  | Insert { key; _ }, Some s when s.sh_status <> Dead ->
+      Hashtbl.replace s.sh_copies node (Gaddr.color_of key)
+  | Release { refcount; _ }, _ ->
+      if refcount < 0 then
+        viol Refcount_sanity
+          (Printf.sprintf
+             "cache copy pin count underflow on node %d (rc=%d)" node refcount)
+  | Invalidate _, Some s -> Hashtbl.remove s.sh_copies node
+  | _ -> ());
+  match sh with
+  | Some s ->
+      hist_push s.sh_hist { tr_time = time; tr_node = node; tr_ev = Tr_cache ev }
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Refcount events (darc + drc)                                        *)
+(* ------------------------------------------------------------------ *)
+
+let observe_rc t ~time ~node ~thread ev =
+  let g =
+    match ev with
+    | Darc.Rc_created { g; _ }
+    | Rc_retained { g; _ }
+    | Rc_released { g; _ }
+    | Rc_freed { g } ->
+        g
+  in
+  let p = phys g in
+  let rc = Hashtbl.find_opt t.rcs p in
+  let viol inv detail hist =
+    violate t inv ~time ~node ~thread ~addr:(Some p) ~detail hist
+  in
+  let tr = { tr_time = time; tr_node = node; tr_ev = Tr_rc (thread, ev) } in
+  match ev with
+  | Darc.Rc_created { count; _ } ->
+      if count <> 1 then
+        viol Refcount_sanity
+          (Printf.sprintf "refcounted cell %s created with count %d, not 1"
+             (gstr g) count)
+          (Option.map (fun r -> r.rc_hist) rc);
+      let r = { rc_expected = count; rc_freed = false; rc_hist = histo () } in
+      Hashtbl.replace t.rcs p r;
+      hist_push r.rc_hist tr
+  | Rc_retained { count; _ } -> (
+      match rc with
+      | None ->
+          let r =
+            { rc_expected = count; rc_freed = false; rc_hist = histo () }
+          in
+          Hashtbl.replace t.rcs p r;
+          hist_push r.rc_hist tr
+      | Some r ->
+          if r.rc_freed then
+            viol Use_after_free
+              (Printf.sprintf "retain of freed cell %s" (gstr g))
+              (Some r.rc_hist)
+          else begin
+            r.rc_expected <- r.rc_expected + 1;
+            if count <> r.rc_expected then begin
+              viol Refcount_sanity
+                (Printf.sprintf
+                   "refcount diverged on retain of %s: implementation says \
+                    %d, shadow says %d"
+                   (gstr g) count r.rc_expected)
+                (Some r.rc_hist);
+              r.rc_expected <- count
+            end
+          end;
+          hist_push r.rc_hist tr)
+  | Rc_released { count; _ } -> (
+      match rc with
+      | None -> ()
+      | Some r ->
+          if r.rc_freed then
+            viol Use_after_free
+              (Printf.sprintf "release of freed cell %s" (gstr g))
+              (Some r.rc_hist)
+          else begin
+            r.rc_expected <- r.rc_expected - 1;
+            if count <> r.rc_expected then begin
+              viol Refcount_sanity
+                (Printf.sprintf
+                   "refcount diverged on release of %s: implementation says \
+                    %d, shadow says %d"
+                   (gstr g) count r.rc_expected)
+                (Some r.rc_hist);
+              r.rc_expected <- count
+            end;
+            if r.rc_expected < 0 then
+              viol Refcount_sanity
+                (Printf.sprintf "refcount of %s went negative (%d)" (gstr g)
+                   r.rc_expected)
+                (Some r.rc_hist)
+          end;
+          hist_push r.rc_hist tr)
+  | Rc_freed _ -> (
+      match rc with
+      | None -> ()
+      | Some r ->
+          if r.rc_freed then
+            viol Use_after_free
+              (Printf.sprintf "double free of cell %s" (gstr g))
+              (Some r.rc_hist)
+          else begin
+            if r.rc_expected <> 0 then
+              viol Refcount_sanity
+                (Printf.sprintf "cell %s freed with nonzero refcount (%d)"
+                   (gstr g) r.rc_expected)
+                (Some r.rc_hist);
+            r.rc_freed <- true
+          end;
+          hist_push r.rc_hist tr)
+
+(* ------------------------------------------------------------------ *)
+(* Lock events                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let observe_lock t ~time ~node ~thread ev =
+  let g =
+    match ev with
+    | Dmutex.Lock_created { g }
+    | Lock_acquired { g; _ }
+    | Lock_released { g; _ } ->
+        g
+  in
+  let p = phys g in
+  let tr = { tr_time = time; tr_node = node; tr_ev = Tr_lock ev } in
+  let viol inv detail hist =
+    violate t inv ~time ~node ~thread ~addr:(Some p) ~detail hist
+  in
+  match ev with
+  | Dmutex.Lock_created _ ->
+      let l = { lk_holder = None; lk_hist = histo () } in
+      Hashtbl.replace t.locks p l;
+      hist_push l.lk_hist tr
+  | Lock_acquired { thread = th; _ } ->
+      let l =
+        match Hashtbl.find_opt t.locks p with
+        | Some l -> l
+        | None ->
+            let l = { lk_holder = None; lk_hist = histo () } in
+            Hashtbl.replace t.locks p l;
+            l
+      in
+      (match l.lk_holder with
+      | Some h ->
+          viol Lock_discipline
+            (Printf.sprintf
+               "lock %s granted to thread %d while held by thread %d" (gstr g)
+               th h)
+            (Some l.lk_hist)
+      | None -> ());
+      l.lk_holder <- Some th;
+      hist_push l.lk_hist tr
+  | Lock_released { thread = th; _ } -> (
+      match Hashtbl.find_opt t.locks p with
+      | None -> ()
+      | Some l ->
+          (match l.lk_holder with
+          | Some h when h = th -> l.lk_holder <- None
+          | Some h ->
+              viol Lock_discipline
+                (Printf.sprintf
+                   "lock %s released by thread %d but held by thread %d"
+                   (gstr g) th h)
+                (Some l.lk_hist)
+          | None ->
+              viol Lock_discipline
+                (Printf.sprintf "lock %s released by thread %d while unheld"
+                   (gstr g) th)
+                (Some l.lk_hist));
+          hist_push l.lk_hist tr)
+
+(* ------------------------------------------------------------------ *)
+(* Failover events                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let observe_failover t ~time ~node ev =
+  let tr = { tr_time = time; tr_node = node; tr_ev = Tr_failover ev } in
+  let viol inv ~addr detail hist =
+    violate t inv ~time ~node ~thread:(-1) ~addr ~detail hist
+  in
+  match ev with
+  | Replication.Node_failed { node = n } ->
+      if n >= 0 && n < Array.length t.alive then t.alive.(n) <- false
+  | Promoted { home; by; replica = _ } ->
+      let cur = if home < Array.length t.serving then t.serving.(home) else by in
+      if cur < Array.length t.alive && t.alive.(cur) then
+        viol Promotion_uniqueness ~addr:None
+          (Printf.sprintf
+             "range %d promoted to node %d while node %d still serves it \
+              alive"
+             home by cur)
+          None;
+      if by < Array.length t.alive && not t.alive.(by) then
+        viol Promotion_uniqueness ~addr:None
+          (Printf.sprintf "range %d promoted to dead node %d" home by)
+          None;
+      if home < Array.length t.serving then t.serving.(home) <- by;
+      (* After a promotion the surviving caches must hold no copy of the
+         promoted range: the replica may lag the lost primary, so those
+         copies can carry rolled-back values under still-current colors. *)
+      Hashtbl.iter
+        (fun p sh ->
+          if sh.sh_home = home && sh.sh_status <> Dead then begin
+            let survivors =
+              Hashtbl.fold
+                (fun n _ acc ->
+                  if n < Array.length t.alive && t.alive.(n) then n :: acc
+                  else acc)
+                sh.sh_copies []
+            in
+            if survivors <> [] then begin
+              viol Move_invalidation ~addr:(Some p)
+                (Printf.sprintf
+                   "cached copies of promoted range %d survived failover on \
+                    node(s) %s"
+                   home
+                   (String.concat ", "
+                      (List.map string_of_int (List.sort compare survivors))))
+                (Some sh.sh_hist);
+              hist_push sh.sh_hist tr
+            end
+          end)
+        t.shadows
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let attach ?(mode = Record) cluster =
+  let n = Cluster.node_count cluster in
+  let t =
+    {
+      cluster;
+      mode;
+      shadows = Hashtbl.create 1024;
+      rcs = Hashtbl.create 64;
+      locks = Hashtbl.create 16;
+      serving = Array.init n (Cluster.serving_node cluster);
+      alive = Array.map (fun nd -> nd.Cluster.alive) (Cluster.nodes cluster);
+      ring = Array.make 16 None;
+      ring_idx = 0;
+      reports = [];
+      report_count = 0;
+      counter =
+        Metrics.counter (Cluster.metrics cluster)
+          ~help:"DSan invariant violations detected" "dsan.violations";
+      active = true;
+    }
+  in
+  let now () = Engine.now (Cluster.engine cluster) in
+  Protocol.set_probe cluster
+    (Some
+       (fun ctx ev ->
+         observe_protocol t ~time:(now ()) ~node:ctx.Ctx.node
+           ~thread:ctx.Ctx.thread_id ev));
+  Array.iter
+    (fun nd ->
+      Cache.set_listener nd.Cluster.cache
+        (Some (fun ev -> observe_cache t ~time:(now ()) ~node:nd.Cluster.id ev)))
+    (Cluster.nodes cluster);
+  let on_rc ctx ev =
+    observe_rc t ~time:(now ()) ~node:ctx.Ctx.node ~thread:ctx.Ctx.thread_id ev
+  in
+  Darc.set_listener cluster (Some on_rc);
+  Drc.set_listener cluster (Some on_rc);
+  Dmutex.set_listener cluster
+    (Some
+       (fun ctx ev ->
+         observe_lock t ~time:(now ()) ~node:ctx.Ctx.node
+           ~thread:ctx.Ctx.thread_id ev));
+  Replication.set_listener cluster
+    (Some (fun ctx ev -> observe_failover t ~time:(now ()) ~node:ctx.Ctx.node ev));
+  Fabric.set_observer (Cluster.fabric cluster)
+    (Some
+       (fun verb ~from ~target ~bytes ->
+         ring_push t (now (), verb, from, target, bytes)));
+  t
+
+let detach t =
+  if t.active then begin
+    t.active <- false;
+    Protocol.set_probe t.cluster None;
+    Array.iter
+      (fun nd -> Cache.set_listener nd.Cluster.cache None)
+      (Cluster.nodes t.cluster);
+    Darc.set_listener t.cluster None;
+    Drc.set_listener t.cluster None;
+    Dmutex.set_listener t.cluster None;
+    Replication.set_listener t.cluster None;
+    Fabric.set_observer (Cluster.fabric t.cluster) None
+  end
+
+let mode t = t.mode
+let cluster t = t.cluster
+let violations t = List.rev t.reports
+let violation_count t = t.report_count
+
+let clear t =
+  t.reports <- [];
+  t.report_count <- 0
+
+let with_sanitizer ?mode cluster f =
+  let t = attach ?mode cluster in
+  Fun.protect ~finally:(fun () -> detach t) (fun () -> f t)
+
+let auto : t list ref = ref []
+
+let install_global ?mode () =
+  Cluster.set_create_hook (Some (fun c -> auto := attach ?mode c :: !auto))
+
+let uninstall_global () = Cluster.set_create_hook None
+let attached () = List.rev !auto
+let global_reports () = List.concat_map violations (attached ())

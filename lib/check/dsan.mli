@@ -1,0 +1,155 @@
+(** DSan: a shadow-state sanitizer for the DSM coherence protocol.
+
+    In the spirit of ThreadSanitizer, [Dsan] keeps its own model of the
+    whole distributed heap — one shadow record per global address
+    tracking the owner node, the current color, the borrow automaton
+    state, the set of nodes holding cached copies (keyed by the colored
+    address each copy was fetched under), darc/drc reference counts, and
+    dmutex hold state — and replays every protocol transition against it
+    through the observational hooks exposed by [Protocol.set_probe],
+    [Cache.set_listener], [Darc.set_listener], [Drc.set_listener],
+    [Dmutex.set_listener], [Replication.set_listener], and
+    [Fabric.set_observer].
+
+    Any divergence between what the implementation did and what the
+    paper's invariants permit produces a structured {!report} carrying
+    the virtual time, node, thread, address, and a provenance trail of
+    the recent events that led up to the violation.
+
+    The checker is purely observational: it never touches the engine,
+    any RNG, or heap state, so a sanitized run is bit-identical to an
+    unsanitized one (asserted by [test/test_check.ml]).
+
+    The invariant catalogue lives in docs/SANITIZER.md;
+    [tools/check_docs.ml] cross-checks it against {!invariant_names}. *)
+
+module Cluster = Drust_machine.Cluster
+
+(** {1 Invariants} *)
+
+(** The eight checked invariant classes.  Their string names (below) are
+    the stable identifiers used in reports, docs, and tests. *)
+type invariant =
+  | Single_owner  (** exactly one live owner per physical address *)
+  | Stale_cache_read
+      (** no read is ever served from a cached copy whose colored
+          address is not the object's current colored address *)
+  | Move_invalidation
+      (** a write that changes a value in place must not leave cached
+          copies reachable under the current color — moves and color
+          bumps are what make prior copies unreachable *)
+  | Refcount_sanity
+      (** darc/drc counts match the shadow count, never go negative,
+          and are exactly zero at free time; cache-copy pin counts never
+          underflow *)
+  | Borrow_discipline
+      (** no write or mutable borrow while immutably borrowed, no
+          second mutable borrow, no unbalanced returns, no drop or
+          transfer while borrowed *)
+  | Lock_discipline
+      (** a dmutex is granted to at most one thread at a time and only
+          its holder may release it *)
+  | Promotion_uniqueness
+      (** failover promotes a range at most once, to an alive node,
+          only when the previous server is dead — and leaves no stale
+          copies of the promoted range in surviving caches *)
+  | Use_after_free
+      (** no operation on a dropped owner or freed refcounted cell *)
+
+val invariant_name : invariant -> string
+(** ["dsan.single_owner"], ["dsan.stale_cache_read"], ... *)
+
+val invariant_names : string list
+(** All eight names, in declaration order. *)
+
+(** {1 Reports} *)
+
+type report = {
+  invariant : invariant;
+  time : float;  (** virtual time of the violating event *)
+  node : int;
+  thread : int;  (** [-1] when the event carries no thread identity *)
+  addr : int option;  (** physical (color-cleared) address *)
+  detail : string;
+  provenance : string list;
+      (** recent shadow history for the address plus the tail of the
+          fabric traffic ring, oldest first *)
+}
+
+val pp_report : Format.formatter -> report -> unit
+val report_to_string : report -> string
+
+type mode =
+  | Record  (** collect reports; query with {!violations} *)
+  | Raise  (** raise {!Violation} at the first divergence *)
+
+exception Violation of report
+
+(** {1 Lifecycle} *)
+
+type t
+
+val attach : ?mode:mode -> Cluster.t -> t
+(** Install the sanitizer on a cluster: hooks every protocol, cache,
+    refcount, lock, replication, and fabric event source, seeds the
+    serving/alive shadow from the cluster's current state, and registers
+    the [dsan.violations] counter in the cluster's metrics registry.
+    Attach before the workload runs; objects created earlier are simply
+    not tracked.  Default mode is [Record]. *)
+
+val detach : t -> unit
+(** Uninstall every hook.  Reports remain queryable. *)
+
+val mode : t -> mode
+val cluster : t -> Cluster.t
+
+val violations : t -> report list
+(** In detection order.  At most 1000 reports are retained;
+    {!violation_count} keeps the true total. *)
+
+val violation_count : t -> int
+val clear : t -> unit
+
+val with_sanitizer : ?mode:mode -> Cluster.t -> (t -> 'a) -> 'a
+(** [attach], run, [detach] (exception-safe). *)
+
+(** {2 Process-wide installation (the [--sanitize] flag)} *)
+
+val install_global : ?mode:mode -> unit -> unit
+(** Arrange (via [Cluster.set_create_hook]) for every cluster created
+    from now on to get a sanitizer attached automatically — this is how
+    [bin/drust_sim.exe --sanitize] and [bench/main.exe --sanitize]
+    sanitize experiments that build their clusters internally. *)
+
+val uninstall_global : unit -> unit
+(** Stop auto-attaching.  Already-attached sanitizers stay attached. *)
+
+val attached : unit -> t list
+(** Sanitizers auto-attached by {!install_global}, oldest first. *)
+
+val global_reports : unit -> report list
+(** All violations across {!attached} sanitizers. *)
+
+(** {1 Observation entry points}
+
+    [attach] wires these to the live hooks; tests call them directly to
+    inject corrupted event streams and assert that each invariant class
+    is caught.  All are pure state-machine steps on the shadow. *)
+
+val observe_protocol :
+  t -> time:float -> node:int -> thread:int -> Drust_core.Protocol.probe_event
+  -> unit
+
+val observe_cache :
+  t -> time:float -> node:int -> Drust_memory.Cache.event -> unit
+
+val observe_rc :
+  t -> time:float -> node:int -> thread:int -> Drust_runtime.Darc.rc_event
+  -> unit
+
+val observe_lock :
+  t -> time:float -> node:int -> thread:int -> Drust_runtime.Dmutex.event
+  -> unit
+
+val observe_failover :
+  t -> time:float -> node:int -> Drust_runtime.Replication.event -> unit

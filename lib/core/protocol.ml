@@ -141,6 +141,60 @@ let notify_transfer ctx g =
   | Some f -> f ctx (Gaddr.clear_color g)
 
 (* ------------------------------------------------------------------ *)
+(* Shadow-state probe (the DSan sanitizer, lib/check): one event per
+   protocol transition, emitted synchronously at the state change.  Each
+   event is allocated only when a probe is installed, and a probe must
+   never touch the engine or any RNG — sanitized runs stay bit-identical.
+
+   Emission points are chosen so that the address an event carries and
+   the shadow state a checker keeps can never be separated by a scheduler
+   yield: read events fire at the instant the access path is decided,
+   write events right after the new address is published.               *)
+
+type access_path = Path_local | Path_cache of Gaddr.t | Path_fetch
+
+type write_kind = W_bump | W_move | W_in_place
+
+type probe_event =
+  | Ev_create of { g : Gaddr.t; size : int }
+  | Ev_read of { g : Gaddr.t; path : access_path }
+  | Ev_write of {
+      before : Gaddr.t;
+      after : Gaddr.t;
+      size : int;
+      kind : write_kind;
+    }
+  | Ev_borrow_imm of { g : Gaddr.t }
+  | Ev_return_imm of { g : Gaddr.t }
+  | Ev_borrow_mut of { g : Gaddr.t }
+  | Ev_return_mut of { g : Gaddr.t }
+  | Ev_transfer of { g : Gaddr.t; to_node : int }
+  | Ev_drop of { g : Gaddr.t }
+  | Ev_app of { g : Gaddr.t; verb : string; tag : string }
+
+let probes : (int, Ctx.t -> probe_event -> unit) Hashtbl.t = Hashtbl.create 8
+
+let set_probe cluster = function
+  | Some f -> Hashtbl.replace probes (Cluster.uid cluster) f
+  | None -> Hashtbl.remove probes (Cluster.uid cluster)
+
+let[@inline] with_probe ctx k =
+  match Hashtbl.find_opt probes (Cluster.uid (Ctx.cluster ctx)) with
+  | None -> ()
+  | Some f -> k f
+
+(* How a write changed the colored address: same address (U-bit elision),
+   color bump in place, or relocation. *)
+let write_kind ~before ~after =
+  if Gaddr.equal before after then W_in_place
+  else if Gaddr.equal (Gaddr.clear_color before) (Gaddr.clear_color after) then
+    W_bump
+  else W_move
+
+let note_app ctx ~g ~verb ~tag =
+  with_probe ctx (fun f -> f ctx (Ev_app { g; verb; tag }))
+
+(* ------------------------------------------------------------------ *)
 (* Ablation switches (per cluster): disable the local-write
    optimizations to quantify their contribution.                        *)
 
@@ -295,6 +349,7 @@ let create_on ctx ~node ~size v =
     }
   in
   register_owner ctx o;
+  with_probe ctx (fun f -> f ctx (Ev_create { g; size }));
   o
 
 let create ctx ~size v = create_on ctx ~node:(pick_alloc_node ctx ~size) ~size v
@@ -350,6 +405,7 @@ let borrow_imm ctx o =
   (* Creating an immutable reference resets the owner's U bit so the next
      write epoch is guaranteed to change the colored address (App. B.4). *)
   o.ubit <- false;
+  with_probe ctx (fun f -> f ctx (Ev_borrow_imm { g = o.g }));
   Ctx.charge_cycles ctx 12.0;
   {
     i_g = o.g;
@@ -364,6 +420,7 @@ let borrow_imm ctx o =
 let clone_imm ctx r =
   assert_live r.i_live "Protocol.clone_imm";
   Borrow_state.borrow_imm r.i_borrow ~context:"Protocol.clone_imm";
+  with_probe ctx (fun f -> f ctx (Ev_borrow_imm { g = r.i_g }));
   Ctx.charge_cycles ctx 12.0;
   (* Only the global-address field is duplicated; the local-copy field of
      the clone starts null (App. D.2). *)
@@ -373,12 +430,15 @@ let imm_deref ctx r =
   assert_live r.i_live "Protocol.imm_deref";
   let cluster = Ctx.cluster ctx in
   if is_local ctx r.i_g then begin
+    with_probe ctx (fun f -> f ctx (Ev_read { g = r.i_g; path = Path_local }));
     charge_local_deref ctx;
     (Cluster.heap_read cluster r.i_g).Partition.value
   end
   else begin
     match r.i_copy with
     | Some copy when Gaddr.equal copy.Cache.key r.i_g && not copy.Cache.dead ->
+        with_probe ctx (fun f ->
+            f ctx (Ev_read { g = r.i_g; path = Path_cache copy.Cache.key }));
         charge_cache_hit ctx;
         copy.Cache.value
     | _ -> (
@@ -386,6 +446,8 @@ let imm_deref ctx r =
         charge_cache_hit ctx;
         match Cache.lookup cache r.i_g with
         | Some copy ->
+            with_probe ctx (fun f ->
+                f ctx (Ev_read { g = r.i_g; path = Path_cache copy.Cache.key }));
             Cache.retain copy;
             r.i_copy <- Some copy;
             copy.Cache.value
@@ -394,6 +456,8 @@ let imm_deref ctx r =
               fetch_into_cache ctx ~g:r.i_g ~size:r.i_size
                 ~group_bytes:r.i_group ~children:r.i_children
             in
+            with_probe ctx (fun f ->
+                f ctx (Ev_read { g = r.i_g; path = Path_fetch }));
             r.i_copy <- Some copy;
             copy.Cache.value)
   end
@@ -406,7 +470,8 @@ let drop_imm ctx r =
   | None -> ());
   r.i_copy <- None;
   Ctx.charge_cycles ctx 10.0;
-  Borrow_state.return_imm r.i_borrow ~context:"Protocol.drop_imm"
+  Borrow_state.return_imm r.i_borrow ~context:"Protocol.drop_imm";
+  with_probe ctx (fun f -> f ctx (Ev_return_imm { g = r.i_g }))
 
 (* ------------------------------------------------------------------ *)
 (* Move machinery                                                      *)
@@ -441,8 +506,18 @@ let move_local ctx ~g ~size ~children =
             e.Partition.value
         in
         async_dealloc ctx member.g;
+        let old = member.g in
         member.g <- child_fresh;
-        member.ubit <- false
+        member.ubit <- false;
+        with_probe ctx (fun f ->
+            f ctx
+              (Ev_write
+                 {
+                   before = old;
+                   after = child_fresh;
+                   size = member.size;
+                   kind = W_move;
+                 }))
       end)
     group_members;
   fresh
@@ -490,6 +565,7 @@ let borrow_mut ctx o =
   | Some copy -> Cache.release (cache_of ctx) copy
   | None -> ());
   o.local_copy <- None;
+  with_probe ctx (fun f -> f ctx (Ev_borrow_mut { g = o.g }));
   Ctx.charge_cycles ctx 12.0;
   { m_g = o.g; m_size = o.size; m_owner = o; m_ubit = false; m_live = true }
 
@@ -498,37 +574,53 @@ let borrow_mut ctx o =
    slot directly. *)
 let mut_claim ctx m ~for_write =
   let o = m.m_owner in
-  if is_local ctx m.m_g then begin
-    charge_local_deref ctx;
-    if for_write && ((not m.m_ubit) || (options_of ctx).no_ubit) then
-      if o.pinned then begin
-        (* Pinned objects keep their address; the color still changes via
-           the owner struct on drop (App. D.1). *)
-        m.m_ubit <- true;
-        m.m_g <- bump_or_move ctx ~g:m.m_g ~size:m.m_size
-      end
-      else begin
-        m.m_ubit <- true;
-        m.m_g <- bump_or_move ctx ~g:m.m_g ~size:m.m_size
-      end
-  end
-  else if o.pinned then begin
-    (* Copy-and-write-back path (App. D.1): the object cannot move, so
-       mutable access works on a local scratch copy; every write is
-       written through to the pinned home synchronously. *)
-    charge_local_deref ctx;
-    if for_write && ((not m.m_ubit) || (options_of ctx).no_ubit) then begin
-      m.m_ubit <- true;
-      Metrics.incr (stats_of ctx).bumps;
-      proto_mark ctx "BUMP" ~bytes:m.m_size;
-      m.m_g <- (try Gaddr.bump_color m.m_g with Gaddr.Color_overflow g -> Gaddr.clear_color g)
-    end
-  end
-  else begin
-    m.m_ubit <- true;
-    let fresh = move_local ctx ~g:m.m_g ~size:m.m_size ~children:o.children in
-    m.m_g <- fresh
-  end
+  let before = m.m_g in
+  (if is_local ctx m.m_g then begin
+     charge_local_deref ctx;
+     if for_write && ((not m.m_ubit) || (options_of ctx).no_ubit) then
+       if o.pinned then begin
+         (* Pinned objects keep their address; the color still changes via
+            the owner struct on drop (App. D.1). *)
+         m.m_ubit <- true;
+         m.m_g <- bump_or_move ctx ~g:m.m_g ~size:m.m_size
+       end
+       else begin
+         m.m_ubit <- true;
+         m.m_g <- bump_or_move ctx ~g:m.m_g ~size:m.m_size
+       end
+   end
+   else if o.pinned then begin
+     (* Copy-and-write-back path (App. D.1): the object cannot move, so
+        mutable access works on a local scratch copy; every write is
+        written through to the pinned home synchronously. *)
+     charge_local_deref ctx;
+     if for_write && ((not m.m_ubit) || (options_of ctx).no_ubit) then begin
+       m.m_ubit <- true;
+       Metrics.incr (stats_of ctx).bumps;
+       proto_mark ctx "BUMP" ~bytes:m.m_size;
+       m.m_g <-
+         (try Gaddr.bump_color m.m_g
+          with Gaddr.Color_overflow g -> Gaddr.clear_color g)
+     end
+   end
+   else begin
+     m.m_ubit <- true;
+     let fresh = move_local ctx ~g:m.m_g ~size:m.m_size ~children:o.children in
+     m.m_g <- fresh
+   end);
+  (* A write claim always announces its epoch (even U-bit-elided ones, so
+     a checker can prove no live copy is reachable under the unchanged
+     colored address); a read claim only reports relocations. *)
+  if for_write || not (Gaddr.equal before m.m_g) then
+    with_probe ctx (fun f ->
+        f ctx
+          (Ev_write
+             {
+               before;
+               after = m.m_g;
+               size = m.m_size;
+               kind = write_kind ~before ~after:m.m_g;
+             }))
 
 let heap_slot_read ctx m =
   let cluster = Ctx.cluster ctx in
@@ -583,6 +675,7 @@ let drop_mut ctx m =
   o.g <- m.m_g;
   o.ubit <- o.ubit || m.m_ubit;
   Borrow_state.return_mut o.borrow ~context:"Protocol.drop_mut";
+  with_probe ctx (fun f -> f ctx (Ev_return_mut { g = m.m_g }));
   if m.m_ubit then notify_commit ctx m.m_g m.m_size
 
 (* ------------------------------------------------------------------ *)
@@ -594,12 +687,21 @@ let owner_read ctx o =
   Borrow_state.assert_owner_readable o.borrow ~context:"Protocol.owner_read";
   let cluster = Ctx.cluster ctx in
   if is_local ctx o.g then begin
+    with_probe ctx (fun f -> f ctx (Ev_read { g = o.g; path = Path_local }));
     charge_local_deref ctx;
     (Cluster.heap_read cluster o.g).Partition.value
   end
   else begin
+    (* A remote read of a pinned object observes the current write epoch:
+       reset the U bit so the next write-through is forced to bump the
+       color.  Without this, an in-place write-through would leave the
+       copy this read produces reachable under a still-current colored
+       address — a lost-update visible to every later read (App. D.1). *)
+    if o.pinned then o.ubit <- false;
     match o.local_copy with
     | Some copy when Gaddr.equal copy.Cache.key o.g && not copy.Cache.dead ->
+        with_probe ctx (fun f ->
+            f ctx (Ev_read { g = o.g; path = Path_cache copy.Cache.key }));
         charge_cache_hit ctx;
         copy.Cache.value
     | stale -> (
@@ -612,6 +714,8 @@ let owner_read ctx o =
         charge_cache_hit ctx;
         match Cache.lookup cache o.g with
         | Some copy ->
+            with_probe ctx (fun f ->
+                f ctx (Ev_read { g = o.g; path = Path_cache copy.Cache.key }));
             Cache.retain copy;
             o.local_copy <- Some copy;
             copy.Cache.value
@@ -620,6 +724,8 @@ let owner_read ctx o =
               fetch_into_cache ctx ~g:o.g ~size:o.size
                 ~group_bytes:(group_size o) ~children:o.children
             in
+            with_probe ctx (fun f ->
+                f ctx (Ev_read { g = o.g; path = Path_fetch }));
             o.local_copy <- Some copy;
             copy.Cache.value)
   end
@@ -656,8 +762,18 @@ let owner_claim_mut ctx o =
                   e.Partition.value
               in
               async_dealloc ctx member.g;
+              let old = member.g in
               member.g <- child_fresh;
-              member.ubit <- false
+              member.ubit <- false;
+              with_probe ctx (fun f ->
+                  f ctx
+                    (Ev_write
+                       {
+                         before = old;
+                         after = child_fresh;
+                         size = member.size;
+                         kind = W_move;
+                       }))
             end)
           (List.concat_map group o.children);
         Metrics.incr (stats_of ctx).moves;
@@ -672,23 +788,51 @@ let owner_claim_mut ctx o =
     o.ubit <- true
   end
 
+(* Close a pinned write-through epoch: publish a fresh color on the owner
+   box so every copy fetched under the old color becomes unreachable
+   (App. D.1).  This runs {e after} the written value has landed at the
+   pinned home — publishing the color first would open a window where a
+   concurrent fetch caches the pre-write value under the new, still-
+   current color, a permanently reachable stale copy. *)
+let pinned_epoch_bump ctx o =
+  if (not o.ubit) || (options_of ctx).no_ubit then begin
+    o.ubit <- true;
+    Metrics.incr (stats_of ctx).bumps;
+    proto_mark ctx "BUMP" ~bytes:o.size;
+    o.g <-
+      (try Gaddr.bump_color o.g
+       with Gaddr.Color_overflow g -> Gaddr.clear_color g)
+  end
+
 let owner_write ctx o v =
   assert_valid o "Protocol.owner_write";
   Borrow_state.assert_owner_usable o.borrow ~context:"Protocol.owner_write";
+  let before = o.g in
   owner_claim_mut ctx o;
   if is_local ctx o.g then Cluster.heap_write (Ctx.cluster ctx) o.g v
   else begin
-    (* Pinned remote object: write through. *)
+    (* Pinned remote object: write through, then close the epoch. *)
     let target = serving ctx o.g in
     Ctx.flush ctx;
     Fabric.rdma_write (Ctx.fabric ctx) ~from:ctx.Ctx.node ~target ~bytes:o.size;
-    Cluster.heap_write (Ctx.cluster ctx) o.g v
+    Cluster.heap_write (Ctx.cluster ctx) o.g v;
+    pinned_epoch_bump ctx o
   end;
+  with_probe ctx (fun f ->
+      f ctx
+        (Ev_write
+           {
+             before;
+             after = o.g;
+             size = o.size;
+             kind = write_kind ~before ~after:o.g;
+           }));
   notify_commit ctx o.g o.size
 
 let owner_modify ctx o f =
   assert_valid o "Protocol.owner_modify";
   Borrow_state.assert_owner_usable o.borrow ~context:"Protocol.owner_modify";
+  let before = o.g in
   owner_claim_mut ctx o;
   let cluster = Ctx.cluster ctx in
   if is_local ctx o.g then
@@ -700,8 +844,18 @@ let owner_modify ctx o f =
     Fabric.rdma_read (Ctx.fabric ctx) ~from:ctx.Ctx.node ~target ~bytes:o.size;
     let v = f (Cluster.heap_read cluster o.g).Partition.value in
     Fabric.rdma_write (Ctx.fabric ctx) ~from:ctx.Ctx.node ~target ~bytes:o.size;
-    Cluster.heap_write cluster o.g v
+    Cluster.heap_write cluster o.g v;
+    pinned_epoch_bump ctx o
   end;
+  with_probe ctx (fun f ->
+      f ctx
+        (Ev_write
+           {
+             before;
+             after = o.g;
+             size = o.size;
+             kind = write_kind ~before ~after:o.g;
+           }));
   notify_commit ctx o.g o.size
 
 (* ------------------------------------------------------------------ *)
@@ -722,12 +876,14 @@ let transfer ctx o ~to_node =
   o.box_node <- to_node;
   List.iter (fun child -> child.box_node <- to_node) (List.concat_map group o.children);
   Ctx.charge_cycles ctx 20.0;
+  with_probe ctx (fun f -> f ctx (Ev_transfer { g = o.g; to_node }));
   notify_transfer ctx o.g
 
 let rec drop_owner ctx o =
   assert_valid o "Protocol.drop_owner";
   Borrow_state.kill o.borrow ~context:"Protocol.drop_owner";
   o.valid <- false;
+  with_probe ctx (fun f -> f ctx (Ev_drop { g = o.g }));
   (match o.local_copy with
   | Some copy -> Cache.release (cache_of ctx) copy
   | None -> ());
@@ -774,7 +930,12 @@ let tie ctx ~parent ~child =
         ~bytes:child.size
     end;
     async_dealloc ctx child.g;
-    child.g <- fresh
+    let old = child.g in
+    child.g <- fresh;
+    with_probe ctx (fun f ->
+        f ctx
+          (Ev_write
+             { before = old; after = fresh; size = child.size; kind = W_move }))
   end
 
 let is_pinned o = o.pinned

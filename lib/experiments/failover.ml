@@ -227,6 +227,8 @@ let print r =
 
 let run ?(seed = 42) () =
   let r1 = run_once ~seed () in
+  Report.record_rate ~experiment:"failover/chaos"
+    ~ops:(float_of_int r1.total_ops) ~elapsed:duration;
   print r1;
   (match (r1.detection_time, r1.recovery_time) with
   | Some _, Some _ -> ()

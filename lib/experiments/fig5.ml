@@ -33,6 +33,11 @@ let run ?(node_counts = [ 1; 2; 4; 8 ]) () =
   let rows = ref [] in
   let record app system nodes result =
     let base = B.single_node_baseline app in
+    Report.record_rate
+      ~experiment:
+        (Printf.sprintf "fig5/%s/%s/%dn" (B.app_name app)
+           (B.system_name system) nodes)
+      ~ops:result.Appkit.ops ~elapsed:result.Appkit.elapsed;
     let speedup = result.Appkit.throughput /. base.Appkit.throughput in
     rows :=
       { app; system; nodes; speedup; throughput = result.Appkit.throughput }

@@ -19,6 +19,9 @@ let run () =
   let tbox = run_variant ~use_tbox:true ~use_spawn_to:false in
   let both = run_variant ~use_tbox:true ~use_spawn_to:true in
   let mk label r paper =
+    Report.record_rate
+      ~experiment:("fig6/" ^ label)
+      ~ops:r.Appkit.ops ~elapsed:r.Appkit.elapsed;
     let speedup = r.Appkit.throughput /. base.Appkit.throughput in
     let vs_plain = r.Appkit.throughput /. plain.Appkit.throughput in
     ( { label; speedup; vs_plain },

@@ -89,6 +89,50 @@ let cell_time v = Format.asprintf "%a" Drust_util.Units.pp_seconds v
 let note s = Printf.printf "  %s\n" s
 
 (* ------------------------------------------------------------------ *)
+(* Benchmark summary (BENCH_summary.json)                              *)
+
+let rates : (string, float) Hashtbl.t = Hashtbl.create 32
+
+let record_rate ~experiment ~ops ~elapsed =
+  if elapsed > 0.0 then Hashtbl.replace rates experiment (ops /. elapsed)
+
+let recorded_rates () =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) rates []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Schema documented in docs/BENCHMARKS.md: one entry per experiment
+   that called [record_rate], keyed by experiment name. *)
+let write_bench_summary ~path =
+  let entries = recorded_rates () in
+  let oc = open_out path in
+  output_string oc "{\n";
+  output_string oc "  \"schema\": \"drust-bench-summary/v1\",\n";
+  output_string oc "  \"entries\": {\n";
+  let last = List.length entries - 1 in
+  List.iteri
+    (fun i (k, v) ->
+      Printf.fprintf oc "    \"%s\": { \"ops_per_sim_sec\": %.6g }%s\n"
+        (json_escape k) v
+        (if i = last then "" else ","))
+    entries;
+  output_string oc "  }\n}\n";
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
 (* Metrics-snapshot rendering                                          *)
 
 module Metrics = Drust_obs.Metrics

@@ -29,6 +29,23 @@ val cell_time : float -> string
 
 val note : string -> unit
 
+(** {1 Benchmark summary}
+
+    Experiments report one headline rate each; [bench/main.exe] writes
+    the collected registry as [BENCH_summary.json] at exit (schema
+    [drust-bench-summary/v1], documented in docs/BENCHMARKS.md). *)
+
+val record_rate : experiment:string -> ops:float -> elapsed:float -> unit
+(** Register [ops /. elapsed] (operations per {e simulated} second)
+    under [experiment].  Re-recording an experiment overwrites it;
+    non-positive [elapsed] is ignored. *)
+
+val recorded_rates : unit -> (string * float) list
+(** The registry so far, sorted by experiment name. *)
+
+val write_bench_summary : path:string -> unit
+(** Write the registry as JSON to [path]. *)
+
 (** {1 Metrics snapshots} *)
 
 val metric_total : Drust_obs.Metrics.snapshot -> string -> int

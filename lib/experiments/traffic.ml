@@ -33,6 +33,10 @@ let run_one app system =
   (* Read totals from the cluster's metrics snapshot rather than the
      fabric's convenience accessors — same numbers, one source of truth. *)
   let snap = Drust_obs.Metrics.snapshot (Cluster.metrics cluster) in
+  Report.record_rate
+    ~experiment:
+      (Printf.sprintf "traffic/%s/%s" (B.app_name app) (B.system_name system))
+    ~ops:result.Appkit.ops ~elapsed:result.Appkit.elapsed;
   {
     app;
     system;

@@ -28,6 +28,11 @@ let run () =
           List.map
             (fun system ->
               let r = run_one w system ~nodes:8 in
+              Report.record_rate
+                ~experiment:
+                  (Printf.sprintf "ycsb/%s/%s" (Ycsb.workload_name w)
+                     (B.system_name system))
+                ~ops:r.Appkit.ops ~elapsed:r.Appkit.elapsed;
               let speedup = r.Appkit.throughput /. base.Appkit.throughput in
               rows := { workload = w; system; speedup } :: !rows;
               Report.cell_f speedup)

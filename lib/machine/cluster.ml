@@ -31,6 +31,13 @@ type t = {
 
 let next_uid = ref 0
 
+(* Called on every freshly created cluster.  This is how process-wide
+   tooling (the DSan sanitizer's --sanitize flag) reaches clusters that
+   experiments create internally, without threading a parameter through
+   every call site.  The hook must not touch the engine or any RNG. *)
+let create_hook : (t -> unit) option ref = ref None
+let set_create_hook h = create_hook := h
+
 let create ?engine params =
   let engine = match engine with Some e -> e | None -> Engine.create () in
   let rng = Drust_util.Rng.create ~seed:params.Params.seed in
@@ -57,18 +64,22 @@ let create ?engine params =
   let uid = !next_uid in
   incr next_uid;
   let nodes = Array.init params.Params.nodes make_node in
-  {
-    uid;
-    engine;
-    fabric;
-    params;
-    nodes;
-    serving = Array.init params.Params.nodes (fun i -> i);
-    range_store = Array.map (fun n -> n.partition) nodes;
-    rng;
-    metrics;
-    spans;
-  }
+  let t =
+    {
+      uid;
+      engine;
+      fabric;
+      params;
+      nodes;
+      serving = Array.init params.Params.nodes (fun i -> i);
+      range_store = Array.map (fun n -> n.partition) nodes;
+      rng;
+      metrics;
+      spans;
+    }
+  in
+  (match !create_hook with None -> () | Some h -> h t);
+  t
 
 let uid t = t.uid
 

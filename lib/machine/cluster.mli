@@ -21,6 +21,12 @@ val create : ?engine:Drust_sim.Engine.t -> Params.t -> t
 val uid : t -> int
 (** Unique id per cluster instance; lets higher layers keep side tables. *)
 
+val set_create_hook : (t -> unit) option -> unit
+(** Install a process-wide hook run on every cluster [create].  Used by
+    the DSan sanitizer's [--sanitize] mode to attach to clusters that
+    experiments build internally.  The hook must be purely observational:
+    it must not touch the engine, any RNG, or heap state. *)
+
 val engine : t -> Drust_sim.Engine.t
 val fabric : t -> Drust_net.Fabric.t
 val params : t -> Params.t

@@ -9,12 +9,23 @@ type copy = {
 
 module Metrics = Drust_obs.Metrics
 
+(* Observational events for the DSan shadow-state checker (lib/check).
+   Emitted synchronously from the state transition that caused them; a
+   listener must never touch the engine or any RNG. *)
+type event =
+  | Hit of { key : Gaddr.t }
+  | Stale_miss of { sought : Gaddr.t; cached : Gaddr.t }
+  | Insert of { key : Gaddr.t; size : int }
+  | Release of { key : Gaddr.t; refcount : int }
+  | Invalidate of { key : Gaddr.t }
+
 type t = {
   node : int;
   (* Keyed by the physical (color-cleared) address; the copy remembers the
      full colored key so lookups can compare colors in O(1). *)
   map : (Gaddr.t, copy) Hashtbl.t;
   mutable used : int;
+  mutable listener : (event -> unit) option;
   (* Registry-backed statistics (names cache.*, labelled by node). *)
   c_hits : Metrics.counter;
   c_misses : Metrics.counter;
@@ -32,6 +43,7 @@ let create ?metrics ~node () =
     node;
     map = Hashtbl.create 256;
     used = 0;
+    listener = None;
     c_hits = Metrics.counter metrics ~labels ~unit_:"ops" "cache.hits";
     c_misses = Metrics.counter metrics ~labels ~unit_:"ops" "cache.misses";
     c_inserts = Metrics.counter metrics ~labels ~unit_:"ops" "cache.inserts";
@@ -41,6 +53,7 @@ let create ?metrics ~node () =
   }
 
 let node t = t.node
+let set_listener t l = t.listener <- l
 let entries t = Hashtbl.length t.map
 let used_bytes t = t.used
 let set_used t used =
@@ -51,8 +64,15 @@ let lookup t g =
   match Hashtbl.find_opt t.map (Gaddr.clear_color g) with
   | Some copy when Gaddr.equal copy.key g && not copy.dead ->
       Metrics.incr t.c_hits;
+      (match t.listener with None -> () | Some f -> f (Hit { key = copy.key }));
       Some copy
-  | Some _ | None ->
+  | Some copy ->
+      Metrics.incr t.c_misses;
+      (match t.listener with
+      | None -> ()
+      | Some f -> f (Stale_miss { sought = g; cached = copy.key }));
+      None
+  | None ->
       Metrics.incr t.c_misses;
       None
 
@@ -68,6 +88,9 @@ let reclaim t copy =
 let detach t phys copy =
   Hashtbl.remove t.map phys;
   copy.detached <- true;
+  (match t.listener with
+  | None -> ()
+  | Some f -> f (Invalidate { key = copy.key }));
   if copy.refcount = 0 then reclaim t copy
 
 let insert t g ~size v =
@@ -81,6 +104,9 @@ let insert t g ~size v =
   Hashtbl.replace t.map phys copy;
   Metrics.incr t.c_inserts;
   set_used t (t.used + size);
+  (match t.listener with
+  | None -> ()
+  | Some f -> f (Insert { key = g; size }));
   copy
 
 let retain copy =
@@ -88,6 +114,12 @@ let retain copy =
   copy.refcount <- copy.refcount + 1
 
 let release t copy =
+  (* The event carries the post-decrement count and fires before the
+     underflow guard, so a shadow checker observes the violation even
+     though the operation itself is then rejected. *)
+  (match t.listener with
+  | None -> ()
+  | Some f -> f (Release { key = copy.key; refcount = copy.refcount - 1 }));
   if copy.refcount <= 0 then invalid_arg "Cache.release: refcount underflow";
   copy.refcount <- copy.refcount - 1;
   if copy.refcount = 0 && copy.detached then reclaim t copy
@@ -97,6 +129,21 @@ let invalidate_physical t g =
   match Hashtbl.find_opt t.map phys with
   | None -> ()
   | Some copy -> detach t phys copy
+
+(* Drop every copy of an object homed in [home]'s address range, whatever
+   its color.  Used by failover promotion: the promoted replica may lag the
+   lost primary (asynchronous batching), so copies fetched from the primary
+   can hold values the promoted store never received — they must not keep
+   serving reads under a still-current colored address. *)
+let invalidate_home t ~home =
+  let victims =
+    Hashtbl.fold
+      (fun phys copy acc ->
+        if Gaddr.node_of phys = home then (phys, copy) :: acc else acc)
+      t.map []
+  in
+  List.iter (fun (phys, copy) -> detach t phys copy) victims;
+  List.length victims
 
 let evict_unreferenced t =
   let reclaimed = ref 0 in

@@ -29,6 +29,27 @@ val create : ?metrics:Drust_obs.Metrics.t -> node:int -> unit -> t
     inserts, evictions, used bytes — labelled by node) report into;
     defaults to a fresh private registry. *)
 
+(** {1 Shadow-state events}
+
+    Observational hook for the DSan sanitizer ([lib/check]): one event per
+    cache transition, emitted synchronously.  [Release] fires {e before}
+    the underflow guard and carries the post-decrement count, so a checker
+    observes an underflow the operation itself then rejects.  [retain] has
+    no cache handle and is therefore not hooked; the checker audits
+    refcounts at [Release] time instead. *)
+type event =
+  | Hit of { key : Gaddr.t }
+  | Stale_miss of { sought : Gaddr.t; cached : Gaddr.t }
+      (** a lookup found a copy under the physical address whose colored
+          key did not match — the implicit-invalidation path *)
+  | Insert of { key : Gaddr.t; size : int }
+  | Release of { key : Gaddr.t; refcount : int }
+  | Invalidate of { key : Gaddr.t }
+      (** the copy left the map: displaced, invalidated, or evicted *)
+
+val set_listener : t -> (event -> unit) option -> unit
+(** The listener must never touch the engine or any RNG. *)
+
 val node : t -> int
 val entries : t -> int
 val used_bytes : t -> int
@@ -57,6 +78,13 @@ val invalidate_physical : t -> Gaddr.t -> unit
     of color — the asynchronous invalidation performed when an object is
     deallocated or moved away (App. B.4), preventing a reallocation at the
     same address from hitting a stale entry. *)
+
+val invalidate_home : t -> home:int -> int
+(** Remove every copy whose object is homed in [home]'s address range,
+    regardless of color; returns the number of copies dropped.  Failover
+    promotion calls this on every surviving node: the promoted replica may
+    lag the lost primary, so copies fetched from the primary must not keep
+    serving reads (§4.2.3). *)
 
 val evict_unreferenced : t -> int
 (** Drop all refcount-0 entries; returns bytes reclaimed.  This is the

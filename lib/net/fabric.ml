@@ -62,6 +62,10 @@ type t = {
   nics : Drust_sim.Resource.t array;
   mutable spans : Span.t option;
   mutable fault : Fault.t option;
+  (* Observational hook fired at verb-issue time; DSan uses it to keep a
+     recent-traffic ring for violation provenance.  Must never touch the
+     engine or any RNG. *)
+  mutable observer : (string -> from:int -> target:int -> bytes:int -> unit) option;
 }
 
 (* Transfers below this size do not contend for the DMA engine. *)
@@ -98,9 +102,11 @@ let create ?metrics ?spans ~engine ~rng ~model ~nodes () =
       Array.init nodes (fun _ -> Drust_sim.Resource.create engine ~capacity:1);
     spans;
     fault = None;
+    observer = None;
   }
 
 let set_spans t spans = t.spans <- spans
+let set_observer t o = t.observer <- o
 let metrics t = t.metrics
 let set_fault_plan t plan = t.fault <- Some plan
 let fault_plan t = t.fault
@@ -215,16 +221,19 @@ let delay_with_nic t ~data_source ~from ~target ~base ~bytes =
   end
   else Engine.delay t.engine (latency t ~from ~target ~base ~bytes)
 
-let note t ~from ~target ~bytes =
+let note ?(verb = "") t ~from ~target ~bytes =
   let c = t.counters.(from) in
   Metrics.add c.c_bytes_out bytes;
-  if from <> target then Metrics.incr c.c_remote_ops
+  if from <> target then Metrics.incr c.c_remote_ops;
+  match t.observer with
+  | None -> ()
+  | Some f -> f verb ~from ~target ~bytes
 
 let rdma_read t ~from ~target ~bytes =
   check_node t from "rdma_read";
   check_node t target "rdma_read";
   Metrics.incr t.counters.(from).c_reads;
-  note t ~from ~target ~bytes;
+  note ~verb:"READ" t ~from ~target ~bytes;
   sync_guard t ~from ~target;
   (* READ pulls data out of the target: the target's NIC is the egress. *)
   with_verb_span t "READ" ~from ~target ~bytes (fun () ->
@@ -235,7 +244,7 @@ let rdma_write t ~from ~target ~bytes =
   check_node t from "rdma_write";
   check_node t target "rdma_write";
   Metrics.incr t.counters.(from).c_writes;
-  note t ~from ~target ~bytes;
+  note ~verb:"WRITE" t ~from ~target ~bytes;
   sync_guard t ~from ~target;
   (* WRITE pushes data from the sender: its NIC is the egress. *)
   with_verb_span t "WRITE" ~from ~target ~bytes (fun () ->
@@ -246,7 +255,7 @@ let rdma_write_async t ~from ~target ~bytes k =
   check_node t from "rdma_write_async";
   check_node t target "rdma_write_async";
   Metrics.incr t.counters.(from).c_writes;
-  note t ~from ~target ~bytes;
+  note ~verb:"WRITE(async)" t ~from ~target ~bytes;
   if async_delivers t ~from ~target then begin
     mark t "WRITE(async)" ~from ~target ~bytes;
     let dt = latency t ~from ~target ~base:t.model.Model.oneside_base ~bytes in
@@ -257,7 +266,7 @@ let rdma_atomic t ~from ~target f =
   check_node t from "rdma_atomic";
   check_node t target "rdma_atomic";
   Metrics.incr t.counters.(from).c_atomics;
-  note t ~from ~target ~bytes:8;
+  note ~verb:"ATOMIC" t ~from ~target ~bytes:8;
   sync_guard t ~from ~target;
   with_verb_span t "ATOMIC" ~from ~target ~bytes:8 (fun () ->
       Engine.delay t.engine
@@ -268,7 +277,7 @@ let rpc t ~from ~target ~req_bytes ~resp_bytes handler =
   check_node t from "rpc";
   check_node t target "rpc";
   Metrics.incr t.counters.(from).c_rpcs;
-  note t ~from ~target ~bytes:(req_bytes + resp_bytes);
+  note ~verb:"RPC" t ~from ~target ~bytes:(req_bytes + resp_bytes);
   sync_guard t ~from ~target;
   with_verb_span t "RPC" ~from ~target ~bytes:(req_bytes + resp_bytes)
     (fun () ->
@@ -352,7 +361,7 @@ let send_async t ~from ~target ~bytes handler =
   check_node t from "send_async";
   check_node t target "send_async";
   Metrics.incr t.counters.(from).c_rpcs;
-  note t ~from ~target ~bytes;
+  note ~verb:"SEND(async)" t ~from ~target ~bytes;
   if async_delivers t ~from ~target then begin
     mark t "SEND(async)" ~from ~target ~bytes;
     let dt =

@@ -51,6 +51,13 @@ val set_spans : t -> Drust_obs.Span.t option -> unit
     events — all on the issuing node's track, category ["fabric"].
     Free when unset or when the tracer is disabled. *)
 
+val set_observer :
+  t -> (string -> from:int -> target:int -> bytes:int -> unit) option -> unit
+(** Observational hook fired once per verb at issue time with the verb
+    name (["READ"], ["WRITE"], ["ATOMIC"], ["RPC"], ...).  The DSan
+    sanitizer uses it to keep a recent-traffic ring for violation
+    provenance.  The observer must never touch the engine or any RNG. *)
+
 val set_fault_plan : t -> Drust_sim.Fault.t -> unit
 (** Install a fault plan: from now on every verb consults it.  Verbs
     from or to a crashed node raise {!Node_down}; messages crossing an

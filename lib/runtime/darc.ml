@@ -14,9 +14,32 @@ type control = {
 
 type t = { control : control; mutable live : bool }
 
+(* Refcount events for the DSan shadow-state checker (lib/check), shared
+   with [Drc].  Each event carries the post-transition count as the
+   implementation sees it, so a shadow counter can be cross-checked
+   against it.  Listeners are keyed per cluster and must never touch the
+   engine or any RNG. *)
+type rc_event =
+  | Rc_created of { g : Gaddr.t; size : int; count : int }
+  | Rc_retained of { g : Gaddr.t; count : int }
+  | Rc_released of { g : Gaddr.t; count : int }
+  | Rc_freed of { g : Gaddr.t }
+
+let listeners : (int, Ctx.t -> rc_event -> unit) Hashtbl.t = Hashtbl.create 8
+
+let set_listener cluster = function
+  | Some f -> Hashtbl.replace listeners (Cluster.uid cluster) f
+  | None -> Hashtbl.remove listeners (Cluster.uid cluster)
+
+let[@inline] with_listener ctx k =
+  match Hashtbl.find_opt listeners (Cluster.uid (Ctx.cluster ctx)) with
+  | None -> ()
+  | Some f -> k f
+
 let create ctx ~size v =
   Ctx.charge_cycles ctx 150.0;
   let g = Cluster.heap_alloc (Ctx.cluster ctx) ~node:ctx.Ctx.node ~size v in
+  with_listener ctx (fun f -> f ctx (Rc_created { g; size; count = 1 }));
   { control = { g; size; count = 1; freed = false }; live = true }
 
 let home t = Gaddr.node_of t.control.g
@@ -38,7 +61,12 @@ let at_home ctx t op =
 
 let clone ctx t =
   check_live t "clone";
-  at_home ctx t (fun () -> t.control.count <- t.control.count + 1);
+  let count =
+    at_home ctx t (fun () ->
+        t.control.count <- t.control.count + 1;
+        t.control.count)
+  in
+  with_listener ctx (fun f -> f ctx (Rc_retained { g = t.control.g; count }));
   { control = t.control; live = true }
 
 let strong_count ctx t =
@@ -76,15 +104,17 @@ let get ctx t =
 let drop ctx t =
   check_live t "drop";
   t.live <- false;
-  let last = at_home ctx t (fun () ->
+  let count = at_home ctx t (fun () ->
       t.control.count <- t.control.count - 1;
-      t.control.count = 0)
+      t.control.count)
   in
-  if last then begin
+  with_listener ctx (fun f -> f ctx (Rc_released { g = t.control.g; count }));
+  if count = 0 then begin
     t.control.freed <- true;
     let cluster = Ctx.cluster ctx in
     Array.iter
       (fun n -> Cache.invalidate_physical n.Cluster.cache t.control.g)
       (Cluster.nodes cluster);
-    Cluster.heap_free cluster t.control.g
+    Cluster.heap_free cluster t.control.g;
+    with_listener ctx (fun f -> f ctx (Rc_freed { g = t.control.g }))
   end

@@ -14,9 +14,31 @@ type t = {
   mutable retries : int;
 }
 
+(* Lock-discipline events for the DSan shadow-state checker (lib/check).
+   [Lock_released] fires {e before} the holder check, so a checker
+   observes a foreign unlock the operation itself then rejects.
+   Listeners are keyed per cluster and must never touch the engine or
+   any RNG. *)
+type event =
+  | Lock_created of { g : Gaddr.t }
+  | Lock_acquired of { g : Gaddr.t; thread : int }
+  | Lock_released of { g : Gaddr.t; thread : int }
+
+let listeners : (int, Ctx.t -> event -> unit) Hashtbl.t = Hashtbl.create 8
+
+let set_listener cluster = function
+  | Some f -> Hashtbl.replace listeners (Cluster.uid cluster) f
+  | None -> Hashtbl.remove listeners (Cluster.uid cluster)
+
+let[@inline] with_listener ctx k =
+  match Hashtbl.find_opt listeners (Cluster.uid (Ctx.cluster ctx)) with
+  | None -> ()
+  | Some f -> k f
+
 let create ctx ~size v =
   Ctx.charge_cycles ctx 200.0;
   let data_g = Cluster.heap_alloc (Ctx.cluster ctx) ~node:ctx.Ctx.node ~size v in
+  with_listener ctx (fun f -> f ctx (Lock_created { g = data_g }));
   {
     data_g;
     size;
@@ -40,15 +62,21 @@ let cas_attempt ctx t =
       true
     end
   in
-  if target = ctx.Ctx.node then begin
-    Ctx.charge_cycles ctx 40.0;
-    attempt ()
-  end
-  else begin
-    Ctx.note_remote_access ctx ~target;
-    Ctx.flush ctx;
-    Fabric.rdma_atomic (Ctx.fabric ctx) ~from:ctx.Ctx.node ~target attempt
-  end
+  let won =
+    if target = ctx.Ctx.node then begin
+      Ctx.charge_cycles ctx 40.0;
+      attempt ()
+    end
+    else begin
+      Ctx.note_remote_access ctx ~target;
+      Ctx.flush ctx;
+      Fabric.rdma_atomic (Ctx.fabric ctx) ~from:ctx.Ctx.node ~target attempt
+    end
+  in
+  if won then
+    with_listener ctx (fun f ->
+        f ctx (Lock_acquired { g = t.data_g; thread = ctx.Ctx.thread_id }));
+  won
 
 let try_lock ctx t = cas_attempt ctx t
 
@@ -74,6 +102,8 @@ let check_held ctx t op =
   | Some _ | None -> invalid_arg (Printf.sprintf "Dmutex.%s: lock not held" op)
 
 let unlock ctx t =
+  with_listener ctx (fun f ->
+      f ctx (Lock_released { g = t.data_g; thread = ctx.Ctx.thread_id }));
   check_held ctx t "unlock";
   t.holder <- None;
   let target = serving_home ctx t in

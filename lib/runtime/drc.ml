@@ -23,9 +23,24 @@ let check_live t op =
   if not t.live || t.control.freed then
     invalid_arg (Printf.sprintf "Drc.%s: handle dropped" op)
 
+(* Same shadow-state event vocabulary as [Darc]; the DSan checker
+   installs one handler for both. *)
+let listeners : (int, Ctx.t -> Darc.rc_event -> unit) Hashtbl.t =
+  Hashtbl.create 8
+
+let set_listener cluster = function
+  | Some f -> Hashtbl.replace listeners (Cluster.uid cluster) f
+  | None -> Hashtbl.remove listeners (Cluster.uid cluster)
+
+let[@inline] with_listener ctx k =
+  match Hashtbl.find_opt listeners (Cluster.uid (Ctx.cluster ctx)) with
+  | None -> ()
+  | Some f -> k f
+
 let create ctx ~size v =
   Ctx.charge_cycles ctx 60.0;
   let g = Cluster.heap_alloc (Ctx.cluster ctx) ~node:ctx.Ctx.node ~size v in
+  with_listener ctx (fun f -> f ctx (Darc.Rc_created { g; size; count = 1 }));
   {
     control =
       { g; size; owner_thread = ctx.Ctx.thread_id; count = 1; freed = false };
@@ -38,6 +53,8 @@ let clone ctx t =
   (* Plain (non-atomic) increment: single-thread by construction. *)
   Ctx.charge_cycles ctx 6.0;
   t.control.count <- t.control.count + 1;
+  with_listener ctx (fun f ->
+      f ctx (Darc.Rc_retained { g = t.control.g; count = t.control.count }));
   { control = t.control; live = true }
 
 let get ctx t =
@@ -54,7 +71,10 @@ let drop ctx t =
   t.live <- false;
   t.control.count <- t.control.count - 1;
   Ctx.charge_cycles ctx 8.0;
+  with_listener ctx (fun f ->
+      f ctx (Darc.Rc_released { g = t.control.g; count = t.control.count }));
   if t.control.count = 0 then begin
     t.control.freed <- true;
-    Cluster.heap_free (Ctx.cluster ctx) t.control.g
+    Cluster.heap_free (Ctx.cluster ctx) t.control.g;
+    with_listener ctx (fun f -> f ctx (Darc.Rc_freed { g = t.control.g }))
   end

@@ -19,3 +19,8 @@ val strong_count : t -> int
 
 val drop : Ctx.t -> t -> unit
 (** Last drop frees the payload. *)
+
+val set_listener :
+  Drust_machine.Cluster.t -> (Ctx.t -> Darc.rc_event -> unit) option -> unit
+(** Shadow-state refcount events, sharing [Darc.rc_event]; the DSan
+    checker installs one handler for both. *)

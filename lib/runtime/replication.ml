@@ -3,6 +3,7 @@ module Cluster = Drust_machine.Cluster
 module Fabric = Drust_net.Fabric
 module Gaddr = Drust_memory.Gaddr
 module Partition = Drust_memory.Partition
+module Cache = Drust_memory.Cache
 module Protocol = Drust_core.Protocol
 
 type dirty = { size : int; value : Drust_util.Univ.t }
@@ -22,6 +23,25 @@ type t = {
 let replica_host t ~home ~r = (home + 1 + r) mod Cluster.node_count t.cluster
 
 let backup_node t home = replica_host t ~home ~r:0
+
+(* Failover events for the DSan shadow-state checker (lib/check).
+   [Promoted] fires once per re-served range, after the serving map is
+   swapped and the surviving caches are purged.  Listeners are keyed per
+   cluster and must never touch the engine or any RNG. *)
+type event =
+  | Node_failed of { node : int }
+  | Promoted of { home : int; by : int; replica : int }
+
+let listeners : (int, Ctx.t -> event -> unit) Hashtbl.t = Hashtbl.create 8
+
+let set_listener cluster = function
+  | Some f -> Hashtbl.replace listeners (Cluster.uid cluster) f
+  | None -> Hashtbl.remove listeners (Cluster.uid cluster)
+
+let[@inline] with_listener ctx cluster k =
+  match Hashtbl.find_opt listeners (Cluster.uid cluster) with
+  | None -> ()
+  | Some f -> k (f ctx)
 
 let record_commit t _ctx g size value =
   if t.enabled then Hashtbl.replace t.pending g { size; value }
@@ -112,6 +132,7 @@ let fail_and_promote ctx t ~node =
   in
   List.iter (Hashtbl.remove t.pending) lost;
   Cluster.mark_failed t.cluster node;
+  with_listener ctx t.cluster (fun emit -> emit (Node_failed { node }));
   (* Re-serve every range whose current server just died (including the
      failed node's own range) from its first replica on an alive host. *)
   let n = Cluster.node_count t.cluster in
@@ -126,7 +147,20 @@ let fail_and_promote ctx t ~node =
           else pick (r + 1)
       in
       let by, r = pick 0 in
-      Cluster.promote t.cluster ~home ~by ~store:t.backups.(r).(home)
+      Cluster.promote t.cluster ~home ~by ~store:t.backups.(r).(home);
+      (* The promoted replica may lag the lost primary (write-backs are
+         batched), so copies the survivors fetched from the primary can
+         hold exactly the lost writes — under colored addresses that are
+         still current.  Purge the whole promoted range from every alive
+         cache before serving resumes, or those copies keep serving
+         values the failover rolled back. *)
+      Array.iter
+        (fun nd ->
+          if nd.Cluster.alive then
+            ignore (Cache.invalidate_home nd.Cluster.cache ~home))
+        (Cluster.nodes t.cluster);
+      with_listener ctx t.cluster (fun emit ->
+          emit (Promoted { home; by; replica = r }))
     end
   done;
   (* The controller announces the promotion to every alive server. *)

@@ -42,4 +42,21 @@ val fail_and_promote : Ctx.t -> t -> node:int -> unit
 (** Kill a primary: mark the node failed and promote its backup so the
     dead range is served by the backup server.  Objects modified but not
     yet written back are lost, exactly as in the paper's design (their
-    ownership had not yet escaped the failed server). *)
+    ownership had not yet escaped the failed server).  Every surviving
+    node's cache is purged of copies from the promoted ranges: those
+    copies may hold exactly the lost writes under still-current colored
+    addresses, and must not keep serving them. *)
+
+(** {1 Shadow-state events (the DSan sanitizer, lib/check)}
+
+    [Promoted] fires once per re-served range, after the serving map is
+    swapped and surviving caches purged; [Node_failed] fires once per
+    failure before any promotion.  A listener must never touch the
+    engine or any RNG. *)
+
+type event =
+  | Node_failed of { node : int }
+  | Promoted of { home : int; by : int; replica : int }
+
+val set_listener :
+  Drust_machine.Cluster.t -> (Ctx.t -> event -> unit) option -> unit

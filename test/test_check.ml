@@ -1,0 +1,476 @@
+(* Tests for the DSan shadow-state sanitizer (lib/check).
+
+   Three layers:
+   - injection: feed deliberately corrupted event streams into the
+     observe_* entry points and assert every invariant class is caught
+     with an attributed report;
+   - clean runs: real protocol / runtime / chaos-failover workloads under
+     the sanitizer must produce zero violations (including the two
+     regressions the sanitizer originally surfaced: the pinned
+     write-through epoch bump and the failover cache purge);
+   - determinism: a sanitized fig5/fig6 run is bit-identical on stdout to
+     an unsanitized one — the sanitizer is purely observational. *)
+
+module Engine = Drust_sim.Engine
+module Cluster = Drust_machine.Cluster
+module Params = Drust_machine.Params
+module Ctx = Drust_machine.Ctx
+module P = Drust_core.Protocol
+module Gaddr = Drust_memory.Gaddr
+module Cache = Drust_memory.Cache
+module Univ = Drust_util.Univ
+module Darc = Drust_runtime.Darc
+module Drc = Drust_runtime.Drc
+module Dmutex = Drust_runtime.Dmutex
+module Replication = Drust_runtime.Replication
+module Dsan = Drust_check.Dsan
+
+let int_tag : int Univ.tag = Univ.create_tag ~name:"int"
+let pack = Univ.pack int_tag
+let unpack v = Univ.unpack_exn int_tag v
+
+let small_params nodes =
+  {
+    Params.default with
+    Params.nodes;
+    cores_per_node = 4;
+    mem_per_node = Drust_util.Units.mib 64;
+  }
+
+let in_cluster ?(nodes = 4) body =
+  let cluster = Cluster.create (small_params nodes) in
+  let result = ref None in
+  ignore
+    (Engine.spawn (Cluster.engine cluster) (fun () ->
+         result := Some (body cluster)));
+  Cluster.run cluster;
+  match !result with Some v -> v | None -> Alcotest.fail "body did not run"
+
+let flagged t =
+  List.sort_uniq compare
+    (List.map (fun r -> Dsan.invariant_name r.Dsan.invariant) (Dsan.violations t))
+
+let check_flagged msg t names =
+  Alcotest.(check (list string)) msg names (flagged t)
+
+(* A sanitizer over a throwaway cluster, used purely as an injection
+   sink: events are synthesized, never produced by the cluster itself. *)
+let with_sink f =
+  let cluster = Cluster.create (small_params 4) in
+  let t = Dsan.attach cluster in
+  Fun.protect ~finally:(fun () -> Dsan.detach t) (fun () -> f t)
+
+let addr ?(color = 0) ~node ~offset () =
+  Gaddr.with_color (Gaddr.make ~node ~offset) color
+
+(* ------------------------------------------------------------------ *)
+(* Injection: every invariant class must be caught *)
+
+let test_inject_double_owner () =
+  with_sink (fun t ->
+      let g = addr ~node:1 ~offset:4096 () in
+      Dsan.observe_protocol t ~time:0.0 ~node:1 ~thread:0
+        (P.Ev_create { g; size = 64 });
+      Dsan.observe_protocol t ~time:2e-6 ~node:2 ~thread:1
+        (P.Ev_create { g; size = 64 });
+      check_flagged "double owner" t [ "dsan.single_owner" ];
+      match Dsan.violations t with
+      | [ r ] ->
+          Alcotest.(check int) "attributed to node" 2 r.Dsan.node;
+          Alcotest.(check int) "attributed to thread" 1 r.Dsan.thread;
+          Alcotest.(check (float 1e-12)) "virtual time" 2e-6 r.Dsan.time;
+          Alcotest.(check bool) "addr attributed" true (r.Dsan.addr <> None);
+          Alcotest.(check bool) "provenance nonempty" true
+            (r.Dsan.provenance <> [])
+      | rs -> Alcotest.failf "expected one report, got %d" (List.length rs))
+
+let test_inject_stale_cache_read () =
+  with_sink (fun t ->
+      let g0 = addr ~node:1 ~offset:4096 () in
+      let g1 = addr ~color:1 ~node:1 ~offset:4096 () in
+      Dsan.observe_protocol t ~time:0.0 ~node:1 ~thread:0
+        (P.Ev_create { g = g0; size = 64 });
+      Dsan.observe_cache t ~time:1e-6 ~node:3 (Cache.Insert { key = g0; size = 64 });
+      Dsan.observe_protocol t ~time:2e-6 ~node:1 ~thread:0
+        (P.Ev_write { before = g0; after = g1; size = 64; kind = P.W_bump });
+      (* read served from the copy fetched under the old color *)
+      Dsan.observe_protocol t ~time:3e-6 ~node:3 ~thread:2
+        (P.Ev_read { g = g1; path = P.Path_cache g0 });
+      check_flagged "stale cached copy served" t [ "dsan.stale_cache_read" ])
+
+let test_inject_stale_cache_hit () =
+  with_sink (fun t ->
+      let g0 = addr ~node:1 ~offset:4096 () in
+      let g1 = addr ~color:1 ~node:1 ~offset:4096 () in
+      Dsan.observe_protocol t ~time:0.0 ~node:1 ~thread:0
+        (P.Ev_create { g = g0; size = 64 });
+      Dsan.observe_protocol t ~time:1e-6 ~node:1 ~thread:0
+        (P.Ev_write { before = g0; after = g1; size = 64; kind = P.W_bump });
+      (* the cache itself reports a hit under a stale colored key *)
+      Dsan.observe_cache t ~time:2e-6 ~node:2 (Cache.Hit { key = g0 });
+      check_flagged "stale hit" t [ "dsan.stale_cache_read" ])
+
+let test_inject_inplace_write_with_live_copies () =
+  (* The invariant the pinned write-through bug violated: an in-place
+     value change while copies fetched under the current color are still
+     reachable in remote caches. *)
+  with_sink (fun t ->
+      let g = addr ~node:0 ~offset:8192 () in
+      Dsan.observe_protocol t ~time:0.0 ~node:0 ~thread:0
+        (P.Ev_create { g; size = 64 });
+      Dsan.observe_cache t ~time:1e-6 ~node:2 (Cache.Insert { key = g; size = 64 });
+      Dsan.observe_protocol t ~time:2e-6 ~node:1 ~thread:3
+        (P.Ev_write { before = g; after = g; size = 64; kind = P.W_in_place });
+      check_flagged "in-place write with reachable copies" t
+        [ "dsan.move_invalidation" ])
+
+let test_inject_negative_refcount () =
+  with_sink (fun t ->
+      let g = addr ~node:2 ~offset:256 () in
+      Dsan.observe_rc t ~time:0.0 ~node:2 ~thread:0
+        (Darc.Rc_created { g; size = 32; count = 1 });
+      Dsan.observe_rc t ~time:1e-6 ~node:2 ~thread:0
+        (Darc.Rc_released { g; count = 0 });
+      Dsan.observe_rc t ~time:2e-6 ~node:3 ~thread:1
+        (Darc.Rc_released { g; count = -1 });
+      check_flagged "negative refcount" t [ "dsan.refcount_sanity" ])
+
+let test_inject_refcount_divergence_and_leak () =
+  with_sink (fun t ->
+      let g = addr ~node:2 ~offset:512 () in
+      Dsan.observe_rc t ~time:0.0 ~node:2 ~thread:0
+        (Darc.Rc_created { g; size = 32; count = 1 });
+      (* implementation says 3, shadow says 2: lost update on the count *)
+      Dsan.observe_rc t ~time:1e-6 ~node:2 ~thread:0
+        (Darc.Rc_retained { g; count = 3 });
+      check_flagged "diverged" t [ "dsan.refcount_sanity" ];
+      Dsan.clear t;
+      (* freed while the shadow still expects holders *)
+      Dsan.observe_rc t ~time:2e-6 ~node:2 ~thread:0 (Darc.Rc_freed { g });
+      check_flagged "freed with holders" t [ "dsan.refcount_sanity" ];
+      Dsan.clear t;
+      (* and any use after the free *)
+      Dsan.observe_rc t ~time:3e-6 ~node:2 ~thread:0
+        (Darc.Rc_retained { g; count = 1 });
+      check_flagged "retain after free" t [ "dsan.use_after_free" ])
+
+let test_inject_foreign_unlock () =
+  with_sink (fun t ->
+      let g = addr ~node:0 ~offset:64 () in
+      Dsan.observe_lock t ~time:0.0 ~node:0 ~thread:1
+        (Dmutex.Lock_created { g });
+      Dsan.observe_lock t ~time:1e-6 ~node:0 ~thread:1
+        (Dmutex.Lock_acquired { g; thread = 1 });
+      Dsan.observe_lock t ~time:2e-6 ~node:2 ~thread:7
+        (Dmutex.Lock_released { g; thread = 7 });
+      check_flagged "foreign unlock" t [ "dsan.lock_discipline" ])
+
+let test_inject_double_grant () =
+  with_sink (fun t ->
+      let g = addr ~node:0 ~offset:64 () in
+      Dsan.observe_lock t ~time:0.0 ~node:0 ~thread:1
+        (Dmutex.Lock_created { g });
+      Dsan.observe_lock t ~time:1e-6 ~node:0 ~thread:1
+        (Dmutex.Lock_acquired { g; thread = 1 });
+      Dsan.observe_lock t ~time:2e-6 ~node:1 ~thread:2
+        (Dmutex.Lock_acquired { g; thread = 2 });
+      check_flagged "double grant" t [ "dsan.lock_discipline" ])
+
+let test_inject_double_promotion () =
+  with_sink (fun t ->
+      Dsan.observe_failover t ~time:1e-3 ~node:0
+        (Replication.Node_failed { node = 1 });
+      Dsan.observe_failover t ~time:2e-3 ~node:0
+        (Replication.Promoted { home = 1; by = 2; replica = 0 });
+      Alcotest.(check int) "first promotion legal" 0 (Dsan.violation_count t);
+      Dsan.observe_failover t ~time:3e-3 ~node:0
+        (Replication.Promoted { home = 1; by = 3; replica = 1 });
+      check_flagged "second promotion of a served range" t
+        [ "dsan.promotion_uniqueness" ])
+
+let test_inject_promotion_without_purge () =
+  (* The invariant the failover purge bug violated: copies of the
+     promoted range still cached on survivors after the promotion. *)
+  with_sink (fun t ->
+      let g = addr ~node:1 ~offset:4096 () in
+      Dsan.observe_protocol t ~time:0.0 ~node:0 ~thread:0
+        (P.Ev_create { g; size = 64 });
+      Dsan.observe_cache t ~time:1e-6 ~node:3 (Cache.Insert { key = g; size = 64 });
+      Dsan.observe_failover t ~time:1e-3 ~node:0
+        (Replication.Node_failed { node = 1 });
+      Dsan.observe_failover t ~time:2e-3 ~node:0
+        (Replication.Promoted { home = 1; by = 2; replica = 0 });
+      check_flagged "copies survived the failover purge" t
+        [ "dsan.move_invalidation" ])
+
+let test_inject_borrow_violations () =
+  with_sink (fun t ->
+      let g = addr ~node:0 ~offset:128 () in
+      let g1 = addr ~color:1 ~node:0 ~offset:128 () in
+      Dsan.observe_protocol t ~time:0.0 ~node:0 ~thread:0
+        (P.Ev_create { g; size = 64 });
+      Dsan.observe_protocol t ~time:1e-6 ~node:0 ~thread:0
+        (P.Ev_borrow_imm { g });
+      Dsan.observe_protocol t ~time:2e-6 ~node:0 ~thread:0
+        (P.Ev_write { before = g; after = g1; size = 64; kind = P.W_bump });
+      check_flagged "write while immutably borrowed" t
+        [ "dsan.borrow_discipline" ];
+      Dsan.clear t;
+      Dsan.observe_protocol t ~time:3e-6 ~node:0 ~thread:1
+        (P.Ev_borrow_mut { g = g1 });
+      check_flagged "mut borrow while shared" t [ "dsan.borrow_discipline" ])
+
+let test_inject_use_after_free () =
+  with_sink (fun t ->
+      let g = addr ~node:0 ~offset:128 () in
+      Dsan.observe_protocol t ~time:0.0 ~node:0 ~thread:0
+        (P.Ev_create { g; size = 64 });
+      Dsan.observe_protocol t ~time:1e-6 ~node:0 ~thread:0 (P.Ev_drop { g });
+      Dsan.observe_protocol t ~time:2e-6 ~node:0 ~thread:0
+        (P.Ev_read { g; path = P.Path_local });
+      check_flagged "read after drop" t [ "dsan.use_after_free" ])
+
+let test_raise_mode () =
+  let cluster = Cluster.create (small_params 2) in
+  let t = Dsan.attach ~mode:Dsan.Raise cluster in
+  Fun.protect
+    ~finally:(fun () -> Dsan.detach t)
+    (fun () ->
+      let g = addr ~node:1 ~offset:4096 () in
+      Dsan.observe_protocol t ~time:0.0 ~node:1 ~thread:0
+        (P.Ev_create { g; size = 64 });
+      match
+        Dsan.observe_protocol t ~time:1e-6 ~node:1 ~thread:0
+          (P.Ev_create { g; size = 64 })
+      with
+      | () -> Alcotest.fail "expected Dsan.Violation"
+      | exception Dsan.Violation r ->
+          Alcotest.(check string)
+            "raised the right invariant" "dsan.single_owner"
+            (Dsan.invariant_name r.Dsan.invariant))
+
+let test_report_rendering () =
+  with_sink (fun t ->
+      let g = addr ~node:1 ~offset:4096 () in
+      Dsan.observe_protocol t ~time:0.0 ~node:1 ~thread:0
+        (P.Ev_create { g; size = 64 });
+      Dsan.observe_protocol t ~time:2e-6 ~node:2 ~thread:1
+        (P.Ev_create { g; size = 64 });
+      let s = Dsan.report_to_string (List.hd (Dsan.violations t)) in
+      Alcotest.(check bool) "names the invariant" true
+        (Astring.String.is_infix ~affix:"dsan.single_owner" s);
+      Alcotest.(check bool) "carries provenance" true
+        (Astring.String.is_infix ~affix:"create" s))
+
+(* ------------------------------------------------------------------ *)
+(* Clean runs: real workloads must not trip the sanitizer *)
+
+let test_clean_protocol_traffic () =
+  let violations =
+    in_cluster ~nodes:4 (fun cluster ->
+        Dsan.with_sanitizer cluster (fun t ->
+            let ctx0 = Ctx.make cluster ~node:0 in
+            let ctx1 = Ctx.make cluster ~node:1 in
+            (* owner life cycle: create, bump, borrow, remote deref,
+               mutable borrow, transfer, drop *)
+            let o = P.create ctx0 ~size:64 (pack 1) in
+            P.owner_write ctx0 o (pack 2);
+            let r = P.borrow_imm ctx0 o in
+            Alcotest.(check int) "remote imm deref" 2
+              (unpack (P.imm_deref ctx1 r));
+            P.drop_imm ctx1 r;
+            let m = P.borrow_mut ctx0 o in
+            P.mut_write ctx0 m (pack 3);
+            P.drop_mut ctx0 m;
+            P.transfer ctx0 o ~to_node:1;
+            Alcotest.(check int) "post-transfer read" 3
+              (unpack (P.owner_read ctx1 o));
+            P.drop_owner ctx1 o;
+            (* refcounted cells, cross-node *)
+            let a = Darc.create ctx0 ~size:32 (pack 7) in
+            let b = Darc.clone ctx1 a in
+            Alcotest.(check int) "darc get" 7 (unpack (Darc.get ctx1 b));
+            Darc.drop ctx0 a;
+            Darc.drop ctx1 b;
+            let c = Drc.create ctx0 ~size:32 (pack 9) in
+            let d = Drc.clone ctx0 c in
+            Drc.drop ctx0 c;
+            Drc.drop ctx0 d;
+            (* lock handoff between two simulated threads *)
+            let mu = Dmutex.create ctx0 ~size:16 (pack 0) in
+            Dmutex.lock ctx0 mu;
+            Dmutex.unlock ctx0 mu;
+            Dmutex.lock ctx1 mu;
+            Dmutex.unlock ctx1 mu;
+            Dsan.violation_count t))
+  in
+  Alcotest.(check int) "zero violations" 0 violations
+
+let test_clean_pinned_write_through () =
+  (* Regression for the bug DSan surfaced: a remote write-through to a
+     pinned object must close the epoch (publish a fresh color) so the
+     reader's cached copy becomes unreachable. *)
+  let violations =
+    in_cluster ~nodes:2 (fun cluster ->
+        Dsan.with_sanitizer cluster (fun t ->
+            let ctx0 = Ctx.make cluster ~node:0 in
+            let ctx1 = Ctx.make cluster ~node:1 in
+            let o = P.create ctx0 ~size:64 (pack 1) in
+            P.pin ctx0 o;
+            P.transfer ctx0 o ~to_node:1;
+            (* the reader on node 1 caches a copy under the current color *)
+            Alcotest.(check int) "pre-write read" 1
+              (unpack (P.owner_read ctx1 o));
+            let color_before = P.color o in
+            P.owner_write ctx1 o (pack 2);
+            Alcotest.(check bool)
+              "write-through closed the epoch (color changed)" true
+              (P.color o <> color_before);
+            Alcotest.(check int) "post-write read sees the new value" 2
+              (unpack (P.owner_read ctx1 o));
+            Dsan.violation_count t))
+  in
+  Alcotest.(check int) "zero violations" 0 violations
+
+let test_clean_chaos_failover () =
+  (* Regression for the second bug DSan surfaced: fail_and_promote must
+     purge surviving caches of the promoted range, or the promotion shadow
+     check reports reachable stale copies. *)
+  let violations =
+    in_cluster ~nodes:4 (fun cluster ->
+        Dsan.with_sanitizer cluster (fun t ->
+            let ctx0 = Ctx.make cluster ~node:0 in
+            let ctx2 = Ctx.make cluster ~node:2 in
+            let o = P.create_on ctx0 ~node:1 ~size:64 (pack 42) in
+            let repl = Replication.enable cluster in
+            (* survivors cache copies of the soon-to-die range *)
+            Alcotest.(check int) "pre-crash remote read" 42
+              (unpack (P.owner_read ctx2 o));
+            Replication.fail_and_promote ctx0 repl ~node:1;
+            Alcotest.(check int) "range re-served by the backup" 2
+              (Cluster.serving_node cluster 1);
+            Alcotest.(check int) "post-crash read via promoted replica" 42
+              (unpack (P.owner_read ctx2 o));
+            Replication.disable repl;
+            Dsan.violation_count t))
+  in
+  Alcotest.(check int) "zero violations" 0 violations
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: the sanitizer must be purely observational *)
+
+let capture_stdout f =
+  let tmp = Filename.temp_file "dsan_cap" ".out" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o600 in
+  let saved = Unix.dup Unix.stdout in
+  flush stdout;
+  Unix.dup2 fd Unix.stdout;
+  let restore () =
+    flush stdout;
+    Unix.dup2 saved Unix.stdout;
+    Unix.close saved;
+    Unix.close fd
+  in
+  let r =
+    try f ()
+    with e ->
+      restore ();
+      Sys.remove tmp;
+      raise e
+  in
+  restore ();
+  let ic = open_in_bin tmp in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  Sys.remove tmp;
+  (r, s)
+
+let check_bit_identical name plain sanitized =
+  if not (String.equal plain sanitized) then begin
+    let n = min (String.length plain) (String.length sanitized) in
+    let i = ref 0 in
+    while !i < n && plain.[!i] = sanitized.[!i] do
+      incr i
+    done;
+    Alcotest.failf
+      "%s: sanitized stdout diverges at byte %d (lengths %d vs %d): %S vs %S"
+      name !i (String.length plain) (String.length sanitized)
+      (String.sub plain !i (min 60 (String.length plain - !i)))
+      (String.sub sanitized !i (min 60 (String.length sanitized - !i)))
+  end
+
+let sanitized_total () =
+  List.fold_left
+    (fun acc t -> acc + Dsan.violation_count t)
+    0 (Dsan.attached ())
+
+let test_sanitized_fig5_bit_identical () =
+  let module Fig5 = Drust_experiments.Fig5 in
+  let (), plain = capture_stdout (fun () -> ignore (Fig5.run ~node_counts:[ 1; 2 ] ())) in
+  Dsan.install_global ();
+  let (), sanitized =
+    Fun.protect
+      ~finally:(fun () -> Dsan.uninstall_global ())
+      (fun () ->
+        capture_stdout (fun () -> ignore (Fig5.run ~node_counts:[ 1; 2 ] ())))
+  in
+  Alcotest.(check int) "fig5 sanitized cleanly" 0 (sanitized_total ());
+  check_bit_identical "fig5" plain sanitized
+
+let test_sanitized_fig6_bit_identical () =
+  let module Fig6 = Drust_experiments.Fig6 in
+  let (), plain = capture_stdout (fun () -> ignore (Fig6.run ())) in
+  Dsan.install_global ();
+  let (), sanitized =
+    Fun.protect
+      ~finally:(fun () -> Dsan.uninstall_global ())
+      (fun () -> capture_stdout (fun () -> ignore (Fig6.run ())))
+  in
+  Alcotest.(check int) "fig6 sanitized cleanly" 0 (sanitized_total ());
+  check_bit_identical "fig6" plain sanitized
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "injection",
+        [
+          Alcotest.test_case "double owner" `Quick test_inject_double_owner;
+          Alcotest.test_case "stale cached copy read" `Quick
+            test_inject_stale_cache_read;
+          Alcotest.test_case "stale cache hit" `Quick test_inject_stale_cache_hit;
+          Alcotest.test_case "in-place write with live copies" `Quick
+            test_inject_inplace_write_with_live_copies;
+          Alcotest.test_case "negative refcount" `Quick
+            test_inject_negative_refcount;
+          Alcotest.test_case "refcount divergence / leak / UAF" `Quick
+            test_inject_refcount_divergence_and_leak;
+          Alcotest.test_case "foreign unlock" `Quick test_inject_foreign_unlock;
+          Alcotest.test_case "double lock grant" `Quick test_inject_double_grant;
+          Alcotest.test_case "double promotion" `Quick
+            test_inject_double_promotion;
+          Alcotest.test_case "promotion without cache purge" `Quick
+            test_inject_promotion_without_purge;
+          Alcotest.test_case "borrow discipline" `Quick
+            test_inject_borrow_violations;
+          Alcotest.test_case "use after free" `Quick test_inject_use_after_free;
+          Alcotest.test_case "raise mode" `Quick test_raise_mode;
+          Alcotest.test_case "report rendering" `Quick test_report_rendering;
+        ] );
+      ( "clean-runs",
+        [
+          Alcotest.test_case "protocol + runtime traffic" `Quick
+            test_clean_protocol_traffic;
+          Alcotest.test_case "pinned write-through (regression)" `Quick
+            test_clean_pinned_write_through;
+          Alcotest.test_case "chaos failover purge (regression)" `Quick
+            test_clean_chaos_failover;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "fig5 sanitized == unsanitized" `Slow
+            test_sanitized_fig5_bit_identical;
+          Alcotest.test_case "fig6 sanitized == unsanitized" `Slow
+            test_sanitized_fig6_bit_identical;
+        ] );
+    ]

@@ -122,6 +122,71 @@ let prop_automaton_consistent =
          | B.Mut_borrowed -> !muts = 1 && !imms = 0
          | B.Dead -> false))
 
+(* Cross-check promised in own.mli: drive the typed [Own] API and a bare
+   [Borrow_state] automaton with the same seeded random op sequence and
+   assert they accept/reject identically and agree on the resulting
+   state at every step. *)
+let test_own_matches_automaton () =
+  let outcome f = try Ok (f ()) with B.Violation v -> Error v.kind in
+  let kind_str = function
+    | Ok () -> "ok"
+    | Error k -> Format.asprintf "%a" B.pp_violation_kind k
+  in
+  let run_seed seed =
+    let rng = Drust_util.Rng.create ~seed in
+    let o = ref (Own.own 0) in
+    let s = B.create () in
+    let imms = ref [] and muts = ref [] in
+    for step = 1 to 400 do
+      let op = Drust_util.Rng.int rng 8 in
+      let own_out, auto_out =
+        match op with
+        | 0 ->
+            ( outcome (fun () -> imms := Own.borrow !o :: !imms),
+              outcome (fun () -> B.borrow_imm s ~context:"x") )
+        | 1 -> (
+            match !imms with
+            | [] -> (Ok (), Ok ())
+            | r :: tl ->
+                ( outcome (fun () ->
+                      Own.drop_ref r;
+                      imms := tl),
+                  outcome (fun () -> B.return_imm s ~context:"x") ))
+        | 2 ->
+            ( outcome (fun () -> muts := Own.borrow_mut !o :: !muts),
+              outcome (fun () -> B.borrow_mut s ~context:"x") )
+        | 3 -> (
+            match !muts with
+            | [] -> (Ok (), Ok ())
+            | m :: tl ->
+                ( outcome (fun () ->
+                      Own.drop_mut m;
+                      muts := tl),
+                  outcome (fun () -> B.return_mut s ~context:"x") ))
+        | 4 ->
+            ( outcome (fun () -> ignore (Own.owner_read !o)),
+              outcome (fun () -> B.assert_owner_readable s ~context:"x") )
+        | 5 ->
+            ( outcome (fun () -> Own.owner_write !o step),
+              outcome (fun () -> B.assert_owner_usable s ~context:"x") )
+        | 6 ->
+            ( outcome (fun () -> o := Own.transfer !o),
+              outcome (fun () -> B.transfer s ~context:"x") )
+        | _ ->
+            ( outcome (fun () -> Own.drop_owner !o),
+              outcome (fun () -> B.kill s ~context:"x") )
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d step %d (op %d) outcome" seed step op)
+        (kind_str auto_out) (kind_str own_out);
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d step %d (op %d) state" seed step op)
+        (Format.asprintf "%a" B.pp_state (B.state s))
+        (Format.asprintf "%a" B.pp_state (Own.state !o))
+    done
+  in
+  List.iter run_seed [ 1; 2; 3; 42; 1337 ]
+
 (* ------------------------------------------------------------------ *)
 (* Own: the typed single-machine API (the paper's Listing 1) *)
 
@@ -213,5 +278,7 @@ let () =
           Alcotest.test_case "scoped helpers" `Quick test_own_scoped_helpers;
           Alcotest.test_case "scoped releases on exception" `Quick
             test_own_scoped_releases_on_exception;
+          Alcotest.test_case "seeded cross-check vs Borrow_state" `Quick
+            test_own_matches_automaton;
         ] );
     ]

@@ -8,7 +8,9 @@
       the executable's .ml source;
    3. every metric name registered at runtime appears in
       docs/OBSERVABILITY.md, and vice versa every `layer.metric` name
-      the catalogue tables list is actually registered. *)
+      the catalogue tables list is actually registered;
+   4. the DSan invariant catalogue in docs/SANITIZER.md and
+      [Dsan.invariant_names] agree in both directions. *)
 
 let errors = ref []
 let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt
@@ -75,8 +77,9 @@ let check_paths_in doc =
 
 (* Materialize every registration site: cluster creation registers the
    fabric and cache instruments, a protocol-stats read registers the
-   protocol counters, Controller.start registers its own.  Nothing here
-   runs the engine. *)
+   protocol counters, Controller.start registers its own, and attaching
+   the DSan sanitizer registers dsan.violations.  Nothing here runs the
+   engine. *)
 let registered_names () =
   let cluster =
     Drust_machine.Cluster.create
@@ -86,6 +89,8 @@ let registered_names () =
   ignore (Drust_core.Protocol.moves ctx);
   let ctl = Drust_runtime.Controller.start cluster in
   Drust_runtime.Controller.stop ctl;
+  let dsan = Drust_check.Dsan.attach cluster in
+  Drust_check.Dsan.detach dsan;
   Drust_obs.Metrics.names (Drust_machine.Cluster.metrics cluster)
 
 let catalogue_name_re = Str.regexp {|`\([a-z_]+\.[a-z_]+\)`|}
@@ -120,12 +125,55 @@ let check_catalogue () =
          List.exists
            (fun p -> String.length name > String.length p
                      && String.sub name 0 (String.length p) = p)
-           [ "fabric."; "cache."; "protocol."; "controller." ]
+           [ "fabric."; "cache."; "protocol."; "controller."; "dsan." ]
        in
        if is_metric_prefix && not (List.mem name registered) then
          err "%s documents metric %s, which is not registered" doc name
      done
    with Not_found -> ())
+
+(* --- 4: the DSan invariant catalogue ------------------------------ *)
+
+let check_sanitizer_catalogue () =
+  let doc = "docs/SANITIZER.md" in
+  let text = read_file doc in
+  let invariants = Drust_check.Dsan.invariant_names in
+  let metric_names =
+    List.filter
+      (fun n -> String.length n > 5 && String.sub n 0 5 = "dsan.")
+      (registered_names ())
+  in
+  (* Every invariant the sanitizer can report must be catalogued. *)
+  List.iter
+    (fun name ->
+      let quoted = "`" ^ name ^ "`" in
+      let found =
+        try
+          ignore (Str.search_forward (Str.regexp_string quoted) text 0);
+          true
+        with Not_found -> false
+      in
+      if not found then
+        err "invariant %s is checked by lib/check/dsan.ml but missing from %s"
+          name doc)
+    invariants;
+  (* Reverse direction: every backtick-quoted dsan.* token in the doc is
+     either a checkable invariant or a registered dsan metric. *)
+  let pos = ref 0 in
+  try
+    while true do
+      pos := Str.search_forward catalogue_name_re text !pos + 1;
+      let name = Str.matched_group 1 text in
+      if
+        String.length name > 5
+        && String.sub name 0 5 = "dsan."
+        && (not (List.mem name invariants))
+        && not (List.mem name metric_names)
+      then
+        err "%s documents %s, which is neither a DSan invariant nor a metric"
+          doc name
+    done
+  with Not_found -> ()
 
 let () =
   check_index ();
@@ -134,6 +182,7 @@ let () =
     (docs_files ());
   check_paths_in "README.md";
   check_catalogue ();
+  check_sanitizer_catalogue ();
   match List.rev !errors with
   | [] -> print_endline "docs check: OK"
   | msgs ->
