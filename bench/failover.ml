@@ -4,12 +4,28 @@
    --sanitize so the DSan shadow-state checker cross-checks the whole
    failure/promotion sequence on every test run.
 
-   Run with:  dune exec bench/failover.exe -- [--sanitize] *)
+   Run with:  dune exec bench/failover.exe -- [--sanitize] [--jobs N]
+
+   --jobs >= 2 makes this a parallel chaos run: the experiment's two
+   determinism-check clusters execute on separate domains, each with
+   its own sanitizer, and must still produce bit-identical results. *)
 
 module Dsan = Drust_check.Dsan
 
 let () =
-  let sanitize = Array.exists (String.equal "--sanitize") Sys.argv in
+  let argv = Array.to_list Sys.argv in
+  let sanitize = List.mem "--sanitize" argv in
+  let rec jobs_of = function
+    | "--jobs" :: n :: _ -> int_of_string_opt n
+    | _ :: rest -> jobs_of rest
+    | [] -> None
+  in
+  (match jobs_of argv with
+  | Some j when j >= 1 -> Drust_experiments.Parallel.set_default_jobs j
+  | Some _ ->
+      prerr_endline "--jobs expects a positive integer";
+      exit 1
+  | None -> ());
   if sanitize then Dsan.install_global ();
   ignore (Drust_experiments.Failover.run ());
   if sanitize then begin

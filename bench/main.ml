@@ -6,6 +6,11 @@
      dune exec bench/main.exe                        # everything
      dune exec bench/main.exe -- fig5 table2         # selected experiments
      dune exec bench/main.exe -- fig5 --out results  # + CSV files
+     dune exec bench/main.exe -- fig5 --jobs 4       # parallel sweep pool
+
+   --jobs N fans independent experiment configurations out over N
+   domains (default 1); output is byte-identical for every N (see
+   docs/BENCHMARKS.md).
 
    Experiments: motivation fig5 fig6 fig7 table1 table2 migration
                 ablation traffic ycsb latency trace micro
@@ -178,6 +183,13 @@ let () =
     | "--sanitize" :: rest ->
         sanitize := true;
         split_args acc rest
+    | "--jobs" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some j when j >= 1 -> E.Parallel.set_default_jobs j
+        | _ ->
+            prerr_endline "--jobs expects a positive integer";
+            exit 1);
+        split_args acc rest
     | x :: rest -> split_args (x :: acc) rest
     | [] -> List.rev acc
   in
@@ -207,7 +219,7 @@ let () =
   E.Report.write_bench_summary ~path:summary_path;
   Printf.eprintf "wrote %s (%d entr(y/ies))\n" summary_path
     (List.length (E.Report.recorded_rates ()));
-  Printf.printf "\n(total harness wall-clock: %.1f s)\n"
+  Printf.eprintf "(total harness wall-clock: %.1f s)\n"
     (Unix.gettimeofday () -. t0);
   if !sanitize then begin
     let module Dsan = Drust_check.Dsan in

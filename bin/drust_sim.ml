@@ -2,7 +2,8 @@
 
    Examples:
      dune exec bin/drust_sim.exe -- --app kvstore --system drust --nodes 8
-     dune exec bin/drust_sim.exe -- --app dataframe --system gam --nodes 4 *)
+     dune exec bin/drust_sim.exe -- --app dataframe --system gam --nodes 4
+     dune exec bin/drust_sim.exe -- --app gemm --scan-nodes 1,2,4,8 --jobs 4 *)
 
 module B = Drust_experiments.Bench_setup
 module Appkit = Drust_appkit.Appkit
@@ -59,8 +60,75 @@ let sanitize_t =
            creates and report any coherence/ownership invariant violations \
            (exit status 3 if any are found)")
 
-let run app system nodes affinity seed trace_n chrome_path sanitize =
+let jobs_t =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Size of the domain pool used to fan out independent simulated \
+           clusters (one cluster stays strictly single-domain).  Output is \
+           byte-identical for every $(docv)")
+
+let scan_nodes_t =
+  Arg.(
+    value
+    & opt (some (list int)) None
+    & info [ "scan-nodes" ] ~docv:"N,N,..."
+        ~doc:
+          "Instead of one run, sweep the app over these cluster sizes (one \
+           independent cluster each, fanned out over --jobs domains) and \
+           print a scaling table")
+
+let report_sanitizer () =
+  let module Dsan = Drust_check.Dsan in
+  let total =
+    List.fold_left
+      (fun acc t -> acc + Dsan.violation_count t)
+      0 (Dsan.attached ())
+  in
+  if total = 0 then
+    Printf.printf "DSan: no invariant violations (%d cluster(s) checked)\n"
+      (List.length (Dsan.attached ()))
+  else begin
+    List.iter
+      (fun r -> prerr_endline (Dsan.report_to_string r))
+      (Dsan.global_reports ());
+    Printf.eprintf "DSan: %d invariant violation(s)\n" total;
+    exit 3
+  end
+
+let scan app system affinity seed counts =
+  let results =
+    Drust_experiments.Parallel.map
+      (fun nodes ->
+        B.run_app ~affinity app system
+          ~params:(B.testbed ~nodes ~seed ())
+          ~pass_by_value:(system = B.Original))
+      counts
+  in
+  Printf.printf "%s on %s, node scan:\n" (B.app_name app)
+    (B.system_name system);
+  Printf.printf "  %5s  %12s  %14s  %12s\n" "nodes" "ops" "elapsed (s)"
+    "ops/s";
+  List.iter2
+    (fun nodes r ->
+      Printf.printf "  %5d  %12.0f  %14.6f  %12.1f\n" nodes r.Appkit.ops
+        r.Appkit.elapsed r.Appkit.throughput)
+    counts results
+
+let run app system nodes affinity seed trace_n chrome_path sanitize jobs
+    scan_nodes =
+  if jobs < 1 then begin
+    prerr_endline "drust_sim: --jobs expects a positive integer";
+    exit 1
+  end;
+  Drust_experiments.Parallel.set_default_jobs jobs;
   if sanitize then Drust_check.Dsan.install_global ();
+  match scan_nodes with
+  | Some counts when counts <> [] ->
+      scan app system affinity seed counts;
+      if sanitize then report_sanitizer ()
+  | _ ->
   let params = B.testbed ~nodes ~seed () in
   let t0 = Unix.gettimeofday () in
   (* With --trace the run is repeated on an instrumented cluster so the
@@ -106,24 +174,7 @@ let run app system nodes affinity seed trace_n chrome_path sanitize =
           path
     | None -> ()
   end;
-  if sanitize then begin
-    let module Dsan = Drust_check.Dsan in
-    let total =
-      List.fold_left
-        (fun acc t -> acc + Dsan.violation_count t)
-        0 (Dsan.attached ())
-    in
-    if total = 0 then
-      Printf.printf "DSan: no invariant violations (%d cluster(s) checked)\n"
-        (List.length (Dsan.attached ()))
-    else begin
-      List.iter
-        (fun r -> prerr_endline (Dsan.report_to_string r))
-        (Dsan.global_reports ());
-      Printf.eprintf "DSan: %d invariant violation(s)\n" total;
-      exit 3
-    end
-  end
+  if sanitize then report_sanitizer ()
 
 let cmd =
   Cmd.v
@@ -131,6 +182,6 @@ let cmd =
        ~doc:"Run a DRust evaluation application on the simulated cluster")
     Term.(
       const run $ app_t $ system_t $ nodes $ affinity $ seed $ trace_n
-      $ chrome_path $ sanitize_t)
+      $ chrome_path $ sanitize_t $ jobs_t $ scan_nodes_t)
 
 let () = exit (Cmd.eval cmd)

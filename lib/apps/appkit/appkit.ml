@@ -10,11 +10,20 @@ type result = {
   extra : (string * float) list;
 }
 
-(* Measurement start markers, keyed by thread id of the main process. *)
-let marks : (int, float) Hashtbl.t = Hashtbl.create 8
+(* Measurement start markers, kept in the cluster environment and keyed
+   by thread id of the main process. *)
+let marks_key : (int, float) Hashtbl.t Drust_machine.Env.key =
+  Drust_machine.Env.key ~name:"appkit.marks"
+
+let marks cluster =
+  Drust_machine.Env.get (Cluster.env cluster) marks_key ~init:(fun () ->
+      Hashtbl.create 8)
 
 let start_measurement ctx =
-  Hashtbl.replace marks ctx.Ctx.thread_id (Engine.now (Ctx.engine ctx))
+  Hashtbl.replace
+    (marks (Ctx.cluster ctx))
+    ctx.Ctx.thread_id
+    (Engine.now (Ctx.engine ctx))
 
 let run_main cluster body =
   let engine = Cluster.engine cluster in
@@ -23,11 +32,11 @@ let run_main cluster body =
     (Engine.spawn engine (fun () ->
          let ctx = Ctx.make cluster ~node:0 in
          let t0 = Engine.now engine in
-         Hashtbl.replace marks ctx.Ctx.thread_id t0;
+         Hashtbl.replace (marks cluster) ctx.Ctx.thread_id t0;
          let ops, extra = body ctx in
          Ctx.flush ctx;
-         let started = Hashtbl.find marks ctx.Ctx.thread_id in
-         Hashtbl.remove marks ctx.Ctx.thread_id;
+         let started = Hashtbl.find (marks cluster) ctx.Ctx.thread_id in
+         Hashtbl.remove (marks cluster) ctx.Ctx.thread_id;
          let elapsed = Engine.now engine -. started in
          outcome := Some (ops, elapsed, extra)));
   Cluster.run cluster;

@@ -859,11 +859,19 @@ let with_sanitizer ?mode cluster f =
   let t = attach ?mode cluster in
   Fun.protect ~finally:(fun () -> detach t) (fun () -> f t)
 
+(* The auto-attach list is the one deliberate process-global here: it
+   spans clusters by design (allowlisted in tools/lint_globals.ml).  The
+   mutex makes it safe to create clusters from parallel sweep domains. *)
 let auto : t list ref = ref []
+let auto_mutex = Mutex.create ()
 
 let install_global ?mode () =
-  Cluster.set_create_hook (Some (fun c -> auto := attach ?mode c :: !auto))
+  Cluster.set_create_hook
+    (Some
+       (fun c ->
+         let t = attach ?mode c in
+         Mutex.protect auto_mutex (fun () -> auto := t :: !auto)))
 
 let uninstall_global () = Cluster.set_create_hook None
-let attached () = List.rev !auto
+let attached () = Mutex.protect auto_mutex (fun () -> List.rev !auto)
 let global_reports () = List.concat_map violations (attached ())

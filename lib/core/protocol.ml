@@ -43,7 +43,9 @@ type mut = {
 
 (* ------------------------------------------------------------------ *)
 (* Per-cluster protocol statistics: counters in the cluster's metrics
-   registry, with the handles memoized per cluster uid.                *)
+   registry, with the handles memoized in the cluster's Env.           *)
+
+module Env = Drust_machine.Env
 
 type stats = {
   moves : Metrics.counter;
@@ -51,24 +53,18 @@ type stats = {
   fetches : Metrics.counter;
 }
 
-let stats_table : (int, stats) Hashtbl.t = Hashtbl.create 8
+let stats_key : stats Env.key = Env.key ~name:"protocol.stats"
 
-let stats_of ctx =
-  let cluster = Ctx.cluster ctx in
-  let uid = Cluster.uid cluster in
-  match Hashtbl.find_opt stats_table uid with
-  | Some s -> s
-  | None ->
+let stats_of_cluster cluster =
+  Env.get (Cluster.env cluster) stats_key ~init:(fun () ->
       let m = Cluster.metrics cluster in
-      let s =
-        {
-          moves = Metrics.counter m ~unit_:"ops" "protocol.moves";
-          bumps = Metrics.counter m ~unit_:"ops" "protocol.color_bumps";
-          fetches = Metrics.counter m ~unit_:"ops" "protocol.fetches";
-        }
-      in
-      Hashtbl.replace stats_table uid s;
-      s
+      {
+        moves = Metrics.counter m ~unit_:"ops" "protocol.moves";
+        bumps = Metrics.counter m ~unit_:"ops" "protocol.color_bumps";
+        fetches = Metrics.counter m ~unit_:"ops" "protocol.fetches";
+      })
+
+let stats_of ctx = stats_of_cluster (Ctx.cluster ctx)
 
 (* Instant span mark on the acting node's timeline; argument lists are
    only built when tracing is live. *)
@@ -81,16 +77,11 @@ let proto_mark ctx name ~bytes =
 
 (* Registry of live owners, per cluster — powers the executable audit of
    the paper's Appendix C invariants. *)
-let owner_registry : (int, owner list ref) Hashtbl.t = Hashtbl.create 8
+let owner_registry_key : owner list ref Env.key =
+  Env.key ~name:"protocol.owner_registry"
 
 let registry_of_cluster cluster =
-  let uid = Cluster.uid cluster in
-  match Hashtbl.find_opt owner_registry uid with
-  | Some r -> r
-  | None ->
-      let r = ref [] in
-      Hashtbl.replace owner_registry uid r;
-      r
+  Env.get (Cluster.env cluster) owner_registry_key ~init:(fun () -> ref [])
 
 let register_owner ctx o =
   let r = registry_of_cluster (Ctx.cluster ctx) in
@@ -110,33 +101,33 @@ let reset_protocol_stats ctx =
   Metrics.reset_counter s.bumps;
   Metrics.reset_counter s.fetches
 
-(* Listeners installed by the fault-tolerance layer, keyed by cluster. *)
-let commit_listeners :
-    (int, Ctx.t -> Gaddr.t -> int -> Univ.t -> unit) Hashtbl.t =
-  Hashtbl.create 8
+(* Listeners installed by the fault-tolerance layer, stored in the
+   cluster's Env as option cells. *)
+let commit_listener_key :
+    (Ctx.t -> Gaddr.t -> int -> Univ.t -> unit) option ref Env.key =
+  Env.key ~name:"protocol.commit_listener"
 
-let transfer_listeners : (int, Ctx.t -> Gaddr.t -> unit) Hashtbl.t =
-  Hashtbl.create 8
+let transfer_listener_key : (Ctx.t -> Gaddr.t -> unit) option ref Env.key =
+  Env.key ~name:"protocol.transfer_listener"
 
-let set_commit_listener cluster = function
-  | Some f -> Hashtbl.replace commit_listeners (Cluster.uid cluster) f
-  | None -> Hashtbl.remove commit_listeners (Cluster.uid cluster)
+let listener_cell cluster key =
+  Env.get (Cluster.env cluster) key ~init:(fun () -> ref None)
 
-let set_transfer_listener cluster = function
-  | Some f -> Hashtbl.replace transfer_listeners (Cluster.uid cluster) f
-  | None -> Hashtbl.remove transfer_listeners (Cluster.uid cluster)
+let set_commit_listener cluster f = listener_cell cluster commit_listener_key := f
+let set_transfer_listener cluster f =
+  listener_cell cluster transfer_listener_key := f
 
 let notify_commit ctx g size =
-  match Hashtbl.find_opt commit_listeners (Cluster.uid (Ctx.cluster ctx)) with
+  let cluster = Ctx.cluster ctx in
+  match !(listener_cell cluster commit_listener_key) with
   | None -> ()
   | Some f ->
-      let cluster = Ctx.cluster ctx in
       if Cluster.heap_mem cluster g then
         f ctx (Gaddr.clear_color g) size
           (Cluster.heap_read cluster g).Drust_memory.Partition.value
 
 let notify_transfer ctx g =
-  match Hashtbl.find_opt transfer_listeners (Cluster.uid (Ctx.cluster ctx)) with
+  match !(listener_cell (Ctx.cluster ctx) transfer_listener_key) with
   | None -> ()
   | Some f -> f ctx (Gaddr.clear_color g)
 
@@ -172,16 +163,16 @@ type probe_event =
   | Ev_drop of { g : Gaddr.t }
   | Ev_app of { g : Gaddr.t; verb : string; tag : string }
 
-let probes : (int, Ctx.t -> probe_event -> unit) Hashtbl.t = Hashtbl.create 8
+let probe_key : (Ctx.t -> probe_event -> unit) option ref Env.key =
+  Env.key ~name:"protocol.probe"
 
-let set_probe cluster = function
-  | Some f -> Hashtbl.replace probes (Cluster.uid cluster) f
-  | None -> Hashtbl.remove probes (Cluster.uid cluster)
+let probe_cell cluster =
+  Env.get (Cluster.env cluster) probe_key ~init:(fun () -> ref None)
+
+let set_probe cluster f = probe_cell cluster := f
 
 let[@inline] with_probe ctx k =
-  match Hashtbl.find_opt probes (Cluster.uid (Ctx.cluster ctx)) with
-  | None -> ()
-  | Some f -> k f
+  match !(probe_cell (Ctx.cluster ctx)) with None -> () | Some f -> k f
 
 (* How a write changed the colored address: same address (U-bit elision),
    color bump in place, or relocation. *)
@@ -200,29 +191,16 @@ let note_app ctx ~g ~verb ~tag =
 
 type options = { mutable always_move : bool; mutable no_ubit : bool }
 
-let options_table : (int, options) Hashtbl.t = Hashtbl.create 8
+let options_key : options Env.key = Env.key ~name:"protocol.options"
 
-let options_of ctx =
-  let uid = Cluster.uid (Ctx.cluster ctx) in
-  match Hashtbl.find_opt options_table uid with
-  | Some o -> o
-  | None ->
-      let o = { always_move = false; no_ubit = false } in
-      Hashtbl.replace options_table uid o;
-      o
+let options_of_cluster cluster =
+  Env.get (Cluster.env cluster) options_key ~init:(fun () ->
+      { always_move = false; no_ubit = false })
 
-let set_always_move cluster v =
-  let uid = Cluster.uid cluster in
-  (match Hashtbl.find_opt options_table uid with
-  | Some o -> o.always_move <- v
-  | None ->
-      Hashtbl.replace options_table uid { always_move = v; no_ubit = false })
+let options_of ctx = options_of_cluster (Ctx.cluster ctx)
 
-let set_no_ubit cluster v =
-  let uid = Cluster.uid cluster in
-  match Hashtbl.find_opt options_table uid with
-  | Some o -> o.no_ubit <- v
-  | None -> Hashtbl.replace options_table uid { always_move = false; no_ubit = v }
+let set_always_move cluster v = (options_of_cluster cluster).always_move <- v
+let set_no_ubit cluster v = (options_of_cluster cluster).no_ubit <- v
 
 (* ------------------------------------------------------------------ *)
 (* Helpers                                                             *)

@@ -64,15 +64,15 @@ let timed_with_counters setup body =
   Cluster.run cluster;
   (!elapsed, !bumps, !moves)
 
-let coloring_rows () =
+(* Each job below is a full independent cluster run returning its rows;
+   [run] fans them all out over the domain pool and concatenates the
+   chunks in submission order, reproducing the sequential row order. *)
+let coloring_jobs () =
   let epochs = 2_000 and writes_per_epoch = 8 in
   let run setup =
     timed_with_counters setup (write_epochs ~epochs ~writes_per_epoch)
   in
-  let bt, bb, bm = run (fun _ -> ()) in
-  let at, ab, am = run (fun cluster -> P.set_always_move cluster true) in
-  let ut, ub, um = run (fun cluster -> P.set_no_ubit cluster true) in
-  let mk variant t bumps moves =
+  let mk variant (t, bumps, moves) =
     [
       { experiment = "local writes"; variant; value = t *. 1e3; unit_ = "ms" };
       {
@@ -89,9 +89,15 @@ let coloring_rows () =
       };
     ]
   in
-  mk "pointer coloring (default)" bt bb bm
-  @ mk "always-move (ablated)" at ab am
-  @ mk "no U-bit elision (ablated)" ut ub um
+  [
+    (fun () -> mk "pointer coloring (default)" (run (fun _ -> ())));
+    (fun () ->
+      mk "always-move (ablated)"
+        (run (fun cluster -> P.set_always_move cluster true)));
+    (fun () ->
+      mk "no U-bit elision (ablated)"
+        (run (fun cluster -> P.set_no_ubit cluster true)));
+  ]
 
 (* --- 3: linked-list sum, TBox vs plain Box --------------------------- *)
 
@@ -121,67 +127,80 @@ let list_sum ~tie cluster ctx =
   Ctx.flush ctx;
   Engine.now (Ctx.engine ctx) -. t0
 
-let tbox_rows () =
-  let plain = ref 0.0 and tied = ref 0.0 in
-  ignore (timed (fun _ -> ()) (fun cluster ctx -> plain := list_sum ~tie:false cluster ctx));
-  ignore (timed (fun _ -> ()) (fun cluster ctx -> tied := list_sum ~tie:true cluster ctx));
-  [
-    { experiment = "linked-list sum (64 nodes)"; variant = "plain Box (chase)";
-      value = !plain *. 1e6; unit_ = "us" };
-    { experiment = "linked-list sum (64 nodes)"; variant = "TBox (batched)";
-      value = !tied *. 1e6; unit_ = "us" };
-  ]
+let tbox_jobs () =
+  let one ~tie variant () =
+    let t = ref 0.0 in
+    ignore
+      (timed (fun _ -> ()) (fun cluster ctx -> t := list_sum ~tie cluster ctx));
+    [
+      { experiment = "linked-list sum (64 nodes)"; variant;
+        value = !t *. 1e6; unit_ = "us" };
+    ]
+  in
+  [ one ~tie:false "plain Box (chase)"; one ~tie:true "TBox (batched)" ]
 
 (* --- 4: one-sided vs two-sided mutex under contention ----------------- *)
 
-let mutex_rows () =
+let mutex_jobs () =
   let contenders = 16 and rounds = 50 in
-  let drust_time =
-    timed ~nodes:8
-      (fun _ -> ())
-      (fun cluster ctx ->
-        let m = Dmutex.create ctx ~size:8 Appkit.blob in
-        let workers =
-          List.init contenders (fun i ->
-              Dthread.spawn_on ctx ~node:(i mod Cluster.node_count cluster)
-                (fun wctx ->
-                  for _ = 1 to rounds do
-                    Dmutex.lock wctx m;
-                    Ctx.compute wctx ~cycles:2_000.0;
-                    Dmutex.unlock wctx m
-                  done))
-        in
-        Dthread.join_all ctx workers)
-  in
-  let gam_time =
-    timed ~nodes:8
-      (fun _ -> ())
-      (fun cluster ctx ->
-        let backend = B.make_backend B.Gam cluster in
-        let m = backend.Drust_dsm.Dsm.mutex_create ctx in
-        let workers =
-          List.init contenders (fun i ->
-              Dthread.spawn_on ctx ~node:(i mod Cluster.node_count cluster)
-                (fun wctx ->
-                  for _ = 1 to rounds do
-                    backend.Drust_dsm.Dsm.mutex_lock wctx m;
-                    Ctx.compute wctx ~cycles:2_000.0;
-                    backend.Drust_dsm.Dsm.mutex_unlock wctx m
-                  done))
-        in
-        Dthread.join_all ctx workers)
-  in
   let per_op t = t /. Float.of_int (contenders * rounds) *. 1e6 in
-  [
-    { experiment = "contended lock (16 threads)"; variant = "DRust 1-sided CAS";
-      value = per_op drust_time; unit_ = "us/critical-section" };
-    { experiment = "contended lock (16 threads)"; variant = "GAM-style 2-sided RPC";
-      value = per_op gam_time; unit_ = "us/critical-section" };
-  ]
+  let drust () =
+    let t =
+      timed ~nodes:8
+        (fun _ -> ())
+        (fun cluster ctx ->
+          let m = Dmutex.create ctx ~size:8 Appkit.blob in
+          let workers =
+            List.init contenders (fun i ->
+                Dthread.spawn_on ctx ~node:(i mod Cluster.node_count cluster)
+                  (fun wctx ->
+                    for _ = 1 to rounds do
+                      Dmutex.lock wctx m;
+                      Ctx.compute wctx ~cycles:2_000.0;
+                      Dmutex.unlock wctx m
+                    done))
+          in
+          Dthread.join_all ctx workers)
+    in
+    [
+      { experiment = "contended lock (16 threads)";
+        variant = "DRust 1-sided CAS"; value = per_op t;
+        unit_ = "us/critical-section" };
+    ]
+  in
+  let gam () =
+    let t =
+      timed ~nodes:8
+        (fun _ -> ())
+        (fun cluster ctx ->
+          let backend = B.make_backend B.Gam cluster in
+          let m = backend.Drust_dsm.Dsm.mutex_create ctx in
+          let workers =
+            List.init contenders (fun i ->
+                Dthread.spawn_on ctx ~node:(i mod Cluster.node_count cluster)
+                  (fun wctx ->
+                    for _ = 1 to rounds do
+                      backend.Drust_dsm.Dsm.mutex_lock wctx m;
+                      Ctx.compute wctx ~cycles:2_000.0;
+                      backend.Drust_dsm.Dsm.mutex_unlock wctx m
+                    done))
+          in
+          Dthread.join_all ctx workers)
+    in
+    [
+      { experiment = "contended lock (16 threads)";
+        variant = "GAM-style 2-sided RPC"; value = per_op t;
+        unit_ = "us/critical-section" };
+    ]
+  in
+  [ drust; gam ]
 
 let run () =
+  let chunks =
+    Parallel.run (coloring_jobs () @ tbox_jobs () @ mutex_jobs ())
+  in
   Report.section "Ablations: protocol design choices";
-  let rows = coloring_rows () @ tbox_rows () @ mutex_rows () in
+  let rows = List.concat chunks in
   Report.table
     ~header:[ "experiment"; "variant"; "result"; "unit" ]
     ~rows:

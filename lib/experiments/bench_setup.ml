@@ -60,16 +60,36 @@ let run_app ?(affinity = false) ?(pass_by_value = false) app system ~params =
       Drust_kvstore.Kvstore.run ~cluster ~backend
         Drust_kvstore.Kvstore.default_config
 
-(* Memoized: every figure normalizes against the same baseline. *)
-let baseline_cache : (app, Appkit.result) Hashtbl.t = Hashtbl.create 4
+(* Memoized: every figure normalizes against the same baseline.  The key
+   carries the full run configuration — a baseline computed for one
+   parameter set must never be served for another (keying on the app
+   alone silently mixed configurations).  The mutex covers lookups and
+   inserts from parallel sweep domains; the run itself happens outside
+   the lock, so two domains may race to compute the same key, in which
+   case both compute identical (deterministic) results and the second
+   insert is a no-op overwrite. *)
+type baseline_key = { bk_app : app; bk_pass_by_value : bool; bk_params : Params.t }
 
-let single_node_baseline app =
-  match Hashtbl.find_opt baseline_cache app with
+let baseline_cache : (baseline_key, Appkit.result) Hashtbl.t = Hashtbl.create 8
+let baseline_mutex = Mutex.create ()
+
+let default_baseline_params () = testbed ~nodes:1 ()
+
+let single_node_baseline ?params app =
+  let params =
+    match params with Some p -> p | None -> default_baseline_params ()
+  in
+  let pass_by_value = app = Socialnet_app in
+  let key = { bk_app = app; bk_pass_by_value = pass_by_value; bk_params = params } in
+  match
+    Mutex.protect baseline_mutex (fun () -> Hashtbl.find_opt baseline_cache key)
+  with
   | Some r -> r
   | None ->
-      let pass_by_value = app = Socialnet_app in
-      let r =
-        run_app ~pass_by_value app Original ~params:(testbed ~nodes:1 ())
-      in
-      Hashtbl.replace baseline_cache app r;
+      let r = run_app ~pass_by_value app Original ~params in
+      Mutex.protect baseline_mutex (fun () ->
+          Hashtbl.replace baseline_cache key r);
       r
+
+let precompute_baselines ?jobs apps =
+  ignore (Parallel.map ?jobs (fun app -> single_node_baseline app) apps)

@@ -35,6 +35,13 @@ val run_app :
     [affinity] turns on the DataFrame TBox/spawn_to annotations (DRust
     only).  [pass_by_value] selects SocialNet's original RPC deployment. *)
 
-val single_node_baseline : app -> Drust_appkit.Appkit.result
+val single_node_baseline : ?params:Params.t -> app -> Drust_appkit.Appkit.result
 (** The app run as-is ([Original] backend) on one full node — the
-    normalization denominator of every figure. *)
+    normalization denominator of every figure.  Memoized on the full
+    configuration (app, deployment, params); [params] defaults to
+    [testbed ~nodes:1 ()]. *)
+
+val precompute_baselines : ?jobs:int -> app list -> unit
+(** Warm the baseline cache for [apps] (default parameters), fanning the
+    runs out over {!Parallel.map}.  Sweeps call this first so the
+    memoized baselines are ready before the measured grid starts. *)

@@ -226,7 +226,14 @@ let print r =
        r.total_ops r.failed_ops r.retries r.timeouts r.drops)
 
 let run ?(seed = 42) () =
-  let r1 = run_once ~seed () in
+  (* The two determinism-check runs are independent clusters, so they
+     also double as the parallel chaos run: under --jobs >= 2 they
+     execute on separate domains and must still be bit-identical. *)
+  let r1, r2 =
+    match Parallel.run [ run_once ~seed; run_once ~seed ] with
+    | [ a; b ] -> (a, b)
+    | _ -> assert false
+  in
   Report.record_rate ~experiment:"failover/chaos"
     ~ops:(float_of_int r1.total_ops) ~elapsed:duration;
   print r1;
@@ -236,7 +243,6 @@ let run ?(seed = 42) () =
       failwith
         "Failover: the detector or the recovery path did not fire — the \
          automatic failover chain is broken");
-  let r2 = run_once ~seed () in
   if not (same_result r1 r2) then
     failwith "Failover: two runs with the same seed diverged — determinism bug";
   Report.note "determinism: second run with the same seed is bit-identical";

@@ -13,11 +13,24 @@ let run_variant ~use_tbox ~use_spawn_to =
     { Df.default_config with Df.use_tbox; use_spawn_to }
 
 let run () =
+  (* The three variants are independent clusters: fan them out, then
+     record and render sequentially in the fixed order. *)
+  B.precompute_baselines [ B.Dataframe_app ];
+  let variants =
+    Parallel.run
+      [
+        (fun () -> run_variant ~use_tbox:false ~use_spawn_to:false);
+        (fun () -> run_variant ~use_tbox:true ~use_spawn_to:false);
+        (fun () -> run_variant ~use_tbox:true ~use_spawn_to:true);
+      ]
+  in
+  let plain, tbox, both =
+    match variants with
+    | [ a; b; c ] -> (a, b, c)
+    | _ -> assert false
+  in
   Report.section "Figure 6: DataFrame affinity annotations (DRust, 8 nodes)";
   let base = B.single_node_baseline B.Dataframe_app in
-  let plain = run_variant ~use_tbox:false ~use_spawn_to:false in
-  let tbox = run_variant ~use_tbox:true ~use_spawn_to:false in
-  let both = run_variant ~use_tbox:true ~use_spawn_to:true in
   let mk label r paper =
     Report.record_rate
       ~experiment:("fig6/" ^ label)

@@ -1,0 +1,60 @@
+(* Deterministic parallel sweep runner.
+
+   One simulated cluster is strictly single-domain (the effect-handler
+   engine is not thread-safe), but distinct clusters share no mutable
+   state now that everything lives in the per-cluster [Drust_machine.Env]
+   record — so independent experiment configurations can run on separate
+   domains.  The runner keeps a fixed pool: [jobs - 1] spawned domains
+   plus the calling domain, a shared work index bumped with
+   [Atomic.fetch_and_add], and a results array filled in submission
+   order.  [Domain.join] provides the happens-before edge that publishes
+   the workers' writes back to the caller, so results (and the first
+   raised exception, re-raised in submission order) are independent of
+   which domain ran which job. *)
+
+let default = Atomic.make 1
+
+let set_default_jobs n =
+  if n < 1 then invalid_arg "Parallel.set_default_jobs: jobs must be >= 1";
+  Atomic.set default n
+
+let default_jobs () = Atomic.get default
+
+let run_list jobs thunks =
+  let n = List.length thunks in
+  if jobs <= 1 || n <= 1 then List.map (fun f -> f ()) thunks
+  else begin
+    let work = Array.of_list thunks in
+    let results : ('a, exn) result option array = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (results.(i) <-
+             (match work.(i) () with
+             | v -> Some (Ok v)
+             | exception e -> Some (Error e)));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned =
+      Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    Array.iter Domain.join spawned;
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok v) -> v
+         | Some (Error e) -> raise e
+         | None -> assert false)
+  end
+
+let run ?jobs thunks =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if jobs < 1 then invalid_arg "Parallel.run: jobs must be >= 1";
+  run_list jobs thunks
+
+let map ?jobs f items = run ?jobs (List.map (fun x () -> f x) items)

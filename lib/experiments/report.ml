@@ -91,13 +91,26 @@ let note s = Printf.printf "  %s\n" s
 (* ------------------------------------------------------------------ *)
 (* Benchmark summary (BENCH_summary.json)                              *)
 
-let rates : (string, float) Hashtbl.t = Hashtbl.create 32
+(* Ordered per-run collection (insertion order preserved, re-recording
+   overwrites in place).  The mutex admits [record_rate] calls from
+   parallel sweep domains; [recorded_rates] sorts by name, so the
+   summary is byte-identical regardless of arrival order or [--jobs]. *)
+let rates : (string * float) list ref = ref []
+let rates_mutex = Mutex.create ()
 
 let record_rate ~experiment ~ops ~elapsed =
-  if elapsed > 0.0 then Hashtbl.replace rates experiment (ops /. elapsed)
+  if elapsed > 0.0 then
+    let rate = ops /. elapsed in
+    Mutex.protect rates_mutex (fun () ->
+        if List.mem_assoc experiment !rates then
+          rates :=
+            List.map
+              (fun (k, v) -> if String.equal k experiment then (k, rate) else (k, v))
+              !rates
+        else rates := !rates @ [ (experiment, rate) ])
 
 let recorded_rates () =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) rates []
+  Mutex.protect rates_mutex (fun () -> !rates)
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let json_escape s =

@@ -37,11 +37,13 @@ val note : string -> unit
 
 val record_rate : experiment:string -> ops:float -> elapsed:float -> unit
 (** Register [ops /. elapsed] (operations per {e simulated} second)
-    under [experiment].  Re-recording an experiment overwrites it;
-    non-positive [elapsed] is ignored. *)
+    under [experiment].  Re-recording an experiment overwrites it in
+    place; non-positive [elapsed] is ignored.  Safe to call from
+    {!Parallel} sweep domains (mutex-protected). *)
 
 val recorded_rates : unit -> (string * float) list
-(** The registry so far, sorted by experiment name. *)
+(** The registry so far, sorted by experiment name — the summary is
+    byte-identical regardless of recording order or [--jobs]. *)
 
 val write_bench_summary : path:string -> unit
 (** Write the registry as JSON to [path]. *)

@@ -33,27 +33,38 @@ let run_one app system =
   (* Read totals from the cluster's metrics snapshot rather than the
      fabric's convenience accessors — same numbers, one source of truth. *)
   let snap = Drust_obs.Metrics.snapshot (Cluster.metrics cluster) in
-  Report.record_rate
-    ~experiment:
-      (Printf.sprintf "traffic/%s/%s" (B.app_name app) (B.system_name system))
-    ~ops:result.Appkit.ops ~elapsed:result.Appkit.elapsed;
-  {
-    app;
-    system;
-    remote_ops_per_op =
-      Float.of_int (Report.metric_total snap "fabric.remote_ops")
-      /. result.Appkit.ops;
-    bytes_per_op =
-      Float.of_int (Report.metric_total snap "fabric.bytes_out")
-      /. result.Appkit.ops;
-  }
+  ( {
+      app;
+      system;
+      remote_ops_per_op =
+        Float.of_int (Report.metric_total snap "fabric.remote_ops")
+        /. result.Appkit.ops;
+      bytes_per_op =
+        Float.of_int (Report.metric_total snap "fabric.bytes_out")
+        /. result.Appkit.ops;
+    },
+    result )
 
 let run () =
+  (* Parallel phase (pure compute per cell), then record + render in
+     grid order. *)
+  let grid =
+    List.concat_map
+      (fun app -> List.map (fun system -> (app, system)) B.all_systems)
+      B.all_apps
+  in
+  let results = Parallel.map (fun (app, system) -> run_one app system) grid in
   Report.section "Supplementary: coherence traffic per application operation (8 nodes)";
   let rows =
-    List.concat_map
-      (fun app -> List.map (run_one app) B.all_systems)
-      B.all_apps
+    List.map
+      (fun (row, result) ->
+        Report.record_rate
+          ~experiment:
+            (Printf.sprintf "traffic/%s/%s" (B.app_name row.app)
+               (B.system_name row.system))
+          ~ops:result.Appkit.ops ~elapsed:result.Appkit.elapsed;
+        row)
+      results
   in
   Report.table
     ~header:[ "app"; "system"; "remote verbs / op"; "bytes / op" ]

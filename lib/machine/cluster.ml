@@ -27,16 +27,24 @@ type t = {
   rng : Drust_util.Rng.t;
   metrics : Metrics.t;
   spans : Span.t;
+  env : Env.t;
+      (* per-cluster state of every higher layer (protocol stats,
+         listeners, thread registry, ...): dies with the cluster *)
+  next_thread_id : int Atomic.t;
 }
 
-let next_uid = ref 0
+(* Atomic so clusters may be created concurrently from several domains
+   (the parallel sweep runner).  The uid is purely informational — no
+   layer keys state on it any more; per-cluster state lives in [env]. *)
+let next_uid = Atomic.make 0
 
 (* Called on every freshly created cluster.  This is how process-wide
    tooling (the DSan sanitizer's --sanitize flag) reaches clusters that
    experiments create internally, without threading a parameter through
-   every call site.  The hook must not touch the engine or any RNG. *)
-let create_hook : (t -> unit) option ref = ref None
-let set_create_hook h = create_hook := h
+   every call site.  The hook must not touch the engine or any RNG, and
+   it may run in whichever domain creates the cluster. *)
+let create_hook : (t -> unit) option Atomic.t = Atomic.make None
+let set_create_hook h = Atomic.set create_hook h
 
 let create ?engine params =
   let engine = match engine with Some e -> e | None -> Engine.create () in
@@ -61,8 +69,7 @@ let create ?engine params =
       alive = true;
     }
   in
-  let uid = !next_uid in
-  incr next_uid;
+  let uid = Atomic.fetch_and_add next_uid 1 in
   let nodes = Array.init params.Params.nodes make_node in
   let t =
     {
@@ -76,12 +83,16 @@ let create ?engine params =
       rng;
       metrics;
       spans;
+      env = Env.create ();
+      next_thread_id = Atomic.make 0;
     }
   in
-  (match !create_hook with None -> () | Some h -> h t);
+  (match Atomic.get create_hook with None -> () | Some h -> h t);
   t
 
 let uid t = t.uid
+let env t = t.env
+let fresh_thread_id t = Atomic.fetch_and_add t.next_thread_id 1
 
 let engine t = t.engine
 let fabric t = t.fabric

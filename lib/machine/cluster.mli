@@ -19,7 +19,18 @@ type t
 val create : ?engine:Drust_sim.Engine.t -> Params.t -> t
 
 val uid : t -> int
-(** Unique id per cluster instance; lets higher layers keep side tables. *)
+(** Unique id per cluster instance (diagnostics only).  Per-cluster state
+    belongs in {!env}, never in a process-global table keyed by this. *)
+
+val env : t -> Env.t
+(** The cluster's environment: typed per-cluster storage for every higher
+    layer (protocol statistics, listener hooks, thread registry, ...).
+    Bindings die with the cluster.  See {!Env}. *)
+
+val fresh_thread_id : t -> int
+(** Next thread id, scoped to this cluster (ids start at 0 per cluster so
+    runs are deterministic regardless of what other clusters exist in the
+    process). *)
 
 val set_create_hook : (t -> unit) option -> unit
 (** Install a process-wide hook run on every cluster [create].  Used by

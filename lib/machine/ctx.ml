@@ -13,13 +13,10 @@ type t = {
   mutable safe_point_hook : (t -> unit) option;
 }
 
-let next_thread_id = ref 0
-
 let make cluster ~node =
   if node < 0 || node >= Cluster.node_count cluster then
     invalid_arg "Ctx.make: node out of range";
-  let id = !next_thread_id in
-  incr next_thread_id;
+  let id = Cluster.fresh_thread_id cluster in
   {
     cluster;
     thread_id = id;

@@ -25,17 +25,18 @@ let check_live t op =
 
 (* Same shadow-state event vocabulary as [Darc]; the DSan checker
    installs one handler for both. *)
-let listeners : (int, Ctx.t -> Darc.rc_event -> unit) Hashtbl.t =
-  Hashtbl.create 8
+let listener_key :
+    (Ctx.t -> Darc.rc_event -> unit) option ref Drust_machine.Env.key =
+  Drust_machine.Env.key ~name:"runtime.drc_listener"
 
-let set_listener cluster = function
-  | Some f -> Hashtbl.replace listeners (Cluster.uid cluster) f
-  | None -> Hashtbl.remove listeners (Cluster.uid cluster)
+let listener_cell cluster =
+  Drust_machine.Env.get (Cluster.env cluster) listener_key ~init:(fun () ->
+      ref None)
+
+let set_listener cluster f = listener_cell cluster := f
 
 let[@inline] with_listener ctx k =
-  match Hashtbl.find_opt listeners (Cluster.uid (Ctx.cluster ctx)) with
-  | None -> ()
-  | Some f -> k f
+  match !(listener_cell (Ctx.cluster ctx)) with None -> () | Some f -> k f
 
 let create ctx ~size v =
   Ctx.charge_cycles ctx 60.0;

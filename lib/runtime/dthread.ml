@@ -17,16 +17,12 @@ type handle = {
 let stack_bytes = 768 * 1024
 
 (* Per-cluster migration latency samples for the drill-down experiment. *)
-let migration_stats : (int, Drust_util.Stats.t) Hashtbl.t = Hashtbl.create 8
+let migration_stats_key : Drust_util.Stats.t Drust_machine.Env.key =
+  Drust_machine.Env.key ~name:"runtime.migration_stats"
 
 let migration_latency_stats cluster =
-  let uid = Cluster.uid cluster in
-  match Hashtbl.find_opt migration_stats uid with
-  | Some s -> s
-  | None ->
-      let s = Drust_util.Stats.create () in
-      Hashtbl.replace migration_stats uid s;
-      s
+  Drust_machine.Env.get (Cluster.env cluster) migration_stats_key
+    ~init:Drust_util.Stats.create
 
 let migrate_now ctx ~target =
   let cluster = Ctx.cluster ctx in

@@ -8,17 +8,13 @@ type record = {
   mutable migrations : int;
 }
 
-(* One bucket of records per cluster uid. *)
-let table : (int, record list ref) Hashtbl.t = Hashtbl.create 8
+(* One bucket of records per cluster, stored in the cluster's Env so the
+   registry dies with the cluster. *)
+let bucket_key : record list ref Drust_machine.Env.key =
+  Drust_machine.Env.key ~name:"runtime.thread_registry"
 
 let bucket cluster =
-  let uid = Cluster.uid cluster in
-  match Hashtbl.find_opt table uid with
-  | Some b -> b
-  | None ->
-      let b = ref [] in
-      Hashtbl.replace table uid b;
-      b
+  Drust_machine.Env.get (Cluster.env cluster) bucket_key ~init:(fun () -> ref [])
 
 let register ctx =
   let r = { ctx; running = true; migrate_to = None; migrations = 0 } in
@@ -40,4 +36,4 @@ let thread_count_on cluster ~node = List.length (threads_on cluster ~node)
 
 let order_migration r ~target = r.migrate_to <- Some target
 
-let clear cluster = Hashtbl.remove table (Cluster.uid cluster)
+let clear cluster = bucket cluster := []

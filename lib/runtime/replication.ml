@@ -32,16 +32,17 @@ type event =
   | Node_failed of { node : int }
   | Promoted of { home : int; by : int; replica : int }
 
-let listeners : (int, Ctx.t -> event -> unit) Hashtbl.t = Hashtbl.create 8
+let listener_key : (Ctx.t -> event -> unit) option ref Drust_machine.Env.key =
+  Drust_machine.Env.key ~name:"runtime.replication_listener"
 
-let set_listener cluster = function
-  | Some f -> Hashtbl.replace listeners (Cluster.uid cluster) f
-  | None -> Hashtbl.remove listeners (Cluster.uid cluster)
+let listener_cell cluster =
+  Drust_machine.Env.get (Cluster.env cluster) listener_key ~init:(fun () ->
+      ref None)
+
+let set_listener cluster f = listener_cell cluster := f
 
 let[@inline] with_listener ctx cluster k =
-  match Hashtbl.find_opt listeners (Cluster.uid cluster) with
-  | None -> ()
-  | Some f -> k (f ctx)
+  match !(listener_cell cluster) with None -> () | Some f -> k (f ctx)
 
 let record_commit t _ctx g size value =
   if t.enabled then Hashtbl.replace t.pending g { size; value }

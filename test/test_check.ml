@@ -430,6 +430,92 @@ let test_sanitized_fig6_bit_identical () =
   Alcotest.(check int) "fig6 sanitized cleanly" 0 (sanitized_total ());
   check_bit_identical "fig6" plain sanitized
 
+(* ------------------------------------------------------------------ *)
+(* Two-cluster isolation: with all per-cluster state in the Env record,
+   two clusters stepped in lockstep in one process must not observe each
+   other — separate sanitizers, probes, listeners, protocol options and
+   stats, with zero cross-talk. *)
+
+let test_two_clusters_interleaved_isolation () =
+  let a = Cluster.create (small_params 2) in
+  let b = Cluster.create (small_params 2) in
+  let ta = Dsan.attach a in
+  let tb = Dsan.attach b in
+  (* Per-cluster probes and refcount listeners that also assert every
+     event they see belongs to their own cluster. *)
+  let probes_a = ref 0 and probes_b = ref 0 in
+  let rc_a = ref 0 and rc_b = ref 0 in
+  let probe own counter ctx _ev =
+    if Ctx.cluster ctx != own then
+      Alcotest.fail "probe cross-talk: event from the other cluster";
+    incr counter
+  in
+  let rc own counter ctx _ev =
+    if Ctx.cluster ctx != own then
+      Alcotest.fail "listener cross-talk: event from the other cluster";
+    incr counter
+  in
+  P.set_probe a (Some (probe a probes_a));
+  P.set_probe b (Some (probe b probes_b));
+  Darc.set_listener a (Some (rc a rc_a));
+  Darc.set_listener b (Some (rc b rc_b));
+  (* Divergent per-cluster options: A moves on every access, B keeps the
+     default coloring protocol. *)
+  P.set_always_move a true;
+  let moves_a = ref 0 and moves_b = ref 0 in
+  let workload cluster moves =
+    ignore
+      (Engine.spawn (Cluster.engine cluster) (fun () ->
+           let ctx = Ctx.make cluster ~node:0 in
+           P.reset_protocol_stats ctx;
+           let o = P.create ctx ~size:64 (pack 0) in
+           (* Alternate read and write epochs: each write then resolves
+              by a color bump (default) or a forced move (always_move). *)
+           for i = 1 to 8 do
+             let rr = P.borrow_imm ctx o in
+             ignore (P.imm_deref ctx rr);
+             P.drop_imm ctx rr;
+             P.owner_modify ctx o (fun v -> pack (unpack v + i))
+           done;
+           let arc = Darc.create ctx ~size:64 (pack 1) in
+           Darc.drop ctx (Darc.clone ctx arc);
+           Darc.drop ctx arc;
+           Ctx.flush ctx;
+           moves := P.moves ctx))
+  in
+  workload a moves_a;
+  workload b moves_b;
+  (* Interleave the two engines event by event in one domain. *)
+  let ea = Cluster.engine a and eb = Cluster.engine b in
+  let rec lockstep () =
+    let ra = Engine.step ea in
+    let rb = Engine.step eb in
+    if ra || rb then lockstep ()
+  in
+  lockstep ();
+  Alcotest.(check bool) "A saw its probes" true (!probes_a > 0);
+  Alcotest.(check bool) "B saw its probes" true (!probes_b > 0);
+  Alcotest.(check bool) "A saw its rc events" true (!rc_a > 0);
+  Alcotest.(check bool) "B saw its rc events" true (!rc_b > 0);
+  (* Same deterministic workload, so the event counts must agree —
+     any leakage of one cluster's events into the other's cell breaks
+     the equality. *)
+  Alcotest.(check int) "equal probe streams" !probes_a !probes_b;
+  Alcotest.(check int) "equal rc streams" !rc_a !rc_b;
+  (* The always_move option stayed confined to A: B resolves the write
+     epochs with color bumps after its initial ownership move, so A must
+     have strictly more moves. *)
+  Alcotest.(check bool) "A moved" true (!moves_a > 0);
+  Alcotest.(check bool) "always_move confined to A" true (!moves_a > !moves_b);
+  (* Both sanitizers watched a full run each and stayed clean, on their
+     own cluster. *)
+  Alcotest.(check bool) "ta on a" true (Dsan.cluster ta == a);
+  Alcotest.(check bool) "tb on b" true (Dsan.cluster tb == b);
+  Alcotest.(check int) "A sanitizer clean" 0 (Dsan.violation_count ta);
+  Alcotest.(check int) "B sanitizer clean" 0 (Dsan.violation_count tb);
+  Dsan.detach ta;
+  Dsan.detach tb
+
 let () =
   Alcotest.run "check"
     [
@@ -472,5 +558,10 @@ let () =
             test_sanitized_fig5_bit_identical;
           Alcotest.test_case "fig6 sanitized == unsanitized" `Slow
             test_sanitized_fig6_bit_identical;
+        ] );
+      ( "isolation",
+        [
+          Alcotest.test_case "two clusters interleaved" `Quick
+            test_two_clusters_interleaved_isolation;
         ] );
     ]

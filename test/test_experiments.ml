@@ -8,6 +8,91 @@ module B = E.Bench_setup
 module Appkit = Drust_appkit.Appkit
 
 (* ------------------------------------------------------------------ *)
+(* Parallel sweep runner *)
+
+let test_parallel_results_independent_of_jobs () =
+  let thunks () = List.init 17 (fun i () -> (i * i) + 1) in
+  let seq = E.Parallel.run ~jobs:1 (thunks ()) in
+  let par = E.Parallel.run ~jobs:4 (thunks ()) in
+  Alcotest.(check (list int)) "same results, same order" seq par
+
+let test_parallel_submission_order () =
+  let r = E.Parallel.map ~jobs:4 (fun i -> 10 * i) [ 3; 1; 4; 1; 5; 9; 2; 6 ] in
+  Alcotest.(check (list int)) "submission order" [ 30; 10; 40; 10; 50; 90; 20; 60 ] r
+
+let test_parallel_error_propagation () =
+  (* The earliest-submitted failure is the one re-raised, regardless of
+     which domain hits its exception first. *)
+  let boom i = Failure (Printf.sprintf "job %d" i) in
+  let thunks =
+    List.init 8 (fun i () -> if i = 2 || i = 5 then raise (boom i) else i)
+  in
+  (match E.Parallel.run ~jobs:4 thunks with
+  | _ -> Alcotest.fail "expected an exception"
+  | exception Failure msg -> Alcotest.(check string) "earliest job" "job 2" msg);
+  Alcotest.(check bool) "jobs must be positive" true
+    (try
+       ignore (E.Parallel.run ~jobs:0 [ (fun () -> ()) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_parallel_cluster_sweep_deterministic () =
+  (* Full simulated clusters on separate domains: the sweep's numbers
+     must be exactly the sequential ones. *)
+  let sweep jobs =
+    E.Parallel.map ~jobs
+      (fun nodes ->
+        let r =
+          B.run_app B.Kvstore_app B.Drust ~params:(B.testbed ~nodes ())
+        in
+        (r.Appkit.ops, r.Appkit.elapsed))
+      [ 1; 2; 4 ]
+  in
+  let seq = sweep 1 in
+  let par = sweep 4 in
+  List.iter2
+    (fun (o1, e1) (o2, e2) ->
+      Alcotest.(check (float 0.0)) "ops bit-identical" o1 o2;
+      Alcotest.(check (float 0.0)) "elapsed bit-identical" e1 e2)
+    seq par
+
+(* ------------------------------------------------------------------ *)
+(* Report rate registry and baseline cache *)
+
+let test_rates_ordered_collection () =
+  let probe = "test/rates/probe" and probe2 = "test/rates/probe2" in
+  E.Report.record_rate ~experiment:probe ~ops:10.0 ~elapsed:2.0;
+  E.Report.record_rate ~experiment:probe2 ~ops:9.0 ~elapsed:3.0;
+  (* Re-recording overwrites the value without duplicating the entry. *)
+  E.Report.record_rate ~experiment:probe ~ops:20.0 ~elapsed:2.0;
+  let rates = E.Report.recorded_rates () in
+  Alcotest.(check int) "no duplicate" 1
+    (List.length (List.filter (fun (k, _) -> String.equal k probe) rates));
+  Alcotest.(check (float 1e-9)) "overwritten" 10.0 (List.assoc probe rates);
+  Alcotest.(check (float 1e-9)) "second entry kept" 3.0 (List.assoc probe2 rates);
+  (* Non-positive elapsed is ignored. *)
+  E.Report.record_rate ~experiment:"test/rates/zero" ~ops:1.0 ~elapsed:0.0;
+  Alcotest.(check bool) "zero elapsed ignored" false
+    (List.mem_assoc "test/rates/zero" (E.Report.recorded_rates ()));
+  (* The returned registry is name-sorted: order of recording cannot
+     change the summary. *)
+  let names = List.map fst rates in
+  Alcotest.(check (list string)) "sorted" (List.sort compare names) names
+
+let test_baseline_cache_keyed_on_config () =
+  (* Two different parameter sets must not share a memo entry — the
+     regression was a cache keyed on the app alone. *)
+  let p1 = B.testbed ~nodes:1 () in
+  let p2 = B.testbed ~nodes:2 () in
+  let r1 = B.single_node_baseline ~params:p1 B.Kvstore_app in
+  let r2 = B.single_node_baseline ~params:p2 B.Kvstore_app in
+  let r1' = B.single_node_baseline ~params:p1 B.Kvstore_app in
+  Alcotest.(check (float 0.0)) "memo hit is identical" r1.Appkit.ops r1'.Appkit.ops;
+  Alcotest.(check bool) "different params, different entries" true
+    (r1.Appkit.elapsed <> r2.Appkit.elapsed
+    || r1.Appkit.throughput <> r2.Appkit.throughput)
+
+(* ------------------------------------------------------------------ *)
 (* Motivation (S3) *)
 
 let test_motivation_breakdown () =
@@ -174,6 +259,24 @@ let test_ablation_directions () =
 let () =
   Alcotest.run "experiments"
     [
+      ( "parallel",
+        [
+          Alcotest.test_case "jobs 1 == jobs 4" `Quick
+            test_parallel_results_independent_of_jobs;
+          Alcotest.test_case "submission order" `Quick
+            test_parallel_submission_order;
+          Alcotest.test_case "first error wins" `Quick
+            test_parallel_error_propagation;
+          Alcotest.test_case "cluster sweep" `Quick
+            test_parallel_cluster_sweep_deterministic;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "rates ordered and overwrite" `Quick
+            test_rates_ordered_collection;
+          Alcotest.test_case "baseline keyed on config" `Quick
+            test_baseline_cache_keyed_on_config;
+        ] );
       ( "motivation",
         [ Alcotest.test_case "S3 breakdown" `Quick test_motivation_breakdown ] );
       ("table2", [ Alcotest.test_case "deref shape" `Quick test_table2_shape ]);

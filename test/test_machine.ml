@@ -1,14 +1,18 @@
 (* Tests for the machine layer: cluster parameters, node plumbing, the
    partition-serving map used by failover, global-heap state operations,
-   and per-thread contexts (compute batching, counters, safe points). *)
+   per-thread contexts (compute batching, counters, safe points), the
+   per-cluster Env record, and the no-leak guarantee it provides. *)
 
 module Engine = Drust_sim.Engine
 module Params = Drust_machine.Params
 module Cluster = Drust_machine.Cluster
 module Ctx = Drust_machine.Ctx
+module Env = Drust_machine.Env
 module Partition = Drust_memory.Partition
 module Gaddr = Drust_memory.Gaddr
 module Univ = Drust_util.Univ
+module P = Drust_core.Protocol
+module Dthread = Drust_runtime.Dthread
 
 let int_tag : int Univ.tag = Univ.create_tag ~name:"mach.int"
 let pack = Univ.pack int_tag
@@ -181,6 +185,102 @@ let test_ctx_thread_ids_unique () =
       Alcotest.(check bool) "distinct ids" true
         (ctx.Ctx.thread_id <> other.Ctx.thread_id))
 
+let test_thread_ids_per_cluster () =
+  (* Ids restart at 0 in every cluster: a run's thread numbering cannot
+     depend on how many clusters ran before it in the same process. *)
+  let c1 = Cluster.create (small 2) in
+  let c2 = Cluster.create (small 2) in
+  Alcotest.(check int) "c1 first" 0 (Cluster.fresh_thread_id c1);
+  Alcotest.(check int) "c1 second" 1 (Cluster.fresh_thread_id c1);
+  Alcotest.(check int) "c2 starts at 0 too" 0 (Cluster.fresh_thread_id c2)
+
+(* ------------------------------------------------------------------ *)
+(* Env *)
+
+let test_env_basics () =
+  let env = Env.create () in
+  let k1 : int Env.key = Env.key ~name:"test.k1" in
+  let k2 : string Env.key = Env.key ~name:"test.k2" in
+  Alcotest.(check (option int)) "empty" None (Env.find env k1);
+  Alcotest.(check int) "init" 7 (Env.get env k1 ~init:(fun () -> 7));
+  Alcotest.(check int) "memoized" 7 (Env.get env k1 ~init:(fun () -> 8));
+  Env.set env k1 9;
+  Alcotest.(check (option int)) "set overwrites" (Some 9) (Env.find env k1);
+  Alcotest.(check bool) "mem" true (Env.mem env k1);
+  Alcotest.(check bool) "k2 absent" false (Env.mem env k2);
+  Env.set env k2 "x";
+  Alcotest.(check int) "length" 2 (Env.length env);
+  Alcotest.(check (list string)) "names sorted" [ "test.k1"; "test.k2" ]
+    (Env.names env);
+  Env.remove env k1;
+  Alcotest.(check (option int)) "removed" None (Env.find env k1)
+
+let test_env_keys_distinct_despite_same_name () =
+  (* Key identity is the allocation, not the display name: two keys of
+     the same name (and even the same type) address distinct slots. *)
+  let env = Env.create () in
+  let ka : int Env.key = Env.key ~name:"test.dup" in
+  let kb : int Env.key = Env.key ~name:"test.dup" in
+  Env.set env ka 1;
+  Alcotest.(check (option int)) "kb unset" None (Env.find env kb);
+  Env.set env kb 2;
+  Alcotest.(check (option int)) "ka kept" (Some 1) (Env.find env ka)
+
+let test_env_isolated_per_cluster () =
+  let k : int Env.key = Env.key ~name:"test.iso" in
+  let c1 = Cluster.create (small 2) in
+  let c2 = Cluster.create (small 2) in
+  Env.set (Cluster.env c1) k 10;
+  Alcotest.(check (option int)) "c2 unaffected" None
+    (Env.find (Cluster.env c2) k);
+  Alcotest.(check int) "c2 own init" 20
+    (Env.get (Cluster.env c2) k ~init:(fun () -> 20));
+  Alcotest.(check (option int)) "c1 kept" (Some 10)
+    (Env.find (Cluster.env c1) k)
+
+(* ------------------------------------------------------------------ *)
+(* Leak regression: discarded clusters must be collectable.  Before the
+   Env refactor, uid-keyed process-global tables (protocol stats,
+   listeners, registries, appkit marks) retained every cluster ever
+   created; this test pins the fix.  The workload below touches every
+   formerly-global subsystem so each binding demonstrably dies with its
+   cluster.  [populate] is a separate function so no stack slot of the
+   test frame keeps a cluster alive across the majors. *)
+
+let populate weaks i =
+  let c = Cluster.create (small 2) in
+  P.set_always_move c false;
+  P.set_probe c (Some (fun _ _ -> ()));
+  Drust_runtime.Darc.set_listener c (Some (fun _ _ -> ()));
+  Drust_runtime.Dmutex.set_listener c (Some (fun _ _ -> ()));
+  ignore (Dthread.migration_latency_stats c);
+  let r =
+    Drust_appkit.Appkit.run_main c (fun ctx ->
+        let o = P.create ctx ~size:64 (pack i) in
+        let im = P.borrow_imm ctx o in
+        ignore (P.imm_deref ctx im);
+        P.drop_imm ctx im;
+        let h = Dthread.spawn ctx (fun w -> Ctx.compute w ~cycles:500.0) in
+        Dthread.join ctx h;
+        (1.0, []))
+  in
+  ignore r.Drust_appkit.Appkit.throughput;
+  Weak.set weaks i (Some c)
+
+let test_no_per_cluster_state_leaks () =
+  let n = 100 in
+  let weaks : Cluster.t Weak.t = Weak.create n in
+  for i = 0 to n - 1 do
+    populate weaks i
+  done;
+  Gc.full_major ();
+  Gc.full_major ();
+  let live = ref 0 in
+  for i = 0 to n - 1 do
+    if Weak.check weaks i then incr live
+  done;
+  Alcotest.(check int) "all 100 clusters collected" 0 !live
+
 let () =
   Alcotest.run "machine"
     [
@@ -206,5 +306,13 @@ let () =
           Alcotest.test_case "counters" `Quick test_ctx_counters_and_hottest;
           Alcotest.test_case "safe-point hook" `Quick test_ctx_safe_point_hook_runs_on_flush;
           Alcotest.test_case "unique ids" `Quick test_ctx_thread_ids_unique;
+          Alcotest.test_case "ids per cluster" `Quick test_thread_ids_per_cluster;
+        ] );
+      ( "env",
+        [
+          Alcotest.test_case "basics" `Quick test_env_basics;
+          Alcotest.test_case "key identity" `Quick test_env_keys_distinct_despite_same_name;
+          Alcotest.test_case "per-cluster isolation" `Quick test_env_isolated_per_cluster;
+          Alcotest.test_case "no state leaks" `Quick test_no_per_cluster_state_leaks;
         ] );
     ]

@@ -1,0 +1,99 @@
+(* No-process-globals lint, run by the @lint alias (a dep of @runtest).
+
+   Per-cluster state must live in the cluster's [Drust_machine.Env]
+   record (see docs/ARCHITECTURE.md), not in module-level mutable
+   tables: uid-keyed Hashtbls leak (cluster uids are never pruned) and
+   alias state across clusters that run concurrently on separate
+   domains.  This tool scans every .ml under lib/ for top-level
+   bindings whose right-hand side allocates a mutable container
+   ([Hashtbl.create], [ref], [Queue.create], [Buffer.create],
+   [Stack.create]) and fails unless the binding is allowlisted below.
+
+   The allowlist is the closed set of deliberate process-wide state;
+   each entry says why it is exempt.  Stale entries fail the lint too,
+   so the list cannot rot. *)
+
+let allowlist =
+  [
+    (* Report's CSV/summary collectors are per-process by design: one
+       harness run produces one summary, and the cells are
+       mutex-protected for parallel sweeps. *)
+    ("lib/experiments/report.ml", "csv_dir");
+    ("lib/experiments/report.ml", "current_slug");
+    ("lib/experiments/report.ml", "slug_counter");
+    ("lib/experiments/report.ml", "rates");
+    (* Baseline memo spans clusters on purpose (that is the memo); the
+       key carries the full run configuration and inserts are
+       mutex-protected. *)
+    ("lib/experiments/bench_setup.ml", "baseline_cache");
+    (* DSan's auto-attach list spans clusters by design: install_global
+       attaches one sanitizer per future cluster, mutex-protected. *)
+    ("lib/check/dsan.ml", "auto");
+  ]
+
+(* A top-level [let <ident> [: type] = <mutable-container> ...] binding.
+   [ \t\n]* / [^=]* let the annotation or the [=] span lines; parameters
+   after the name (function definitions) break the match, so functions
+   that merely allocate a table internally are not flagged. *)
+let binding_re =
+  Str.regexp
+    "^let \\([a-z_][A-Za-z0-9_']*\\)[ \t\n]*\\(:[^=]*\\)?=[ \t\n]*\\(Hashtbl\\.create\\|Queue\\.create\\|Buffer\\.create\\|Stack\\.create\\|ref \\|ref$\\)"
+
+let read_file path = In_channel.with_open_text path In_channel.input_all
+
+let rec ml_files dir =
+  Sys.readdir dir |> Array.to_list |> List.sort compare
+  |> List.concat_map (fun entry ->
+         let path = Filename.concat dir entry in
+         if Sys.is_directory path then ml_files path
+         else if Filename.check_suffix entry ".ml" then [ path ]
+         else [])
+
+let line_of text pos =
+  let n = ref 1 in
+  String.iteri (fun i c -> if i < pos && c = '\n' then incr n) text;
+  !n
+
+let () =
+  let violations = ref [] in
+  let seen = ref [] in
+  List.iter
+    (fun path ->
+      let text = read_file path in
+      let pos = ref 0 in
+      try
+        while true do
+          let at = Str.search_forward binding_re text !pos in
+          pos := at + 1;
+          let name = Str.matched_group 1 text in
+          if List.mem (path, name) allowlist then
+            seen := (path, name) :: !seen
+          else
+            violations :=
+              Printf.sprintf
+                "%s:%d: top-level mutable binding %S — move it into the \
+                 per-cluster Drust_machine.Env record (docs/ARCHITECTURE.md) \
+                 or allowlist it in tools/lint_globals.ml with a reason"
+                path (line_of text at) name
+              :: !violations
+        done
+      with Not_found -> ())
+    (ml_files "lib");
+  List.iter
+    (fun (path, name) ->
+      if not (List.mem (path, name) !seen) then
+        violations :=
+          Printf.sprintf
+            "tools/lint_globals.ml: stale allowlist entry (%s, %S) — the \
+             binding no longer exists; remove it"
+            path name
+          :: !violations)
+    allowlist;
+  match List.rev !violations with
+  | [] ->
+      Printf.printf "lint_globals: OK (%d allowlisted process-global(s))\n"
+        (List.length allowlist)
+  | vs ->
+      List.iter prerr_endline vs;
+      Printf.eprintf "lint_globals: %d violation(s)\n" (List.length vs);
+      exit 1
