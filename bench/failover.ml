@@ -5,6 +5,11 @@
    failure/promotion sequence on every test run.
 
    Run with:  dune exec bench/failover.exe -- [--sanitize] [--jobs N]
+                [--summary PATH]
+
+   --summary writes the recorded headline rates (and op-latency
+   percentiles) as a BENCH_summary.json to PATH — the input of the
+   tools/bench_diff.exe regression gate (@bench-diff alias).
 
    --jobs >= 2 makes this a parallel chaos run: the experiment's two
    determinism-check clusters execute on separate domains, each with
@@ -26,8 +31,18 @@ let () =
       prerr_endline "--jobs expects a positive integer";
       exit 1
   | None -> ());
+  let rec summary_of = function
+    | "--summary" :: path :: _ -> Some path
+    | _ :: rest -> summary_of rest
+    | [] -> None
+  in
   if sanitize then Dsan.install_global ();
   ignore (Drust_experiments.Failover.run ());
+  (match summary_of argv with
+  | Some path ->
+      Drust_experiments.Report.write_bench_summary ~path;
+      Printf.eprintf "wrote %s\n" path
+  | None -> ());
   if sanitize then begin
     let total =
       List.fold_left

@@ -13,12 +13,15 @@
    docs/BENCHMARKS.md).
 
    Experiments: motivation fig5 fig6 fig7 table1 table2 migration
-                ablation traffic ycsb latency trace micro
+                ablation traffic ycsb latency trace profile micro
 
    The [trace] experiment re-runs GEMM on DRust with the span tracer
    enabled and writes a Chrome trace_event JSON (Perfetto-loadable) plus
    a JSONL metrics dump; set DRUST_TRACE=<prefix> to choose the output
-   path prefix (default "drust-trace"). *)
+   path prefix (default "drust-trace").  The [profile] experiment runs
+   the same traced workload through the critical-path profiler: a
+   per-segment time breakdown, the top-10 critical paths, and a Chrome
+   trace with cross-node flow arrows (prefix default "drust-profile"). *)
 
 module E = Drust_experiments
 
@@ -77,6 +80,67 @@ let run_trace () =
     (Printf.sprintf "%d trace events -> %s (load in ui.perfetto.dev)"
        (Span.count spans) trace_path);
   E.Report.note (Printf.sprintf "metrics snapshot -> %s" metrics_path)
+
+(* ------------------------------------------------------------------ *)
+(* Critical-path profile: traced GEMM, causally assembled.             *)
+
+let run_profile () =
+  let module B = E.Bench_setup in
+  let module Cluster = Drust_machine.Cluster in
+  let module Span = Drust_obs.Span in
+  let module Cp = Drust_obs.Critical_path in
+  E.Report.section "Profile: critical paths of traced GEMM on DRust (4 nodes)";
+  let prefix =
+    match Sys.getenv_opt "DRUST_TRACE" with
+    | Some p when p <> "" && p <> "0" && p <> "1" -> p
+    | _ -> "drust-profile"
+  in
+  let params = B.testbed ~nodes:4 () in
+  let cluster = Cluster.create params in
+  let spans = Cluster.spans cluster in
+  Span.enable spans;
+  let backend = B.make_backend B.Drust cluster in
+  let r =
+    Drust_gemm.Gemm.run ~cluster ~backend Drust_gemm.Gemm.default_config
+  in
+  E.Report.note
+    (Printf.sprintf "GEMM: %.0f ops in %.6f virtual s"
+       r.Drust_appkit.Appkit.ops r.Drust_appkit.Appkit.elapsed);
+  let events = Span.events spans in
+  let paths = Cp.analyze events in
+  (* Where did the virtual time go, across every profiled operation? *)
+  let totals =
+    List.map
+      (fun seg ->
+        ( seg,
+          List.fold_left
+            (fun acc p -> acc +. List.assoc seg p.Cp.segments)
+            0.0 paths ))
+      Cp.all_segments
+  in
+  let grand = List.fold_left (fun acc (_, d) -> acc +. d) 0.0 totals in
+  E.Report.table
+    ~header:[ "segment"; "total (us)"; "share" ]
+    ~rows:
+      (List.map
+         (fun (seg, d) ->
+           [
+             Cp.segment_name seg;
+             Printf.sprintf "%.3f" (d *. 1e6);
+             (if grand > 0.0 then E.Report.cell_pct (d /. grand) else "-");
+           ])
+         totals);
+  E.Report.note
+    (Printf.sprintf "%d operation(s) profiled; top critical paths:"
+       (List.length paths));
+  print_string (Cp.report ~k:10 events);
+  let trace_path = prefix ^ ".trace.json" in
+  Drust_obs.Export.write_chrome_trace ~path:trace_path spans;
+  E.Report.note
+    (Printf.sprintf
+       "%d trace events (with cross-node flow arrows) -> %s (load in \
+        ui.perfetto.dev)"
+       (Span.count spans) trace_path)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: wall-clock cost of the hot OCaml paths
@@ -168,6 +232,7 @@ let experiments =
     ("ycsb", run_ycsb);
     ("latency", run_latency);
     ("trace", run_trace);
+    ("profile", run_profile);
     ("micro", run_micro);
   ]
 

@@ -3,7 +3,8 @@
    Examples:
      dune exec bin/drust_sim.exe -- --app kvstore --system drust --nodes 8
      dune exec bin/drust_sim.exe -- --app dataframe --system gam --nodes 4
-     dune exec bin/drust_sim.exe -- --app gemm --scan-nodes 1,2,4,8 --jobs 4 *)
+     dune exec bin/drust_sim.exe -- --app gemm --scan-nodes 1,2,4,8 --jobs 4
+     dune exec bin/drust_sim.exe -- --app gemm --nodes 4 --profile *)
 
 module B = Drust_experiments.Bench_setup
 module Appkit = Drust_appkit.Appkit
@@ -50,6 +51,16 @@ let chrome_path =
         ~doc:
           "Write a Chrome trace_event JSON (load it in Perfetto or \
            chrome://tracing) of an instrumented re-run to $(docv)")
+
+let profile_t =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Re-run on an instrumented cluster and print the top-10 critical \
+           paths: each protocol operation's end-to-end latency attributed to \
+           queue/wire/serialize/protocol/compute segments (the throughput \
+           numbers above stay unprofiled)")
 
 let sanitize_t =
   Arg.(
@@ -116,8 +127,8 @@ let scan app system affinity seed counts =
         r.Appkit.elapsed r.Appkit.throughput)
     counts results
 
-let run app system nodes affinity seed trace_n chrome_path sanitize jobs
-    scan_nodes =
+let run app system nodes affinity seed trace_n chrome_path profile sanitize
+    jobs scan_nodes =
   if jobs < 1 then begin
     prerr_endline "drust_sim: --jobs expects a positive integer";
     exit 1
@@ -143,7 +154,7 @@ let run app system nodes affinity seed trace_n chrome_path sanitize jobs
   Printf.printf "  throughput : %.1f ops/s\n" r.Appkit.throughput;
   List.iter (fun (k, v) -> Printf.printf "  %-10s : %.3f\n" k v) r.Appkit.extra;
   Printf.printf "  (wall-clock: %.2f s)\n" (Unix.gettimeofday () -. t0);
-  if trace_n > 0 || chrome_path <> None then begin
+  if trace_n > 0 || chrome_path <> None || profile then begin
     let module Cluster = Drust_machine.Cluster in
     let module Span = Drust_obs.Span in
     let cluster = Cluster.create params in
@@ -166,6 +177,10 @@ let run app system nodes affinity seed trace_n chrome_path sanitize jobs
           (Drust_kvstore.Kvstore.run ~cluster ~backend
              Drust_kvstore.Kvstore.default_config));
     if trace_n > 0 then Format.printf "%a@." (Span.dump ~limit:trace_n) spans;
+    if profile then begin
+      Printf.printf "critical paths (top 10 operations by end-to-end latency):\n";
+      print_string (Drust_obs.Critical_path.report ~k:10 (Span.events spans))
+    end;
     match chrome_path with
     | Some path ->
         Drust_obs.Export.write_chrome_trace ~path spans;
@@ -182,6 +197,6 @@ let cmd =
        ~doc:"Run a DRust evaluation application on the simulated cluster")
     Term.(
       const run $ app_t $ system_t $ nodes $ affinity $ seed $ trace_n
-      $ chrome_path $ sanitize_t $ jobs_t $ scan_nodes_t)
+      $ chrome_path $ profile_t $ sanitize_t $ jobs_t $ scan_nodes_t)
 
 let () = exit (Cmd.eval cmd)

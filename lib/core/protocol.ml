@@ -55,7 +55,42 @@ type stats = {
 
 let stats_key : stats Env.key = Env.key ~name:"protocol.stats"
 
+(* ------------------------------------------------------------------ *)
+(* Per-op-kind latency histograms (protocol.op_latency{op=...}).  The
+   kind is the operation's *outcome* — which access path a read took,
+   how a write changed the colored address — decided at the same branch
+   points that emit the DSan probe events.  Buckets are finer than the
+   registry default because local derefs cost tens of nanoseconds while
+   a contended move can take milliseconds. *)
+
+let op_latency_buckets =
+  [| 1e-8; 2e-8; 5e-8; 1e-7; 2e-7; 5e-7; 1e-6; 2e-6; 5e-6; 1e-5; 2e-5; 5e-5;
+     1e-4; 2e-4; 5e-4; 1e-3; 2e-3; 5e-3; 1e-2 |]
+
+let op_latency_kinds =
+  [ "read_local"; "read_cached"; "read_fetch"; "read_remote"; "write_inplace";
+    "write_bump"; "write_move"; "transfer"; "drop" ]
+
+let op_hist_key : (string, Metrics.histogram) Hashtbl.t Env.key =
+  Env.key ~name:"protocol.op_latency"
+
+let register_op_hist cluster kind =
+  Metrics.histogram (Cluster.metrics cluster) ~buckets:op_latency_buckets
+    ~labels:[ ("op", kind) ] ~unit_:"s" "protocol.op_latency"
+
+let op_hists_of_cluster cluster =
+  Env.get (Cluster.env cluster) op_hist_key ~init:(fun () ->
+      (* Register every kind eagerly so snapshots carry the same sample
+         set on every cluster (mergeable) and the docs-catalogue check
+         sees the name even on an idle cluster. *)
+      let tbl = Hashtbl.create 16 in
+      List.iter
+        (fun kind -> Hashtbl.replace tbl kind (register_op_hist cluster kind))
+        op_latency_kinds;
+      tbl)
+
 let stats_of_cluster cluster =
+  ignore (op_hists_of_cluster cluster);
   Env.get (Cluster.env cluster) stats_key ~init:(fun () ->
       let m = Cluster.metrics cluster in
       {
@@ -65,6 +100,68 @@ let stats_of_cluster cluster =
       })
 
 let stats_of ctx = stats_of_cluster (Ctx.cluster ctx)
+
+(* Wrap one protocol-level operation: always observe its end-to-end
+   latency (elapsed virtual time plus compute charged but not yet
+   flushed — both pure reads of existing state, so measurement never
+   perturbs the run), and, when tracing is enabled, open a root span the
+   operation's fabric verbs and core waits parent under.  [ctx.op_tag]
+   starts empty and the branch that decides the outcome overwrites it;
+   [default] covers operations with a single outcome. *)
+let measure_op ctx ~default f =
+  let cluster = Ctx.cluster ctx in
+  let hists = op_hists_of_cluster cluster in
+  let engine = Ctx.engine ctx in
+  let saved_tag = ctx.Ctx.op_tag in
+  ctx.Ctx.op_tag <- "";
+  let t0 = Drust_sim.Engine.now engine in
+  let p0 = ctx.Ctx.pending_cycles in
+  let spans = Cluster.spans cluster in
+  let saved_span = ctx.Ctx.current_span in
+  let sp =
+    if Span.is_enabled spans then begin
+      let sp =
+        Span.start spans ~track:ctx.Ctx.node ?parent:saved_span
+          ~category:"protocol" default
+      in
+      ctx.Ctx.current_span <- Some sp;
+      Some sp
+    end
+    else None
+  in
+  let finish () =
+    let kind = if ctx.Ctx.op_tag = "" then default else ctx.Ctx.op_tag in
+    let t1 = Drust_sim.Engine.now engine in
+    let pending =
+      Params.cycles_to_seconds (Ctx.params ctx) (ctx.Ctx.pending_cycles -. p0)
+    in
+    let lat = t1 -. t0 +. pending in
+    let h =
+      match Hashtbl.find_opt hists kind with
+      | Some h -> h
+      | None ->
+          let h = register_op_hist cluster kind in
+          Hashtbl.replace hists kind h;
+          h
+    in
+    Metrics.observe h lat;
+    (match sp with Some s -> Span.finish spans s | None -> ());
+    ctx.Ctx.current_span <- saved_span;
+    ctx.Ctx.op_tag <- saved_tag
+  in
+  match f () with
+  | v ->
+      finish ();
+      v
+  | exception e ->
+      finish ();
+      raise e
+
+let tag ctx kind = ctx.Ctx.op_tag <- kind
+
+(* Weak variant: only classifies when no stronger branch did already
+   (e.g. a pinned read-through inside an op the claim already tagged). *)
+let tag_weak ctx kind = if ctx.Ctx.op_tag = "" then ctx.Ctx.op_tag <- kind
 
 (* Instant span mark on the acting node's timeline; argument lists are
    only built when tracing is live. *)
@@ -185,6 +282,11 @@ let write_kind ~before ~after =
 let note_app ctx ~g ~verb ~tag =
   with_probe ctx (fun f -> f ctx (Ev_app { g; verb; tag }))
 
+let tag_of_write_kind = function
+  | W_in_place -> "write_inplace"
+  | W_bump -> "write_bump"
+  | W_move -> "write_move"
+
 (* ------------------------------------------------------------------ *)
 (* Ablation switches (per cluster): disable the local-write
    optimizations to quantify their contribution.                        *)
@@ -256,7 +358,8 @@ let invalidate_all_caches cluster g =
 let async_dealloc ctx g =
   let cluster = Ctx.cluster ctx in
   let target = serving ctx g in
-  Fabric.send_async (Ctx.fabric ctx) ~from:ctx.Ctx.node ~target ~bytes:16
+  Fabric.send_async ?parent:ctx.Ctx.current_span (Ctx.fabric ctx)
+    ~from:ctx.Ctx.node ~target ~bytes:16
     (fun () ->
       invalidate_all_caches cluster g;
       if Cluster.heap_mem cluster g then Cluster.heap_free cluster g)
@@ -289,8 +392,9 @@ let pick_alloc_node ctx ~size =
          server (S4.2.1). *)
       if ctx.Ctx.node <> 0 then begin
         Ctx.flush ctx;
-        Fabric.rpc (Ctx.fabric ctx) ~from:ctx.Ctx.node ~target:0 ~req_bytes:32
-          ~resp_bytes:16 (fun () -> ())
+        Fabric.rpc ?parent:ctx.Ctx.current_span (Ctx.fabric ctx)
+          ~from:ctx.Ctx.node ~target:0 ~req_bytes:32 ~resp_bytes:16
+          (fun () -> ())
       end;
       Cluster.most_vacant_node cluster
     end
@@ -305,8 +409,9 @@ let create_on ctx ~node ~size v =
     Ctx.flush ctx;
   let g =
     if node <> ctx.Ctx.node then
-      Fabric.rpc (Ctx.fabric ctx) ~from:ctx.Ctx.node ~target:node ~req_bytes:32
-        ~resp_bytes:16 (fun () -> Cluster.heap_alloc cluster ~node ~size v)
+      Fabric.rpc ?parent:ctx.Ctx.current_span (Ctx.fabric ctx)
+        ~from:ctx.Ctx.node ~target:node ~req_bytes:32 ~resp_bytes:16
+        (fun () -> Cluster.heap_alloc cluster ~node ~size v)
     else begin
       Ctx.note_local_alloc ctx ~bytes:size;
       Cluster.heap_alloc cluster ~node ~size v
@@ -351,8 +456,8 @@ let fetch_into_cache ctx ~g ~size ~group_bytes ~children =
   let target = serving ctx g in
   Ctx.note_remote_access ctx ~target;
   Ctx.flush ctx;
-  Fabric.rdma_read (Ctx.fabric ctx) ~from:ctx.Ctx.node ~target
-    ~bytes:group_bytes;
+  Fabric.rdma_read ?parent:ctx.Ctx.current_span (Ctx.fabric ctx)
+    ~from:ctx.Ctx.node ~target ~bytes:group_bytes;
   let entry = Cluster.heap_read cluster g in
   let copy = Cache.insert (cache_of ctx) g ~size entry.Partition.value in
   (* The batched verb carried the children too: seed the local cache so
@@ -404,10 +509,11 @@ let clone_imm ctx r =
      the clone starts null (App. D.2). *)
   { r with i_copy = None }
 
-let imm_deref ctx r =
+let imm_deref_inner ctx r =
   assert_live r.i_live "Protocol.imm_deref";
   let cluster = Ctx.cluster ctx in
   if is_local ctx r.i_g then begin
+    tag ctx "read_local";
     with_probe ctx (fun f -> f ctx (Ev_read { g = r.i_g; path = Path_local }));
     charge_local_deref ctx;
     (Cluster.heap_read cluster r.i_g).Partition.value
@@ -415,6 +521,7 @@ let imm_deref ctx r =
   else begin
     match r.i_copy with
     | Some copy when Gaddr.equal copy.Cache.key r.i_g && not copy.Cache.dead ->
+        tag ctx "read_cached";
         with_probe ctx (fun f ->
             f ctx (Ev_read { g = r.i_g; path = Path_cache copy.Cache.key }));
         charge_cache_hit ctx;
@@ -424,12 +531,14 @@ let imm_deref ctx r =
         charge_cache_hit ctx;
         match Cache.lookup cache r.i_g with
         | Some copy ->
+            tag ctx "read_cached";
             with_probe ctx (fun f ->
                 f ctx (Ev_read { g = r.i_g; path = Path_cache copy.Cache.key }));
             Cache.retain copy;
             r.i_copy <- Some copy;
             copy.Cache.value
         | None ->
+            tag ctx "read_fetch";
             let copy =
               fetch_into_cache ctx ~g:r.i_g ~size:r.i_size
                 ~group_bytes:r.i_group ~children:r.i_children
@@ -439,6 +548,9 @@ let imm_deref ctx r =
             r.i_copy <- Some copy;
             copy.Cache.value)
   end
+
+let imm_deref ctx r =
+  measure_op ctx ~default:"read_local" (fun () -> imm_deref_inner ctx r)
 
 let drop_imm ctx r =
   assert_live r.i_live "Protocol.drop_imm";
@@ -467,7 +579,8 @@ let move_local ctx ~g ~size ~children =
   Ctx.note_remote_access ctx ~target;
   Ctx.flush ctx;
   if target <> ctx.Ctx.node then
-    Fabric.rdma_read (Ctx.fabric ctx) ~from:ctx.Ctx.node ~target ~bytes:batch;
+    Fabric.rdma_read ?parent:ctx.Ctx.current_span (Ctx.fabric ctx)
+      ~from:ctx.Ctx.node ~target ~bytes:batch;
   let entry = Cluster.heap_read cluster g in
   let fresh =
     Cluster.heap_alloc cluster ~node:ctx.Ctx.node ~size entry.Partition.value
@@ -554,6 +667,7 @@ let mut_claim ctx m ~for_write =
   let o = m.m_owner in
   let before = m.m_g in
   (if is_local ctx m.m_g then begin
+     if not for_write then tag ctx "read_local";
      charge_local_deref ctx;
      if for_write && ((not m.m_ubit) || (options_of ctx).no_ubit) then
        if o.pinned then begin
@@ -589,25 +703,24 @@ let mut_claim ctx m ~for_write =
   (* A write claim always announces its epoch (even U-bit-elided ones, so
      a checker can prove no live copy is reachable under the unchanged
      colored address); a read claim only reports relocations. *)
-  if for_write || not (Gaddr.equal before m.m_g) then
+  if for_write || not (Gaddr.equal before m.m_g) then begin
+    let kind = write_kind ~before ~after:m.m_g in
+    tag ctx (tag_of_write_kind kind);
     with_probe ctx (fun f ->
         f ctx
-          (Ev_write
-             {
-               before;
-               after = m.m_g;
-               size = m.m_size;
-               kind = write_kind ~before ~after:m.m_g;
-             }))
+          (Ev_write { before; after = m.m_g; size = m.m_size; kind }))
+  end
 
 let heap_slot_read ctx m =
   let cluster = Ctx.cluster ctx in
   if is_local ctx m.m_g then (Cluster.heap_read cluster m.m_g).Partition.value
   else begin
     (* Pinned remote object: read through (one-sided READ). *)
+    tag_weak ctx "read_remote";
     let target = serving ctx m.m_g in
     Ctx.flush ctx;
-    Fabric.rdma_read (Ctx.fabric ctx) ~from:ctx.Ctx.node ~target ~bytes:m.m_size;
+    Fabric.rdma_read ?parent:ctx.Ctx.current_span (Ctx.fabric ctx)
+      ~from:ctx.Ctx.node ~target ~bytes:m.m_size;
     (Cluster.heap_read cluster m.m_g).Partition.value
   end
 
@@ -617,25 +730,29 @@ let heap_slot_write ctx m v =
   else begin
     let target = serving ctx m.m_g in
     Ctx.flush ctx;
-    Fabric.rdma_write (Ctx.fabric ctx) ~from:ctx.Ctx.node ~target ~bytes:m.m_size;
+    Fabric.rdma_write ?parent:ctx.Ctx.current_span (Ctx.fabric ctx)
+      ~from:ctx.Ctx.node ~target ~bytes:m.m_size;
     Cluster.heap_write cluster m.m_g v
   end
 
 let mut_read ctx m =
-  assert_live m.m_live "Protocol.mut_read";
-  mut_claim ctx m ~for_write:false;
-  heap_slot_read ctx m
+  measure_op ctx ~default:"read_local" (fun () ->
+      assert_live m.m_live "Protocol.mut_read";
+      mut_claim ctx m ~for_write:false;
+      heap_slot_read ctx m)
 
 let mut_write ctx m v =
-  assert_live m.m_live "Protocol.mut_write";
-  mut_claim ctx m ~for_write:true;
-  heap_slot_write ctx m v
+  measure_op ctx ~default:"write_inplace" (fun () ->
+      assert_live m.m_live "Protocol.mut_write";
+      mut_claim ctx m ~for_write:true;
+      heap_slot_write ctx m v)
 
 let mut_modify ctx m f =
-  assert_live m.m_live "Protocol.mut_modify";
-  mut_claim ctx m ~for_write:true;
-  let v = heap_slot_read ctx m in
-  heap_slot_write ctx m (f v)
+  measure_op ctx ~default:"write_inplace" (fun () ->
+      assert_live m.m_live "Protocol.mut_modify";
+      mut_claim ctx m ~for_write:true;
+      let v = heap_slot_read ctx m in
+      heap_slot_write ctx m (f v))
 
 let drop_mut ctx m =
   assert_live m.m_live "Protocol.drop_mut";
@@ -646,8 +763,8 @@ let drop_mut ctx m =
      another server. *)
   if o.box_node <> ctx.Ctx.node then begin
     Ctx.flush ctx;
-    Fabric.rdma_write (Ctx.fabric ctx) ~from:ctx.Ctx.node ~target:o.box_node
-      ~bytes:8
+    Fabric.rdma_write ?parent:ctx.Ctx.current_span (Ctx.fabric ctx)
+      ~from:ctx.Ctx.node ~target:o.box_node ~bytes:8
   end
   else Ctx.charge_cycles ctx 8.0;
   o.g <- m.m_g;
@@ -660,11 +777,12 @@ let drop_mut ctx m =
 (* Owner access without borrow (Alg. 7/8): a direct access behaves as a
    borrow-and-return pair.                                             *)
 
-let owner_read ctx o =
+let owner_read_inner ctx o =
   assert_valid o "Protocol.owner_read";
   Borrow_state.assert_owner_readable o.borrow ~context:"Protocol.owner_read";
   let cluster = Ctx.cluster ctx in
   if is_local ctx o.g then begin
+    tag ctx "read_local";
     with_probe ctx (fun f -> f ctx (Ev_read { g = o.g; path = Path_local }));
     charge_local_deref ctx;
     (Cluster.heap_read cluster o.g).Partition.value
@@ -678,6 +796,7 @@ let owner_read ctx o =
     if o.pinned then o.ubit <- false;
     match o.local_copy with
     | Some copy when Gaddr.equal copy.Cache.key o.g && not copy.Cache.dead ->
+        tag ctx "read_cached";
         with_probe ctx (fun f ->
             f ctx (Ev_read { g = o.g; path = Path_cache copy.Cache.key }));
         charge_cache_hit ctx;
@@ -692,12 +811,14 @@ let owner_read ctx o =
         charge_cache_hit ctx;
         match Cache.lookup cache o.g with
         | Some copy ->
+            tag ctx "read_cached";
             with_probe ctx (fun f ->
                 f ctx (Ev_read { g = o.g; path = Path_cache copy.Cache.key }));
             Cache.retain copy;
             o.local_copy <- Some copy;
             copy.Cache.value
         | None ->
+            tag ctx "read_fetch";
             let copy =
               fetch_into_cache ctx ~g:o.g ~size:o.size
                 ~group_bytes:(group_size o) ~children:o.children
@@ -707,6 +828,9 @@ let owner_read ctx o =
             o.local_copy <- Some copy;
             copy.Cache.value)
   end
+
+let owner_read ctx o =
+  measure_op ctx ~default:"read_local" (fun () -> owner_read_inner ctx o)
 
 let owner_claim_mut ctx o =
   let cluster = Ctx.cluster ctx in
@@ -782,7 +906,7 @@ let pinned_epoch_bump ctx o =
        with Gaddr.Color_overflow g -> Gaddr.clear_color g)
   end
 
-let owner_write ctx o v =
+let owner_write_inner ctx o v =
   assert_valid o "Protocol.owner_write";
   Borrow_state.assert_owner_usable o.borrow ~context:"Protocol.owner_write";
   let before = o.g in
@@ -792,22 +916,21 @@ let owner_write ctx o v =
     (* Pinned remote object: write through, then close the epoch. *)
     let target = serving ctx o.g in
     Ctx.flush ctx;
-    Fabric.rdma_write (Ctx.fabric ctx) ~from:ctx.Ctx.node ~target ~bytes:o.size;
+    Fabric.rdma_write ?parent:ctx.Ctx.current_span (Ctx.fabric ctx)
+      ~from:ctx.Ctx.node ~target ~bytes:o.size;
     Cluster.heap_write (Ctx.cluster ctx) o.g v;
     pinned_epoch_bump ctx o
   end;
+  let kind = write_kind ~before ~after:o.g in
+  tag ctx (tag_of_write_kind kind);
   with_probe ctx (fun f ->
-      f ctx
-        (Ev_write
-           {
-             before;
-             after = o.g;
-             size = o.size;
-             kind = write_kind ~before ~after:o.g;
-           }));
+      f ctx (Ev_write { before; after = o.g; size = o.size; kind }));
   notify_commit ctx o.g o.size
 
-let owner_modify ctx o f =
+let owner_write ctx o v =
+  measure_op ctx ~default:"write_inplace" (fun () -> owner_write_inner ctx o v)
+
+let owner_modify_inner ctx o f =
   assert_valid o "Protocol.owner_modify";
   Borrow_state.assert_owner_usable o.borrow ~context:"Protocol.owner_modify";
   let before = o.g in
@@ -819,27 +942,27 @@ let owner_modify ctx o f =
   else begin
     let target = serving ctx o.g in
     Ctx.flush ctx;
-    Fabric.rdma_read (Ctx.fabric ctx) ~from:ctx.Ctx.node ~target ~bytes:o.size;
+    Fabric.rdma_read ?parent:ctx.Ctx.current_span (Ctx.fabric ctx)
+      ~from:ctx.Ctx.node ~target ~bytes:o.size;
     let v = f (Cluster.heap_read cluster o.g).Partition.value in
-    Fabric.rdma_write (Ctx.fabric ctx) ~from:ctx.Ctx.node ~target ~bytes:o.size;
+    Fabric.rdma_write ?parent:ctx.Ctx.current_span (Ctx.fabric ctx)
+      ~from:ctx.Ctx.node ~target ~bytes:o.size;
     Cluster.heap_write cluster o.g v;
     pinned_epoch_bump ctx o
   end;
+  let kind = write_kind ~before ~after:o.g in
+  tag ctx (tag_of_write_kind kind);
   with_probe ctx (fun f ->
-      f ctx
-        (Ev_write
-           {
-             before;
-             after = o.g;
-             size = o.size;
-             kind = write_kind ~before ~after:o.g;
-           }));
+      f ctx (Ev_write { before; after = o.g; size = o.size; kind }));
   notify_commit ctx o.g o.size
+
+let owner_modify ctx o f =
+  measure_op ctx ~default:"write_inplace" (fun () -> owner_modify_inner ctx o f)
 
 (* ------------------------------------------------------------------ *)
 (* Ownership transfer, deallocation                                    *)
 
-let transfer ctx o ~to_node =
+let transfer_inner ctx o ~to_node =
   assert_valid o "Protocol.transfer";
   Borrow_state.transfer o.borrow ~context:"Protocol.transfer";
   (* Evict this node's cached copy to avoid cache leakage (§4.1.1,
@@ -857,7 +980,10 @@ let transfer ctx o ~to_node =
   with_probe ctx (fun f -> f ctx (Ev_transfer { g = o.g; to_node }));
   notify_transfer ctx o.g
 
-let rec drop_owner ctx o =
+let transfer ctx o ~to_node =
+  measure_op ctx ~default:"transfer" (fun () -> transfer_inner ctx o ~to_node)
+
+let rec drop_owner_inner ctx o =
   assert_valid o "Protocol.drop_owner";
   Borrow_state.kill o.borrow ~context:"Protocol.drop_owner";
   o.valid <- false;
@@ -867,7 +993,9 @@ let rec drop_owner ctx o =
   | None -> ());
   o.local_copy <- None;
   (* Drop every owned child first, then the object itself. *)
-  List.iter (fun child -> if child.valid then drop_owner ctx child) o.children;
+  List.iter
+    (fun child -> if child.valid then drop_owner_inner ctx child)
+    o.children;
   o.children <- [];
   let cluster = Ctx.cluster ctx in
   let target = serving ctx o.g in
@@ -877,6 +1005,9 @@ let rec drop_owner ctx o =
     if Cluster.heap_mem cluster o.g then Cluster.heap_free cluster o.g
   end
   else async_dealloc ctx o.g
+
+let drop_owner ctx o =
+  measure_op ctx ~default:"drop" (fun () -> drop_owner_inner ctx o)
 
 (* ------------------------------------------------------------------ *)
 (* Affinity (TBox)                                                     *)
@@ -904,8 +1035,8 @@ let tie ctx ~parent ~child =
     in
     if serving ctx child.g <> ctx.Ctx.node || parent_home <> ctx.Ctx.node then begin
       Ctx.flush ctx;
-      Fabric.rdma_write (Ctx.fabric ctx) ~from:ctx.Ctx.node ~target:parent_home
-        ~bytes:child.size
+      Fabric.rdma_write ?parent:ctx.Ctx.current_span (Ctx.fabric ctx)
+        ~from:ctx.Ctx.node ~target:parent_home ~bytes:child.size
     end;
     async_dealloc ctx child.g;
     let old = child.g in

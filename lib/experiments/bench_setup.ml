@@ -37,28 +37,36 @@ let app_name = function
 
 let all_apps = [ Dataframe_app; Socialnet_app; Gemm_app; Kvstore_app ]
 
-let run_app ?(affinity = false) ?(pass_by_value = false) app system ~params =
+let run_app_with_latency ?(affinity = false) ?(pass_by_value = false) app
+    system ~params =
   let cluster = Cluster.create params in
   let backend = make_backend system cluster in
-  match app with
-  | Dataframe_app ->
-      Drust_dataframe.Dataframe.run ~cluster ~backend
-        {
-          Drust_dataframe.Dataframe.default_config with
-          Drust_dataframe.Dataframe.use_tbox = affinity;
-          use_spawn_to = affinity;
-        }
-  | Socialnet_app ->
-      Drust_socialnet.Socialnet.run ~cluster ~backend
-        {
-          Drust_socialnet.Socialnet.default_config with
-          Drust_socialnet.Socialnet.pass_by_value;
-        }
-  | Gemm_app ->
-      Drust_gemm.Gemm.run ~cluster ~backend Drust_gemm.Gemm.default_config
-  | Kvstore_app ->
-      Drust_kvstore.Kvstore.run ~cluster ~backend
-        Drust_kvstore.Kvstore.default_config
+  let result =
+    match app with
+    | Dataframe_app ->
+        Drust_dataframe.Dataframe.run ~cluster ~backend
+          {
+            Drust_dataframe.Dataframe.default_config with
+            Drust_dataframe.Dataframe.use_tbox = affinity;
+            use_spawn_to = affinity;
+          }
+    | Socialnet_app ->
+        Drust_socialnet.Socialnet.run ~cluster ~backend
+          {
+            Drust_socialnet.Socialnet.default_config with
+            Drust_socialnet.Socialnet.pass_by_value;
+          }
+    | Gemm_app ->
+        Drust_gemm.Gemm.run ~cluster ~backend Drust_gemm.Gemm.default_config
+    | Kvstore_app ->
+        Drust_kvstore.Kvstore.run ~cluster ~backend
+          Drust_kvstore.Kvstore.default_config
+  in
+  let snap = Drust_obs.Metrics.snapshot (Cluster.metrics cluster) in
+  (result, Report.latency_of_snapshot snap)
+
+let run_app ?affinity ?pass_by_value app system ~params =
+  fst (run_app_with_latency ?affinity ?pass_by_value app system ~params)
 
 (* Memoized: every figure normalizes against the same baseline.  The key
    carries the full run configuration — a baseline computed for one

@@ -35,6 +35,18 @@ val run_app :
     [affinity] turns on the DataFrame TBox/spawn_to annotations (DRust
     only).  [pass_by_value] selects SocialNet's original RPC deployment. *)
 
+val run_app_with_latency :
+  ?affinity:bool ->
+  ?pass_by_value:bool ->
+  app ->
+  system ->
+  params:Params.t ->
+  Drust_appkit.Appkit.result * Drust_obs.Metrics.histo option
+(** {!run_app}, additionally returning the run's merged
+    [protocol.op_latency] histogram ({!Report.latency_of_snapshot}) so
+    experiments can report percentile columns.  [None] when the backend
+    never touched the DRust protocol (e.g. GAM/Grappa/Original). *)
+
 val single_node_baseline : ?params:Params.t -> app -> Drust_appkit.Appkit.result
 (** The app run as-is ([Original] backend) on one full node — the
     normalization denominator of every figure.  Memoized on the full

@@ -44,6 +44,8 @@ type result = {
   retries : int;
   timeouts : int;
   drops : int;
+  op_latency : Drust_obs.Metrics.histo option;
+      (* merged protocol.op_latency distribution of the run *)
 }
 
 let nodes = 4
@@ -177,6 +179,7 @@ let run_once ~seed () =
     retries = !retries;
     timeouts = !timeouts;
     drops = !drops;
+    op_latency = Report.latency_of_snapshot snap;
   }
 
 let same_result a b =
@@ -225,17 +228,58 @@ let print r =
        "%d ops completed, %d abandoned; %d retries, %d timeouts, %d drops"
        r.total_ops r.failed_ops r.retries r.timeouts r.drops)
 
-let run ?(seed = 42) () =
-  (* The two determinism-check runs are independent clusters, so they
-     also double as the parallel chaos run: under --jobs >= 2 they
-     execute on separate domains and must still be bit-identical. *)
-  let r1, r2 =
-    match Parallel.run [ run_once ~seed; run_once ~seed ] with
-    | [ a; b ] -> (a, b)
-    | _ -> assert false
+(* Detection/recovery latencies are milliseconds-scale. *)
+let failover_buckets =
+  [| 1e-4; 2e-4; 5e-4; 1e-3; 2e-3; 5e-3; 1e-2; 2e-2; 5e-2 |]
+
+(* Fold the per-seed failover latencies into bucket histograms and
+   reduce to (n, p50, p99) per phase via the shared quantile estimator —
+   the same machinery the summary percentiles use, exercised here on a
+   second distribution family. *)
+let failover_percentiles results =
+  let module Metrics = Drust_obs.Metrics in
+  let reg = Metrics.create () in
+  let histo kind =
+    Metrics.histogram reg ~buckets:failover_buckets
+      ~labels:[ ("phase", kind) ] ~unit_:"s" "failover.latency"
   in
-  Report.record_rate ~experiment:"failover/chaos"
-    ~ops:(float_of_int r1.total_ops) ~elapsed:duration;
+  let det = histo "detection" and rec_ = histo "recovery" in
+  List.iter
+    (fun r ->
+      let obs h = function
+        | Some t -> Metrics.observe h (t -. r.crash_time)
+        | None -> ()
+      in
+      obs det r.detection_time;
+      obs rec_ r.recovery_time)
+    results;
+  let snap = Metrics.snapshot reg in
+  List.map
+    (fun kind ->
+      match
+        Metrics.find snap ~labels:[ ("phase", kind) ] "failover.latency"
+      with
+      | Some (Metrics.Histo h) ->
+          (kind, h.Metrics.h_count, Metrics.quantile h 0.5, Metrics.quantile h 0.99)
+      | _ -> (kind, 0, nan, nan))
+    [ "detection"; "recovery" ]
+
+let run ?(seed = 42) () =
+  (* Five seeds characterize the failover-latency distribution; the base
+     seed runs twice as the determinism check.  All runs are independent
+     clusters, so under --jobs >= 2 this is also the parallel chaos
+     run: fanned over domains, results must not change. *)
+  let extra_seeds = [ seed + 1; seed + 2; seed + 3; seed + 4 ] in
+  let results =
+    Parallel.run
+      (run_once ~seed :: run_once ~seed
+      :: List.map (fun s () -> run_once ~seed:s ()) extra_seeds)
+  in
+  let r1, r2, rest =
+    match results with a :: b :: rest -> (a, b, rest) | _ -> assert false
+  in
+  Report.record_rate ?latency:r1.op_latency ~experiment:"failover/chaos"
+    ~ops:(float_of_int r1.total_ops) ~elapsed:duration ();
   print r1;
   (match (r1.detection_time, r1.recovery_time) with
   | Some _, Some _ -> ()
@@ -246,4 +290,32 @@ let run ?(seed = 42) () =
   if not (same_result r1 r2) then
     failwith "Failover: two runs with the same seed diverged — determinism bug";
   Report.note "determinism: second run with the same seed is bit-identical";
+  (* Percentiles over the seed sweep (duplicate base-seed run excluded). *)
+  let sweep = r1 :: rest in
+  let pct = failover_percentiles sweep in
+  Report.table
+    ~header:[ "phase"; "seeds"; "p50 (ms)"; "p99 (ms)" ]
+    ~rows:
+      (List.map
+         (fun (kind, n, p50, p99) ->
+           [
+             kind;
+             string_of_int n;
+             Printf.sprintf "%.3f" (p50 *. 1e3);
+             Printf.sprintf "%.3f" (p99 *. 1e3);
+           ])
+         pct);
+  List.iter
+    (fun (kind, n, p50, p99) ->
+      if n = 0 then
+        Printf.ksprintf failwith "Failover: no %s latency samples" kind;
+      if not (p99 >= p50) then
+        Printf.ksprintf failwith
+          "Failover: %s p99 (%.6f s) < p50 (%.6f s) — quantile estimator \
+           is not monotone"
+          kind p99 p50)
+    pct;
+  Report.note
+    (Printf.sprintf "latency percentiles over %d seeds (seed %d..%d)"
+       (List.length sweep) seed (seed + List.length extra_seeds));
   r1

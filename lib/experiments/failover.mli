@@ -21,12 +21,20 @@ type result = {
   retries : int;
   timeouts : int;
   drops : int;
+  op_latency : Drust_obs.Metrics.histo option;
+      (** the run's merged [protocol.op_latency] distribution *)
 }
 
 val run_once : seed:int -> unit -> result
 (** One seeded chaos run (pure function of [seed]). *)
 
+val failover_percentiles : result list -> (string * int * float * float) list
+(** [(phase, samples, p50, p99)] in seconds for the ["detection"] and
+    ["recovery"] phases, computed by folding per-seed latencies into
+    bucket histograms and reading {!Drust_obs.Metrics.quantile}s. *)
+
 val run : ?seed:int -> unit -> result
-(** Run twice with the same seed, print the curve and latencies, and fail
-    if the detector never fired, recovery never happened, or the two runs
-    were not bit-identical. *)
+(** Run the base seed twice (bit-identity check) plus four more seeds,
+    print the curve, per-phase p50/p99 failover latencies, and fail if
+    the detector never fired, recovery never happened, the same-seed
+    runs diverged, or p99 < p50.  Returns the base-seed result. *)

@@ -51,7 +51,7 @@ let run ?(node_counts = [ 1; 2; 4; 8 ]) () =
   let results =
     Parallel.map
       (fun (app, system, nodes) ->
-        B.run_app app system
+        B.run_app_with_latency app system
           ~pass_by_value:(system = B.Original)
           ~params:(B.testbed ~nodes ()))
       grid
@@ -62,13 +62,13 @@ let run ?(node_counts = [ 1; 2; 4; 8 ]) () =
   in
   (* Sequential phase: record and render in the fixed grid order. *)
   let rows = ref [] in
-  let record app system nodes result =
+  let record app system nodes (result, latency) =
     let base = B.single_node_baseline app in
-    Report.record_rate
+    Report.record_rate ?latency
       ~experiment:
         (Printf.sprintf "fig5/%s/%s/%dn" (B.app_name app)
            (B.system_name system) nodes)
-      ~ops:result.Appkit.ops ~elapsed:result.Appkit.elapsed;
+      ~ops:result.Appkit.ops ~elapsed:result.Appkit.elapsed ();
     let speedup = result.Appkit.throughput /. base.Appkit.throughput in
     rows :=
       { app; system; nodes; speedup; throughput = result.Appkit.throughput }

@@ -9,8 +9,12 @@ let run_variant ~use_tbox ~use_spawn_to =
   let params = B.testbed ~nodes:8 () in
   let cluster = Cluster.create params in
   let backend = B.make_backend B.Drust cluster in
-  Df.run ~cluster ~backend
-    { Df.default_config with Df.use_tbox; use_spawn_to }
+  let r =
+    Df.run ~cluster ~backend
+      { Df.default_config with Df.use_tbox; use_spawn_to }
+  in
+  let snap = Drust_obs.Metrics.snapshot (Cluster.metrics cluster) in
+  (r, Report.latency_of_snapshot snap)
 
 let run () =
   (* The three variants are independent clusters: fan them out, then
@@ -24,17 +28,17 @@ let run () =
         (fun () -> run_variant ~use_tbox:true ~use_spawn_to:true);
       ]
   in
-  let plain, tbox, both =
+  let (plain, plain_lat), (tbox, tbox_lat), (both, both_lat) =
     match variants with
     | [ a; b; c ] -> (a, b, c)
     | _ -> assert false
   in
   Report.section "Figure 6: DataFrame affinity annotations (DRust, 8 nodes)";
   let base = B.single_node_baseline B.Dataframe_app in
-  let mk label r paper =
-    Report.record_rate
+  let mk label (r, latency) paper =
+    Report.record_rate ?latency
       ~experiment:("fig6/" ^ label)
-      ~ops:r.Appkit.ops ~elapsed:r.Appkit.elapsed;
+      ~ops:r.Appkit.ops ~elapsed:r.Appkit.elapsed ();
     let speedup = r.Appkit.throughput /. base.Appkit.throughput in
     let vs_plain = r.Appkit.throughput /. plain.Appkit.throughput in
     ( { label; speedup; vs_plain },
@@ -45,9 +49,9 @@ let run () =
         paper;
       ] )
   in
-  let r1, c1 = mk "no annotations" plain "-" in
-  let r2, c2 = mk "+ TBox" tbox "+12%" in
-  let r3, c3 = mk "+ TBox + spawn_to" both "+21% (12%+9%)" in
+  let r1, c1 = mk "no annotations" (plain, plain_lat) "-" in
+  let r2, c2 = mk "+ TBox" (tbox, tbox_lat) "+12%" in
+  let r3, c3 = mk "+ TBox + spawn_to" (both, both_lat) "+21% (12%+9%)" in
   Report.table
     ~header:[ "variant"; "speedup vs orig"; "vs plain"; "paper" ]
     ~rows:[ c1; c2; c3 ];

@@ -91,27 +91,61 @@ let note s = Printf.printf "  %s\n" s
 (* ------------------------------------------------------------------ *)
 (* Benchmark summary (BENCH_summary.json)                              *)
 
+module Metrics = Drust_obs.Metrics
+
+let schema_version = "drust-bench-summary/v2"
+let v1_schema = "drust-bench-summary/v1"
+
+(* Percentile points every latency histogram is reduced to in tables and
+   in the summary JSON.  Exported values are microseconds. *)
+let percentile_points =
+  [ ("p50", 0.5); ("p95", 0.95); ("p99", 0.99); ("p99.9", 0.999) ]
+
+let latency_percentiles h =
+  List.map
+    (fun (label, q) -> (label, Metrics.quantile h q *. 1e6))
+    percentile_points
+
+let latency_of_snapshot snap =
+  List.fold_left
+    (fun acc (s : Metrics.sample) ->
+      match s.Metrics.s_value with
+      | Metrics.Histo h
+        when String.equal s.Metrics.s_name "protocol.op_latency"
+             && h.Metrics.h_count > 0 -> (
+          match acc with
+          | None -> Some h
+          | Some m -> Some (Metrics.merge_histos m h))
+      | _ -> acc)
+    None snap
+
+type bench_entry = { be_rate : float; be_latency : Metrics.histo option }
+
 (* Ordered per-run collection (insertion order preserved, re-recording
    overwrites in place).  The mutex admits [record_rate] calls from
-   parallel sweep domains; [recorded_rates] sorts by name, so the
+   parallel sweep domains; [recorded_entries] sorts by name, so the
    summary is byte-identical regardless of arrival order or [--jobs]. *)
-let rates : (string * float) list ref = ref []
+let rates : (string * bench_entry) list ref = ref []
 let rates_mutex = Mutex.create ()
 
-let record_rate ~experiment ~ops ~elapsed =
+let record_rate ?latency ~experiment ~ops ~elapsed () =
   if elapsed > 0.0 then
-    let rate = ops /. elapsed in
+    let entry = { be_rate = ops /. elapsed; be_latency = latency } in
     Mutex.protect rates_mutex (fun () ->
         if List.mem_assoc experiment !rates then
           rates :=
             List.map
-              (fun (k, v) -> if String.equal k experiment then (k, rate) else (k, v))
+              (fun (k, v) ->
+                if String.equal k experiment then (k, entry) else (k, v))
               !rates
-        else rates := !rates @ [ (experiment, rate) ])
+        else rates := !rates @ [ (experiment, entry) ])
 
-let recorded_rates () =
+let recorded_entries () =
   Mutex.protect rates_mutex (fun () -> !rates)
   |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let recorded_rates () =
+  List.map (fun (k, e) -> (k, e.be_rate)) (recorded_entries ())
 
 let json_escape s =
   let b = Buffer.create (String.length s) in
@@ -128,27 +162,261 @@ let json_escape s =
   Buffer.contents b
 
 (* Schema documented in docs/BENCHMARKS.md: one entry per experiment
-   that called [record_rate], keyed by experiment name. *)
+   that called [record_rate], keyed by experiment name; entries with a
+   latency histogram additionally carry [latency_us] percentiles. *)
 let write_bench_summary ~path =
-  let entries = recorded_rates () in
+  let entries = recorded_entries () in
   let oc = open_out path in
   output_string oc "{\n";
-  output_string oc "  \"schema\": \"drust-bench-summary/v1\",\n";
+  Printf.fprintf oc "  \"schema\": \"%s\",\n" schema_version;
   output_string oc "  \"entries\": {\n";
   let last = List.length entries - 1 in
   List.iteri
-    (fun i (k, v) ->
-      Printf.fprintf oc "    \"%s\": { \"ops_per_sim_sec\": %.6g }%s\n"
-        (json_escape k) v
+    (fun i (k, e) ->
+      let latency =
+        match e.be_latency with
+        | Some h when h.Metrics.h_count > 0 ->
+            Printf.sprintf ", \"latency_us\": { %s }"
+              (String.concat ", "
+                 (List.map
+                    (fun (label, v) -> Printf.sprintf "\"%s\": %.6g" label v)
+                    (latency_percentiles h)))
+        | _ -> ""
+      in
+      Printf.fprintf oc "    \"%s\": { \"ops_per_sim_sec\": %.6g%s }%s\n"
+        (json_escape k) e.be_rate latency
         (if i = last then "" else ","))
     entries;
   output_string oc "  }\n}\n";
   close_out oc
 
 (* ------------------------------------------------------------------ *)
-(* Metrics-snapshot rendering                                          *)
+(* Summary reading and comparison (the bench_diff regression gate)     *)
 
-module Metrics = Drust_obs.Metrics
+(* A minimal recursive-descent JSON reader — just enough for the bench
+   summary format, so the tools need no external JSON dependency. *)
+type json =
+  | J_null
+  | J_bool of bool
+  | J_num of float
+  | J_str of string
+  | J_arr of json list
+  | J_obj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    skip_ws ();
+    if peek () = Some c then incr pos
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let pstring () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let finished = ref false in
+    while not !finished do
+      if !pos >= n then fail "unterminated string";
+      (match s.[!pos] with
+      | '"' -> finished := true
+      | '\\' ->
+          incr pos;
+          if !pos >= n then fail "bad escape";
+          (match s.[!pos] with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+              if !pos + 4 >= n then fail "bad unicode escape";
+              (match int_of_string_opt ("0x" ^ String.sub s (!pos + 1) 4) with
+              | Some code when code < 0x80 -> Buffer.add_char b (Char.chr code)
+              | Some _ -> Buffer.add_char b '?'
+              | None -> fail "bad unicode escape");
+              pos := !pos + 4
+          | _ -> fail "bad escape")
+      | c -> Buffer.add_char b c);
+      incr pos
+    done;
+    Buffer.contents b
+  in
+  let pnumber () =
+    let start = !pos in
+    while
+      !pos < n
+      &&
+      match s.[!pos] with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    do
+      incr pos
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> J_num f
+    | None -> fail "bad number"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> pobj ()
+    | Some '[' -> parr ()
+    | Some '"' -> J_str (pstring ())
+    | Some 't' -> literal "true" (J_bool true)
+    | Some 'f' -> literal "false" (J_bool false)
+    | Some 'n' -> literal "null" J_null
+    | Some ('-' | '0' .. '9') -> pnumber ()
+    | _ -> fail "unexpected character"
+  and pobj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then begin
+      incr pos;
+      J_obj []
+    end
+    else begin
+      let fields = ref [] in
+      let continue_ = ref true in
+      while !continue_ do
+        skip_ws ();
+        let k = pstring () in
+        expect ':';
+        let v = value () in
+        fields := (k, v) :: !fields;
+        skip_ws ();
+        match peek () with
+        | Some ',' -> incr pos
+        | Some '}' ->
+            incr pos;
+            continue_ := false
+        | _ -> fail "expected ',' or '}'"
+      done;
+      J_obj (List.rev !fields)
+    end
+  and parr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then begin
+      incr pos;
+      J_arr []
+    end
+    else begin
+      let items = ref [] in
+      let continue_ = ref true in
+      while !continue_ do
+        items := value () :: !items;
+        skip_ws ();
+        match peek () with
+        | Some ',' -> incr pos
+        | Some ']' ->
+            incr pos;
+            continue_ := false
+        | _ -> fail "expected ',' or ']'"
+      done;
+      J_arr (List.rev !items)
+    end
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing content";
+  v
+
+type summary_entry = { se_rate : float; se_latency_us : (string * float) list }
+type summary = { sm_schema : string; sm_entries : (string * summary_entry) list }
+
+let read_bench_summary ~path =
+  let text = In_channel.with_open_text path In_channel.input_all in
+  let fail fmt = Printf.ksprintf (fun m -> failwith (path ^ ": " ^ m)) fmt in
+  let j = try parse_json text with Bad_json m -> fail "%s" m in
+  match j with
+  | J_obj fields ->
+      let schema =
+        match List.assoc_opt "schema" fields with
+        | Some (J_str s) -> s
+        | _ -> fail "missing \"schema\" field"
+      in
+      if schema <> v1_schema && schema <> schema_version then
+        fail "unknown schema %S (expected %s or %s)" schema v1_schema
+          schema_version;
+      let entries =
+        match List.assoc_opt "entries" fields with
+        | Some (J_obj es) -> es
+        | _ -> fail "missing \"entries\" object"
+      in
+      let entry (k, v) =
+        match v with
+        | J_obj f ->
+            let rate =
+              match List.assoc_opt "ops_per_sim_sec" f with
+              | Some (J_num r) -> r
+              | _ -> fail "entry %S has no \"ops_per_sim_sec\" number" k
+            in
+            let lat =
+              match List.assoc_opt "latency_us" f with
+              | Some (J_obj ps) ->
+                  List.filter_map
+                    (fun (p, v) ->
+                      match v with J_num x -> Some (p, x) | _ -> None)
+                    ps
+              | _ -> []
+            in
+            (k, { se_rate = rate; se_latency_us = lat })
+        | _ -> fail "entry %S is not an object" k
+      in
+      { sm_schema = schema; sm_entries = List.map entry entries }
+  | _ -> fail "not a JSON object"
+
+let compare_summaries ?(tolerance = 0.10) ~baseline current =
+  let out = ref [] in
+  let reg fmt = Printf.ksprintf (fun m -> out := m :: !out) fmt in
+  List.iter
+    (fun (name, b) ->
+      match List.assoc_opt name current.sm_entries with
+      | None -> reg "%s: present in baseline but missing from current" name
+      | Some c ->
+          if c.se_rate < b.se_rate *. (1.0 -. tolerance) then
+            reg "%s: throughput regressed %.6g -> %.6g ops/s (-%.1f%%, tolerance %.0f%%)"
+              name b.se_rate c.se_rate
+              (100.0 *. (1.0 -. (c.se_rate /. b.se_rate)))
+              (100.0 *. tolerance);
+          List.iter
+            (fun (p, bv) ->
+              match List.assoc_opt p c.se_latency_us with
+              | Some cv when bv > 0.0 && cv > bv *. (1.0 +. tolerance) ->
+                  reg "%s: latency %s regressed %.6g -> %.6g us (+%.1f%%, tolerance %.0f%%)"
+                    name p bv cv
+                    (100.0 *. ((cv /. bv) -. 1.0))
+                    (100.0 *. tolerance)
+              | _ -> ())
+            b.se_latency_us)
+    baseline.sm_entries;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Metrics-snapshot rendering                                          *)
 
 let metric_total snap name = Metrics.total snap name
 
@@ -165,15 +433,22 @@ let metrics_table ?(prefix = "") snap =
       (fun (e : Metrics.sample) ->
         if not (String.starts_with ~prefix e.Metrics.s_name) then None
         else
-          let value =
+          let value, pcts =
             match e.Metrics.s_value with
-            | Metrics.Count n -> string_of_int n
-            | Metrics.Level v -> Printf.sprintf "%g" v
+            | Metrics.Count n -> (string_of_int n, [ ""; ""; "" ])
+            | Metrics.Level v -> (Printf.sprintf "%g" v, [ ""; ""; "" ])
             | Metrics.Histo h ->
-                Printf.sprintf "n=%d sum=%g" h.Metrics.h_count h.Metrics.h_sum
+                ( Printf.sprintf "n=%d sum=%g" h.Metrics.h_count h.Metrics.h_sum,
+                  if h.Metrics.h_count = 0 then [ "-"; "-"; "-" ]
+                  else
+                    List.map
+                      (fun q -> Printf.sprintf "%.3g" (Metrics.quantile h q))
+                      [ 0.5; 0.95; 0.99 ] )
           in
           Some
-            [ e.Metrics.s_name ^ fmt_labels e.Metrics.s_labels; value; e.Metrics.s_unit ])
+            ((e.Metrics.s_name ^ fmt_labels e.Metrics.s_labels) :: value :: pcts
+            @ [ e.Metrics.s_unit ]))
       snap
   in
-  if rows <> [] then table ~header:[ "metric"; "value"; "unit" ] ~rows
+  if rows <> [] then
+    table ~header:[ "metric"; "value"; "p50"; "p95"; "p99"; "unit" ] ~rows

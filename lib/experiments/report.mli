@@ -31,22 +31,86 @@ val note : string -> unit
 
 (** {1 Benchmark summary}
 
-    Experiments report one headline rate each; [bench/main.exe] writes
-    the collected registry as [BENCH_summary.json] at exit (schema
-    [drust-bench-summary/v1], documented in docs/BENCHMARKS.md). *)
+    Experiments report one headline rate each, optionally with an
+    operation-latency histogram; [bench/main.exe] writes the collected
+    registry as [BENCH_summary.json] at exit (schema
+    {!schema_version}, documented in docs/BENCHMARKS.md). *)
 
-val record_rate : experiment:string -> ops:float -> elapsed:float -> unit
+val schema_version : string
+(** The summary schema this build writes: ["drust-bench-summary/v2"].
+    {!read_bench_summary} also accepts the rate-only v1 schema. *)
+
+val percentile_points : (string * float) list
+(** The percentile points every latency histogram is reduced to:
+    [("p50", 0.5); ("p95", 0.95); ("p99", 0.99); ("p99.9", 0.999)]. *)
+
+val latency_percentiles :
+  Drust_obs.Metrics.histo -> (string * float) list
+(** {!percentile_points} evaluated on a histogram via
+    {!Drust_obs.Metrics.quantile}, in {e microseconds}. *)
+
+val latency_of_snapshot :
+  Drust_obs.Metrics.snapshot -> Drust_obs.Metrics.histo option
+(** Merge every [protocol.op_latency] histogram (one per op kind) in a
+    snapshot into a single all-ops distribution; [None] when the
+    snapshot holds no samples. *)
+
+val record_rate :
+  ?latency:Drust_obs.Metrics.histo ->
+  experiment:string ->
+  ops:float ->
+  elapsed:float ->
+  unit ->
+  unit
 (** Register [ops /. elapsed] (operations per {e simulated} second)
-    under [experiment].  Re-recording an experiment overwrites it in
-    place; non-positive [elapsed] is ignored.  Safe to call from
-    {!Parallel} sweep domains (mutex-protected). *)
+    under [experiment], optionally with the run's operation-latency
+    histogram (surfaced as [latency_us] percentiles in the summary).
+    Re-recording an experiment overwrites it in place; non-positive
+    [elapsed] is ignored.  Safe to call from {!Parallel} sweep domains
+    (mutex-protected). *)
 
-val recorded_rates : unit -> (string * float) list
+type bench_entry = {
+  be_rate : float;
+  be_latency : Drust_obs.Metrics.histo option;
+}
+
+val recorded_entries : unit -> (string * bench_entry) list
 (** The registry so far, sorted by experiment name — the summary is
     byte-identical regardless of recording order or [--jobs]. *)
 
+val recorded_rates : unit -> (string * float) list
+(** {!recorded_entries} reduced to the headline rates. *)
+
 val write_bench_summary : path:string -> unit
 (** Write the registry as JSON to [path]. *)
+
+(** {2 Reading and regression comparison}
+
+    The [tools/bench_diff.exe] gate parses two summaries (either
+    schema) and fails on per-entry relative regressions. *)
+
+type summary_entry = {
+  se_rate : float;  (** [ops_per_sim_sec] *)
+  se_latency_us : (string * float) list;
+      (** percentile label -> µs; empty for v1 entries *)
+}
+
+type summary = {
+  sm_schema : string;
+  sm_entries : (string * summary_entry) list;
+}
+
+val read_bench_summary : path:string -> summary
+(** Parse a summary file (v1 or v2).  Raises [Failure] with a
+    path-prefixed message on unreadable input or an unknown schema. *)
+
+val compare_summaries :
+  ?tolerance:float -> baseline:summary -> summary -> string list
+(** [compare_summaries ~baseline current]: one description per
+    regression — a baseline entry missing from [current], a throughput
+    drop below [baseline * (1 - tolerance)], or a latency percentile
+    above [baseline * (1 + tolerance)].  [tolerance] defaults to 0.10;
+    an empty list means no regression. *)
 
 (** {1 Metrics snapshots} *)
 
@@ -56,5 +120,7 @@ val metric_total : Drust_obs.Metrics.snapshot -> string -> int
 
 val metrics_table : ?prefix:string -> Drust_obs.Metrics.snapshot -> unit
 (** Render a snapshot as a table, one row per (name, labels) sample;
+    histogram rows additionally fill the p50/p95/p99 columns (via
+    {!Drust_obs.Metrics.quantile}, in the metric's own unit).
     [prefix] filters by metric-name prefix.  Empty selections print
     nothing. *)

@@ -43,7 +43,8 @@ let run_one app system =
         Float.of_int (Report.metric_total snap "fabric.bytes_out")
         /. result.Appkit.ops;
     },
-    result )
+    result,
+    Report.latency_of_snapshot snap )
 
 let run () =
   (* Parallel phase (pure compute per cell), then record + render in
@@ -57,12 +58,12 @@ let run () =
   Report.section "Supplementary: coherence traffic per application operation (8 nodes)";
   let rows =
     List.map
-      (fun (row, result) ->
-        Report.record_rate
+      (fun (row, result, latency) ->
+        Report.record_rate ?latency
           ~experiment:
             (Printf.sprintf "traffic/%s/%s" (B.app_name row.app)
                (B.system_name row.system))
-          ~ops:result.Appkit.ops ~elapsed:result.Appkit.elapsed;
+          ~ops:result.Appkit.ops ~elapsed:result.Appkit.elapsed ();
         row)
       results
   in

@@ -15,7 +15,9 @@ let config w = { Kv.default_config with Kv.workload = Some w; ops = 24_000 }
 let run_one w system ~nodes =
   let cluster = Cluster.create (B.testbed ~nodes ()) in
   let backend = B.make_backend system cluster in
-  Kv.run ~cluster ~backend (config w)
+  let r = Kv.run ~cluster ~backend (config w) in
+  let snap = Drust_obs.Metrics.snapshot (Cluster.metrics cluster) in
+  (r, Report.latency_of_snapshot snap)
 
 let run () =
   (* Parallel phase: one job per (workload, deployment) cell — the
@@ -42,16 +44,16 @@ let run () =
   let body =
     List.map
       (fun w ->
-        let base = List.assoc (w, `Base) cells in
+        let base, _ = List.assoc (w, `Base) cells in
         let cells_ =
           List.map
             (fun system ->
-              let r = List.assoc (w, `Sys system) cells in
-              Report.record_rate
+              let r, latency = List.assoc (w, `Sys system) cells in
+              Report.record_rate ?latency
                 ~experiment:
                   (Printf.sprintf "ycsb/%s/%s" (Ycsb.workload_name w)
                      (B.system_name system))
-                ~ops:r.Appkit.ops ~elapsed:r.Appkit.elapsed;
+                ~ops:r.Appkit.ops ~elapsed:r.Appkit.elapsed ();
               let speedup = r.Appkit.throughput /. base.Appkit.throughput in
               rows := { workload = w; system; speedup } :: !rows;
               Report.cell_f speedup)

@@ -11,6 +11,8 @@ type t = {
   remote_accesses : int array;
   mutable computed_seconds : float;
   mutable safe_point_hook : (t -> unit) option;
+  mutable current_span : Drust_obs.Span.span option;
+  mutable op_tag : string;
 }
 
 let make cluster ~node =
@@ -27,6 +29,8 @@ let make cluster ~node =
     remote_accesses = Array.make (Cluster.node_count cluster) 0;
     computed_seconds = 0.0;
     safe_point_hook = None;
+    current_span = None;
+    op_tag = "";
   }
 
 let cluster t = t.cluster
@@ -46,7 +50,22 @@ let flush t =
     let seconds = Params.cycles_to_seconds (params t) cycles in
     t.computed_seconds <- t.computed_seconds +. seconds;
     let cores = (current_node t).Cluster.cores in
-    Resource.use cores (fun () -> Engine.delay (engine t) seconds)
+    let spans = Cluster.spans t.cluster in
+    if Drust_obs.Span.is_enabled spans then begin
+      (* Observational only: the same Resource.use / Engine.delay calls
+         happen in the same order, so traced runs stay bit-identical. *)
+      let module Span = Drust_obs.Span in
+      let wait =
+        Span.start spans ~track:t.node ?parent:t.current_span
+          ~category:"cpu.queue" "core_wait"
+      in
+      Resource.use cores (fun () ->
+          Span.finish spans wait;
+          Span.with_span spans ~track:t.node ?parent:t.current_span
+            ~category:"cpu.compute" "compute" (fun () ->
+              Engine.delay (engine t) seconds))
+    end
+    else Resource.use cores (fun () -> Engine.delay (engine t) seconds)
   end
 
 let charge_cycles t cycles =

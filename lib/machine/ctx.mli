@@ -22,6 +22,14 @@ type t = {
   mutable computed_seconds : float;
   mutable safe_point_hook : (t -> unit) option;
       (** invoked at flush points; the runtime installs migration here *)
+  mutable current_span : Drust_obs.Span.span option;
+      (** the protocol operation's root span while one is open on this
+          thread — sub-spans (core waits, fabric verbs) parent under it;
+          [None] outside an operation or when tracing is disabled *)
+  mutable op_tag : string;
+      (** scratch outcome label for the operation in flight (e.g.
+          "write_move"); set at the branch that decides the outcome,
+          read back by the protocol's latency classifier; [""] idle *)
 }
 
 val make : Cluster.t -> node:int -> t
@@ -42,7 +50,9 @@ val compute : t -> cycles:float -> unit
 val flush : t -> unit
 (** Occupy a core on the current node for all pending cycles.  Runs the
     safe-point hook first (migration happens at flush boundaries, like the
-    paper's cooperative scheduler). *)
+    paper's cooperative scheduler).  When the cluster's tracer is
+    enabled, the core wait and the compute burst are recorded as
+    [cpu.queue] / [cpu.compute] sub-spans of [current_span]. *)
 
 val safe_point : t -> unit
 (** Run the safe-point hook without forcing a flush. *)

@@ -113,24 +113,59 @@ let fault_plan t = t.fault
 
 (* Instant mark on the issuing node's timeline (drops, timeouts, async
    sends); argument lists are only built when tracing is live. *)
-let mark t verb ~from ~target ~bytes =
+let mark ?parent t verb ~from ~target ~bytes =
   match t.spans with
   | Some sp when Span.is_enabled sp ->
-      Span.instant sp ~track:from ~category:"fabric"
+      Span.instant sp ~track:from ?parent ~category:"fabric"
         ~args:
           [ ("target", string_of_int target); ("bytes", string_of_int bytes) ]
         verb
   | _ -> ()
 
-(* Complete span covering a blocking verb's latency. *)
-let with_verb_span t verb ~from ~target ~bytes f =
+(* Live tracing context threaded through one blocking verb: the tracer,
+   the verb's open span, and the flow-edge id minted for cross-node
+   verbs (0 when from = target). *)
+type verb_trace = { vt_sp : Span.t; vt_span : Span.span; vt_flow : int }
+
+(* Target-side consumption mark: closes the flow arrow on the serving
+   node's timeline (the RECV of an RPC, the NIC serving a READ). *)
+let serve_mark vt ~target name =
+  match vt with
+  | None -> ()
+  | Some { vt_sp; vt_span; vt_flow } ->
+      let flow_in = if vt_flow = 0 then [] else [ vt_flow ] in
+      Span.instant vt_sp ~track:target ~parent:vt_span ~flow_in
+        ~category:"fabric" name
+
+(* Complete span covering a blocking verb's latency.  [f] receives the
+   live trace context (None when tracing is off) so it can hang
+   wire/queue sub-spans and target-side marks off the verb span. *)
+let with_verb_span t verb ~from ~target ~bytes ?parent f =
   match t.spans with
   | Some sp when Span.is_enabled sp ->
-      Span.with_span sp ~track:from ~category:"fabric"
-        ~args:
-          [ ("target", string_of_int target); ("bytes", string_of_int bytes) ]
-        verb f
-  | _ -> f ()
+      let vs =
+        Span.start sp ~track:from ~category:"fabric" ?parent
+          ~args:
+            [ ("target", string_of_int target); ("bytes", string_of_int bytes) ]
+          verb
+      in
+      let fid =
+        if from = target then 0
+        else begin
+          let fid = Span.fresh_flow_id sp in
+          Span.add_flow_out vs fid;
+          fid
+        end
+      in
+      let vt = Some { vt_sp = sp; vt_span = vs; vt_flow = fid } in
+      (match f vt with
+      | v ->
+          Span.finish sp vs;
+          v
+      | exception e ->
+          Span.finish sp vs;
+          raise e)
+  | _ -> f None
 
 let engine t = t.engine
 let node_count t = t.nodes
@@ -211,15 +246,37 @@ let latency t ~from ~target ~base ~bytes =
 
 (* Block for the verb's latency; a bulk payload additionally holds the
    data source's NIC for its wire time, so concurrent bulk egress from
-   one node serializes at line rate. *)
-let delay_with_nic t ~data_source ~from ~target ~base ~bytes =
+   one node serializes at line rate.  With a live [vt], each phase lands
+   as a sub-span of the verb (propagation/wire -> [net.wire], waiting
+   for the NIC -> [net.queue], holding it -> [net.serialize]) — the
+   exact same delays and resource acquisitions happen either way. *)
+let delay_with_nic ?(vt = None) t ~data_source ~from ~target ~base ~bytes =
   if bytes >= bulk_threshold && from <> target then begin
     let wire = Model.transfer_time t.model ~bytes in
-    Engine.delay t.engine (latency t ~from ~target ~base ~bytes:0);
-    Drust_sim.Resource.use t.nics.(data_source) (fun () ->
-        Engine.delay t.engine (jittered t wire))
+    match vt with
+    | Some { vt_sp = sp; vt_span = parent; _ } ->
+        Span.with_span sp ~track:from ~parent ~category:"net.wire" "propagate"
+          (fun () ->
+            Engine.delay t.engine (latency t ~from ~target ~base ~bytes:0));
+        let wait =
+          Span.start sp ~track:from ~parent ~category:"net.queue" "nic_wait"
+        in
+        Drust_sim.Resource.use t.nics.(data_source) (fun () ->
+            Span.finish sp wait;
+            Span.with_span sp ~track:from ~parent ~category:"net.serialize"
+              "serialize" (fun () -> Engine.delay t.engine (jittered t wire)))
+    | None ->
+        Engine.delay t.engine (latency t ~from ~target ~base ~bytes:0);
+        Drust_sim.Resource.use t.nics.(data_source) (fun () ->
+            Engine.delay t.engine (jittered t wire))
   end
-  else Engine.delay t.engine (latency t ~from ~target ~base ~bytes)
+  else
+    match vt with
+    | Some { vt_sp = sp; vt_span = parent; _ } ->
+        Span.with_span sp ~track:from ~parent ~category:"net.wire" "wire"
+          (fun () ->
+            Engine.delay t.engine (latency t ~from ~target ~base ~bytes))
+    | None -> Engine.delay t.engine (latency t ~from ~target ~base ~bytes)
 
 let note ?(verb = "") t ~from ~target ~bytes =
   let c = t.counters.(from) in
@@ -229,62 +286,89 @@ let note ?(verb = "") t ~from ~target ~bytes =
   | None -> ()
   | Some f -> f verb ~from ~target ~bytes
 
-let rdma_read t ~from ~target ~bytes =
+let rdma_read ?parent t ~from ~target ~bytes =
   check_node t from "rdma_read";
   check_node t target "rdma_read";
   Metrics.incr t.counters.(from).c_reads;
   note ~verb:"READ" t ~from ~target ~bytes;
   sync_guard t ~from ~target;
   (* READ pulls data out of the target: the target's NIC is the egress. *)
-  with_verb_span t "READ" ~from ~target ~bytes (fun () ->
-      delay_with_nic t ~data_source:target ~from ~target
-        ~base:t.model.Model.oneside_base ~bytes)
+  with_verb_span t "READ" ~from ~target ~bytes ?parent (fun vt ->
+      delay_with_nic ~vt t ~data_source:target ~from ~target
+        ~base:t.model.Model.oneside_base ~bytes;
+      if from <> target then serve_mark vt ~target "SERVE(READ)")
 
-let rdma_write t ~from ~target ~bytes =
+let rdma_write ?parent t ~from ~target ~bytes =
   check_node t from "rdma_write";
   check_node t target "rdma_write";
   Metrics.incr t.counters.(from).c_writes;
   note ~verb:"WRITE" t ~from ~target ~bytes;
   sync_guard t ~from ~target;
   (* WRITE pushes data from the sender: its NIC is the egress. *)
-  with_verb_span t "WRITE" ~from ~target ~bytes (fun () ->
-      delay_with_nic t ~data_source:from ~from ~target
-        ~base:t.model.Model.oneside_base ~bytes)
+  with_verb_span t "WRITE" ~from ~target ~bytes ?parent (fun vt ->
+      delay_with_nic ~vt t ~data_source:from ~from ~target
+        ~base:t.model.Model.oneside_base ~bytes;
+      if from <> target then serve_mark vt ~target "SERVE(WRITE)")
 
-let rdma_write_async t ~from ~target ~bytes k =
+let rdma_write_async ?parent t ~from ~target ~bytes k =
   check_node t from "rdma_write_async";
   check_node t target "rdma_write_async";
   Metrics.incr t.counters.(from).c_writes;
   note ~verb:"WRITE(async)" t ~from ~target ~bytes;
   if async_delivers t ~from ~target then begin
-    mark t "WRITE(async)" ~from ~target ~bytes;
     let dt = latency t ~from ~target ~base:t.model.Model.oneside_base ~bytes in
-    Engine.schedule_after t.engine dt k
+    match t.spans with
+    | Some sp when Span.is_enabled sp ->
+        (* Flow edge from the posting instant to a RECV instant emitted
+           by a wrapped callback at delivery time — same schedule_after,
+           so the event order is unchanged. *)
+        let fid = if from = target then 0 else Span.fresh_flow_id sp in
+        let flow_out = if fid = 0 then [] else [ fid ] in
+        Span.instant sp ~track:from ?parent ~flow_out ~category:"fabric"
+          ~args:
+            [ ("target", string_of_int target); ("bytes", string_of_int bytes) ]
+          "WRITE(async)";
+        Engine.schedule_after t.engine dt (fun () ->
+            Span.instant sp ~track:target
+              ~flow_in:(if fid = 0 then [] else [ fid ])
+              ~category:"fabric" "RECV(WRITE)";
+            k ())
+    | _ -> Engine.schedule_after t.engine dt k
   end
 
-let rdma_atomic t ~from ~target f =
+let rdma_atomic ?parent t ~from ~target f =
   check_node t from "rdma_atomic";
   check_node t target "rdma_atomic";
   Metrics.incr t.counters.(from).c_atomics;
   note ~verb:"ATOMIC" t ~from ~target ~bytes:8;
   sync_guard t ~from ~target;
-  with_verb_span t "ATOMIC" ~from ~target ~bytes:8 (fun () ->
-      Engine.delay t.engine
-        (latency t ~from ~target ~base:t.model.Model.atomic_base ~bytes:0);
+  with_verb_span t "ATOMIC" ~from ~target ~bytes:8 ?parent (fun vt ->
+      (match vt with
+      | Some { vt_sp = sp; vt_span = parent; _ } ->
+          Span.with_span sp ~track:from ~parent ~category:"net.wire" "wire"
+            (fun () ->
+              Engine.delay t.engine
+                (latency t ~from ~target ~base:t.model.Model.atomic_base
+                   ~bytes:0))
+      | None ->
+          Engine.delay t.engine
+            (latency t ~from ~target ~base:t.model.Model.atomic_base ~bytes:0));
+      if from <> target then serve_mark vt ~target "SERVE(ATOMIC)";
       f ())
 
-let rpc t ~from ~target ~req_bytes ~resp_bytes handler =
+let rpc ?parent t ~from ~target ~req_bytes ~resp_bytes handler =
   check_node t from "rpc";
   check_node t target "rpc";
   Metrics.incr t.counters.(from).c_rpcs;
   note ~verb:"RPC" t ~from ~target ~bytes:(req_bytes + resp_bytes);
   sync_guard t ~from ~target;
-  with_verb_span t "RPC" ~from ~target ~bytes:(req_bytes + resp_bytes)
-    (fun () ->
-      delay_with_nic t ~data_source:from ~from ~target
+  with_verb_span t "RPC" ~from ~target ~bytes:(req_bytes + resp_bytes) ?parent
+    (fun vt ->
+      delay_with_nic ~vt t ~data_source:from ~from ~target
         ~base:t.model.Model.twoside_base ~bytes:req_bytes;
+      if from <> target then serve_mark vt ~target "RECV(RPC)";
       let result = handler () in
-      delay_with_nic t ~data_source:target ~from ~target
+      delay_with_nic ~vt t ~data_source:target ~from ~target
         ~base:t.model.Model.twoside_base ~bytes:resp_bytes;
       result)
 
@@ -316,19 +400,20 @@ let race_against_timer t ~timeout f =
              | exception e -> settle (Crashed e)));
       Engine.schedule_after t.engine timeout (fun () -> settle Expired))
 
-let rpc_with_timeout t ~from ~target ~req_bytes ~resp_bytes ~timeout handler =
+let rpc_with_timeout ?parent t ~from ~target ~req_bytes ~resp_bytes ~timeout
+    handler =
   check_node t from "rpc_with_timeout";
   check_node t target "rpc_with_timeout";
   if timeout <= 0.0 then invalid_arg "Fabric.rpc_with_timeout: timeout <= 0";
   match
     race_against_timer t ~timeout (fun () ->
-        rpc t ~from ~target ~req_bytes ~resp_bytes handler)
+        rpc ?parent t ~from ~target ~req_bytes ~resp_bytes handler)
   with
   | Settled v -> v
   | Crashed e -> raise e
   | Expired ->
       Metrics.incr t.counters.(from).c_timeouts;
-      mark t "TIMEOUT" ~from ~target ~bytes:0;
+      mark ?parent t "TIMEOUT" ~from ~target ~bytes:0;
       raise (Rpc_timeout { from; target; timeout })
 
 (* Retry [op] on Node_down / Rpc_timeout with exponential backoff, giving
@@ -336,7 +421,7 @@ let rpc_with_timeout t ~from ~target ~req_bytes ~resp_bytes ~timeout handler =
    simulated-time budget runs out.  [op] re-resolves its own target each
    attempt, which is what lets a retry land on a freshly promoted
    backup. *)
-let retry_with_backoff t ~from ?(attempts = 8) ?(base_delay = 50e-6)
+let retry_with_backoff ?parent t ~from ?(attempts = 8) ?(base_delay = 50e-6)
     ?(max_delay = 5e-3) ?(budget = Float.infinity) op =
   check_node t from "retry_with_backoff";
   if attempts < 1 then invalid_arg "Fabric.retry_with_backoff: attempts < 1";
@@ -349,6 +434,7 @@ let retry_with_backoff t ~from ?(attempts = 8) ?(base_delay = 50e-6)
           raise e
         else begin
           Metrics.incr t.counters.(from).c_retries;
+          mark ?parent t "RETRY" ~from ~target:from ~bytes:0;
           (* +-25% seeded jitter decorrelates retry storms. *)
           let d = delay *. (0.75 +. Drust_util.Rng.float t.rng 0.5) in
           Engine.delay t.engine d;
@@ -357,15 +443,31 @@ let retry_with_backoff t ~from ?(attempts = 8) ?(base_delay = 50e-6)
   in
   go 0 base_delay
 
-let send_async t ~from ~target ~bytes handler =
+let send_async ?parent t ~from ~target ~bytes handler =
   check_node t from "send_async";
   check_node t target "send_async";
   Metrics.incr t.counters.(from).c_rpcs;
   note ~verb:"SEND(async)" t ~from ~target ~bytes;
   if async_delivers t ~from ~target then begin
-    mark t "SEND(async)" ~from ~target ~bytes;
     let dt =
       latency t ~from ~target ~base:t.model.Model.twoside_base ~bytes
+    in
+    let handler =
+      match t.spans with
+      | Some sp when Span.is_enabled sp ->
+          let fid = if from = target then 0 else Span.fresh_flow_id sp in
+          let flow_out = if fid = 0 then [] else [ fid ] in
+          Span.instant sp ~track:from ?parent ~flow_out ~category:"fabric"
+            ~args:
+              [ ("target", string_of_int target);
+                ("bytes", string_of_int bytes) ]
+            "SEND(async)";
+          fun () ->
+            Span.instant sp ~track:target
+              ~flow_in:(if fid = 0 then [] else [ fid ])
+              ~category:"fabric" "RECV(SEND)";
+            handler ()
+      | _ -> handler
     in
     ignore
       (Engine.spawn ~at:(Engine.now t.engine +. dt) t.engine (fun () -> handler ()))

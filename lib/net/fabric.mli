@@ -47,9 +47,14 @@ val metrics : t -> Drust_obs.Metrics.t
 
 val set_spans : t -> Drust_obs.Span.t option -> unit
 (** Attach a span tracer: every blocking verb records a complete span
-    covering its latency, and drops/timeouts/async sends record instant
-    events — all on the issuing node's track, category ["fabric"].
-    Free when unset or when the tracer is disabled. *)
+    covering its latency (with [net.wire] / [net.queue] /
+    [net.serialize] sub-spans for its propagation, NIC-wait, and
+    serialization phases), and drops/timeouts/retries/async sends record
+    instant events — on the issuing node's track, category ["fabric"].
+    Cross-node verbs additionally mint a flow-edge id and emit a
+    target-side SERVE/RECV instant consuming it, so exported traces draw
+    message arrows between node timelines.  Free when unset or when the
+    tracer is disabled. *)
 
 val set_observer :
   t -> (string -> from:int -> target:int -> bytes:int -> unit) option -> unit
@@ -74,25 +79,36 @@ val model : t -> Model.t
 
 (** {1 Verbs — call only from inside a simulated process} *)
 
-val rdma_read : t -> from:node_id -> target:node_id -> bytes:int -> unit
+val rdma_read :
+  ?parent:Drust_obs.Span.span ->
+  t -> from:node_id -> target:node_id -> bytes:int -> unit
 (** One-sided READ: blocks the caller for the verb latency; the target CPU
-    is not involved. *)
+    is not involved.  [parent] (here and on every verb below) links the
+    verb's span under an enclosing operation span when tracing is
+    enabled; it has no effect otherwise. *)
 
-val rdma_write : t -> from:node_id -> target:node_id -> bytes:int -> unit
+val rdma_write :
+  ?parent:Drust_obs.Span.span ->
+  t -> from:node_id -> target:node_id -> bytes:int -> unit
 (** One-sided WRITE, same cost model as {!rdma_read}. *)
 
-val rdma_write_async : t -> from:node_id -> target:node_id -> bytes:int
+val rdma_write_async :
+  ?parent:Drust_obs.Span.span ->
+  t -> from:node_id -> target:node_id -> bytes:int
   -> (unit -> unit) -> unit
 (** Posts a WRITE and returns immediately; the completion callback runs
     when the payload lands at the target.  Used for asynchronous
     deallocation requests and replication write-backs. *)
 
-val rdma_atomic : t -> from:node_id -> target:node_id -> (unit -> 'a) -> 'a
+val rdma_atomic :
+  ?parent:Drust_obs.Span.span ->
+  t -> from:node_id -> target:node_id -> (unit -> 'a) -> 'a
 (** Remote atomic (FAA / CAS): blocks the caller for the atomic verb
     latency and then runs [f] — the NIC-serialized atomic update — at the
     target.  [f] must be instantaneous (no blocking primitives). *)
 
 val rpc :
+  ?parent:Drust_obs.Span.span ->
   t ->
   from:node_id ->
   target:node_id ->
@@ -105,6 +121,7 @@ val rpc :
     travels back.  Returns the handler's result to the caller. *)
 
 val send_async :
+  ?parent:Drust_obs.Span.span ->
   t -> from:node_id -> target:node_id -> bytes:int -> (unit -> unit) -> unit
 (** One-way two-sided message; the handler runs at the target when the
     message arrives.  The caller is not blocked. *)
@@ -112,6 +129,7 @@ val send_async :
 (** {1 Bounded failure semantics} *)
 
 val rpc_with_timeout :
+  ?parent:Drust_obs.Span.span ->
   t ->
   from:node_id ->
   target:node_id ->
@@ -127,6 +145,7 @@ val rpc_with_timeout :
     may still execute at the target even though the caller gave up. *)
 
 val retry_with_backoff :
+  ?parent:Drust_obs.Span.span ->
   t ->
   from:node_id ->
   ?attempts:int ->

@@ -45,22 +45,62 @@ let chrome_trace ?(process_name = "drust-sim") spans =
                ("args", obj [ ("name", str (Printf.sprintf "node %d" track)) ]) ])
          tracks
   in
+  let sorted = List.stable_sort (fun a b -> compare a.Span.ts b.Span.ts) events in
   let body =
-    List.stable_sort (fun a b -> compare a.Span.ts b.Span.ts) events
-    |> List.map (fun e ->
-           let common =
-             [ ("pid", "0"); ("tid", string_of_int e.Span.track);
-               ("ts", us e.Span.ts); ("name", str e.Span.name);
-               ("cat", str e.Span.category); ("args", args_obj e.Span.args) ]
-           in
-           match e.Span.kind with
-           | Span.Complete ->
-               obj (("ph", str "X") :: ("dur", us e.Span.dur) :: common)
-           | Span.Instant ->
-               obj (("ph", str "i") :: ("s", str "t") :: common))
+    List.map
+      (fun e ->
+        let common =
+          [ ("pid", "0"); ("tid", string_of_int e.Span.track);
+            ("ts", us e.Span.ts); ("name", str e.Span.name);
+            ("cat", str e.Span.category); ("args", args_obj e.Span.args) ]
+        in
+        match e.Span.kind with
+        | Span.Complete ->
+            obj (("ph", str "X") :: ("dur", us e.Span.dur) :: common)
+        | Span.Instant ->
+            obj (("ph", str "i") :: ("s", str "t") :: common))
+      sorted
+  in
+  (* Flow arrows: one ["s"]/["f"] pair per flow-edge id that has both a
+     producer (the id appears in some event's [flow_out]) and a consumer
+     ([flow_in]).  The ["f"] end binds to its enclosing slice
+     ([bp:"e"]), which is how Perfetto draws an arrow from the verb span
+     on the source node into the serving span on the target node. *)
+  let producers = Hashtbl.create 64 and consumers = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      List.iter
+        (fun fid ->
+          if not (Hashtbl.mem producers fid) then Hashtbl.add producers fid e)
+        e.Span.flow_out;
+      List.iter
+        (fun fid ->
+          if not (Hashtbl.mem consumers fid) then Hashtbl.add consumers fid e)
+        e.Span.flow_in)
+    sorted;
+  let flow_ids =
+    Hashtbl.fold (fun fid _ acc -> fid :: acc) producers []
+    |> List.filter (Hashtbl.mem consumers)
+    |> List.sort compare
+  in
+  let flows =
+    List.concat_map
+      (fun fid ->
+        let p = Hashtbl.find producers fid
+        and c = Hashtbl.find consumers fid in
+        let mk ph extra e =
+          obj
+            ([ ("ph", str ph); ("id", string_of_int fid);
+               ("pid", "0"); ("tid", string_of_int e.Span.track);
+               ("ts", us e.Span.ts); ("name", str "msg");
+               ("cat", str "flow") ]
+            @ extra)
+        in
+        [ mk "s" [] p; mk "f" [ ("bp", str "e") ] c ])
+      flow_ids
   in
   "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
-  ^ String.concat ",\n" (meta @ body)
+  ^ String.concat ",\n" (meta @ body @ flows)
   ^ "\n]}\n"
 
 let write_file path contents =

@@ -5,7 +5,11 @@
     Perfetto ({:https://ui.perfetto.dev}): one process, one timeline row
     (tid) per track — i.e. per node — complete spans as ["X"] events and
     instants as ["i"] events, timestamps in microseconds of virtual
-    time, sorted ascending.
+    time, sorted ascending.  Every flow-edge id with both a producer
+    ([Span.flow_out]) and a consumer ([Span.flow_in]) additionally emits
+    a Chrome flow pair — ["s"] on the producer's track, ["f"] with
+    [bp:"e"] on the consumer's — so cross-node messages render as
+    arrows between node timelines.
 
     [metrics_jsonl] renders a {!Metrics.snapshot} as one JSON object per
     line, friendly to [jq] and dataframe loaders. *)

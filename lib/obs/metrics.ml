@@ -194,6 +194,63 @@ let diff ~before ~after =
       { s with s_value = v })
     after
 
+(* ------------------------------------------------------------------ *)
+(* Quantiles & merging over snapshot histograms                        *)
+
+let quantile h q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Metrics.quantile: q outside [0,1]";
+  if h.h_count = 0 then nan
+  else begin
+    (* Rank of the target sample (1-based, nearest-rank with linear
+       interpolation inside the containing bucket). *)
+    let rank = q *. Float.of_int h.h_count in
+    let rank = Float.max rank 1.0 in
+    let clamp v = Float.max h.h_min (Float.min h.h_max v) in
+    let rec walk seen prev_bound = function
+      | [] -> h.h_max
+      | (bound, n) :: rest ->
+          let seen' = seen + n in
+          if Float.of_int seen' >= rank && n > 0 then begin
+            (* The target sample lives in this bucket: interpolate
+               between its edges by rank position.  The overflow bucket
+               has no finite upper bound; use the observed max. *)
+            let lo = Float.max prev_bound h.h_min in
+            let hi =
+              if bound = infinity then h.h_max else Float.min bound h.h_max
+            in
+            let frac = (rank -. Float.of_int seen) /. Float.of_int n in
+            let frac = Float.max 0.0 (Float.min 1.0 frac) in
+            clamp (lo +. ((hi -. lo) *. frac))
+          end
+          else walk seen' bound rest
+    in
+    walk 0 neg_infinity h.h_buckets
+  end
+
+let merge_histos a b =
+  let bounds_of h = List.map fst h.h_buckets in
+  if bounds_of a <> bounds_of b then
+    invalid_arg "Metrics.merge_histos: bucket bounds differ";
+  let merged_min =
+    if a.h_count = 0 then b.h_min
+    else if b.h_count = 0 then a.h_min
+    else Float.min a.h_min b.h_min
+  and merged_max =
+    if a.h_count = 0 then b.h_max
+    else if b.h_count = 0 then a.h_max
+    else Float.max a.h_max b.h_max
+  in
+  {
+    h_count = a.h_count + b.h_count;
+    h_sum = a.h_sum +. b.h_sum;
+    h_min = merged_min;
+    h_max = merged_max;
+    h_buckets =
+      List.map2
+        (fun (bound, ca) (_, cb) -> (bound, ca + cb))
+        a.h_buckets b.h_buckets;
+  }
+
 let names t =
   Hashtbl.fold (fun (name, _) _ acc -> name :: acc) t.tbl []
   |> List.sort_uniq compare

@@ -99,6 +99,24 @@ val diff : before:snapshot -> after:snapshot -> snapshot
     (a sample absent from [before] counts from zero); gauges keep the
     [after] level.  Samples absent from [after] are dropped. *)
 
+val quantile : histo -> float -> float
+(** [quantile h q] estimates the [q]-quantile ([q] in [0,1]) of the
+    samples folded into a snapshot histogram: find the bucket holding
+    the nearest-rank sample, then interpolate linearly between the
+    bucket's edges by rank position.  The overflow bucket's upper edge
+    is the observed max; results are clamped to [[h_min, h_max]].
+    Returns [nan] on an empty histogram; raises [Invalid_argument] when
+    [q] is outside [0,1].  Deterministic: depends only on the bucket
+    counts and observed min/max, so estimates merge consistently across
+    clusters (see {!merge_histos}). *)
+
+val merge_histos : histo -> histo -> histo
+(** Combine two snapshot histograms with identical bucket bounds:
+    counts and sums add, min/max widen (an empty side is the identity).
+    Associative and commutative on counts, which is what makes
+    per-cluster latency histograms safe to aggregate before taking
+    {!quantile}s.  Raises [Invalid_argument] on differing bounds. *)
+
 val names : t -> string list
 (** Distinct registered metric names, sorted — the registry side of the
     docs-catalogue check. *)

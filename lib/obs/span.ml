@@ -1,6 +1,8 @@
 type kind = Complete | Instant
 
 type event = {
+  id : int;
+  parent : int;
   name : string;
   category : string;
   track : int;
@@ -9,9 +11,13 @@ type event = {
   depth : int;
   args : (string * string) list;
   kind : kind;
+  flow_out : int list;
+  flow_in : int list;
 }
 
 type span = {
+  sp_id : int;
+  sp_parent : int;
   sp_name : string;
   sp_cat : string;
   sp_track : int;
@@ -19,6 +25,8 @@ type span = {
   sp_depth : int;
   sp_args : (string * string) list;
   mutable sp_live : bool;
+  mutable sp_flow_out : int list;
+  mutable sp_flow_in : int list;
 }
 
 type dur_stats = {
@@ -34,6 +42,8 @@ type t = {
   mutable next : int;
   mutable total : int;
   mutable enabled : bool;
+  mutable next_id : int; (* event/span ids; 0 is reserved for "none" *)
+  mutable next_flow : int; (* flow-edge ids, per-tracer, deterministic *)
   depths : (int, int) Hashtbl.t; (* track -> open span count *)
   stats : (string, dur_stats) Hashtbl.t; (* category -> durations *)
 }
@@ -46,6 +56,8 @@ let create ?(capacity = 65536) ~clock () =
     next = 0;
     total = 0;
     enabled = false;
+    next_id = 1;
+    next_flow = 1;
     depths = Hashtbl.create 16;
     stats = Hashtbl.create 16;
   }
@@ -55,8 +67,22 @@ let disable t = t.enabled <- false
 let is_enabled t = t.enabled
 
 let null_span =
-  { sp_name = ""; sp_cat = ""; sp_track = 0; sp_ts = 0.0; sp_depth = 0;
-    sp_args = []; sp_live = false }
+  { sp_id = 0; sp_parent = 0; sp_name = ""; sp_cat = ""; sp_track = 0;
+    sp_ts = 0.0; sp_depth = 0; sp_args = []; sp_live = false;
+    sp_flow_out = []; sp_flow_in = [] }
+
+let span_id sp = sp.sp_id
+let is_null sp = sp.sp_id = 0 && not sp.sp_live
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
+
+let fresh_flow_id t =
+  let id = t.next_flow in
+  t.next_flow <- id + 1;
+  id
 
 let record t ev =
   t.ring.(t.next) <- Some ev;
@@ -66,14 +92,22 @@ let record t ev =
 let depth t ~track =
   match Hashtbl.find_opt t.depths track with Some d -> d | None -> 0
 
-let start t ?(track = 0) ?(args = []) ~category name =
+let start t ?(track = 0) ?(args = []) ?parent ~category name =
   if not t.enabled then null_span
   else begin
     let d = depth t ~track + 1 in
     Hashtbl.replace t.depths track d;
-    { sp_name = name; sp_cat = category; sp_track = track;
-      sp_ts = t.clock (); sp_depth = d; sp_args = args; sp_live = true }
+    let parent_id = match parent with Some p -> p.sp_id | None -> 0 in
+    { sp_id = fresh_id t; sp_parent = parent_id; sp_name = name;
+      sp_cat = category; sp_track = track; sp_ts = t.clock (); sp_depth = d;
+      sp_args = args; sp_live = true; sp_flow_out = []; sp_flow_in = [] }
   end
+
+let add_flow_out sp fid =
+  if sp.sp_live then sp.sp_flow_out <- fid :: sp.sp_flow_out
+
+let add_flow_in sp fid =
+  if sp.sp_live then sp.sp_flow_in <- fid :: sp.sp_flow_in
 
 let note_duration t category dur =
   let s =
@@ -94,14 +128,16 @@ let finish t sp =
       let dur = t.clock () -. sp.sp_ts in
       note_duration t sp.sp_cat dur;
       record t
-        { name = sp.sp_name; category = sp.sp_cat; track = sp.sp_track;
-          ts = sp.sp_ts; dur; depth = sp.sp_depth; args = sp.sp_args;
-          kind = Complete }
+        { id = sp.sp_id; parent = sp.sp_parent; name = sp.sp_name;
+          category = sp.sp_cat; track = sp.sp_track; ts = sp.sp_ts; dur;
+          depth = sp.sp_depth; args = sp.sp_args; kind = Complete;
+          flow_out = List.rev sp.sp_flow_out;
+          flow_in = List.rev sp.sp_flow_in }
     end
   end
 
-let with_span t ?track ?args ~category name f =
-  let sp = start t ?track ?args ~category name in
+let with_span t ?track ?args ?parent ~category name f =
+  let sp = start t ?track ?args ?parent ~category name in
   match f () with
   | v ->
       finish t sp;
@@ -110,11 +146,14 @@ let with_span t ?track ?args ~category name f =
       finish t sp;
       raise e
 
-let instant t ?(track = 0) ?(args = []) ~category name =
+let instant t ?(track = 0) ?(args = []) ?parent ?(flow_out = [])
+    ?(flow_in = []) ~category name =
   if t.enabled then
+    let parent_id = match parent with Some p -> p.sp_id | None -> 0 in
     record t
-      { name; category; track; ts = t.clock (); dur = 0.0;
-        depth = depth t ~track; args; kind = Instant }
+      { id = fresh_id t; parent = parent_id; name; category; track;
+        ts = t.clock (); dur = 0.0; depth = depth t ~track; args;
+        kind = Instant; flow_out; flow_in }
 
 let events t =
   let cap = Array.length t.ring in
@@ -137,6 +176,8 @@ let clear t =
   Array.fill t.ring 0 (Array.length t.ring) None;
   t.next <- 0;
   t.total <- 0;
+  t.next_id <- 1;
+  t.next_flow <- 1;
   Hashtbl.reset t.depths;
   Hashtbl.reset t.stats
 

@@ -11,6 +11,15 @@
       as spans finish;
     - {e instants}: zero-duration marks ("DROP", "FAILOVER", ...).
 
+    Events are {e causally linked}: every recorded event carries a
+    tracer-unique [id], an optional [parent] id (0 = root), and two
+    lists of {e flow edge} ids.  A flow edge ties a producer event on
+    one track to a consumer event on another (a fabric message crossing
+    nodes); {!fresh_flow_id} mints edge ids, {!add_flow_out} /
+    {!add_flow_in} attach them to in-flight spans, and
+    {!Critical_path} / {!Export.chrome_trace} consume them to rebuild
+    the causal graph of an operation.
+
     This subsumes the old flat [Trace] ring: events carry structure
     (category / track / args / duration) instead of one pre-formatted
     string, which is what lets {!Export.chrome_trace} lay a run out on a
@@ -19,13 +28,15 @@
     Recording against a disabled tracer is a no-op: nothing is
     allocated, [count] stays 0, and [start] hands back a shared null
     span that [finish] ignores.  Tracers default to disabled — tracing
-    is opt-in (DRUST_TRACE / --trace). *)
+    is opt-in (DRUST_TRACE / --trace / --profile). *)
 
 type t
 
 type kind = Complete | Instant
 
 type event = {
+  id : int;  (** tracer-unique, > 0; deterministic per cluster *)
+  parent : int;  (** id of the enclosing span, 0 when root *)
   name : string;
   category : string;  (** "fabric", "protocol", "controller", "app", ... *)
   track : int;  (** timeline lane; by convention the node id *)
@@ -34,6 +45,8 @@ type event = {
   depth : int;  (** nesting depth on this track at [start] time, >= 1 *)
   args : (string * string) list;
   kind : kind;
+  flow_out : int list;  (** flow-edge ids this event produces *)
+  flow_in : int list;  (** flow-edge ids this event consumes *)
 }
 
 type span
@@ -48,11 +61,13 @@ val disable : t -> unit
 val is_enabled : t -> bool
 
 val start :
-  t -> ?track:int -> ?args:(string * string) list -> category:string ->
-  string -> span
+  t -> ?track:int -> ?args:(string * string) list -> ?parent:span ->
+  category:string -> string -> span
 (** Open a span at [clock ()].  The event is recorded when the span
-    {!finish}es.  When disabled, returns a null span without recording
-    or allocating. *)
+    {!finish}es.  [parent] links the new span under an enclosing one
+    (the null span and spans from a disabled tracer parent as roots).
+    When disabled, returns a null span without recording or
+    allocating. *)
 
 val finish : t -> span -> unit
 (** Close the span: records a [Complete] event with
@@ -60,13 +75,32 @@ val finish : t -> span -> unit
     stats.  Finishing a span twice, or a null span, is a no-op. *)
 
 val with_span :
-  t -> ?track:int -> ?args:(string * string) list -> category:string ->
-  string -> (unit -> 'a) -> 'a
+  t -> ?track:int -> ?args:(string * string) list -> ?parent:span ->
+  category:string -> string -> (unit -> 'a) -> 'a
 (** [start]/[finish] around a thunk, exception-safe. *)
 
 val instant :
-  t -> ?track:int -> ?args:(string * string) list -> category:string ->
-  string -> unit
+  t -> ?track:int -> ?args:(string * string) list -> ?parent:span ->
+  ?flow_out:int list -> ?flow_in:int list -> category:string -> string ->
+  unit
+
+val span_id : span -> int
+(** The id the span's [Complete] event will carry; 0 for the null
+    span. *)
+
+val is_null : span -> bool
+(** True for the shared null span handed out while disabled. *)
+
+val fresh_flow_id : t -> int
+(** Mint a new flow-edge id (> 0).  Deterministic: ids are handed out
+    from a per-tracer counter in call order. *)
+
+val add_flow_out : span -> int -> unit
+(** Attach a produced flow edge to an in-flight span (no-op after
+    {!finish} or on the null span). *)
+
+val add_flow_in : span -> int -> unit
+(** Attach a consumed flow edge to an in-flight span. *)
 
 val events : t -> event list
 (** In recording order (completes are recorded at finish time); at most
@@ -90,6 +124,7 @@ val duration_stats : t -> (string * dur_stats) list
     category.  Survives ring overwrites. *)
 
 val clear : t -> unit
+(** Also resets the id and flow-id counters. *)
 
 val dump : ?limit:int -> Format.formatter -> t -> unit
 (** Human-readable tail of the event ring. *)

@@ -61,17 +61,17 @@ let test_parallel_cluster_sweep_deterministic () =
 
 let test_rates_ordered_collection () =
   let probe = "test/rates/probe" and probe2 = "test/rates/probe2" in
-  E.Report.record_rate ~experiment:probe ~ops:10.0 ~elapsed:2.0;
-  E.Report.record_rate ~experiment:probe2 ~ops:9.0 ~elapsed:3.0;
+  E.Report.record_rate ~experiment:probe ~ops:10.0 ~elapsed:2.0 ();
+  E.Report.record_rate ~experiment:probe2 ~ops:9.0 ~elapsed:3.0 ();
   (* Re-recording overwrites the value without duplicating the entry. *)
-  E.Report.record_rate ~experiment:probe ~ops:20.0 ~elapsed:2.0;
+  E.Report.record_rate ~experiment:probe ~ops:20.0 ~elapsed:2.0 ();
   let rates = E.Report.recorded_rates () in
   Alcotest.(check int) "no duplicate" 1
     (List.length (List.filter (fun (k, _) -> String.equal k probe) rates));
   Alcotest.(check (float 1e-9)) "overwritten" 10.0 (List.assoc probe rates);
   Alcotest.(check (float 1e-9)) "second entry kept" 3.0 (List.assoc probe2 rates);
   (* Non-positive elapsed is ignored. *)
-  E.Report.record_rate ~experiment:"test/rates/zero" ~ops:1.0 ~elapsed:0.0;
+  E.Report.record_rate ~experiment:"test/rates/zero" ~ops:1.0 ~elapsed:0.0 ();
   Alcotest.(check bool) "zero elapsed ignored" false
     (List.mem_assoc "test/rates/zero" (E.Report.recorded_rates ()));
   (* The returned registry is name-sorted: order of recording cannot
@@ -91,6 +91,153 @@ let test_baseline_cache_keyed_on_config () =
   Alcotest.(check bool) "different params, different entries" true
     (r1.Appkit.elapsed <> r2.Appkit.elapsed
     || r1.Appkit.throughput <> r2.Appkit.throughput)
+
+(* ------------------------------------------------------------------ *)
+(* Bench summary: v2 roundtrip, v1 compatibility, regression detection *)
+
+let with_temp_file f =
+  let path = Filename.temp_file "bench_summary" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+(* A latency histogram over the protocol op buckets with a known shape. *)
+let sample_latency () =
+  let m = Drust_obs.Metrics.create () in
+  let h =
+    Drust_obs.Metrics.histogram m
+      ~buckets:Drust_core.Protocol.op_latency_buckets ~unit_:"s" "test.lat"
+  in
+  List.iter (Drust_obs.Metrics.observe h) [ 1e-6; 2e-6; 5e-6; 1e-5; 1e-4 ];
+  match Drust_obs.Metrics.find (Drust_obs.Metrics.snapshot m) "test.lat" with
+  | Some (Drust_obs.Metrics.Histo hs) -> hs
+  | _ -> Alcotest.fail "sample histogram missing"
+
+let test_summary_v2_roundtrip () =
+  let latency = sample_latency () in
+  E.Report.record_rate ~latency ~experiment:"test/summary/v2" ~ops:1000.0
+    ~elapsed:2.0 ();
+  with_temp_file (fun path ->
+      E.Report.write_bench_summary ~path;
+      let s = E.Report.read_bench_summary ~path in
+      Alcotest.(check string) "schema" E.Report.schema_version
+        s.E.Report.sm_schema;
+      let entry = List.assoc "test/summary/v2" s.E.Report.sm_entries in
+      Alcotest.(check (float 1e-6)) "rate" 500.0 entry.E.Report.se_rate;
+      (* Every percentile point survives the roundtrip, monotonically. *)
+      let pct name = List.assoc name entry.E.Report.se_latency_us in
+      List.iter
+        (fun (name, q) ->
+          let written = 1e6 *. Drust_obs.Metrics.quantile latency q in
+          Alcotest.(check (float 1e-3))
+            (Printf.sprintf "%s roundtrips" name)
+            written (pct name))
+        E.Report.percentile_points;
+      Alcotest.(check bool) "p50 <= p99" true (pct "p50" <= pct "p99");
+      (* And the file diffed against itself is regression-free. *)
+      Alcotest.(check (list string)) "self-diff clean" []
+        (E.Report.compare_summaries ~baseline:s s))
+
+let test_summary_v1_readable () =
+  with_temp_file (fun path ->
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc
+            {|{ "schema": "drust-bench-summary/v1",
+                "entries": { "fig5/gemm": { "ops_per_sim_sec": 123.5 } } }|});
+      let s = E.Report.read_bench_summary ~path in
+      Alcotest.(check string) "v1 schema kept" "drust-bench-summary/v1"
+        s.E.Report.sm_schema;
+      let entry = List.assoc "fig5/gemm" s.E.Report.sm_entries in
+      Alcotest.(check (float 1e-9)) "rate" 123.5 entry.E.Report.se_rate;
+      Alcotest.(check int) "no latency in v1" 0
+        (List.length entry.E.Report.se_latency_us);
+      Alcotest.(check (list string)) "v1 self-diff clean" []
+        (E.Report.compare_summaries ~baseline:s s));
+  (* Unknown schemas and malformed JSON are loud failures. *)
+  with_temp_file (fun path ->
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc {|{ "schema": "who-knows/v9", "entries": {} }|});
+      Alcotest.(check bool) "unknown schema rejected" true
+        (try
+           ignore (E.Report.read_bench_summary ~path);
+           false
+         with Failure _ -> true));
+  with_temp_file (fun path ->
+      Out_channel.with_open_text path (fun oc -> output_string oc "{ nope");
+      Alcotest.(check bool) "malformed json rejected" true
+        (try
+           ignore (E.Report.read_bench_summary ~path);
+           false
+         with Failure _ -> true))
+
+let test_summary_regression_detection () =
+  let entry rate p99 =
+    { E.Report.se_rate = rate; se_latency_us = [ ("p50", 1.0); ("p99", p99) ] }
+  in
+  let summary entries =
+    { E.Report.sm_schema = E.Report.schema_version; sm_entries = entries }
+  in
+  let baseline = summary [ ("a", entry 100.0 10.0); ("b", entry 50.0 5.0) ] in
+  (* Within tolerance: an 8% throughput dip and an 8% latency rise pass
+     at the default 10%. *)
+  let ok = summary [ ("a", entry 92.0 10.8); ("b", entry 50.0 5.0) ] in
+  Alcotest.(check (list string)) "within tolerance" []
+    (E.Report.compare_summaries ~baseline ok);
+  (* A >= 10% throughput drop is flagged... *)
+  let slow = summary [ ("a", entry 89.0 10.0); ("b", entry 50.0 5.0) ] in
+  Alcotest.(check int) "throughput regression" 1
+    (List.length (E.Report.compare_summaries ~baseline slow));
+  (* ...so is a >= 10% latency-percentile rise... *)
+  let lat = summary [ ("a", entry 100.0 11.5); ("b", entry 50.0 5.0) ] in
+  Alcotest.(check int) "latency regression" 1
+    (List.length (E.Report.compare_summaries ~baseline lat));
+  (* ...and a vanished baseline entry.  New entries never fail. *)
+  let missing = summary [ ("a", entry 100.0 10.0); ("c", entry 9.0 1.0) ] in
+  Alcotest.(check int) "missing entry" 1
+    (List.length (E.Report.compare_summaries ~baseline missing));
+  (* A looser tolerance clears the marginal cases. *)
+  Alcotest.(check (list string)) "tolerance widens the gate" []
+    (E.Report.compare_summaries ~tolerance:0.2 ~baseline slow
+    @ E.Report.compare_summaries ~tolerance:0.2 ~baseline lat)
+
+let test_failover_percentiles_shape () =
+  let mk seed detection recovery =
+    {
+      E.Failover.seed;
+      victim = 1;
+      crash_time = 1.0;
+      detection_time = Option.map (fun d -> 1.0 +. d) detection;
+      recovery_time = Option.map (fun r -> 1.0 +. r) recovery;
+      curve = [||];
+      bucket = 0.1;
+      total_ops = 0;
+      failed_ops = 0;
+      retries = 0;
+      timeouts = 0;
+      drops = 0;
+      op_latency = None;
+    }
+  in
+  let results =
+    [
+      mk 1 (Some 0.002) (Some 0.004);
+      mk 2 (Some 0.003) (Some 0.006);
+      mk 3 (Some 0.012) (Some 0.030);
+      mk 4 None None;
+      (* never detected: excluded from the samples *)
+    ]
+  in
+  let pct = E.Failover.failover_percentiles results in
+  let phase name = List.find (fun (p, _, _, _) -> String.equal p name) pct in
+  let _, n_det, p50_det, p99_det = phase "detection" in
+  let _, n_rec, p50_rec, p99_rec = phase "recovery" in
+  Alcotest.(check int) "3 detection samples" 3 n_det;
+  Alcotest.(check int) "3 recovery samples" 3 n_rec;
+  Alcotest.(check bool) "detection p99 >= p50" true (p99_det >= p50_det);
+  Alcotest.(check bool) "recovery p99 >= p50" true (p99_rec >= p50_rec);
+  Alcotest.(check bool) "recovery slower than detection" true
+    (p50_rec >= p50_det);
+  (* The p99 lands in the bucket of the 12ms / 30ms outliers. *)
+  Alcotest.(check bool) "detection tail visible" true (p99_det > 0.005);
+  Alcotest.(check bool) "recovery tail visible" true (p99_rec > 0.01)
 
 (* ------------------------------------------------------------------ *)
 (* Motivation (S3) *)
@@ -276,6 +423,15 @@ let () =
             test_rates_ordered_collection;
           Alcotest.test_case "baseline keyed on config" `Quick
             test_baseline_cache_keyed_on_config;
+        ] );
+      ( "bench-summary",
+        [
+          Alcotest.test_case "v2 roundtrip" `Quick test_summary_v2_roundtrip;
+          Alcotest.test_case "v1 readable" `Quick test_summary_v1_readable;
+          Alcotest.test_case "regression detection" `Quick
+            test_summary_regression_detection;
+          Alcotest.test_case "failover percentiles" `Quick
+            test_failover_percentiles_shape;
         ] );
       ( "motivation",
         [ Alcotest.test_case "S3 breakdown" `Quick test_motivation_breakdown ] );

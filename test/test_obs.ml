@@ -299,19 +299,331 @@ let test_cluster_trace_integration () =
     (Drust_sim.Engine.spawn (Cluster.engine cluster) (fun () ->
          Fabric.rdma_read (Cluster.fabric cluster) ~from:0 ~target:1 ~bytes:256));
   Cluster.run cluster;
-  Alcotest.(check int) "one fabric span" 1 (Span.count spans);
-  (match Span.events spans with
-  | [ e ] ->
-      Alcotest.(check string) "category" "fabric" e.Span.category;
-      Alcotest.(check string) "verb" "READ" e.Span.name;
-      Alcotest.(check int) "issuing node's track" 0 e.Span.track;
-      Alcotest.(check bool) "positive latency" true (e.Span.dur > 0.0)
-  | l -> Alcotest.failf "expected 1 event, got %d" (List.length l));
+  (* A traced cross-node READ is three causally-linked events: the wire
+     sub-span, the target-side SERVE instant, and the verb span (parents
+     record after children since completes land at finish time). *)
+  Alcotest.(check int) "verb + wire sub-span + serve instant" 3
+    (Span.count spans);
+  let events = Span.events spans in
+  let read =
+    match List.filter (fun e -> e.Span.name = "READ") events with
+    | [ e ] -> e
+    | l -> Alcotest.failf "expected 1 READ event, got %d" (List.length l)
+  in
+  Alcotest.(check string) "category" "fabric" read.Span.category;
+  Alcotest.(check int) "issuing node's track" 0 read.Span.track;
+  Alcotest.(check bool) "positive latency" true (read.Span.dur > 0.0);
+  Alcotest.(check bool) "READ is a root" true (read.Span.parent = 0);
+  let wire = List.find (fun e -> e.Span.name = "wire") events in
+  Alcotest.(check int) "wire nests under READ" read.Span.id wire.Span.parent;
+  Alcotest.(check string) "wire category" "net.wire" wire.Span.category;
+  let serve = List.find (fun e -> e.Span.name = "SERVE(READ)") events in
+  Alcotest.(check int) "serve lands on target track" 1 serve.Span.track;
+  Alcotest.(check int) "serve nests under READ" read.Span.id serve.Span.parent;
+  Alcotest.(check (list int)) "flow edge READ -> SERVE" read.Span.flow_out
+    serve.Span.flow_in;
+  Alcotest.(check bool) "flow edge minted" true (read.Span.flow_out <> []);
   let snap = Metrics.snapshot (Cluster.metrics cluster) in
   Alcotest.(check int) "fabric.reads counted" 1
     (Metrics.total snap "fabric.reads");
   Alcotest.(check int) "bytes counted" 256
     (Metrics.total snap "fabric.bytes_out")
+
+(* ------------------------------------------------------------------ *)
+(* Quantile estimation and histogram merging *)
+
+let find_histo snap ?labels name =
+  match Metrics.find snap ?labels name with
+  | Some (Metrics.Histo h) -> h
+  | _ -> Alcotest.failf "histogram %s missing from snapshot" name
+
+let test_quantile_accuracy () =
+  (* Uniform samples over fine linear buckets: the interpolated
+     estimate must sit within two bucket widths of the exact sorted
+     percentile. *)
+  let m = Metrics.create () in
+  let buckets = Array.init 99 (fun i -> float_of_int (i + 1) /. 100.0) in
+  let h = Metrics.histogram m ~buckets "test.quant" in
+  let rng = Drust_util.Rng.create ~seed:11 in
+  let samples = Array.init 2000 (fun _ -> Drust_util.Rng.float rng 1.0) in
+  Array.iter (Metrics.observe h) samples;
+  let hs = find_histo (Metrics.snapshot m) "test.quant" in
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  let exact q =
+    let n = Array.length sorted in
+    let rank = max 1 (int_of_float (ceil (q *. float_of_int n))) in
+    sorted.(rank - 1)
+  in
+  List.iter
+    (fun q ->
+      let est = Metrics.quantile hs q in
+      let ex = exact q in
+      if Float.abs (est -. ex) > 0.02 then
+        Alcotest.failf "q=%.3f: estimate %.4f vs exact %.4f" q est ex)
+    [ 0.1; 0.25; 0.5; 0.9; 0.95; 0.99; 0.999 ];
+  (* Monotone in q, and clamped to the observed range. *)
+  let p50 = Metrics.quantile hs 0.5
+  and p95 = Metrics.quantile hs 0.95
+  and p99 = Metrics.quantile hs 0.99 in
+  Alcotest.(check bool) "p50 <= p95 <= p99" true (p50 <= p95 && p95 <= p99);
+  Alcotest.(check bool) "within [min,max]" true
+    (Metrics.quantile hs 0.0 >= hs.Metrics.h_min
+    && Metrics.quantile hs 1.0 <= hs.Metrics.h_max);
+  (* Degenerate inputs. *)
+  ignore (Metrics.histogram m ~buckets "test.quant_empty");
+  let empty = find_histo (Metrics.snapshot m) "test.quant_empty" in
+  Alcotest.(check bool) "empty -> nan" true
+    (Float.is_nan (Metrics.quantile empty 0.5));
+  Alcotest.(check bool) "q outside [0,1] raises" true
+    (try
+       ignore (Metrics.quantile hs 1.5);
+       false
+     with Invalid_argument _ -> true)
+
+let check_same_histo msg (a : Metrics.histo) (b : Metrics.histo) =
+  Alcotest.(check int) (msg ^ ": count") a.Metrics.h_count b.Metrics.h_count;
+  Alcotest.(check (float 1e-9)) (msg ^ ": sum") a.Metrics.h_sum b.Metrics.h_sum;
+  Alcotest.(check (list int))
+    (msg ^ ": bucket counts")
+    (List.map snd a.Metrics.h_buckets)
+    (List.map snd b.Metrics.h_buckets);
+  Alcotest.(check (float 1e-9)) (msg ^ ": min") a.Metrics.h_min b.Metrics.h_min;
+  Alcotest.(check (float 1e-9)) (msg ^ ": max") a.Metrics.h_max b.Metrics.h_max
+
+let test_merge_histos () =
+  let m = Metrics.create () in
+  let buckets = [| 1.0; 2.0; 5.0; 10.0 |] in
+  let mk part =
+    Metrics.histogram m ~buckets ~labels:[ ("part", part) ] "test.merge"
+  in
+  let h1 = mk "a" and h2 = mk "b" and h3 = mk "c" in
+  ignore (mk "empty");
+  List.iter (Metrics.observe h1) [ 0.5; 1.5; 3.0 ];
+  List.iter (Metrics.observe h2) [ 4.0; 20.0 ];
+  List.iter (Metrics.observe h3) [ 0.1; 9.0; 9.5 ];
+  let snap = Metrics.snapshot m in
+  let get part = find_histo snap ~labels:[ ("part", part) ] "test.merge" in
+  let a = get "a" and b = get "b" and c = get "c" and e = get "empty" in
+  (* Associative: (a+b)+c = a+(b+c), including min/max and therefore
+     every quantile. *)
+  let l = Metrics.merge_histos (Metrics.merge_histos a b) c in
+  let r = Metrics.merge_histos a (Metrics.merge_histos b c) in
+  check_same_histo "associativity" l r;
+  Alcotest.(check int) "all samples" 8 l.Metrics.h_count;
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "quantile %.2f agrees" q)
+        (Metrics.quantile l q) (Metrics.quantile r q))
+    [ 0.5; 0.95; 0.99 ];
+  (* Commutative on the same pair; empty side is the identity. *)
+  check_same_histo "commutativity" (Metrics.merge_histos a b)
+    (Metrics.merge_histos b a);
+  check_same_histo "empty identity" a (Metrics.merge_histos a e);
+  check_same_histo "empty identity (left)" a (Metrics.merge_histos e a);
+  (* Differing bounds are a caller bug. *)
+  ignore (Metrics.histogram m ~buckets:[| 1.0; 2.0 |] "test.merge_other");
+  let other = find_histo (Metrics.snapshot m) "test.merge_other" in
+  Alcotest.(check bool) "bound mismatch raises" true
+    (try
+       ignore (Metrics.merge_histos a other);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Critical-path profiler *)
+
+module Cp = Drust_obs.Critical_path
+
+let test_critical_path_attribution () =
+  let now, clock = manual_clock () in
+  let t = Span.create ~clock () in
+  Span.enable t;
+  (* op [0,10]; wire child [2,5]; compute child [6,8] with a queue
+     grandchild [6,7].  Self times: op 5, wire 3, compute 1, queue 1. *)
+  let root = Span.start t ~track:0 ~category:"protocol" "op" in
+  now := 2.0;
+  let w = Span.start t ~parent:root ~track:0 ~category:"net.wire" "wire" in
+  now := 5.0;
+  Span.finish t w;
+  now := 6.0;
+  let c =
+    Span.start t ~parent:root ~track:0 ~category:"cpu.compute" "compute"
+  in
+  let q = Span.start t ~parent:c ~track:0 ~category:"cpu.queue" "q" in
+  now := 7.0;
+  Span.finish t q;
+  now := 8.0;
+  Span.finish t c;
+  now := 10.0;
+  Span.finish t root;
+  match Cp.analyze (Span.events t) with
+  | [ p ] ->
+      Alcotest.(check string) "root" "op" p.Cp.root.Span.name;
+      Alcotest.(check (float 1e-9)) "total" 10.0 p.Cp.total;
+      Alcotest.(check int) "subtree size" 4 p.Cp.node_count;
+      let seg s = List.assoc s p.Cp.segments in
+      Alcotest.(check (float 1e-9)) "protocol self" 5.0 (seg Cp.Protocol);
+      Alcotest.(check (float 1e-9)) "wire" 3.0 (seg Cp.Wire);
+      Alcotest.(check (float 1e-9)) "compute self" 1.0 (seg Cp.Compute);
+      Alcotest.(check (float 1e-9)) "queue" 1.0 (seg Cp.Queue);
+      Alcotest.(check (float 1e-9)) "serialize absent" 0.0 (seg Cp.Serialize);
+      (* The invariant: segments telescope to the end-to-end total. *)
+      Alcotest.(check (float 1e-9)) "segments sum to total" p.Cp.total
+        (Cp.segments_sum p)
+  | l -> Alcotest.failf "expected 1 path, got %d" (List.length l)
+
+let test_critical_path_top_k_and_report () =
+  let now, clock = manual_clock () in
+  let t = Span.create ~clock () in
+  Span.enable t;
+  let short = Span.start t ~track:0 ~category:"protocol" "short_op" in
+  now := 1.0;
+  Span.finish t short;
+  let long_ = Span.start t ~track:0 ~category:"protocol" "long_op" in
+  now := 6.0;
+  Span.finish t long_;
+  let paths = Cp.analyze (Span.events t) in
+  Alcotest.(check int) "two roots" 2 (List.length paths);
+  (match Cp.top_k 1 paths with
+  | [ p ] -> Alcotest.(check string) "longest first" "long_op" p.Cp.root.Span.name
+  | l -> Alcotest.failf "expected 1 path, got %d" (List.length l));
+  let report = Cp.report ~k:2 (Span.events t) in
+  Alcotest.(check bool) "#1 is the longest" true
+    (Astring.String.is_prefix ~affix:"#1 long_op" report);
+  Alcotest.(check bool) "#2 follows" true
+    (Astring.String.is_infix ~affix:"#2 short_op" report)
+
+(* A small cross-node protocol workload on a traced cluster, reduced to
+   its critical-path report. *)
+let traced_workload_report () =
+  let module Cluster = Drust_machine.Cluster in
+  let module Params = Drust_machine.Params in
+  let module Ctx = Drust_machine.Ctx in
+  let module P = Drust_core.Protocol in
+  let module Univ = Drust_util.Univ in
+  let tag : int Univ.tag = Univ.create_tag ~name:"obs.cp" in
+  let cluster = Cluster.create { Params.default with Params.nodes = 2 } in
+  let spans = Cluster.spans cluster in
+  Span.enable spans;
+  ignore
+    (Drust_sim.Engine.spawn (Cluster.engine cluster) (fun () ->
+         let ctx = Ctx.make cluster ~node:0 in
+         let o = P.create_on ctx ~node:1 ~size:128 (Univ.pack tag 0) in
+         for i = 1 to 5 do
+           ignore (P.owner_read ctx o);
+           P.owner_write ctx o (Univ.pack tag i)
+         done;
+         P.drop_owner ctx o));
+  Cluster.run cluster;
+  Cp.report ~k:5 (Span.events spans)
+
+let test_critical_path_jobs_deterministic () =
+  let seq = traced_workload_report () in
+  Alcotest.(check bool) "report is non-empty" true (String.length seq > 0);
+  Alcotest.(check bool) "reports protocol ops" true
+    (Astring.String.is_infix ~affix:"[protocol]" seq);
+  (* The same workload fanned over a 4-domain pool must render the
+     byte-identical report: span ids and flow ids are per-tracer, so
+     domain scheduling cannot leak in. *)
+  let par =
+    Drust_experiments.Parallel.map ~jobs:4
+      (fun () -> traced_workload_report ())
+      [ (); (); (); () ]
+  in
+  List.iter (fun r -> Alcotest.(check string) "jobs-4 identical" seq r) par
+
+(* ------------------------------------------------------------------ *)
+(* Chrome-trace flow events *)
+
+let count_infix ~affix s =
+  let n = String.length affix in
+  let rec go acc i =
+    if i + n > String.length s then acc
+    else if String.sub s i n = affix then go (acc + 1) (i + 1)
+    else go acc (i + 1)
+  in
+  go 0 0
+
+let test_chrome_trace_flow_events () =
+  let now, clock = manual_clock () in
+  let t = Span.create ~clock () in
+  Span.enable t;
+  let fid = Span.fresh_flow_id t in
+  Span.instant t ~track:0 ~flow_out:[ fid ] ~category:"fabric" "send";
+  now := 1.0;
+  Span.instant t ~track:1 ~flow_in:[ fid ] ~category:"fabric" "recv";
+  (* A flow id with no consumer must not emit a dangling arrow. *)
+  let dangling = Span.fresh_flow_id t in
+  Span.instant t ~track:0 ~flow_out:[ dangling ] ~category:"fabric" "lost";
+  let json = Export.chrome_trace t in
+  check_balanced_json json;
+  Alcotest.(check int) "one flow start" 1 (count_infix ~affix:{|"ph":"s"|} json);
+  Alcotest.(check int) "one flow finish" 1 (count_infix ~affix:{|"ph":"f"|} json);
+  Alcotest.(check bool) "binds at enclosing slice end" true
+    (Astring.String.is_infix ~affix:{|"bp":"e"|} json);
+  Alcotest.(check int) "both arrows in the flow category" 2
+    (count_infix ~affix:{|"cat":"flow"|} json)
+
+(* ------------------------------------------------------------------ *)
+(* Profiling is strictly observational: fig5 with every cluster traced
+   prints byte-identical output to the unprofiled run. *)
+
+let capture_stdout f =
+  let tmp = Filename.temp_file "obs_cap" ".out" in
+  let fd =
+    Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o600
+  in
+  let saved = Unix.dup Unix.stdout in
+  flush stdout;
+  Unix.dup2 fd Unix.stdout;
+  let restore () =
+    flush stdout;
+    Unix.dup2 saved Unix.stdout;
+    Unix.close saved;
+    Unix.close fd
+  in
+  let r =
+    try f ()
+    with e ->
+      restore ();
+      Sys.remove tmp;
+      raise e
+  in
+  restore ();
+  let ic = open_in_bin tmp in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  Sys.remove tmp;
+  (r, s)
+
+let test_profiled_fig5_bit_identical () =
+  let module Fig5 = Drust_experiments.Fig5 in
+  let module Cluster = Drust_machine.Cluster in
+  let (), plain =
+    capture_stdout (fun () -> ignore (Fig5.run ~node_counts:[ 1; 2 ] ()))
+  in
+  Cluster.set_create_hook (Some (fun c -> Span.enable (Cluster.spans c)));
+  let (), profiled =
+    Fun.protect
+      ~finally:(fun () -> Cluster.set_create_hook None)
+      (fun () ->
+        capture_stdout (fun () -> ignore (Fig5.run ~node_counts:[ 1; 2 ] ())))
+  in
+  if not (String.equal plain profiled) then begin
+    let n = min (String.length plain) (String.length profiled) in
+    let i = ref 0 in
+    while !i < n && plain.[!i] = profiled.[!i] do
+      incr i
+    done;
+    Alcotest.failf
+      "profiled fig5 stdout diverges at byte %d (lengths %d vs %d): %S vs %S"
+      !i (String.length plain) (String.length profiled)
+      (String.sub plain !i (min 60 (String.length plain - !i)))
+      (String.sub profiled !i (min 60 (String.length profiled - !i)))
+  end
 
 let () =
   Alcotest.run "obs"
@@ -348,9 +660,30 @@ let () =
             test_metrics_jsonl_shape;
           Alcotest.test_case "json escape" `Quick test_json_escape;
         ] );
+      ( "quantile",
+        [
+          Alcotest.test_case "estimate accuracy" `Quick test_quantile_accuracy;
+          Alcotest.test_case "merge histograms" `Quick test_merge_histos;
+        ] );
+      ( "critical-path",
+        [
+          Alcotest.test_case "segment attribution" `Quick
+            test_critical_path_attribution;
+          Alcotest.test_case "top-k + report" `Quick
+            test_critical_path_top_k_and_report;
+          Alcotest.test_case "deterministic across jobs" `Quick
+            test_critical_path_jobs_deterministic;
+        ] );
+      ( "flow",
+        [
+          Alcotest.test_case "chrome flow arrows" `Quick
+            test_chrome_trace_flow_events;
+        ] );
       ( "integration",
         [
           Alcotest.test_case "traced cluster run" `Quick
             test_cluster_trace_integration;
+          Alcotest.test_case "profiled fig5 bit-identical" `Quick
+            test_profiled_fig5_bit_identical;
         ] );
     ]

@@ -1,0 +1,87 @@
+(* Benchmark regression gate, run by the @bench-diff alias (a dep of
+   @runtest).  Compares two BENCH_summary.json files — either schema,
+   drust-bench-summary/v1 (rates only) or /v2 (rates + latency_us
+   percentiles) — entry by entry with a relative tolerance:
+
+     bench_diff.exe BASELINE CURRENT [--tolerance F] [--write-baseline]
+
+   A regression is a baseline entry missing from CURRENT, a throughput
+   drop below baseline*(1 - tolerance), or a latency percentile above
+   baseline*(1 + tolerance); any regression exits 1.  Entries present
+   only in CURRENT are reported as informational and never fail the
+   gate, so adding an experiment does not require touching the baseline
+   first.  --write-baseline validates CURRENT and copies it over
+   BASELINE instead of comparing (the blessing workflow after an
+   intentional perf change). *)
+
+module Report = Drust_experiments.Report
+
+let usage () =
+  prerr_endline
+    "usage: bench_diff.exe BASELINE CURRENT [--tolerance F] [--write-baseline]";
+  exit 2
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let tolerance = ref 0.10 in
+  let write_baseline = ref false in
+  let rec split acc = function
+    | "--tolerance" :: f :: rest -> (
+        match float_of_string_opt f with
+        | Some t when t >= 0.0 ->
+            tolerance := t;
+            split acc rest
+        | _ ->
+            prerr_endline "bench_diff: --tolerance expects a non-negative float";
+            exit 2)
+    | "--write-baseline" :: rest ->
+        write_baseline := true;
+        split acc rest
+    | x :: rest -> split (x :: acc) rest
+    | [] -> List.rev acc
+  in
+  let baseline_path, current_path =
+    match split [] args with [ b; c ] -> (b, c) | _ -> usage ()
+  in
+  let read path =
+    try Report.read_bench_summary ~path
+    with Failure m | Sys_error m ->
+      Printf.eprintf "bench_diff: %s\n" m;
+      exit 2
+  in
+  let current = read current_path in
+  if !write_baseline then begin
+    (* CURRENT already parsed, so the blessed file is known-readable. *)
+    let text = In_channel.with_open_text current_path In_channel.input_all in
+    Out_channel.with_open_text baseline_path (fun oc ->
+        Out_channel.output_string oc text);
+    Printf.printf "bench diff: baseline %s <- %s (%d entr(y/ies), schema %s)\n"
+      baseline_path current_path
+      (List.length current.Report.sm_entries)
+      current.Report.sm_schema
+  end
+  else begin
+    let baseline = read baseline_path in
+    let regressions =
+      Report.compare_summaries ~tolerance:!tolerance ~baseline current
+    in
+    List.iter
+      (fun (name, _) ->
+        if not (List.mem_assoc name baseline.Report.sm_entries) then
+          Printf.printf "bench diff: note: new entry %s (not in baseline)\n"
+            name)
+      current.Report.sm_entries;
+    match regressions with
+    | [] ->
+        Printf.printf "bench diff: OK (%d entr(y/ies) within %.0f%%)\n"
+          (List.length baseline.Report.sm_entries)
+          (100.0 *. !tolerance)
+    | msgs ->
+        List.iter (Printf.eprintf "bench diff: REGRESSION: %s\n") msgs;
+        Printf.eprintf
+          "bench diff: %d regression(s) vs %s (tolerance %.0f%%); if \
+           intentional, re-bless with --write-baseline\n"
+          (List.length msgs) baseline_path
+          (100.0 *. !tolerance);
+        exit 1
+  end

@@ -1,5 +1,5 @@
 (* Documentation consistency checker, run by the @docs alias (a dep of
-   @runtest, so stale docs fail the build).  Three checks:
+   @runtest, so stale docs fail the build).  Five checks:
 
    1. every relative .md link in docs/README.md (the index) resolves,
       and every docs/*.md file is reachable from the index;
@@ -10,7 +10,10 @@
       docs/OBSERVABILITY.md, and vice versa every `layer.metric` name
       the catalogue tables list is actually registered;
    4. the DSan invariant catalogue in docs/SANITIZER.md and
-      [Dsan.invariant_names] agree in both directions. *)
+      [Dsan.invariant_names] agree in both directions;
+   5. docs/BENCHMARKS.md names the summary schema version this build
+      writes ([Report.schema_version]), so a schema bump cannot ship
+      without its documentation. *)
 
 let errors = ref []
 let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt
@@ -175,6 +178,23 @@ let check_sanitizer_catalogue () =
     done
   with Not_found -> ()
 
+(* --- 5: the benchmark summary schema ------------------------------ *)
+
+let check_bench_schema () =
+  let doc = "docs/BENCHMARKS.md" in
+  let text = read_file doc in
+  let version = Drust_experiments.Report.schema_version in
+  let found =
+    try
+      ignore (Str.search_forward (Str.regexp_string version) text 0);
+      true
+    with Not_found -> false
+  in
+  if not found then
+    err "%s does not document the current summary schema %S (bumped in \
+         lib/experiments/report.ml?)"
+      doc version
+
 let () =
   check_index ();
   List.iter
@@ -183,6 +203,7 @@ let () =
   check_paths_in "README.md";
   check_catalogue ();
   check_sanitizer_catalogue ();
+  check_bench_schema ();
   match List.rev !errors with
   | [] -> print_endline "docs check: OK"
   | msgs ->
