@@ -13,7 +13,11 @@
    docs/BENCHMARKS.md).
 
    Experiments: motivation fig5 fig6 fig7 table1 table2 migration
-                ablation traffic ycsb latency trace profile micro
+                ablation traffic ycsb latency failover churn trace
+                profile micro
+
+   --churn-nodes N sets the churn experiment's cluster size (default
+   64; the @churn CI alias runs it at 16).
 
    The [trace] experiment re-runs GEMM on DRust with the span tracer
    enabled and writes a Chrome trace_event JSON (Perfetto-loadable) plus
@@ -36,6 +40,12 @@ let run_ablation () = ignore (E.Ablation.run ())
 let run_traffic () = ignore (E.Traffic.run ())
 let run_ycsb () = ignore (E.Ycsb_suite.run ())
 let run_latency () = ignore (E.Latency.run ())
+let run_failover () = ignore (E.Failover.run ())
+
+(* Node count for the churn run: 64 by default (the paper-scale
+   configuration), dialed down to 16 by the @churn CI alias. *)
+let churn_nodes = ref None
+let run_churn () = ignore (E.Churn.run ?nodes:!churn_nodes ())
 
 (* ------------------------------------------------------------------ *)
 (* Observability demo: one traced run, exported for Perfetto.          *)
@@ -231,6 +241,8 @@ let experiments =
     ("traffic", run_traffic);
     ("ycsb", run_ycsb);
     ("latency", run_latency);
+    ("failover", run_failover);
+    ("churn", run_churn);
     ("trace", run_trace);
     ("profile", run_profile);
     ("micro", run_micro);
@@ -253,6 +265,13 @@ let () =
         | Some j when j >= 1 -> E.Parallel.set_default_jobs j
         | _ ->
             prerr_endline "--jobs expects a positive integer";
+            exit 1);
+        split_args acc rest
+    | "--churn-nodes" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some c when c >= 16 -> churn_nodes := Some c
+        | _ ->
+            prerr_endline "--churn-nodes expects an integer >= 16";
             exit 1);
         split_args acc rest
     | x :: rest -> split_args (x :: acc) rest

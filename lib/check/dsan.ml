@@ -10,6 +10,7 @@ module Darc = Drust_runtime.Darc
 module Drc = Drust_runtime.Drc
 module Dmutex = Drust_runtime.Dmutex
 module Replication = Drust_runtime.Replication
+module Membership = Drust_runtime.Membership
 
 (* ------------------------------------------------------------------ *)
 (* Invariants                                                          *)
@@ -24,6 +25,9 @@ type invariant =
   | Lock_discipline
   | Promotion_uniqueness
   | Use_after_free
+  | Epoch_monotonic
+  | Handoff_atomicity
+  | Replica_chain_intact
 
 let invariant_name = function
   | Single_owner -> "dsan.single_owner"
@@ -34,6 +38,9 @@ let invariant_name = function
   | Lock_discipline -> "dsan.lock_discipline"
   | Promotion_uniqueness -> "dsan.promotion_uniqueness"
   | Use_after_free -> "dsan.use_after_free"
+  | Epoch_monotonic -> "dsan.epoch_monotonic"
+  | Handoff_atomicity -> "dsan.handoff_atomicity"
+  | Replica_chain_intact -> "dsan.replica_chain_intact"
 
 let invariant_names =
   List.map invariant_name
@@ -46,6 +53,9 @@ let invariant_names =
       Lock_discipline;
       Promotion_uniqueness;
       Use_after_free;
+      Epoch_monotonic;
+      Handoff_atomicity;
+      Replica_chain_intact;
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -97,6 +107,7 @@ type traced =
   | Tr_rc of int * Darc.rc_event (* thread *)
   | Tr_lock of Dmutex.event
   | Tr_failover of Replication.event
+  | Tr_member of Membership.event
 
 type trace = { tr_time : float; tr_node : int; tr_ev : traced }
 
@@ -145,6 +156,10 @@ type t = {
   locks : (int, lock_shadow) Hashtbl.t;
   serving : int array;
   alive : bool array;
+  (* Membership shadow: the highest view epoch observed, and the set of
+     handoffs prepared but not yet committed/aborted, keyed by home. *)
+  mutable last_epoch : int;
+  pending_handoffs : (int, int * int) Hashtbl.t; (* home -> (from, to) *)
   ring : (float * string * int * int * int) option array;
   mutable ring_idx : int;
   mutable reports : report list;  (* newest first *)
@@ -217,6 +232,23 @@ let format_failover = function
   | Promoted { home; by; replica } ->
       Printf.sprintf "range %d promoted to node %d (replica %d)" home by replica
 
+let format_member = function
+  | Membership.View_change { epoch; reason } ->
+      Printf.sprintf "view -> e%d (%s)" epoch reason
+  | Handoff_prepared { home; from_node; to_node } ->
+      Printf.sprintf "handoff prepare: range %d, %d -> %d" home from_node
+        to_node
+  | Handoff_committed { home; from_node; to_node; epoch } ->
+      Printf.sprintf "handoff commit: range %d, %d -> %d (e%d)" home from_node
+        to_node epoch
+  | Handoff_aborted { home; from_node; to_node; reason } ->
+      Printf.sprintf "handoff abort: range %d, %d -> %d (%s)" home from_node
+        to_node reason
+  | Chain_reseeded { home; server; hosts } ->
+      Printf.sprintf "chain reseed: range %d on node %d, replicas [%s]" home
+        server
+        (String.concat "; " (List.map string_of_int hosts))
+
 let format_trace tr =
   let body =
     match tr.tr_ev with
@@ -226,6 +258,7 @@ let format_trace tr =
     | Tr_rc (thread, ev) -> Printf.sprintf "thr %d: %s" thread (format_rc ev)
     | Tr_lock ev -> format_lock ev
     | Tr_failover ev -> format_failover ev
+    | Tr_member ev -> format_member ev
   in
   Printf.sprintf "t=%.9f node %d: %s" tr.tr_time tr.tr_node body
 
@@ -729,6 +762,33 @@ let observe_lock t ~time ~node ~thread ev =
 (* Failover events                                                     *)
 (* ------------------------------------------------------------------ *)
 
+(* Shared by failover promotion and planned handoff commit: once a range
+   changes server, no alive cache may still hold a copy of it — a lagging
+   replica (failover) or the old server's image (handoff) would otherwise
+   keep serving superseded values under still-current colors. *)
+let check_range_purged t ~time ~node ~why ~home tr =
+  Hashtbl.iter
+    (fun p sh ->
+      if sh.sh_home = home && sh.sh_status <> Dead then begin
+        let survivors =
+          Hashtbl.fold
+            (fun n _ acc ->
+              if n < Array.length t.alive && t.alive.(n) then n :: acc else acc)
+            sh.sh_copies []
+        in
+        if survivors <> [] then begin
+          violate t Move_invalidation ~time ~node ~thread:(-1) ~addr:(Some p)
+            ~detail:
+              (Printf.sprintf
+                 "cached copies of range %d survived %s on node(s) %s" home why
+                 (String.concat ", "
+                    (List.map string_of_int (List.sort compare survivors))))
+            (Some sh.sh_hist);
+          hist_push sh.sh_hist tr
+        end
+      end)
+    t.shadows
+
 let observe_failover t ~time ~node ev =
   let tr = { tr_time = time; tr_node = node; tr_ev = Tr_failover ev } in
   let viol inv ~addr detail hist =
@@ -750,33 +810,136 @@ let observe_failover t ~time ~node ev =
         viol Promotion_uniqueness ~addr:None
           (Printf.sprintf "range %d promoted to dead node %d" home by)
           None;
+      (* A failover promotion may race a planned handoff of the same
+         range (server died mid-transfer): the coordinator aborts its
+         side when the copy fails, and the prepare record is cleared
+         here.  Both endpoints still being alive means the promotion had
+         no business pre-empting the handoff. *)
+      (match Hashtbl.find_opt t.pending_handoffs home with
+      | Some (f, to_) ->
+          if
+            f < Array.length t.alive && t.alive.(f)
+            && to_ < Array.length t.alive
+            && t.alive.(to_)
+          then
+            viol Handoff_atomicity ~addr:None
+              (Printf.sprintf
+                 "failover promotion of range %d raced a live handoff %d -> %d"
+                 home f to_)
+              None;
+          Hashtbl.remove t.pending_handoffs home
+      | None -> ());
       if home < Array.length t.serving then t.serving.(home) <- by;
       (* After a promotion the surviving caches must hold no copy of the
          promoted range: the replica may lag the lost primary, so those
          copies can carry rolled-back values under still-current colors. *)
-      Hashtbl.iter
-        (fun p sh ->
-          if sh.sh_home = home && sh.sh_status <> Dead then begin
-            let survivors =
-              Hashtbl.fold
-                (fun n _ acc ->
-                  if n < Array.length t.alive && t.alive.(n) then n :: acc
-                  else acc)
-                sh.sh_copies []
-            in
-            if survivors <> [] then begin
-              viol Move_invalidation ~addr:(Some p)
-                (Printf.sprintf
-                   "cached copies of promoted range %d survived failover on \
-                    node(s) %s"
-                   home
-                   (String.concat ", "
-                      (List.map string_of_int (List.sort compare survivors))))
-                (Some sh.sh_hist);
-              hist_push sh.sh_hist tr
-            end
-          end)
-        t.shadows
+      check_range_purged t ~time ~node ~why:"failover" ~home tr
+
+(* ------------------------------------------------------------------ *)
+(* Membership events                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let observe_membership t ~time ~node ev =
+  let tr = { tr_time = time; tr_node = node; tr_ev = Tr_member ev } in
+  let viol inv detail =
+    violate t inv ~time ~node ~thread:(-1) ~addr:None ~detail None
+  in
+  let check_epoch epoch =
+    if epoch <= t.last_epoch then
+      viol Epoch_monotonic
+        (Printf.sprintf
+           "view epoch moved backwards or repeated: saw e%d after e%d" epoch
+           t.last_epoch)
+    else t.last_epoch <- epoch
+  in
+  let alive n = n >= 0 && n < Array.length t.alive && t.alive.(n) in
+  match ev with
+  | Membership.View_change { epoch; reason = _ } -> check_epoch epoch
+  | Handoff_prepared { home; from_node; to_node } ->
+      if Hashtbl.mem t.pending_handoffs home then
+        viol Handoff_atomicity
+          (Printf.sprintf
+             "second handoff of range %d prepared while one is in flight" home);
+      if home < Array.length t.serving && t.serving.(home) <> from_node then
+        viol Handoff_atomicity
+          (Printf.sprintf
+             "handoff of range %d prepared from node %d, but node %d serves it"
+             home from_node t.serving.(home));
+      if not (alive to_node) then
+        viol Handoff_atomicity
+          (Printf.sprintf "handoff of range %d prepared toward dead node %d"
+             home to_node);
+      Hashtbl.replace t.pending_handoffs home (from_node, to_node)
+  | Handoff_committed { home; from_node; to_node; epoch } ->
+      (match Hashtbl.find_opt t.pending_handoffs home with
+      | None ->
+          viol Handoff_atomicity
+            (Printf.sprintf "handoff of range %d committed without a prepare"
+               home)
+      | Some (f, to_) ->
+          if f <> from_node || to_ <> to_node then
+            viol Handoff_atomicity
+              (Printf.sprintf
+                 "handoff commit of range %d (%d -> %d) does not match its \
+                  prepare (%d -> %d)"
+                 home from_node to_node f to_));
+      Hashtbl.remove t.pending_handoffs home;
+      (* The serving swap must be a single step from the preparing server
+         to the target: anything else means a window with zero or two
+         servers for the range. *)
+      if home < Array.length t.serving && t.serving.(home) <> from_node then
+        viol Handoff_atomicity
+          (Printf.sprintf
+             "handoff commit of range %d from node %d, but node %d serves it \
+              — the range had two servers"
+             home from_node t.serving.(home));
+      if not (alive to_node) then
+        viol Handoff_atomicity
+          (Printf.sprintf "range %d handed off to dead node %d — the range \
+                           has zero servers"
+             home to_node);
+      if home < Array.length t.serving then t.serving.(home) <- to_node;
+      check_epoch epoch;
+      check_range_purged t ~time ~node ~why:"handoff" ~home tr
+  | Handoff_aborted { home; from_node; to_node; reason = _ } -> (
+      (* No pending record is legal: a failover promotion that raced the
+         crash may have cleared it already. *)
+      match Hashtbl.find_opt t.pending_handoffs home with
+      | None -> ()
+      | Some (f, to_) ->
+          if f <> from_node || to_ <> to_node then
+            viol Handoff_atomicity
+              (Printf.sprintf
+                 "handoff abort of range %d (%d -> %d) does not match its \
+                  prepare (%d -> %d)"
+                 home from_node to_node f to_);
+          Hashtbl.remove t.pending_handoffs home)
+  | Chain_reseeded { home; server; hosts } ->
+      if hosts = [] then
+        viol Replica_chain_intact
+          (Printf.sprintf
+             "range %d has no alive replica host after reseeding" home);
+      let seen = Hashtbl.create 4 in
+      List.iter
+        (fun h ->
+          if Hashtbl.mem seen h then
+            viol Replica_chain_intact
+              (Printf.sprintf
+                 "range %d reseeded twice onto the same host %d" home h);
+          Hashtbl.replace seen h ();
+          if not (alive h) then
+            viol Replica_chain_intact
+              (Printf.sprintf "range %d reseeded onto dead node %d" home h);
+          if h = server then
+            viol Replica_chain_intact
+              (Printf.sprintf
+                 "range %d replica co-located with its server %d" home h))
+        hosts;
+      if home < Array.length t.serving && t.serving.(home) <> server then
+        viol Replica_chain_intact
+          (Printf.sprintf
+             "range %d reseeded around server %d, but node %d serves it" home
+             server t.serving.(home))
 
 (* ------------------------------------------------------------------ *)
 (* Lifecycle                                                           *)
@@ -793,6 +956,8 @@ let attach ?(mode = Record) cluster =
       locks = Hashtbl.create 16;
       serving = Array.init n (Cluster.serving_node cluster);
       alive = Array.map (fun nd -> nd.Cluster.alive) (Cluster.nodes cluster);
+      last_epoch = 0;
+      pending_handoffs = Hashtbl.create 4;
       ring = Array.make 16 None;
       ring_idx = 0;
       reports = [];
@@ -826,6 +991,9 @@ let attach ?(mode = Record) cluster =
            ~thread:ctx.Ctx.thread_id ev));
   Replication.set_listener cluster
     (Some (fun ctx ev -> observe_failover t ~time:(now ()) ~node:ctx.Ctx.node ev));
+  Membership.set_listener cluster
+    (Some
+       (fun ctx ev -> observe_membership t ~time:(now ()) ~node:ctx.Ctx.node ev));
   Fabric.set_observer (Cluster.fabric cluster)
     (Some
        (fun verb ~from ~target ~bytes ->
@@ -843,6 +1011,7 @@ let detach t =
     Drc.set_listener t.cluster None;
     Dmutex.set_listener t.cluster None;
     Replication.set_listener t.cluster None;
+    Membership.set_listener t.cluster None;
     Fabric.set_observer (Cluster.fabric t.cluster) None
   end
 

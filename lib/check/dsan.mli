@@ -8,8 +8,8 @@
     dmutex hold state — and replays every protocol transition against it
     through the observational hooks exposed by [Protocol.set_probe],
     [Cache.set_listener], [Darc.set_listener], [Drc.set_listener],
-    [Dmutex.set_listener], [Replication.set_listener], and
-    [Fabric.set_observer].
+    [Dmutex.set_listener], [Replication.set_listener],
+    [Membership.set_listener], and [Fabric.set_observer].
 
     Any divergence between what the implementation did and what the
     paper's invariants permit produces a structured {!report} carrying
@@ -27,8 +27,8 @@ module Cluster = Drust_machine.Cluster
 
 (** {1 Invariants} *)
 
-(** The eight checked invariant classes.  Their string names (below) are
-    the stable identifiers used in reports, docs, and tests. *)
+(** The eleven checked invariant classes.  Their string names (below)
+    are the stable identifiers used in reports, docs, and tests. *)
 type invariant =
   | Single_owner  (** exactly one live owner per physical address *)
   | Stale_cache_read
@@ -55,12 +55,24 @@ type invariant =
           copies of the promoted range in surviving caches *)
   | Use_after_free
       (** no operation on a dropped owner or freed refcounted cell *)
+  | Epoch_monotonic
+      (** the membership view epoch strictly increases across every
+          view change and handoff commit *)
+  | Handoff_atomicity
+      (** a range handoff is prepare → commit/abort with matching
+          endpoints, the serving swap is a single step (no window with
+          zero or two servers), at most one handoff per range is in
+          flight, and no alive cache keeps a copy of the moved range *)
+  | Replica_chain_intact
+      (** after rebalancing, a range's replica chain is non-empty,
+          duplicate-free, entirely on alive hosts, and never co-located
+          with the range's server *)
 
 val invariant_name : invariant -> string
 (** ["dsan.single_owner"], ["dsan.stale_cache_read"], ... *)
 
 val invariant_names : string list
-(** All eight names, in declaration order. *)
+(** All eleven names, in declaration order. *)
 
 (** {1 Reports} *)
 
@@ -153,3 +165,6 @@ val observe_lock :
 
 val observe_failover :
   t -> time:float -> node:int -> Drust_runtime.Replication.event -> unit
+
+val observe_membership :
+  t -> time:float -> node:int -> Drust_runtime.Membership.event -> unit

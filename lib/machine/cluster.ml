@@ -119,6 +119,11 @@ let serving_node t home =
     invalid_arg "Cluster.serving_node: out of range";
   t.serving.(home)
 
+let serving_store t home =
+  if home < 0 || home >= Array.length t.range_store then
+    invalid_arg "Cluster.serving_store: out of range";
+  t.range_store.(home)
+
 let promote t ~home ~by ~store =
   if Partition.node store <> home then
     invalid_arg "Cluster.promote: store must mint addresses in the home range";

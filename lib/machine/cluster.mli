@@ -64,6 +64,12 @@ val serving_node : t -> int -> int
 (** [serving_node t home] is the node currently serving [home]'s partition
     range — [home] itself unless it failed and a backup was promoted. *)
 
+val serving_store : t -> int -> Drust_memory.Partition.t
+(** [serving_store t home] is the partition object currently backing
+    [home]'s address range — [home]'s own partition, or whatever store a
+    promotion / planned handoff installed.  The replication layer
+    snapshots it when re-seeding a replica chain. *)
+
 val promote : t -> home:int -> by:int -> store:Drust_memory.Partition.t -> unit
 (** After [home] fails, serve its address range from node [by] using the
     replica [store] (which must mint addresses in [home]'s range). *)

@@ -13,6 +13,12 @@ exception Node_down of int
    budget (e.g. the message or its reply was dropped or blackholed). *)
 exception Rpc_timeout of { from : int; target : int; timeout : float }
 
+(* A verb carried a membership-view epoch older than the one current at
+   serve time: the target refuses to act on routing state that a
+   committed handoff has invalidated.  Retryable — the caller re-reads
+   its view (updated by the controller's announcement) and reissues. *)
+exception Stale_epoch of { from : int; target : int; seen : int; current : int }
+
 let () =
   Printexc.register_printer (function
     | Node_down n -> Some (Printf.sprintf "Fabric.Node_down(node %d)" n)
@@ -20,6 +26,10 @@ let () =
         Some
           (Printf.sprintf "Fabric.Rpc_timeout(%d->%d after %gus)" from target
              (timeout *. 1e6))
+    | Stale_epoch { from; target; seen; current } ->
+        Some
+          (Printf.sprintf "Fabric.Stale_epoch(%d->%d carried e%d, current e%d)"
+             from target seen current)
     | _ -> None)
 
 type counters = {
@@ -32,6 +42,7 @@ type counters = {
   timeouts : int; (* wrapped ops that expired their budget *)
   retries : int; (* backoff re-attempts issued from this node *)
   drops : int; (* messages lost to partitions or lossy links *)
+  stale_epochs : int; (* verbs rejected for carrying an old view epoch *)
 }
 
 (* Per-node registry handles; the public [counters] record is a snapshot
@@ -46,6 +57,7 @@ type verbs = {
   c_timeouts : Metrics.counter;
   c_retries : Metrics.counter;
   c_drops : Metrics.counter;
+  c_stale_epochs : Metrics.counter;
 }
 
 type t = {
@@ -62,6 +74,10 @@ type t = {
   nics : Drust_sim.Resource.t array;
   mutable spans : Span.t option;
   mutable fault : Fault.t option;
+  (* Current membership-view epoch, installed by the membership layer.
+     Verbs carrying an [?epoch] are validated against it at serve time;
+     absent (the default) every carried epoch passes. *)
+  mutable epoch_of : (unit -> int) option;
   (* Observational hook fired at verb-issue time; DSan uses it to keep a
      recent-traffic ring for violation provenance.  Must never touch the
      engine or any RNG. *)
@@ -84,6 +100,7 @@ let register_verbs metrics node =
     c_timeouts = c "fabric.timeouts";
     c_retries = c "fabric.retries";
     c_drops = c "fabric.drops";
+    c_stale_epochs = c "fabric.stale_epochs";
   }
 
 let create ?metrics ?spans ~engine ~rng ~model ~nodes () =
@@ -102,11 +119,13 @@ let create ?metrics ?spans ~engine ~rng ~model ~nodes () =
       Array.init nodes (fun _ -> Drust_sim.Resource.create engine ~capacity:1);
     spans;
     fault = None;
+    epoch_of = None;
     observer = None;
   }
 
 let set_spans t spans = t.spans <- spans
 let set_observer t o = t.observer <- o
+let set_epoch_source t f = t.epoch_of <- f
 let metrics t = t.metrics
 let set_fault_plan t plan = t.fault <- Some plan
 let fault_plan t = t.fault
@@ -227,6 +246,22 @@ let fault_extra_latency t ~from ~target =
   | Some p when from <> target -> Fault.extra_latency p ~from ~target
   | Some _ | None -> 0.0
 
+(* Serve-time view validation: a verb that carried an epoch is rejected
+   if the membership view advanced while it was in flight (or the issuer
+   was already behind when it posted).  Runs after the request leg's
+   latency — the request reached the target and completed in error, like
+   a work request NAKed by a server that re-checked its delegation map. *)
+let check_epoch t ~from ~target epoch =
+  match (epoch, t.epoch_of) with
+  | Some seen, Some current_of ->
+      let current = current_of () in
+      if seen < current then begin
+        Metrics.incr t.counters.(from).c_stale_epochs;
+        mark t "STALE_EPOCH" ~from ~target ~bytes:0;
+        raise (Stale_epoch { from; target; seen; current })
+      end
+  | _ -> ()
+
 (* Apply multiplicative gaussian jitter to a base latency, clamped so that
    a pathological sample can never be negative or more than double. *)
 let jittered t base =
@@ -286,7 +321,7 @@ let note ?(verb = "") t ~from ~target ~bytes =
   | None -> ()
   | Some f -> f verb ~from ~target ~bytes
 
-let rdma_read ?parent t ~from ~target ~bytes =
+let rdma_read ?parent ?epoch t ~from ~target ~bytes =
   check_node t from "rdma_read";
   check_node t target "rdma_read";
   Metrics.incr t.counters.(from).c_reads;
@@ -296,9 +331,10 @@ let rdma_read ?parent t ~from ~target ~bytes =
   with_verb_span t "READ" ~from ~target ~bytes ?parent (fun vt ->
       delay_with_nic ~vt t ~data_source:target ~from ~target
         ~base:t.model.Model.oneside_base ~bytes;
+      check_epoch t ~from ~target epoch;
       if from <> target then serve_mark vt ~target "SERVE(READ)")
 
-let rdma_write ?parent t ~from ~target ~bytes =
+let rdma_write ?parent ?epoch t ~from ~target ~bytes =
   check_node t from "rdma_write";
   check_node t target "rdma_write";
   Metrics.incr t.counters.(from).c_writes;
@@ -308,6 +344,7 @@ let rdma_write ?parent t ~from ~target ~bytes =
   with_verb_span t "WRITE" ~from ~target ~bytes ?parent (fun vt ->
       delay_with_nic ~vt t ~data_source:from ~from ~target
         ~base:t.model.Model.oneside_base ~bytes;
+      check_epoch t ~from ~target epoch;
       if from <> target then serve_mark vt ~target "SERVE(WRITE)")
 
 let rdma_write_async ?parent t ~from ~target ~bytes k =
@@ -356,7 +393,7 @@ let rdma_atomic ?parent t ~from ~target f =
       if from <> target then serve_mark vt ~target "SERVE(ATOMIC)";
       f ())
 
-let rpc ?parent t ~from ~target ~req_bytes ~resp_bytes handler =
+let rpc ?parent ?epoch t ~from ~target ~req_bytes ~resp_bytes handler =
   check_node t from "rpc";
   check_node t target "rpc";
   Metrics.incr t.counters.(from).c_rpcs;
@@ -366,6 +403,7 @@ let rpc ?parent t ~from ~target ~req_bytes ~resp_bytes handler =
     (fun vt ->
       delay_with_nic ~vt t ~data_source:from ~from ~target
         ~base:t.model.Model.twoside_base ~bytes:req_bytes;
+      check_epoch t ~from ~target epoch;
       if from <> target then serve_mark vt ~target "RECV(RPC)";
       let result = handler () in
       delay_with_nic ~vt t ~data_source:target ~from ~target
@@ -400,14 +438,14 @@ let race_against_timer t ~timeout f =
              | exception e -> settle (Crashed e)));
       Engine.schedule_after t.engine timeout (fun () -> settle Expired))
 
-let rpc_with_timeout ?parent t ~from ~target ~req_bytes ~resp_bytes ~timeout
-    handler =
+let rpc_with_timeout ?parent ?epoch t ~from ~target ~req_bytes ~resp_bytes
+    ~timeout handler =
   check_node t from "rpc_with_timeout";
   check_node t target "rpc_with_timeout";
   if timeout <= 0.0 then invalid_arg "Fabric.rpc_with_timeout: timeout <= 0";
   match
     race_against_timer t ~timeout (fun () ->
-        rpc ?parent t ~from ~target ~req_bytes ~resp_bytes handler)
+        rpc ?parent ?epoch t ~from ~target ~req_bytes ~resp_bytes handler)
   with
   | Settled v -> v
   | Crashed e -> raise e
@@ -416,27 +454,34 @@ let rpc_with_timeout ?parent t ~from ~target ~req_bytes ~resp_bytes ~timeout
       mark ?parent t "TIMEOUT" ~from ~target ~bytes:0;
       raise (Rpc_timeout { from; target; timeout })
 
-(* Retry [op] on Node_down / Rpc_timeout with exponential backoff, giving
-   up (re-raising the last error) when the attempt count or the
-   simulated-time budget runs out.  [op] re-resolves its own target each
-   attempt, which is what lets a retry land on a freshly promoted
-   backup. *)
+(* Retry [op] on Node_down / Rpc_timeout / Stale_epoch with exponential
+   backoff, giving up (re-raising the last error) when the attempt count
+   or the simulated-time budget runs out.  [op] re-resolves its own
+   target (and re-reads its membership view) each attempt, which is what
+   lets a retry land on a freshly promoted backup or carry the epoch a
+   handoff announcement just installed. *)
 let retry_with_backoff ?parent t ~from ?(attempts = 8) ?(base_delay = 50e-6)
-    ?(max_delay = 5e-3) ?(budget = Float.infinity) op =
+    ?(max_delay = 5e-3) ?(budget = Float.infinity) ?(jitter = 0.25) op =
   check_node t from "retry_with_backoff";
   if attempts < 1 then invalid_arg "Fabric.retry_with_backoff: attempts < 1";
+  if jitter < 0.0 || jitter > 1.0 then
+    invalid_arg "Fabric.retry_with_backoff: jitter outside [0, 1]";
   let deadline = Engine.now t.engine +. budget in
   let rec go n delay =
     match op () with
     | v -> v
-    | exception ((Node_down _ | Rpc_timeout _) as e) ->
+    | exception ((Node_down _ | Rpc_timeout _ | Stale_epoch _) as e) ->
         if n + 1 >= attempts || Engine.now t.engine +. delay > deadline then
           raise e
         else begin
           Metrics.incr t.counters.(from).c_retries;
           mark ?parent t "RETRY" ~from ~target:from ~bytes:0;
-          (* +-25% seeded jitter decorrelates retry storms. *)
-          let d = delay *. (0.75 +. Drust_util.Rng.float t.rng 0.5) in
+          (* +-jitter seeded multiplicative noise decorrelates retry
+             storms; the draw happens even at jitter = 0 so turning
+             jitter off does not shift the RNG stream. *)
+          let d =
+            delay *. (1.0 -. jitter +. Drust_util.Rng.float t.rng (2.0 *. jitter))
+          in
           Engine.delay t.engine d;
           go (n + 1) (Float.min max_delay (delay *. 2.0))
         end
@@ -486,6 +531,7 @@ let counters_of t node =
     timeouts = Metrics.value c.c_timeouts;
     retries = Metrics.value c.c_retries;
     drops = Metrics.value c.c_drops;
+    stale_epochs = Metrics.value c.c_stale_epochs;
   }
 
 let total_remote_ops t =
@@ -505,5 +551,6 @@ let reset_counters t =
       Metrics.reset_counter c.c_remote_ops;
       Metrics.reset_counter c.c_timeouts;
       Metrics.reset_counter c.c_retries;
-      Metrics.reset_counter c.c_drops)
+      Metrics.reset_counter c.c_drops;
+      Metrics.reset_counter c.c_stale_epochs)
     t.counters

@@ -27,6 +27,14 @@ exception Rpc_timeout of { from : node_id; target : node_id; timeout : float }
 (** An operation wrapped in {!rpc_with_timeout} did not complete within
     its simulated-time budget. *)
 
+exception
+  Stale_epoch of { from : node_id; target : node_id; seen : int; current : int }
+(** A verb carried a membership-view epoch ([seen]) older than the view
+    current at serve time ([current]): the target refuses to act on
+    routing state a committed handoff has invalidated.  Retryable —
+    {!retry_with_backoff} treats it like {!Node_down}, and the caller's
+    next attempt re-reads its (by then updated) view. *)
+
 val create :
   ?metrics:Drust_obs.Metrics.t ->
   ?spans:Drust_obs.Span.t ->
@@ -74,6 +82,15 @@ val set_fault_plan : t -> Drust_sim.Fault.t -> unit
 
 val fault_plan : t -> Drust_sim.Fault.t option
 
+val set_epoch_source : t -> (unit -> int) option -> unit
+(** Install the membership layer's current-epoch reader.  From then on,
+    any verb passed an [?epoch] is validated against it at serve time
+    (after the request leg's latency): a carried epoch older than the
+    current one raises {!Stale_epoch} and counts against the issuer's
+    [fabric.stale_epochs].  Without a source (the default), or on verbs
+    that carry no epoch, validation is skipped.  The reader must be pure
+    observation — no engine or RNG access. *)
+
 val node_count : t -> int
 val model : t -> Model.t
 
@@ -81,14 +98,19 @@ val model : t -> Model.t
 
 val rdma_read :
   ?parent:Drust_obs.Span.span ->
+  ?epoch:int ->
   t -> from:node_id -> target:node_id -> bytes:int -> unit
 (** One-sided READ: blocks the caller for the verb latency; the target CPU
     is not involved.  [parent] (here and on every verb below) links the
     verb's span under an enclosing operation span when tracing is
-    enabled; it has no effect otherwise. *)
+    enabled; it has no effect otherwise.  [epoch] (here and on
+    {!rdma_write} / {!rpc} / {!rpc_with_timeout}) stamps the verb with
+    the issuer's membership-view epoch for serve-time validation — see
+    {!set_epoch_source}. *)
 
 val rdma_write :
   ?parent:Drust_obs.Span.span ->
+  ?epoch:int ->
   t -> from:node_id -> target:node_id -> bytes:int -> unit
 (** One-sided WRITE, same cost model as {!rdma_read}. *)
 
@@ -109,6 +131,7 @@ val rdma_atomic :
 
 val rpc :
   ?parent:Drust_obs.Span.span ->
+  ?epoch:int ->
   t ->
   from:node_id ->
   target:node_id ->
@@ -130,6 +153,7 @@ val send_async :
 
 val rpc_with_timeout :
   ?parent:Drust_obs.Span.span ->
+  ?epoch:int ->
   t ->
   from:node_id ->
   target:node_id ->
@@ -152,15 +176,21 @@ val retry_with_backoff :
   ?base_delay:float ->
   ?max_delay:float ->
   ?budget:float ->
+  ?jitter:float ->
   (unit -> 'a) ->
   'a
-(** [retry_with_backoff t ~from op] runs [op], retrying on {!Node_down}
-    and {!Rpc_timeout} with exponential backoff (seeded ±25 % jitter,
-    starting at [base_delay] = 50 µs, doubling up to [max_delay] = 5 ms)
-    until it succeeds, [attempts] (default 8) run out, or the next
-    backoff would exceed the simulated-time [budget] — then re-raises the
-    last error.  [op] should re-resolve its target each attempt so a
-    retry can land on a freshly promoted backup. *)
+(** [retry_with_backoff t ~from op] runs [op], retrying on {!Node_down},
+    {!Rpc_timeout} and {!Stale_epoch} with exponential backoff (starting
+    at [base_delay] = 50 µs, doubling up to [max_delay] = 5 ms) until it
+    succeeds, [attempts] (default 8) run out, or the next backoff would
+    exceed the simulated-time [budget] — then re-raises the last error.
+    Each backoff is multiplied by seeded noise in
+    [1 ± jitter] (default 0.25, clamped to [0, 1]) drawn from the
+    cluster's RNG, so retries from different nodes desynchronize after a
+    partition heals instead of stampeding in lockstep.  [op] should
+    re-resolve its target (and re-read its membership view) each attempt
+    so a retry can land on a freshly promoted backup or carry a freshly
+    announced epoch. *)
 
 (** {1 Traffic statistics}
 
@@ -177,6 +207,7 @@ type counters = {
   timeouts : int;  (** wrapped ops that expired their budget *)
   retries : int;  (** backoff re-attempts issued from this node *)
   drops : int;  (** messages lost to partitions or lossy links *)
+  stale_epochs : int;  (** verbs rejected for carrying an old view epoch *)
 }
 
 val counters_of : t -> node_id -> counters

@@ -16,8 +16,12 @@ type t = {
   cpu_threshold : float;
   probe_timeout : float;
   miss_threshold : int;
+  grace : float; (* minimum silence (since last good probe) before declaring *)
   replication : Replication.t option;
+  membership : Membership.t option;
   misses : int array; (* consecutive missed heartbeats, per node *)
+  last_ok : float array; (* time of each node's last successful probe *)
+  deaths_cap : int; (* bound on the death log, oldest entries dropped *)
   mutable deaths : (int * float) list; (* (node, declared-dead time), newest first *)
   mutable on_death : (int -> unit) option;
   mutable running : bool;
@@ -43,9 +47,23 @@ let ctl_mark t name ~node =
 let declare_dead t ctx node =
   if (Cluster.node t.cluster node).Cluster.alive then begin
     let at = Engine.now (Cluster.engine t.cluster) in
+    (* Bounded log: the churn experiments run long enough that an
+       unbounded list is a leak; only the newest verdicts matter. *)
     t.deaths <- (node, at) :: t.deaths;
+    (if List.length t.deaths > t.deaths_cap then
+       let rec take n = function
+         | x :: tl when n > 0 -> x :: take (n - 1) tl
+         | _ -> []
+       in
+       t.deaths <- take t.deaths_cap t.deaths);
     Metrics.incr t.c_failovers;
     ctl_mark t "FAILOVER" ~node;
+    (* The membership view learns of the death (and announces the new
+       epoch) before promotion, so verbs routed under the old view are
+       NAKed rather than answered by the range's inheritor. *)
+    (match t.membership with
+    | Some m -> Membership.node_failed ctx m ~node
+    | None -> ());
     (match t.replication with
     | Some repl -> Replication.fail_and_promote ctx repl ~node
     | None -> Cluster.mark_failed t.cluster node);
@@ -76,12 +94,23 @@ let probe_all t ctx =
         with
         | p ->
             t.misses.(id) <- 0;
+            t.last_ok.(id) <- Engine.now (Cluster.engine cluster);
             p
         | exception (Fabric.Node_down _ | Fabric.Rpc_timeout _) ->
             t.misses.(id) <- t.misses.(id) + 1;
             Metrics.incr t.c_heartbeat_misses;
             ctl_mark t "HEARTBEAT_MISS" ~node:id;
-            if t.misses.(id) >= t.miss_threshold then declare_dead t ctx id;
+            (* Two conditions gate the verdict: K consecutive misses AND
+               at least [grace] of silence since the last good probe.
+               Miss counting alone can span less wall-clock than
+               K × interval when timeouts stack, so a transient
+               partition shorter than the nominal detection window could
+               otherwise trigger a false-positive promotion. *)
+            let silent_for =
+              Engine.now (Cluster.engine cluster) -. t.last_ok.(id)
+            in
+            if t.misses.(id) >= t.miss_threshold && silent_for >= t.grace then
+              declare_dead t ctx id;
             silent
     end
   in
@@ -171,8 +200,25 @@ let rebalance t ctx =
   Array.iter handle_pressure t.last_probe
 
 let start ?(probe_interval = 1e-3) ?(mem_threshold = 0.9) ?(cpu_threshold = 0.9)
-    ?(probe_timeout = 2e-4) ?(miss_threshold = 3) ?replication cluster =
+    ?(probe_timeout = 2e-4) ?(miss_threshold = 3) ?grace ?replication
+    ?membership cluster =
   let m = Cluster.metrics cluster in
+  (* Default grace: the worst silence a partition shorter than
+     miss_threshold × probe_interval can produce is one probe round of
+     pre-partition quiet, plus the partition itself, plus one trailing
+     timeout — which reaches exactly K × (interval + timeout) when the
+     cut is aligned with the probe schedule.  One extra round of slack
+     keeps such partitions strictly inside the grace window (immune to
+     round-duration drift) at the cost of under one round of added
+     detection latency for a real crash. *)
+  let grace =
+    match grace with
+    | Some g -> g
+    | None ->
+        float_of_int (miss_threshold + 1) *. (probe_interval +. probe_timeout)
+  in
+  let n = Cluster.node_count cluster in
+  let start_now = Engine.now (Cluster.engine cluster) in
   let t =
     {
       cluster;
@@ -181,8 +227,12 @@ let start ?(probe_interval = 1e-3) ?(mem_threshold = 0.9) ?(cpu_threshold = 0.9)
       cpu_threshold;
       probe_timeout;
       miss_threshold;
+      grace;
       replication;
-      misses = Array.make (Cluster.node_count cluster) 0;
+      membership;
+      misses = Array.make n 0;
+      last_ok = Array.make n start_now;
+      deaths_cap = max 16 (2 * n);
       deaths = [];
       on_death = None;
       running = true;

@@ -26,16 +26,27 @@ val start :
   ?cpu_threshold:float ->
   ?probe_timeout:float ->
   ?miss_threshold:int ->
+  ?grace:float ->
   ?replication:Replication.t ->
+  ?membership:Membership.t ->
   Drust_machine.Cluster.t ->
   t
 (** Spawns the probing daemon (default interval 1 ms of virtual time).
     Each remote probe is bounded by [probe_timeout] (default 200 µs —
     comfortably above a healthy probe's ~10 µs round trip);
-    [miss_threshold] consecutive misses (default 3) declare the node
-    dead, so worst-case detection latency is roughly
-    [miss_threshold × (probe_interval + probe_timeout)] after the crash.
-    Pass [replication] to have the verdict drive backup promotion. *)
+    [miss_threshold] consecutive misses (default 3) {e and} at least
+    [grace] seconds of silence since the node's last good probe declare
+    the node dead.  [grace] defaults to
+    [(miss_threshold + 1) × (probe_interval + probe_timeout)]: a
+    transient partition shorter than [miss_threshold × probe_interval]
+    can stack enough timeouts to reach the miss count while the total
+    silence is still at most [miss_threshold × (interval + timeout)],
+    so the one-round-larger grace floor keeps such blips from
+    triggering a false-positive promotion at the cost of under one
+    probe round of added real-crash detection latency.  Pass [replication]
+    to have the verdict drive backup promotion, and [membership] to have
+    it bump + announce the membership epoch before promotion (stale-view
+    verbs are then rejected instead of answered by the inheritor). *)
 
 val stop : t -> unit
 (** The daemon exits at its next wakeup; required for the event queue to
@@ -51,7 +62,9 @@ val probes_performed : t -> int
 val deaths : t -> (int * float) list
 (** Nodes the detector has declared dead, with the virtual time of each
     verdict, in declaration order.  Detection latency is this time minus
-    the injected crash time. *)
+    the injected crash time.  The log is bounded (the newest
+    [max 16 (2 × nodes)] verdicts are kept), so long churn runs cannot
+    grow it without bound. *)
 
 val set_on_death : t -> (int -> unit) -> unit
 (** Callback invoked (from the controller's process, after promotion)

@@ -18,6 +18,11 @@ type t = {
   pending : (Gaddr.t, dirty) Hashtbl.t;
   mutable writebacks : int;
   mutable enabled : bool;
+  (* Home ranges whose server died with every replica host already dead:
+     nothing can re-serve them.  Recorded instead of raised, so cascading
+     failures surface as an explicit report rather than an exception from
+     deep inside promotion. *)
+  mutable unrecoverable : int list;
 }
 
 let replica_host t ~home ~r = (home + 1 + r) mod Cluster.node_count t.cluster
@@ -95,6 +100,7 @@ let enable ?(replicas = 1) cluster =
       pending = Hashtbl.create 256;
       writebacks = 0;
       enabled = true;
+      unrecoverable = [];
     }
   in
   (* Initial snapshot: mirror every live object into every replica. *)
@@ -140,28 +146,36 @@ let fail_and_promote ctx t ~node =
   for home = 0 to n - 1 do
     if Cluster.serving_node t.cluster home = node then begin
       let rec pick r =
-        if r >= t.replicas then
-          failwith "Replication: no alive replica host left for a range"
+        if r >= t.replicas then None
         else
           let host = replica_host t ~home ~r in
-          if (Cluster.node t.cluster host).Cluster.alive then (host, r)
+          if (Cluster.node t.cluster host).Cluster.alive then Some (host, r)
           else pick (r + 1)
       in
-      let by, r = pick 0 in
-      Cluster.promote t.cluster ~home ~by ~store:t.backups.(r).(home);
-      (* The promoted replica may lag the lost primary (write-backs are
-         batched), so copies the survivors fetched from the primary can
-         hold exactly the lost writes — under colored addresses that are
-         still current.  Purge the whole promoted range from every alive
-         cache before serving resumes, or those copies keep serving
-         values the failover rolled back. *)
-      Array.iter
-        (fun nd ->
-          if nd.Cluster.alive then
-            ignore (Cache.invalidate_home nd.Cluster.cache ~home))
-        (Cluster.nodes t.cluster);
-      with_listener ctx t.cluster (fun emit ->
-          emit (Promoted { home; by; replica = r }))
+      match pick 0 with
+      | None ->
+          (* Every replica host died too (a cascade longer than the
+             replica count).  The range stays mapped to the dead server —
+             readers get Node_down — and the loss is reported through
+             [unrecoverable_ranges] instead of an exception unwinding the
+             controller mid-promotion. *)
+          if not (List.mem home t.unrecoverable) then
+            t.unrecoverable <- home :: t.unrecoverable
+      | Some (by, r) ->
+          Cluster.promote t.cluster ~home ~by ~store:t.backups.(r).(home);
+          (* The promoted replica may lag the lost primary (write-backs are
+             batched), so copies the survivors fetched from the primary can
+             hold exactly the lost writes — under colored addresses that are
+             still current.  Purge the whole promoted range from every alive
+             cache before serving resumes, or those copies keep serving
+             values the failover rolled back. *)
+          Array.iter
+            (fun nd ->
+              if nd.Cluster.alive then
+                ignore (Cache.invalidate_home nd.Cluster.cache ~home))
+            (Cluster.nodes t.cluster);
+          with_listener ctx t.cluster (fun emit ->
+              emit (Promoted { home; by; replica = r }))
     end
   done;
   (* The controller announces the promotion to every alive server. *)
@@ -172,3 +186,45 @@ let fail_and_promote ctx t ~node =
         Fabric.rpc fabric ~from:ctx.Ctx.node ~target:id ~req_bytes:32
           ~resp_bytes:8 (fun () -> ()))
     (Cluster.alive_nodes t.cluster)
+
+let unrecoverable_ranges t = List.sort Int.compare t.unrecoverable
+
+(* Rebuild [home]'s replica chain from whatever store currently serves
+   the range.  Called after a planned handoff commits: the old replicas
+   mirror a snapshot the old server took, and the chain's hosts may have
+   changed liveness since, so each alive host gets a fresh copy pushed
+   from the new server (a bulk one-sided WRITE off the critical path).
+   Dead hosts are skipped — their slots stay frozen and are never
+   promoted (fail_and_promote only picks alive hosts).  Returns the
+   alive hosts now holding a current copy, in ring order. *)
+let reseed_chain _ctx t ~home =
+  if home < 0 || home >= Cluster.node_count t.cluster then
+    invalid_arg "Replication.reseed_chain: home out of range";
+  let store = Cluster.serving_store t.cluster home in
+  let server = Cluster.serving_node t.cluster home in
+  let fabric = Cluster.fabric t.cluster in
+  let capacity =
+    (Cluster.params t.cluster).Drust_machine.Params.mem_per_node
+  in
+  let hosts = ref [] in
+  for r = t.replicas - 1 downto 0 do
+    let host = replica_host t ~home ~r in
+    (* A ring slot landing on the server itself is skipped: a backup
+       co-located with its primary survives exactly the failures the
+       primary survives, so it adds nothing (and the old snapshot there
+       is never promoted while the server is that node — a dead server
+       means a dead co-located backup, which [pick] already skips). *)
+    if host <> server && (Cluster.node t.cluster host).Cluster.alive then begin
+      hosts := host :: !hosts;
+      let fresh = Partition.create ~node:home ~capacity_bytes:capacity in
+      let bytes = ref 0 in
+      Partition.iter store (fun g e ->
+          bytes := !bytes + e.Partition.size;
+          Partition.put fresh g ~size:e.Partition.size e.Partition.value);
+      t.backups.(r).(home) <- fresh;
+      Fabric.rdma_write_async fabric ~from:server ~target:host
+        ~bytes:(max 64 !bytes)
+        (fun () -> ())
+    end
+  done;
+  !hosts

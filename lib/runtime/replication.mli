@@ -45,7 +45,24 @@ val fail_and_promote : Ctx.t -> t -> node:int -> unit
     ownership had not yet escaped the failed server).  Every surviving
     node's cache is purged of copies from the promoted ranges: those
     copies may hold exactly the lost writes under still-current colored
-    addresses, and must not keep serving them. *)
+    addresses, and must not keep serving them.  A range whose replica
+    hosts are {e all} dead is not promoted; it is recorded in
+    {!unrecoverable_ranges} and its reads keep failing with
+    [Fabric.Node_down] — cascading failures degrade to an explicit
+    report, never an exception from inside promotion. *)
+
+val unrecoverable_ranges : t -> int list
+(** Home ranges lost to cascading failures (server and every replica
+    host dead), ascending.  Empty while the cluster is recoverable. *)
+
+val reseed_chain : Ctx.t -> t -> home:int -> int list
+(** Rebuild [home]'s replica chain from the store currently serving the
+    range (after a planned handoff installed a new server): every alive
+    replica host receives a fresh snapshot via a bulk asynchronous
+    WRITE.  Returns the alive hosts now holding a current copy, in ring
+    order; dead hosts — and a ring slot landing on the server itself,
+    where a backup would survive exactly the failures the primary
+    survives — are skipped and never promoted. *)
 
 (** {1 Shadow-state events (the DSan sanitizer, lib/check)}
 

@@ -23,6 +23,7 @@ module Darc = Drust_runtime.Darc
 module Drc = Drust_runtime.Drc
 module Dmutex = Drust_runtime.Dmutex
 module Replication = Drust_runtime.Replication
+module Membership = Drust_runtime.Membership
 module Dsan = Drust_check.Dsan
 
 let int_tag : int Univ.tag = Univ.create_tag ~name:"int"
@@ -202,6 +203,87 @@ let test_inject_promotion_without_purge () =
         (Replication.Promoted { home = 1; by = 2; replica = 0 });
       check_flagged "copies survived the failover purge" t
         [ "dsan.move_invalidation" ])
+
+let test_inject_epoch_regression () =
+  with_sink (fun t ->
+      Dsan.observe_membership t ~time:1e-3 ~node:0
+        (Membership.View_change { epoch = 1; reason = "join" });
+      Dsan.observe_membership t ~time:2e-3 ~node:0
+        (Membership.View_change { epoch = 3; reason = "leave" });
+      Alcotest.(check int) "monotone climb legal" 0 (Dsan.violation_count t);
+      (* a repeated epoch is as illegal as a regression: both mean two
+         views could answer for the same instant *)
+      Dsan.observe_membership t ~time:3e-3 ~node:0
+        (Membership.View_change { epoch = 3; reason = "echo" });
+      check_flagged "repeated epoch" t [ "dsan.epoch_monotonic" ];
+      Dsan.clear t;
+      Dsan.observe_membership t ~time:4e-3 ~node:0
+        (Membership.View_change { epoch = 2; reason = "rollback" });
+      check_flagged "epoch went backwards" t [ "dsan.epoch_monotonic" ])
+
+let test_inject_handoff_atomicity () =
+  with_sink (fun t ->
+      (* commit with no prepare *)
+      Dsan.observe_membership t ~time:1e-3 ~node:0
+        (Membership.Handoff_committed
+           { home = 1; from_node = 1; to_node = 2; epoch = 1 });
+      check_flagged "commit without prepare" t [ "dsan.handoff_atomicity" ];
+      Dsan.clear t;
+      (* prepare/commit endpoint mismatch: the range would end up with a
+         server the prepare never named *)
+      Dsan.observe_membership t ~time:2e-3 ~node:0
+        (Membership.Handoff_prepared { home = 3; from_node = 3; to_node = 0 });
+      Dsan.observe_membership t ~time:3e-3 ~node:0
+        (Membership.Handoff_committed
+           { home = 3; from_node = 3; to_node = 1; epoch = 2 });
+      check_flagged "commit does not match prepare" t
+        [ "dsan.handoff_atomicity" ];
+      Dsan.clear t;
+      (* a second prepare for a range already in flight *)
+      Dsan.observe_membership t ~time:4e-3 ~node:0
+        (Membership.Handoff_prepared { home = 0; from_node = 0; to_node = 2 });
+      Dsan.observe_membership t ~time:5e-3 ~node:0
+        (Membership.Handoff_prepared { home = 0; from_node = 0; to_node = 3 });
+      check_flagged "double prepare" t [ "dsan.handoff_atomicity" ];
+      Dsan.clear t;
+      (* prepare from a node that does not serve the range: committing it
+         would leave the range with two servers *)
+      Dsan.observe_membership t ~time:6e-3 ~node:0
+        (Membership.Handoff_prepared { home = 2; from_node = 3; to_node = 0 });
+      check_flagged "prepare from a non-server" t [ "dsan.handoff_atomicity" ];
+      Dsan.clear t;
+      (* handing a range to a dead node: zero servers *)
+      Dsan.observe_failover t ~time:7e-3 ~node:0
+        (Replication.Node_failed { node = 3 });
+      Dsan.observe_membership t ~time:8e-3 ~node:0
+        (Membership.Handoff_prepared { home = 1; from_node = 1; to_node = 3 });
+      check_flagged "prepare toward a dead node" t [ "dsan.handoff_atomicity" ])
+
+let test_inject_bad_reseed () =
+  with_sink (fun t ->
+      Dsan.observe_membership t ~time:1e-3 ~node:0
+        (Membership.Chain_reseeded { home = 1; server = 1; hosts = [] });
+      check_flagged "empty chain" t [ "dsan.replica_chain_intact" ];
+      Dsan.clear t;
+      Dsan.observe_membership t ~time:2e-3 ~node:0
+        (Membership.Chain_reseeded { home = 1; server = 1; hosts = [ 2; 2 ] });
+      check_flagged "duplicate host" t [ "dsan.replica_chain_intact" ];
+      Dsan.clear t;
+      Dsan.observe_membership t ~time:3e-3 ~node:0
+        (Membership.Chain_reseeded { home = 1; server = 1; hosts = [ 1 ] });
+      check_flagged "replica co-located with server" t
+        [ "dsan.replica_chain_intact" ];
+      Dsan.clear t;
+      Dsan.observe_failover t ~time:4e-3 ~node:0
+        (Replication.Node_failed { node = 3 });
+      Dsan.observe_membership t ~time:5e-3 ~node:0
+        (Membership.Chain_reseeded { home = 1; server = 1; hosts = [ 3 ] });
+      check_flagged "replica on a dead host" t [ "dsan.replica_chain_intact" ];
+      Dsan.clear t;
+      (* chain announced around a server that does not serve the range *)
+      Dsan.observe_membership t ~time:6e-3 ~node:0
+        (Membership.Chain_reseeded { home = 1; server = 2; hosts = [ 0 ] });
+      check_flagged "server mismatch" t [ "dsan.replica_chain_intact" ])
 
 let test_inject_borrow_violations () =
   with_sink (fun t ->
@@ -537,6 +619,11 @@ let () =
             test_inject_double_promotion;
           Alcotest.test_case "promotion without cache purge" `Quick
             test_inject_promotion_without_purge;
+          Alcotest.test_case "epoch regression" `Quick
+            test_inject_epoch_regression;
+          Alcotest.test_case "handoff atomicity" `Quick
+            test_inject_handoff_atomicity;
+          Alcotest.test_case "bad reseed chain" `Quick test_inject_bad_reseed;
           Alcotest.test_case "borrow discipline" `Quick
             test_inject_borrow_violations;
           Alcotest.test_case "use after free" `Quick test_inject_use_after_free;

@@ -11,6 +11,7 @@ module Ctx = Drust_machine.Ctx
 module Fabric = Drust_net.Fabric
 module Controller = Drust_runtime.Controller
 module Replication = Drust_runtime.Replication
+module Membership = Drust_runtime.Membership
 module P = Drust_core.Protocol
 module Rng = Drust_util.Rng
 module Univ = Drust_util.Univ
@@ -248,6 +249,200 @@ let test_detector_double_failure_two_replicas () =
       Controller.stop ctrl;
       Replication.disable repl)
 
+(* A transient partition long enough to stack [miss_threshold] timeouts
+   but shorter than [miss_threshold × probe_interval] must NOT trigger a
+   promotion: the detector's grace floor (silence since the last good
+   probe) has to absorb the miss streak.  The window is aligned so node
+   1 misses three consecutive probes — without the grace period this
+   exact schedule declared it dead. *)
+let test_grace_absorbs_miss_streak () =
+  in_cluster (fun cluster plan _ctx ->
+      let engine = Cluster.engine cluster in
+      let repl = Replication.enable cluster in
+      let ctrl =
+        Controller.start ~probe_interval:0.5e-3 ~probe_timeout:2e-4
+          ~miss_threshold:3 ~replication:repl cluster
+      in
+      Fault.transient_partition plan ~group:[ 1 ] ~at:1.02e-3
+        ~duration:1.47e-3;
+      Engine.delay engine 10e-3;
+      let snap = Drust_obs.Metrics.snapshot (Cluster.metrics cluster) in
+      Alcotest.(check bool) "the miss streak reached the threshold" true
+        (Drust_obs.Metrics.total snap "controller.heartbeat_misses" >= 3);
+      Alcotest.(check (list (pair int (float 1e-9)))) "no verdicts" []
+        (Controller.deaths ctrl);
+      Alcotest.(check bool) "still alive" true
+        (Cluster.node cluster 1).Cluster.alive;
+      Controller.stop ctrl;
+      Replication.disable repl)
+
+(* Cascading failure past the replication factor: with one replica,
+   killing a primary and then the backup that inherited its range must
+   leave the range explicitly unrecoverable — reported by the manager,
+   not raised through the controller daemon. *)
+let test_cascading_failure_reports_unrecoverable () =
+  in_cluster (fun cluster plan ctx ->
+      let engine = Cluster.engine cluster in
+      let o = P.create_on ctx ~node:1 ~size:64 (pack 7) in
+      let repl = Replication.enable cluster in
+      let ctrl =
+        Controller.start ~probe_interval:0.5e-3 ~probe_timeout:2e-4
+          ~miss_threshold:3 ~replication:repl cluster
+      in
+      Fault.crash_at plan ~node:1 ~at:1e-3;
+      Fault.crash_at plan ~node:2 ~at:10e-3;
+      while
+        List.length (Controller.deaths ctrl) < 2 && Engine.now engine < 40e-3
+      do
+        Engine.delay engine 0.5e-3
+      done;
+      Alcotest.(check (list int)) "both declared dead" [ 1; 2 ]
+        (List.map fst (Controller.deaths ctrl));
+      (* Range 1's only replica host (node 2) is dead: the range stays
+         mapped to the dead server and is reported, nothing raises. *)
+      Alcotest.(check (list int)) "range 1 unrecoverable" [ 1 ]
+        (Replication.unrecoverable_ranges repl);
+      (match P.owner_read ctx o with
+      | _ -> Alcotest.fail "reading an unrecoverable range must raise"
+      | exception Fabric.Node_down _ -> ());
+      (* The rest of the cluster still works. *)
+      let p = P.create_on ctx ~node:3 ~size:64 (pack 11) in
+      Alcotest.(check int) "survivors serve" 11 (unpack (P.owner_read ctx p));
+      Controller.stop ctrl;
+      Replication.disable repl)
+
+(* ------------------------------------------------------------------ *)
+(* Epoch-stamped verbs *)
+
+let test_stale_epoch_rejected_then_retried () =
+  in_cluster (fun cluster _plan _ctx ->
+      let fabric = Cluster.fabric cluster in
+      let epoch = ref 0 in
+      Fabric.set_epoch_source fabric (Some (fun () -> !epoch));
+      (* Current epoch: accepted. *)
+      Fabric.rdma_read fabric ~from:0 ~target:1 ~bytes:16 ~epoch:0;
+      (* The view moves on: a verb still stamped 0 is NAKed at serve
+         time with the live epoch attached. *)
+      epoch := 3;
+      (match Fabric.rdma_read fabric ~from:0 ~target:1 ~bytes:16 ~epoch:0 with
+      | () -> Alcotest.fail "stale epoch must be rejected"
+      | exception Fabric.Stale_epoch { seen; current; _ } ->
+          Alcotest.(check int) "seen" 0 seen;
+          Alcotest.(check int) "current" 3 current);
+      Alcotest.(check bool) "rejection counted" true
+        ((Fabric.counters_of fabric 0).Fabric.stale_epochs > 0);
+      (* A client that re-reads its view on every attempt recovers: the
+         first attempt is NAKed, the retry carries the fresh epoch. *)
+      let known = ref 0 in
+      let attempts = ref 0 in
+      let v =
+        Fabric.retry_with_backoff fabric ~from:0 ~base_delay:1e-4 (fun () ->
+            incr attempts;
+            let e = !known in
+            known := !epoch;
+            Fabric.rdma_read fabric ~from:0 ~target:1 ~bytes:16 ~epoch:e;
+            42)
+      in
+      Alcotest.(check int) "succeeds on retry" 42 v;
+      Alcotest.(check bool) "took more than one attempt" true (!attempts > 1);
+      Fabric.set_epoch_source fabric None)
+
+(* ------------------------------------------------------------------ *)
+(* Elastic membership: join / leave / crash-during-handoff *)
+
+let test_membership_join_and_leave () =
+  in_cluster (fun cluster _plan ctx ->
+      let engine = Cluster.engine cluster in
+      let o = P.create_on ctx ~node:1 ~size:4096 (pack 5) in
+      P.pin ctx o;
+      let repl = Replication.enable cluster in
+      let m = Membership.create ~active:3 cluster ~replication:repl in
+      Alcotest.(check bool) "standby not active" false
+        (Membership.is_active m ~node:3);
+      (* Join: node 3 activates and pulls a range off the most-loaded
+         member — node 1, whose range holds the object. *)
+      (match Membership.join ctx m ~node:3 with
+      | Ok (Some 1) -> ()
+      | Ok h ->
+          Alcotest.failf "expected to inherit range 1, got %s"
+            (match h with Some n -> string_of_int n | None -> "none")
+      | Error _ -> Alcotest.fail "join failed");
+      Alcotest.(check int) "range 1 served by the joiner" 3
+        (Cluster.serving_node cluster 1);
+      Alcotest.(check int) "value survived the handoff" 5
+        (unpack (P.owner_read ctx o));
+      let e_after_join = Membership.epoch m in
+      Alcotest.(check bool) "join bumped the epoch" true (e_after_join >= 2);
+      Alcotest.(check int) "coordinator knows the epoch" e_after_join
+        (Membership.known_epoch m ~node:0);
+      Engine.delay engine 1e-3;
+      Alcotest.(check int) "announcement reached node 2" e_after_join
+        (Membership.known_epoch m ~node:2);
+      (* Graceful leave: every range node 3 serves moves to the
+         least-loaded survivor — the inherited range 1 and its own
+         (empty) native range 3 — and the node returns to standby. *)
+      (match Membership.leave ctx m ~node:3 with
+      | Ok moved ->
+          Alcotest.(check bool) "leave moved range 1" true (List.mem 1 moved)
+      | Error _ -> Alcotest.fail "leave failed");
+      Alcotest.(check bool) "back to standby" false
+        (Membership.is_active m ~node:3);
+      Alcotest.(check bool) "inheritor is an active member" true
+        (Cluster.serving_node cluster 1 < 3);
+      Alcotest.(check int) "value survived the leave" 5
+        (unpack (P.owner_read ctx o));
+      Alcotest.(check bool) "epoch kept climbing" true
+        (Membership.epoch m > e_after_join);
+      Membership.detach m;
+      Replication.disable repl)
+
+let test_crash_during_handoff_falls_back_to_promotion () =
+  in_cluster (fun cluster plan ctx ->
+      let engine = Cluster.engine cluster in
+      (* Big enough that the bulk copy spans several 64 KiB chunks: the
+         chunk boundaries are where a mid-handoff crash surfaces. *)
+      let o = P.create_on ctx ~node:1 ~size:(512 * 1024) (pack 13) in
+      P.pin ctx o;
+      let repl = Replication.enable cluster in
+      let m = Membership.create cluster ~replication:repl in
+      let ctrl =
+        Controller.start ~probe_interval:0.5e-3 ~probe_timeout:2e-4
+          ~miss_threshold:3 ~replication:repl ~membership:m cluster
+      in
+      (* Saboteur: fail-stop the departing server as soon as the
+         transfer is in flight. *)
+      ignore
+        (Engine.spawn engine (fun () ->
+             let armed = ref true in
+             while !armed && Engine.now engine < 20e-3 do
+               Engine.delay engine 2e-5;
+               match Membership.in_flight_handoff m with
+               | Some (1, 1, 2) ->
+                   Fault.crash_at plan ~node:1 ~at:(Engine.now engine);
+                   armed := false
+               | _ -> ()
+             done));
+      (match Membership.handoff ctx m ~home:1 ~to_node:2 with
+      | Error (`Aborted _) -> ()
+      | Ok () -> Alcotest.fail "sabotaged handoff must abort"
+      | Error (`Refused r) -> Alcotest.failf "refused instead of aborted: %s" r);
+      (* Clean abort: the serving map never changed... *)
+      Alcotest.(check int) "serving map untouched by the abort" 1
+        (Cluster.serving_node cluster 1);
+      (* ...and the ordinary failover path recovers the range. *)
+      while Controller.deaths ctrl = [] && Engine.now engine < 40e-3 do
+        Engine.delay engine 0.5e-3
+      done;
+      Alcotest.(check (list int)) "detector declared the victim" [ 1 ]
+        (List.map fst (Controller.deaths ctrl));
+      Alcotest.(check int) "promoted to the ring backup" 2
+        (Cluster.serving_node cluster 1);
+      Alcotest.(check int) "value recovered from the backup" 13
+        (unpack (P.owner_read ctx o));
+      Controller.stop ctrl;
+      Membership.detach m;
+      Replication.disable repl)
+
 (* ------------------------------------------------------------------ *)
 (* Batching and read-through (no faults involved) *)
 
@@ -300,6 +495,19 @@ let () =
             test_transient_partition_no_false_positive;
           Alcotest.test_case "double failure, two replicas" `Quick
             test_detector_double_failure_two_replicas;
+          Alcotest.test_case "grace absorbs a miss streak" `Quick
+            test_grace_absorbs_miss_streak;
+          Alcotest.test_case "cascading failure reported" `Quick
+            test_cascading_failure_reports_unrecoverable;
+        ] );
+      ( "membership",
+        [
+          Alcotest.test_case "stale epoch NAK + retry" `Quick
+            test_stale_epoch_rejected_then_retried;
+          Alcotest.test_case "join and leave" `Quick
+            test_membership_join_and_leave;
+          Alcotest.test_case "crash mid-handoff falls back" `Quick
+            test_crash_during_handoff_falls_back_to_promotion;
         ] );
       ( "batching",
         [
