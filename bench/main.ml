@@ -19,6 +19,11 @@
    --churn-nodes N sets the churn experiment's cluster size (default
    64; the @churn CI alias runs it at 16).
 
+   --host-time records each gated experiment's host wall-clock cost as
+   a host_ms field in BENCH_summary.json (schema v3), which @bench-diff
+   gates with a loose tolerance; off by default so plain summaries stay
+   machine-independent and byte-identical across --jobs values.
+
    The [trace] experiment re-runs GEMM on DRust with the span tracer
    enabled and writes a Chrome trace_event JSON (Perfetto-loadable) plus
    a JSONL metrics dump; set DRUST_TRACE=<prefix> to choose the output
@@ -150,7 +155,27 @@ let run_profile () =
     (Printf.sprintf
        "%d trace events (with cross-node flow arrows) -> %s (load in \
         ui.perfetto.dev)"
-       (Span.count spans) trace_path)
+       (Span.count spans) trace_path);
+  (* Host engine throughput: dispatched events per wall-clock second,
+     untraced (the zero-allocation fast path) and traced.  Wall-clock
+     numbers are machine-dependent, so they go to stderr — stdout must
+     stay byte-identical across machines and runs (docs/PERFORMANCE.md
+     explains how to read these). *)
+  Printf.eprintf "host engine throughput (wall-clock, machine-dependent):\n";
+  let host_measure ~label ~traced =
+    let cluster = Cluster.create (B.testbed ~nodes:4 ()) in
+    if traced then Span.enable (Cluster.spans cluster);
+    let backend = B.make_backend B.Drust cluster in
+    let t0 = Unix.gettimeofday () in
+    ignore
+      (Drust_gemm.Gemm.run ~cluster ~backend Drust_gemm.Gemm.default_config);
+    let dt = Unix.gettimeofday () -. t0 in
+    let n = Drust_sim.Engine.dispatched (Cluster.engine cluster) in
+    Printf.eprintf "  %-18s %9d events in %6.3f s = %.3g events/s\n" label n dt
+      (float_of_int n /. dt)
+  in
+  host_measure ~label:"gemm/4n untraced" ~traced:false;
+  host_measure ~label:"gemm/4n traced" ~traced:true
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: wall-clock cost of the hot OCaml paths
@@ -266,6 +291,9 @@ let () =
         | _ ->
             prerr_endline "--jobs expects a positive integer";
             exit 1);
+        split_args acc rest
+    | "--host-time" :: rest ->
+        E.Report.set_host_time_recording true;
         split_args acc rest
     | "--churn-nodes" :: n :: rest ->
         (match int_of_string_opt n with

@@ -42,8 +42,15 @@ type mut = {
 }
 
 (* ------------------------------------------------------------------ *)
-(* Per-cluster protocol statistics: counters in the cluster's metrics
-   registry, with the handles memoized in the cluster's Env.           *)
+(* Per-cluster protocol state.
+
+   Everything the protocol keeps per cluster — stat counters, op-latency
+   histograms, ablation switches, the sanitizer probe, fault-tolerance
+   listeners, and the owner registry — lives in ONE record under a
+   single Env key, and the resolved record is cached on the Ctx.  Hot
+   operations therefore read a field of an already-resolved pointer
+   instead of hashing into the Env (and then into a string-keyed
+   histogram table) on every access. *)
 
 module Env = Drust_machine.Env
 
@@ -52,8 +59,6 @@ type stats = {
   bumps : Metrics.counter;
   fetches : Metrics.counter;
 }
-
-let stats_key : stats Env.key = Env.key ~name:"protocol.stats"
 
 (* ------------------------------------------------------------------ *)
 (* Per-op-kind latency histograms (protocol.op_latency{op=...}).  The
@@ -67,177 +72,33 @@ let op_latency_buckets =
   [| 1e-8; 2e-8; 5e-8; 1e-7; 2e-7; 5e-7; 1e-6; 2e-6; 5e-6; 1e-5; 2e-5; 5e-5;
      1e-4; 2e-4; 5e-4; 1e-3; 2e-3; 5e-3; 1e-2 |]
 
-let op_latency_kinds =
-  [ "read_local"; "read_cached"; "read_fetch"; "read_remote"; "write_inplace";
-    "write_bump"; "write_move"; "transfer"; "drop" ]
+(* Outcome kinds as dense ints: indices into the histogram array and the
+   values [Ctx.op_kind] carries while an operation is in flight.  Must
+   stay in sync with [op_kind_names]. *)
+let k_read_local = 0
+let k_read_cached = 1
+let k_read_fetch = 2
+let k_read_remote = 3
+let k_write_inplace = 4
+let k_write_bump = 5
+let k_write_move = 6
+let k_transfer = 7
+let k_drop = 8
 
-let op_hist_key : (string, Metrics.histogram) Hashtbl.t Env.key =
-  Env.key ~name:"protocol.op_latency"
+let op_kind_names =
+  [| "read_local"; "read_cached"; "read_fetch"; "read_remote";
+     "write_inplace"; "write_bump"; "write_move"; "transfer"; "drop" |]
+
+let op_latency_kinds = Array.to_list op_kind_names
 
 let register_op_hist cluster kind =
   Metrics.histogram (Cluster.metrics cluster) ~buckets:op_latency_buckets
     ~labels:[ ("op", kind) ] ~unit_:"s" "protocol.op_latency"
 
-let op_hists_of_cluster cluster =
-  Env.get (Cluster.env cluster) op_hist_key ~init:(fun () ->
-      (* Register every kind eagerly so snapshots carry the same sample
-         set on every cluster (mergeable) and the docs-catalogue check
-         sees the name even on an idle cluster. *)
-      let tbl = Hashtbl.create 16 in
-      List.iter
-        (fun kind -> Hashtbl.replace tbl kind (register_op_hist cluster kind))
-        op_latency_kinds;
-      tbl)
-
-let stats_of_cluster cluster =
-  ignore (op_hists_of_cluster cluster);
-  Env.get (Cluster.env cluster) stats_key ~init:(fun () ->
-      let m = Cluster.metrics cluster in
-      {
-        moves = Metrics.counter m ~unit_:"ops" "protocol.moves";
-        bumps = Metrics.counter m ~unit_:"ops" "protocol.color_bumps";
-        fetches = Metrics.counter m ~unit_:"ops" "protocol.fetches";
-      })
-
-let stats_of ctx = stats_of_cluster (Ctx.cluster ctx)
-
-(* Wrap one protocol-level operation: always observe its end-to-end
-   latency (elapsed virtual time plus compute charged but not yet
-   flushed — both pure reads of existing state, so measurement never
-   perturbs the run), and, when tracing is enabled, open a root span the
-   operation's fabric verbs and core waits parent under.  [ctx.op_tag]
-   starts empty and the branch that decides the outcome overwrites it;
-   [default] covers operations with a single outcome. *)
-let measure_op ctx ~default f =
-  let cluster = Ctx.cluster ctx in
-  let hists = op_hists_of_cluster cluster in
-  let engine = Ctx.engine ctx in
-  let saved_tag = ctx.Ctx.op_tag in
-  ctx.Ctx.op_tag <- "";
-  let t0 = Drust_sim.Engine.now engine in
-  let p0 = ctx.Ctx.pending_cycles in
-  let spans = Cluster.spans cluster in
-  let saved_span = ctx.Ctx.current_span in
-  let sp =
-    if Span.is_enabled spans then begin
-      let sp =
-        Span.start spans ~track:ctx.Ctx.node ?parent:saved_span
-          ~category:"protocol" default
-      in
-      ctx.Ctx.current_span <- Some sp;
-      Some sp
-    end
-    else None
-  in
-  let finish () =
-    let kind = if ctx.Ctx.op_tag = "" then default else ctx.Ctx.op_tag in
-    let t1 = Drust_sim.Engine.now engine in
-    let pending =
-      Params.cycles_to_seconds (Ctx.params ctx) (ctx.Ctx.pending_cycles -. p0)
-    in
-    let lat = t1 -. t0 +. pending in
-    let h =
-      match Hashtbl.find_opt hists kind with
-      | Some h -> h
-      | None ->
-          let h = register_op_hist cluster kind in
-          Hashtbl.replace hists kind h;
-          h
-    in
-    Metrics.observe h lat;
-    (match sp with Some s -> Span.finish spans s | None -> ());
-    ctx.Ctx.current_span <- saved_span;
-    ctx.Ctx.op_tag <- saved_tag
-  in
-  match f () with
-  | v ->
-      finish ();
-      v
-  | exception e ->
-      finish ();
-      raise e
-
-let tag ctx kind = ctx.Ctx.op_tag <- kind
-
-(* Weak variant: only classifies when no stronger branch did already
-   (e.g. a pinned read-through inside an op the claim already tagged). *)
-let tag_weak ctx kind = if ctx.Ctx.op_tag = "" then ctx.Ctx.op_tag <- kind
-
-(* Instant span mark on the acting node's timeline; argument lists are
-   only built when tracing is live. *)
-let proto_mark ctx name ~bytes =
-  let sp = Cluster.spans (Ctx.cluster ctx) in
-  if Span.is_enabled sp then
-    Span.instant sp ~track:ctx.Ctx.node ~category:"protocol"
-      ~args:[ ("bytes", string_of_int bytes) ]
-      name
-
-(* Registry of live owners, per cluster — powers the executable audit of
-   the paper's Appendix C invariants. *)
-let owner_registry_key : owner list ref Env.key =
-  Env.key ~name:"protocol.owner_registry"
-
-let registry_of_cluster cluster =
-  Env.get (Cluster.env cluster) owner_registry_key ~init:(fun () -> ref [])
-
-let register_owner ctx o =
-  let r = registry_of_cluster (Ctx.cluster ctx) in
-  r := o :: !r
-
-let prune_registry cluster =
-  let r = registry_of_cluster cluster in
-  r := List.filter (fun o -> o.valid) !r
-
-let moves ctx = Metrics.value (stats_of ctx).moves
-let color_bumps ctx = Metrics.value (stats_of ctx).bumps
-let fetches ctx = Metrics.value (stats_of ctx).fetches
-
-let reset_protocol_stats ctx =
-  let s = stats_of ctx in
-  Metrics.reset_counter s.moves;
-  Metrics.reset_counter s.bumps;
-  Metrics.reset_counter s.fetches
-
-(* Listeners installed by the fault-tolerance layer, stored in the
-   cluster's Env as option cells. *)
-let commit_listener_key :
-    (Ctx.t -> Gaddr.t -> int -> Univ.t -> unit) option ref Env.key =
-  Env.key ~name:"protocol.commit_listener"
-
-let transfer_listener_key : (Ctx.t -> Gaddr.t -> unit) option ref Env.key =
-  Env.key ~name:"protocol.transfer_listener"
-
-let listener_cell cluster key =
-  Env.get (Cluster.env cluster) key ~init:(fun () -> ref None)
-
-let set_commit_listener cluster f = listener_cell cluster commit_listener_key := f
-let set_transfer_listener cluster f =
-  listener_cell cluster transfer_listener_key := f
-
-let notify_commit ctx g size =
-  let cluster = Ctx.cluster ctx in
-  match !(listener_cell cluster commit_listener_key) with
-  | None -> ()
-  | Some f ->
-      if Cluster.heap_mem cluster g then
-        f ctx (Gaddr.clear_color g) size
-          (Cluster.heap_read cluster g).Drust_memory.Partition.value
-
-let notify_transfer ctx g =
-  match !(listener_cell (Ctx.cluster ctx) transfer_listener_key) with
-  | None -> ()
-  | Some f -> f ctx (Gaddr.clear_color g)
-
 (* ------------------------------------------------------------------ *)
-(* Shadow-state probe (the DSan sanitizer, lib/check): one event per
-   protocol transition, emitted synchronously at the state change.  Each
-   event is allocated only when a probe is installed, and a probe must
-   never touch the engine or any RNG — sanitized runs stay bit-identical.
-
-   Emission points are chosen so that the address an event carries and
-   the shadow state a checker keeps can never be separated by a scheduler
-   yield: read events fire at the instant the access path is decided,
-   write events right after the new address is published.               *)
+(* Probe and write-kind types (defined before the state record that
+   stores the installed probe; semantics documented at their section
+   below and in the mli). *)
 
 type access_path = Path_local | Path_cache of Gaddr.t | Path_fetch
 
@@ -260,16 +121,206 @@ type probe_event =
   | Ev_drop of { g : Gaddr.t }
   | Ev_app of { g : Gaddr.t; verb : string; tag : string }
 
-let probe_key : (Ctx.t -> probe_event -> unit) option ref Env.key =
-  Env.key ~name:"protocol.probe"
+(* Ablation switches (per cluster): disable the local-write
+   optimizations to quantify their contribution. *)
+type options = { mutable always_move : bool; mutable no_ubit : bool }
 
-let probe_cell cluster =
-  Env.get (Cluster.env cluster) probe_key ~init:(fun () -> ref None)
+type pstate = {
+  mutable ps_hists : Metrics.histogram array;
+      (* one histogram per op kind, indexed by the [k_*] constants;
+         [[||]] until the first measured operation registers them — the
+         same lazy timing the old per-piece Env cells had, so the
+         metrics registry keeps its registration (and report) order *)
+  mutable ps_stats : stats option;
+      (* counters, registered on first increment/read as before *)
+  ps_options : options;
+  mutable ps_probe : (Ctx.t -> probe_event -> unit) option;
+  mutable ps_commit : (Ctx.t -> Gaddr.t -> int -> Univ.t -> unit) option;
+  mutable ps_transfer : (Ctx.t -> Gaddr.t -> unit) option;
+  mutable ps_registry : owner list;
+}
 
-let set_probe cluster f = probe_cell cluster := f
+let pstate_key : pstate Env.key = Env.key ~name:"protocol.state"
+
+let fresh_pstate () =
+  {
+    ps_hists = [||];
+    ps_stats = None;
+    ps_options = { always_move = false; no_ubit = false };
+    ps_probe = None;
+    ps_commit = None;
+    ps_transfer = None;
+    ps_registry = [];
+  }
+
+let pstate_of_cluster cluster =
+  Env.get (Cluster.env cluster) pstate_key ~init:fresh_pstate
+
+(* Per-Ctx pointer cache: a Ctx is bound to one cluster for life, so the
+   resolved pstate is stashed in the Ctx's [layer_cache] slot — encoded
+   as an extensible-variant constructor, the same trick Env keys use —
+   and every later access is a single constructor-tag match. *)
+exception Pstate_cache of pstate
+
+let pstate_of ctx =
+  match ctx.Ctx.layer_cache with
+  | Pstate_cache ps -> ps
+  | _ ->
+      let ps = pstate_of_cluster (Ctx.cluster ctx) in
+      ctx.Ctx.layer_cache <- Pstate_cache ps;
+      ps
+
+let hists_of cluster ps =
+  if Array.length ps.ps_hists = 0 then
+    (* Register every kind eagerly so snapshots carry the same sample
+       set on every cluster (mergeable) and the docs-catalogue check
+       sees the name even on an idle cluster. *)
+    ps.ps_hists <- Array.map (register_op_hist cluster) op_kind_names;
+  ps.ps_hists
+
+let stats_of_ps cluster ps =
+  match ps.ps_stats with
+  | Some s -> s
+  | None ->
+      (* Histograms register first, as the old stats_of_cluster did. *)
+      ignore (hists_of cluster ps);
+      let m = Cluster.metrics cluster in
+      let s =
+        {
+          moves = Metrics.counter m ~unit_:"ops" "protocol.moves";
+          bumps = Metrics.counter m ~unit_:"ops" "protocol.color_bumps";
+          fetches = Metrics.counter m ~unit_:"ops" "protocol.fetches";
+        }
+      in
+      ps.ps_stats <- Some s;
+      s
+
+let stats_of ctx = stats_of_ps (Ctx.cluster ctx) (pstate_of ctx)
+
+(* Close one measured operation: classify the outcome, observe the
+   latency, restore the context's saved measurement state.  Toplevel —
+   not a closure — so the measurement wrapper allocates nothing per
+   operation when tracing is off. *)
+let finish_op ctx hists ~default ~saved_kind ~saved_span ~sp ~t0 ~p0 =
+  let kind = if ctx.Ctx.op_kind < 0 then default else ctx.Ctx.op_kind in
+  let t1 = Drust_sim.Engine.now (Ctx.engine ctx) in
+  let pending =
+    Params.cycles_to_seconds (Ctx.params ctx) (ctx.Ctx.pending_cycles -. p0)
+  in
+  let lat = t1 -. t0 +. pending in
+  Metrics.observe (Array.unsafe_get hists kind) lat;
+  (match sp with
+  | Some s -> Span.finish (Cluster.spans (Ctx.cluster ctx)) s
+  | None -> ());
+  ctx.Ctx.current_span <- saved_span;
+  ctx.Ctx.op_kind <- saved_kind
+
+(* Wrap one protocol-level operation: always observe its end-to-end
+   latency (elapsed virtual time plus compute charged but not yet
+   flushed — both pure reads of existing state, so measurement never
+   perturbs the run), and, when tracing is enabled, open a root span the
+   operation's fabric verbs and core waits parent under.  [ctx.op_kind]
+   starts unset (-1) and the branch that decides the outcome overwrites
+   it; [default] covers operations with a single outcome. *)
+let measure_op ctx ~default f =
+  let cluster = Ctx.cluster ctx in
+  let hists = hists_of cluster (pstate_of ctx) in
+  let saved_kind = ctx.Ctx.op_kind in
+  ctx.Ctx.op_kind <- -1;
+  let t0 = Drust_sim.Engine.now (Ctx.engine ctx) in
+  let p0 = ctx.Ctx.pending_cycles in
+  let spans = Cluster.spans cluster in
+  let saved_span = ctx.Ctx.current_span in
+  let sp =
+    if Span.is_enabled spans then begin
+      let sp =
+        Span.start spans ~track:ctx.Ctx.node ?parent:saved_span
+          ~category:"protocol" op_kind_names.(default)
+      in
+      ctx.Ctx.current_span <- Some sp;
+      Some sp
+    end
+    else None
+  in
+  match f () with
+  | v ->
+      finish_op ctx hists ~default ~saved_kind ~saved_span ~sp ~t0 ~p0;
+      v
+  | exception e ->
+      finish_op ctx hists ~default ~saved_kind ~saved_span ~sp ~t0 ~p0;
+      raise e
+
+let tag ctx kind = ctx.Ctx.op_kind <- kind
+
+(* Weak variant: only classifies when no stronger branch did already
+   (e.g. a pinned read-through inside an op the claim already tagged). *)
+let tag_weak ctx kind = if ctx.Ctx.op_kind < 0 then ctx.Ctx.op_kind <- kind
+
+(* Instant span mark on the acting node's timeline; argument lists are
+   only built when tracing is live. *)
+let proto_mark ctx name ~bytes =
+  let sp = Cluster.spans (Ctx.cluster ctx) in
+  if Span.is_enabled sp then
+    Span.instant sp ~track:ctx.Ctx.node ~category:"protocol"
+      ~args:[ ("bytes", string_of_int bytes) ]
+      name
+
+(* Registry of live owners, per cluster — powers the executable audit of
+   the paper's Appendix C invariants. *)
+let register_owner ctx o =
+  let ps = pstate_of ctx in
+  ps.ps_registry <- o :: ps.ps_registry
+
+let prune_registry cluster =
+  let ps = pstate_of_cluster cluster in
+  ps.ps_registry <- List.filter (fun o -> o.valid) ps.ps_registry
+
+let moves ctx = Metrics.value (stats_of ctx).moves
+let color_bumps ctx = Metrics.value (stats_of ctx).bumps
+let fetches ctx = Metrics.value (stats_of ctx).fetches
+
+let reset_protocol_stats ctx =
+  let s = stats_of ctx in
+  Metrics.reset_counter s.moves;
+  Metrics.reset_counter s.bumps;
+  Metrics.reset_counter s.fetches
+
+(* Listeners installed by the fault-tolerance layer. *)
+let set_commit_listener cluster f = (pstate_of_cluster cluster).ps_commit <- f
+let set_transfer_listener cluster f =
+  (pstate_of_cluster cluster).ps_transfer <- f
+
+let notify_commit ctx g size =
+  match (pstate_of ctx).ps_commit with
+  | None -> ()
+  | Some f ->
+      let cluster = Ctx.cluster ctx in
+      if Cluster.heap_mem cluster g then
+        f ctx (Gaddr.clear_color g) size
+          (Cluster.heap_read cluster g).Drust_memory.Partition.value
+
+let notify_transfer ctx g =
+  match (pstate_of ctx).ps_transfer with
+  | None -> ()
+  | Some f -> f ctx (Gaddr.clear_color g)
+
+(* ------------------------------------------------------------------ *)
+(* Shadow-state probe (the DSan sanitizer, lib/check): one event per
+   protocol transition, emitted synchronously at the state change.  Each
+   event is allocated only when a probe is installed, and a probe must
+   never touch the engine or any RNG — sanitized runs stay bit-identical.
+
+   Emission points are chosen so that the address an event carries and
+   the shadow state a checker keeps can never be separated by a scheduler
+   yield: read events fire at the instant the access path is decided,
+   write events right after the new address is published.
+
+   The event types are declared next to the [pstate] record above. *)
+
+let set_probe cluster f = (pstate_of_cluster cluster).ps_probe <- f
 
 let[@inline] with_probe ctx k =
-  match !(probe_cell (Ctx.cluster ctx)) with None -> () | Some f -> k f
+  match (pstate_of ctx).ps_probe with None -> () | Some f -> k f
 
 (* How a write changed the colored address: same address (U-bit elision),
    color bump in place, or relocation. *)
@@ -283,23 +334,15 @@ let note_app ctx ~g ~verb ~tag =
   with_probe ctx (fun f -> f ctx (Ev_app { g; verb; tag }))
 
 let tag_of_write_kind = function
-  | W_in_place -> "write_inplace"
-  | W_bump -> "write_bump"
-  | W_move -> "write_move"
+  | W_in_place -> k_write_inplace
+  | W_bump -> k_write_bump
+  | W_move -> k_write_move
 
 (* ------------------------------------------------------------------ *)
-(* Ablation switches (per cluster): disable the local-write
-   optimizations to quantify their contribution.                        *)
+(* Ablation switches (declared on [pstate] above). *)
 
-type options = { mutable always_move : bool; mutable no_ubit : bool }
-
-let options_key : options Env.key = Env.key ~name:"protocol.options"
-
-let options_of_cluster cluster =
-  Env.get (Cluster.env cluster) options_key ~init:(fun () ->
-      { always_move = false; no_ubit = false })
-
-let options_of ctx = options_of_cluster (Ctx.cluster ctx)
+let options_of_cluster cluster = (pstate_of_cluster cluster).ps_options
+let options_of ctx = (pstate_of ctx).ps_options
 
 let set_always_move cluster v = (options_of_cluster cluster).always_move <- v
 let set_no_ubit cluster v = (options_of_cluster cluster).no_ubit <- v
@@ -513,7 +556,7 @@ let imm_deref_inner ctx r =
   assert_live r.i_live "Protocol.imm_deref";
   let cluster = Ctx.cluster ctx in
   if is_local ctx r.i_g then begin
-    tag ctx "read_local";
+    tag ctx k_read_local;
     with_probe ctx (fun f -> f ctx (Ev_read { g = r.i_g; path = Path_local }));
     charge_local_deref ctx;
     (Cluster.heap_read cluster r.i_g).Partition.value
@@ -521,7 +564,7 @@ let imm_deref_inner ctx r =
   else begin
     match r.i_copy with
     | Some copy when Gaddr.equal copy.Cache.key r.i_g && not copy.Cache.dead ->
-        tag ctx "read_cached";
+        tag ctx k_read_cached;
         with_probe ctx (fun f ->
             f ctx (Ev_read { g = r.i_g; path = Path_cache copy.Cache.key }));
         charge_cache_hit ctx;
@@ -531,14 +574,14 @@ let imm_deref_inner ctx r =
         charge_cache_hit ctx;
         match Cache.lookup cache r.i_g with
         | Some copy ->
-            tag ctx "read_cached";
+            tag ctx k_read_cached;
             with_probe ctx (fun f ->
                 f ctx (Ev_read { g = r.i_g; path = Path_cache copy.Cache.key }));
             Cache.retain copy;
             r.i_copy <- Some copy;
             copy.Cache.value
         | None ->
-            tag ctx "read_fetch";
+            tag ctx k_read_fetch;
             let copy =
               fetch_into_cache ctx ~g:r.i_g ~size:r.i_size
                 ~group_bytes:r.i_group ~children:r.i_children
@@ -550,7 +593,7 @@ let imm_deref_inner ctx r =
   end
 
 let imm_deref ctx r =
-  measure_op ctx ~default:"read_local" (fun () -> imm_deref_inner ctx r)
+  measure_op ctx ~default:k_read_local (fun () -> imm_deref_inner ctx r)
 
 let drop_imm ctx r =
   assert_live r.i_live "Protocol.drop_imm";
@@ -667,7 +710,7 @@ let mut_claim ctx m ~for_write =
   let o = m.m_owner in
   let before = m.m_g in
   (if is_local ctx m.m_g then begin
-     if not for_write then tag ctx "read_local";
+     if not for_write then tag ctx k_read_local;
      charge_local_deref ctx;
      if for_write && ((not m.m_ubit) || (options_of ctx).no_ubit) then
        if o.pinned then begin
@@ -716,7 +759,7 @@ let heap_slot_read ctx m =
   if is_local ctx m.m_g then (Cluster.heap_read cluster m.m_g).Partition.value
   else begin
     (* Pinned remote object: read through (one-sided READ). *)
-    tag_weak ctx "read_remote";
+    tag_weak ctx k_read_remote;
     let target = serving ctx m.m_g in
     Ctx.flush ctx;
     Fabric.rdma_read ?parent:ctx.Ctx.current_span (Ctx.fabric ctx)
@@ -736,19 +779,19 @@ let heap_slot_write ctx m v =
   end
 
 let mut_read ctx m =
-  measure_op ctx ~default:"read_local" (fun () ->
+  measure_op ctx ~default:k_read_local (fun () ->
       assert_live m.m_live "Protocol.mut_read";
       mut_claim ctx m ~for_write:false;
       heap_slot_read ctx m)
 
 let mut_write ctx m v =
-  measure_op ctx ~default:"write_inplace" (fun () ->
+  measure_op ctx ~default:k_write_inplace (fun () ->
       assert_live m.m_live "Protocol.mut_write";
       mut_claim ctx m ~for_write:true;
       heap_slot_write ctx m v)
 
 let mut_modify ctx m f =
-  measure_op ctx ~default:"write_inplace" (fun () ->
+  measure_op ctx ~default:k_write_inplace (fun () ->
       assert_live m.m_live "Protocol.mut_modify";
       mut_claim ctx m ~for_write:true;
       let v = heap_slot_read ctx m in
@@ -782,7 +825,7 @@ let owner_read_inner ctx o =
   Borrow_state.assert_owner_readable o.borrow ~context:"Protocol.owner_read";
   let cluster = Ctx.cluster ctx in
   if is_local ctx o.g then begin
-    tag ctx "read_local";
+    tag ctx k_read_local;
     with_probe ctx (fun f -> f ctx (Ev_read { g = o.g; path = Path_local }));
     charge_local_deref ctx;
     (Cluster.heap_read cluster o.g).Partition.value
@@ -796,7 +839,7 @@ let owner_read_inner ctx o =
     if o.pinned then o.ubit <- false;
     match o.local_copy with
     | Some copy when Gaddr.equal copy.Cache.key o.g && not copy.Cache.dead ->
-        tag ctx "read_cached";
+        tag ctx k_read_cached;
         with_probe ctx (fun f ->
             f ctx (Ev_read { g = o.g; path = Path_cache copy.Cache.key }));
         charge_cache_hit ctx;
@@ -811,14 +854,14 @@ let owner_read_inner ctx o =
         charge_cache_hit ctx;
         match Cache.lookup cache o.g with
         | Some copy ->
-            tag ctx "read_cached";
+            tag ctx k_read_cached;
             with_probe ctx (fun f ->
                 f ctx (Ev_read { g = o.g; path = Path_cache copy.Cache.key }));
             Cache.retain copy;
             o.local_copy <- Some copy;
             copy.Cache.value
         | None ->
-            tag ctx "read_fetch";
+            tag ctx k_read_fetch;
             let copy =
               fetch_into_cache ctx ~g:o.g ~size:o.size
                 ~group_bytes:(group_size o) ~children:o.children
@@ -830,7 +873,7 @@ let owner_read_inner ctx o =
   end
 
 let owner_read ctx o =
-  measure_op ctx ~default:"read_local" (fun () -> owner_read_inner ctx o)
+  measure_op ctx ~default:k_read_local (fun () -> owner_read_inner ctx o)
 
 let owner_claim_mut ctx o =
   let cluster = Ctx.cluster ctx in
@@ -928,7 +971,7 @@ let owner_write_inner ctx o v =
   notify_commit ctx o.g o.size
 
 let owner_write ctx o v =
-  measure_op ctx ~default:"write_inplace" (fun () -> owner_write_inner ctx o v)
+  measure_op ctx ~default:k_write_inplace (fun () -> owner_write_inner ctx o v)
 
 let owner_modify_inner ctx o f =
   assert_valid o "Protocol.owner_modify";
@@ -957,7 +1000,7 @@ let owner_modify_inner ctx o f =
   notify_commit ctx o.g o.size
 
 let owner_modify ctx o f =
-  measure_op ctx ~default:"write_inplace" (fun () -> owner_modify_inner ctx o f)
+  measure_op ctx ~default:k_write_inplace (fun () -> owner_modify_inner ctx o f)
 
 (* ------------------------------------------------------------------ *)
 (* Ownership transfer, deallocation                                    *)
@@ -981,7 +1024,7 @@ let transfer_inner ctx o ~to_node =
   notify_transfer ctx o.g
 
 let transfer ctx o ~to_node =
-  measure_op ctx ~default:"transfer" (fun () -> transfer_inner ctx o ~to_node)
+  measure_op ctx ~default:k_transfer (fun () -> transfer_inner ctx o ~to_node)
 
 let rec drop_owner_inner ctx o =
   assert_valid o "Protocol.drop_owner";
@@ -1007,7 +1050,7 @@ let rec drop_owner_inner ctx o =
   else async_dealloc ctx o.g
 
 let drop_owner ctx o =
-  measure_op ctx ~default:"drop" (fun () -> drop_owner_inner ctx o)
+  measure_op ctx ~default:k_drop (fun () -> drop_owner_inner ctx o)
 
 (* ------------------------------------------------------------------ *)
 (* Affinity (TBox)                                                     *)
@@ -1091,5 +1134,5 @@ let audit cluster =
             (Cluster.nodes cluster)
         end
       end)
-    !(registry_of_cluster cluster);
+    (pstate_of_cluster cluster).ps_registry;
   List.rev !violations

@@ -464,10 +464,8 @@ let churn_percentiles results =
     (fun (kind, h) ->
       match h with
       | Some h ->
-          ( kind,
-            h.Metrics.h_count,
-            Metrics.quantile h 0.5,
-            Metrics.quantile h 0.99 )
+          let qv q = Option.value (Metrics.quantile h q) ~default:nan in
+          (kind, h.Metrics.h_count, qv 0.5, qv 0.99)
       | None -> (kind, 0, nan, nan))
     (phase_histos results)
 
@@ -516,11 +514,13 @@ let print plan r =
 let run ?(seed = 42) ?(nodes = 64) () =
   let plan = plan_of ~nodes in
   let extra_seeds = [ seed + 1; seed + 2 ] in
+  let host0 = Unix.gettimeofday () in
   let results =
     Parallel.run
       (run_once ~seed ~nodes :: run_once ~seed ~nodes
       :: List.map (fun s () -> run_once ~seed:s ~nodes ()) extra_seeds)
   in
+  let host_ms = (Unix.gettimeofday () -. host0) *. 1e3 in
   let r1, r2, rest =
     match results with a :: b :: rest -> (a, b, rest) | _ -> assert false
   in
@@ -570,7 +570,7 @@ let run ?(seed = 42) ?(nodes = 64) () =
            not monotone"
           kind p99 p50)
     pct;
-  Report.record_rate ?latency:r1.op_latency ~experiment:"churn/ops"
+  Report.record_rate ?latency:r1.op_latency ~host_ms ~experiment:"churn/ops"
     ~ops:(float_of_int r1.total_ops) ~elapsed:duration ();
   List.iter
     (fun (kind, h) ->

@@ -260,7 +260,8 @@ let failover_percentiles results =
         Metrics.find snap ~labels:[ ("phase", kind) ] "failover.latency"
       with
       | Some (Metrics.Histo h) ->
-          (kind, h.Metrics.h_count, Metrics.quantile h 0.5, Metrics.quantile h 0.99)
+          let qv q = Option.value (Metrics.quantile h q) ~default:nan in
+          (kind, h.Metrics.h_count, qv 0.5, qv 0.99)
       | _ -> (kind, 0, nan, nan))
     [ "detection"; "recovery" ]
 
@@ -270,16 +271,19 @@ let run ?(seed = 42) () =
      clusters, so under --jobs >= 2 this is also the parallel chaos
      run: fanned over domains, results must not change. *)
   let extra_seeds = [ seed + 1; seed + 2; seed + 3; seed + 4 ] in
+  let host0 = Unix.gettimeofday () in
   let results =
     Parallel.run
       (run_once ~seed :: run_once ~seed
       :: List.map (fun s () -> run_once ~seed:s ()) extra_seeds)
   in
+  let host_ms = (Unix.gettimeofday () -. host0) *. 1e3 in
   let r1, r2, rest =
     match results with a :: b :: rest -> (a, b, rest) | _ -> assert false
   in
-  Report.record_rate ?latency:r1.op_latency ~experiment:"failover/chaos"
-    ~ops:(float_of_int r1.total_ops) ~elapsed:duration ();
+  Report.record_rate ?latency:r1.op_latency ~host_ms
+    ~experiment:"failover/chaos" ~ops:(float_of_int r1.total_ops)
+    ~elapsed:duration ();
   print r1;
   (match (r1.detection_time, r1.recovery_time) with
   | Some _, Some _ -> ()

@@ -93,8 +93,17 @@ let note s = Printf.printf "  %s\n" s
 
 module Metrics = Drust_obs.Metrics
 
-let schema_version = "drust-bench-summary/v2"
+let schema_version = "drust-bench-summary/v3"
 let v1_schema = "drust-bench-summary/v1"
+let v2_schema = "drust-bench-summary/v2"
+
+(* Host-time capture is opt-in (the @bench-diff alias turns it on):
+   host_ms is wall-clock and thus machine- and load-dependent, so it
+   must stay out of the summaries that are diffed byte-for-byte across
+   --jobs values. *)
+let host_time = ref false
+let set_host_time_recording b = host_time := b
+let host_time_recording () = !host_time
 
 (* Percentile points every latency histogram is reduced to in tables and
    in the summary JSON.  Exported values are microseconds. *)
@@ -102,8 +111,12 @@ let percentile_points =
   [ ("p50", 0.5); ("p95", 0.95); ("p99", 0.99); ("p99.9", 0.999) ]
 
 let latency_percentiles h =
+  (* Every caller reaches this through [latency_of_snapshot], which
+     drops empty histograms, so the [None] arm is defensive: report 0
+     rather than leak a nan into the summary JSON. *)
   List.map
-    (fun (label, q) -> (label, Metrics.quantile h q *. 1e6))
+    (fun (label, q) ->
+      (label, match Metrics.quantile h q with Some v -> v *. 1e6 | None -> 0.0))
     percentile_points
 
 let latency_of_snapshot snap =
@@ -119,7 +132,11 @@ let latency_of_snapshot snap =
       | _ -> acc)
     None snap
 
-type bench_entry = { be_rate : float; be_latency : Metrics.histo option }
+type bench_entry = {
+  be_rate : float;
+  be_latency : Metrics.histo option;
+  be_host_ms : float option;
+}
 
 (* Ordered per-run collection (insertion order preserved, re-recording
    overwrites in place).  The mutex admits [record_rate] calls from
@@ -128,9 +145,10 @@ type bench_entry = { be_rate : float; be_latency : Metrics.histo option }
 let rates : (string * bench_entry) list ref = ref []
 let rates_mutex = Mutex.create ()
 
-let record_rate ?latency ~experiment ~ops ~elapsed () =
+let record_rate ?latency ?host_ms ~experiment ~ops ~elapsed () =
   if elapsed > 0.0 then
-    let entry = { be_rate = ops /. elapsed; be_latency = latency } in
+    let host_ms = if !host_time then host_ms else None in
+    let entry = { be_rate = ops /. elapsed; be_latency = latency; be_host_ms = host_ms } in
     Mutex.protect rates_mutex (fun () ->
         if List.mem_assoc experiment !rates then
           rates :=
@@ -183,8 +201,13 @@ let write_bench_summary ~path =
                     (latency_percentiles h)))
         | _ -> ""
       in
-      Printf.fprintf oc "    \"%s\": { \"ops_per_sim_sec\": %.6g%s }%s\n"
-        (json_escape k) e.be_rate latency
+      let host =
+        match e.be_host_ms with
+        | Some ms -> Printf.sprintf ", \"host_ms\": %.6g" ms
+        | None -> ""
+      in
+      Printf.fprintf oc "    \"%s\": { \"ops_per_sim_sec\": %.6g%s%s }%s\n"
+        (json_escape k) e.be_rate latency host
         (if i = last then "" else ","))
     entries;
   output_string oc "  }\n}\n";
@@ -344,7 +367,11 @@ let parse_json s =
   if !pos <> n then fail "trailing content";
   v
 
-type summary_entry = { se_rate : float; se_latency_us : (string * float) list }
+type summary_entry = {
+  se_rate : float;
+  se_latency_us : (string * float) list;
+  se_host_ms : float option;
+}
 type summary = { sm_schema : string; sm_entries : (string * summary_entry) list }
 
 let read_bench_summary ~path =
@@ -358,9 +385,10 @@ let read_bench_summary ~path =
         | Some (J_str s) -> s
         | _ -> fail "missing \"schema\" field"
       in
-      if schema <> v1_schema && schema <> schema_version then
-        fail "unknown schema %S (expected %s or %s)" schema v1_schema
-          schema_version;
+      if schema <> v1_schema && schema <> v2_schema && schema <> schema_version
+      then
+        fail "unknown schema %S (expected %s, %s or %s)" schema v1_schema
+          v2_schema schema_version;
       let entries =
         match List.assoc_opt "entries" fields with
         | Some (J_obj es) -> es
@@ -383,13 +411,19 @@ let read_bench_summary ~path =
                     ps
               | _ -> []
             in
-            (k, { se_rate = rate; se_latency_us = lat })
+            let host_ms =
+              match List.assoc_opt "host_ms" f with
+              | Some (J_num x) -> Some x
+              | _ -> None
+            in
+            (k, { se_rate = rate; se_latency_us = lat; se_host_ms = host_ms })
         | _ -> fail "entry %S is not an object" k
       in
       { sm_schema = schema; sm_entries = List.map entry entries }
   | _ -> fail "not a JSON object"
 
-let compare_summaries ?(tolerance = 0.10) ~baseline current =
+let compare_summaries ?(tolerance = 0.10) ?(tolerance_host = 2.0) ~baseline
+    current =
   let out = ref [] in
   let reg fmt = Printf.ksprintf (fun m -> out := m :: !out) fmt in
   List.iter
@@ -411,7 +445,18 @@ let compare_summaries ?(tolerance = 0.10) ~baseline current =
                     (100.0 *. ((cv /. bv) -. 1.0))
                     (100.0 *. tolerance)
               | _ -> ())
-            b.se_latency_us)
+            b.se_latency_us;
+          (* Host time is wall-clock, so the gate is deliberately loose:
+             only a multiple-of-baseline blowup (an accidental O(n^2) or
+             per-event allocation storm) trips it, not scheduler noise. *)
+          (match (b.se_host_ms, c.se_host_ms) with
+          | Some bv, Some cv when bv > 0.0 && cv > bv *. (1.0 +. tolerance_host)
+            ->
+              reg "%s: host time regressed %.6g -> %.6g ms (+%.1f%%, tolerance %.0f%%)"
+                name bv cv
+                (100.0 *. ((cv /. bv) -. 1.0))
+                (100.0 *. tolerance_host)
+          | _ -> ()))
     baseline.sm_entries;
   List.rev !out
 
@@ -439,11 +484,12 @@ let metrics_table ?(prefix = "") snap =
             | Metrics.Level v -> (Printf.sprintf "%g" v, [ ""; ""; "" ])
             | Metrics.Histo h ->
                 ( Printf.sprintf "n=%d sum=%g" h.Metrics.h_count h.Metrics.h_sum,
-                  if h.Metrics.h_count = 0 then [ "-"; "-"; "-" ]
-                  else
-                    List.map
-                      (fun q -> Printf.sprintf "%.3g" (Metrics.quantile h q))
-                      [ 0.5; 0.95; 0.99 ] )
+                  List.map
+                    (fun q ->
+                      match Metrics.quantile h q with
+                      | Some v -> Printf.sprintf "%.3g" v
+                      | None -> "-")
+                    [ 0.5; 0.95; 0.99 ] )
           in
           Some
             ((e.Metrics.s_name ^ fmt_labels e.Metrics.s_labels) :: value :: pcts

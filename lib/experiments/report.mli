@@ -37,8 +37,19 @@ val note : string -> unit
     {!schema_version}, documented in docs/BENCHMARKS.md). *)
 
 val schema_version : string
-(** The summary schema this build writes: ["drust-bench-summary/v2"].
-    {!read_bench_summary} also accepts the rate-only v1 schema. *)
+(** The summary schema this build writes: ["drust-bench-summary/v3"]
+    (v2 plus an optional per-entry [host_ms] wall-clock field).
+    {!read_bench_summary} also accepts the earlier v1 (rates only) and
+    v2 (rates + percentiles) schemas. *)
+
+val set_host_time_recording : bool -> unit
+(** Enable capturing [?host_ms] values passed to {!record_rate}
+    (default off).  Host time is machine-dependent, so it is kept out
+    of summaries unless a host-gating run — the [@bench-diff] alias
+    via [bench/main.exe --host-time] — asks for it; plain runs stay
+    byte-identical across machines and [--jobs] values. *)
+
+val host_time_recording : unit -> bool
 
 val percentile_points : (string * float) list
 (** The percentile points every latency histogram is reduced to:
@@ -57,6 +68,7 @@ val latency_of_snapshot :
 
 val record_rate :
   ?latency:Drust_obs.Metrics.histo ->
+  ?host_ms:float ->
   experiment:string ->
   ops:float ->
   elapsed:float ->
@@ -64,14 +76,17 @@ val record_rate :
   unit
 (** Register [ops /. elapsed] (operations per {e simulated} second)
     under [experiment], optionally with the run's operation-latency
-    histogram (surfaced as [latency_us] percentiles in the summary).
-    Re-recording an experiment overwrites it in place; non-positive
-    [elapsed] is ignored.  Safe to call from {!Parallel} sweep domains
+    histogram (surfaced as [latency_us] percentiles in the summary)
+    and its host wall-clock cost in milliseconds ([host_ms] is dropped
+    unless {!set_host_time_recording} is on).  Re-recording an
+    experiment overwrites it in place; non-positive [elapsed] is
+    ignored.  Safe to call from {!Parallel} sweep domains
     (mutex-protected). *)
 
 type bench_entry = {
   be_rate : float;
   be_latency : Drust_obs.Metrics.histo option;
+  be_host_ms : float option;
 }
 
 val recorded_entries : unit -> (string * bench_entry) list
@@ -93,6 +108,9 @@ type summary_entry = {
   se_rate : float;  (** [ops_per_sim_sec] *)
   se_latency_us : (string * float) list;
       (** percentile label -> µs; empty for v1 entries *)
+  se_host_ms : float option;
+      (** host wall-clock ms; [None] for v1/v2 entries and for v3 runs
+          without [--host-time] *)
 }
 
 type summary = {
@@ -101,16 +119,24 @@ type summary = {
 }
 
 val read_bench_summary : path:string -> summary
-(** Parse a summary file (v1 or v2).  Raises [Failure] with a
+(** Parse a summary file (v1, v2 or v3).  Raises [Failure] with a
     path-prefixed message on unreadable input or an unknown schema. *)
 
 val compare_summaries :
-  ?tolerance:float -> baseline:summary -> summary -> string list
+  ?tolerance:float ->
+  ?tolerance_host:float ->
+  baseline:summary ->
+  summary ->
+  string list
 (** [compare_summaries ~baseline current]: one description per
     regression — a baseline entry missing from [current], a throughput
-    drop below [baseline * (1 - tolerance)], or a latency percentile
-    above [baseline * (1 + tolerance)].  [tolerance] defaults to 0.10;
-    an empty list means no regression. *)
+    drop below [baseline * (1 - tolerance)], a latency percentile
+    above [baseline * (1 + tolerance)], or a host time above
+    [baseline * (1 + tolerance_host)] (checked only when both sides
+    carry [host_ms]).  [tolerance] defaults to 0.10; [tolerance_host]
+    defaults to 2.0 — host time is wall-clock, so only a 3x blowup
+    counts as a regression, not scheduler noise.  An empty list means
+    no regression. *)
 
 (** {1 Metrics snapshots} *)
 

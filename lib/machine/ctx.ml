@@ -12,7 +12,8 @@ type t = {
   mutable computed_seconds : float;
   mutable safe_point_hook : (t -> unit) option;
   mutable current_span : Drust_obs.Span.span option;
-  mutable op_tag : string;
+  mutable op_kind : int;
+  mutable layer_cache : exn;
 }
 
 let make cluster ~node =
@@ -30,7 +31,8 @@ let make cluster ~node =
     computed_seconds = 0.0;
     safe_point_hook = None;
     current_span = None;
-    op_tag = "";
+    op_kind = -1;
+    layer_cache = Not_found;
   }
 
 let cluster t = t.cluster

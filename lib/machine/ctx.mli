@@ -26,10 +26,16 @@ type t = {
       (** the protocol operation's root span while one is open on this
           thread — sub-spans (core waits, fabric verbs) parent under it;
           [None] outside an operation or when tracing is disabled *)
-  mutable op_tag : string;
-      (** scratch outcome label for the operation in flight (e.g.
-          "write_move"); set at the branch that decides the outcome,
-          read back by the protocol's latency classifier; [""] idle *)
+  mutable op_kind : int;
+      (** scratch outcome kind for the operation in flight (an index into
+          the protocol's op-kind table, e.g. [write_move]); set at the
+          branch that decides the outcome, read back by the protocol's
+          latency classifier; [-1] idle *)
+  mutable layer_cache : exn;
+      (** per-context memo slot for a higher layer: the protocol stashes
+          its resolved per-cluster state here (encoded as an extensible-
+          variant constructor, like [Env] keys) so hot operations skip
+          the Env lookup; [Not_found] until first use *)
 }
 
 val make : Cluster.t -> node:int -> t

@@ -35,17 +35,17 @@ let key (type a) ~name : a key =
 
 let key_name k = k.name
 
-type t = { slots : (int, binding) Hashtbl.t }
+type t = { slots : binding Drust_util.Intmap.t }
 
-let create () = { slots = Hashtbl.create 16 }
+let create () = { slots = Drust_util.Intmap.create () }
 
 let find t k =
-  match Hashtbl.find_opt t.slots k.id with
+  match Drust_util.Intmap.find_opt t.slots k.id with
   | None -> None
   | Some b -> k.project b.b_value
 
 let set t k v =
-  Hashtbl.replace t.slots k.id { b_name = k.name; b_value = k.inject v }
+  Drust_util.Intmap.set t.slots k.id { b_name = k.name; b_value = k.inject v }
 
 let get t k ~init =
   match find t k with
@@ -55,10 +55,10 @@ let get t k ~init =
       set t k v;
       v
 
-let mem t k = Hashtbl.mem t.slots k.id
-let remove t k = Hashtbl.remove t.slots k.id
-let length t = Hashtbl.length t.slots
+let mem t k = Drust_util.Intmap.mem t.slots k.id
+let remove t k = Drust_util.Intmap.remove t.slots k.id
+let length t = Drust_util.Intmap.length t.slots
 
 let names t =
-  Hashtbl.fold (fun _ b acc -> b.b_name :: acc) t.slots []
+  Drust_util.Intmap.fold (fun _ b acc -> b.b_name :: acc) t.slots []
   |> List.sort compare

@@ -23,7 +23,7 @@ type t = {
   node : int;
   (* Keyed by the physical (color-cleared) address; the copy remembers the
      full colored key so lookups can compare colors in O(1). *)
-  map : (Gaddr.t, copy) Hashtbl.t;
+  map : copy Drust_util.Intmap.t;
   mutable used : int;
   mutable listener : (event -> unit) option;
   (* Registry-backed statistics (names cache.*, labelled by node). *)
@@ -41,7 +41,7 @@ let create ?metrics ~node () =
   let labels = [ ("node", string_of_int node) ] in
   {
     node;
-    map = Hashtbl.create 256;
+    map = Drust_util.Intmap.create ~capacity:256 ();
     used = 0;
     listener = None;
     c_hits = Metrics.counter metrics ~labels ~unit_:"ops" "cache.hits";
@@ -54,14 +54,14 @@ let create ?metrics ~node () =
 
 let node t = t.node
 let set_listener t l = t.listener <- l
-let entries t = Hashtbl.length t.map
+let entries t = Drust_util.Intmap.length t.map
 let used_bytes t = t.used
 let set_used t used =
   t.used <- used;
   Metrics.set t.g_used (float_of_int used)
 
 let lookup t g =
-  match Hashtbl.find_opt t.map (Gaddr.clear_color g) with
+  match Drust_util.Intmap.find_opt t.map (Gaddr.to_int (Gaddr.clear_color g)) with
   | Some copy when Gaddr.equal copy.key g && not copy.dead ->
       Metrics.incr t.c_hits;
       (match t.listener with None -> () | Some f -> f (Hit { key = copy.key }));
@@ -86,7 +86,7 @@ let reclaim t copy =
    reading through their direct record; the bytes are reclaimed when the
    last reference drains ([release]). *)
 let detach t phys copy =
-  Hashtbl.remove t.map phys;
+  Drust_util.Intmap.remove t.map phys;
   copy.detached <- true;
   (match t.listener with
   | None -> ()
@@ -94,14 +94,14 @@ let detach t phys copy =
   if copy.refcount = 0 then reclaim t copy
 
 let insert t g ~size v =
-  let phys = Gaddr.clear_color g in
-  (match Hashtbl.find_opt t.map phys with
+  let phys = Gaddr.to_int (Gaddr.clear_color g) in
+  (match Drust_util.Intmap.find_opt t.map phys with
   | Some old -> detach t phys old
   | None -> ());
   let copy =
     { key = g; value = v; size; refcount = 1; dead = false; detached = false }
   in
-  Hashtbl.replace t.map phys copy;
+  Drust_util.Intmap.set t.map phys copy;
   Metrics.incr t.c_inserts;
   set_used t (t.used + size);
   (match t.listener with
@@ -125,8 +125,8 @@ let release t copy =
   if copy.refcount = 0 && copy.detached then reclaim t copy
 
 let invalidate_physical t g =
-  let phys = Gaddr.clear_color g in
-  match Hashtbl.find_opt t.map phys with
+  let phys = Gaddr.to_int (Gaddr.clear_color g) in
+  match Drust_util.Intmap.find_opt t.map phys with
   | None -> ()
   | Some copy -> detach t phys copy
 
@@ -137,9 +137,9 @@ let invalidate_physical t g =
    serving reads under a still-current colored address. *)
 let invalidate_home t ~home =
   let victims =
-    Hashtbl.fold
+    Drust_util.Intmap.fold
       (fun phys copy acc ->
-        if Gaddr.node_of phys = home then (phys, copy) :: acc else acc)
+        if Gaddr.node_of copy.key = home then (phys, copy) :: acc else acc)
       t.map []
   in
   List.iter (fun (phys, copy) -> detach t phys copy) victims;
@@ -148,7 +148,7 @@ let invalidate_home t ~home =
 let evict_unreferenced t =
   let reclaimed = ref 0 in
   let victims =
-    Hashtbl.fold
+    Drust_util.Intmap.fold
       (fun phys copy acc -> if copy.refcount = 0 then (phys, copy) :: acc else acc)
       t.map []
   in
@@ -160,11 +160,11 @@ let evict_unreferenced t =
   List.iter kill victims;
   !reclaimed
 
-let iter t f = Hashtbl.iter (fun _ copy -> f copy) t.map
+let iter t f = Drust_util.Intmap.iter (fun _ copy -> f copy) t.map
 
 let clear t =
-  Hashtbl.iter (fun _ copy -> reclaim t copy) t.map;
-  Hashtbl.reset t.map;
+  Drust_util.Intmap.iter (fun _ copy -> reclaim t copy) t.map;
+  Drust_util.Intmap.clear t.map;
   set_used t 0
 
 let hits t = Metrics.value t.c_hits

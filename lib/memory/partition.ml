@@ -1,13 +1,18 @@
-type entry = { value : Drust_util.Univ.t; size : int }
+module Intmap = Drust_util.Intmap
+
+type entry = { mutable value : Drust_util.Univ.t; size : int }
 
 (* Size-class free lists: freed offsets are recycled for any request that
    fits the same class, which keeps the bump pointer from running away in
-   long simulations with allocation churn. *)
+   long simulations with allocation churn.  Classes are powers of two
+   from 16 bytes; [free_lists.(i)] holds the LIFO of freed offsets for
+   class [16 lsl i] (the max offset is 2^40, so 40 slots cover every
+   representable class). *)
 type t = {
   node : int;
   capacity : int;
-  objects : (int, entry) Hashtbl.t; (* keyed by color-less offset *)
-  free_lists : (int, int list ref) Hashtbl.t; (* size class -> offsets *)
+  objects : entry Intmap.t; (* keyed by color-less offset *)
+  free_lists : int list array; (* class index -> freed offsets, LIFO *)
   mutable bump : int;
   mutable used : int;
 }
@@ -19,8 +24,8 @@ let create ~node ~capacity_bytes =
   {
     node;
     capacity = capacity_bytes;
-    objects = Hashtbl.create 1024;
-    free_lists = Hashtbl.create 32;
+    objects = Intmap.create ~capacity:1024 ();
+    free_lists = Array.make 48 [];
     bump = 8; (* offset 0 is reserved as a null-like sentinel *)
     used = 0;
   }
@@ -28,20 +33,25 @@ let create ~node ~capacity_bytes =
 let node t = t.node
 let capacity_bytes t = t.capacity
 let used_bytes t = t.used
-let live_objects t = Hashtbl.length t.objects
+let live_objects t = Intmap.length t.objects
 let usage_fraction t = Float.of_int t.used /. Float.of_int t.capacity
 
-(* Round a request up to its size class: powers of two from 16 bytes. *)
+(* Round a request up to its size class (powers of two from 16 bytes),
+   also yielding the free-list index for that class. *)
 let size_class size =
   let rec up c = if c >= size then c else up (c * 2) in
   up 16
 
-let take_free t cls =
-  match Hashtbl.find_opt t.free_lists cls with
-  | Some ({ contents = off :: rest } as cell) ->
-      cell := rest;
+let class_index cls =
+  let rec go c i = if c >= cls then i else go (c * 2) (i + 1) in
+  go 16 0
+
+let take_free t idx =
+  match t.free_lists.(idx) with
+  | off :: rest ->
+      t.free_lists.(idx) <- rest;
       Some off
-  | Some { contents = [] } | None -> None
+  | [] -> None
 
 let alloc t ~size v =
   if size < 0 then invalid_arg "Partition.alloc: negative size";
@@ -49,7 +59,7 @@ let alloc t ~size v =
   if t.used + cls > t.capacity then
     raise (Out_of_memory { node = t.node; requested = size });
   let offset =
-    match take_free t cls with
+    match take_free t (class_index cls) with
     | Some off -> off
     | None ->
         let off = t.bump in
@@ -58,7 +68,7 @@ let alloc t ~size v =
           raise (Out_of_memory { node = t.node; requested = size });
         off
   in
-  Hashtbl.replace t.objects offset { value = v; size };
+  Intmap.set t.objects offset { value = v; size };
   t.used <- t.used + cls;
   Gaddr.make ~node:t.node ~offset
 
@@ -71,46 +81,35 @@ let check_home t a label =
 let free t a =
   check_home t a "free";
   let off = Gaddr.offset_of a in
-  match Hashtbl.find_opt t.objects off with
+  match Intmap.find_opt t.objects off with
   | None -> invalid_arg "Partition.free: dead address"
   | Some e ->
-      Hashtbl.remove t.objects off;
+      Intmap.remove t.objects off;
       let cls = size_class (max 1 e.size) in
       t.used <- t.used - cls;
-      let cell =
-        match Hashtbl.find_opt t.free_lists cls with
-        | Some c -> c
-        | None ->
-            let c = ref [] in
-            Hashtbl.replace t.free_lists cls c;
-            c
-      in
-      cell := off :: !cell
+      let idx = class_index cls in
+      t.free_lists.(idx) <- off :: t.free_lists.(idx)
 
 let get t a =
   check_home t a "get";
-  match Hashtbl.find_opt t.objects (Gaddr.offset_of a) with
-  | Some e -> e
-  | None -> raise Not_found
+  Intmap.find t.objects (Gaddr.offset_of a)
 
-let mem t a =
-  Gaddr.node_of a = t.node && Hashtbl.mem t.objects (Gaddr.offset_of a)
+let mem t a = Gaddr.node_of a = t.node && Intmap.mem t.objects (Gaddr.offset_of a)
 
 let set t a v =
   check_home t a "set";
-  let off = Gaddr.offset_of a in
-  match Hashtbl.find_opt t.objects off with
+  match Intmap.find_opt t.objects (Gaddr.offset_of a) with
   | None -> invalid_arg "Partition.set: dead address"
-  | Some e -> Hashtbl.replace t.objects off { e with value = v }
+  | Some e -> e.value <- v
 
 let put t a ~size v =
   check_home t a "put";
   let off = Gaddr.offset_of a in
   let cls = size_class (max 1 size) in
-  (match Hashtbl.find_opt t.objects off with
+  (match Intmap.find_opt t.objects off with
   | Some old -> t.used <- t.used - size_class (max 1 old.size)
   | None -> ());
-  Hashtbl.replace t.objects off { value = v; size };
+  Intmap.set t.objects off { value = v; size };
   t.used <- t.used + cls;
   (* Keep the bump pointer ahead of mirrored offsets so that a promoted
      backup never mints an address that collides with a mirrored object. *)
@@ -119,17 +118,17 @@ let put t a ~size v =
 let remove t a =
   check_home t a "remove";
   let off = Gaddr.offset_of a in
-  match Hashtbl.find_opt t.objects off with
+  match Intmap.find_opt t.objects off with
   | None -> ()
   | Some e ->
-      Hashtbl.remove t.objects off;
+      Intmap.remove t.objects off;
       t.used <- t.used - size_class (max 1 e.size)
 
 let iter t f =
-  Hashtbl.iter (fun off e -> f (Gaddr.make ~node:t.node ~offset:off) e) t.objects
+  Intmap.iter (fun off e -> f (Gaddr.make ~node:t.node ~offset:off) e) t.objects
 
 let clear t =
-  Hashtbl.reset t.objects;
-  Hashtbl.reset t.free_lists;
+  Intmap.clear t.objects;
+  Array.fill t.free_lists 0 (Array.length t.free_lists) [];
   t.bump <- 8;
   t.used <- 0

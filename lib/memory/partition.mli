@@ -9,7 +9,9 @@
 type t
 
 type entry = {
-  value : Drust_util.Univ.t;
+  mutable value : Drust_util.Univ.t;
+      (** updated in place on {!set} — callers that need a snapshot must
+          read it out immediately *)
   size : int;  (** payload bytes, used for transfer-cost accounting *)
 }
 

@@ -199,7 +199,7 @@ let diff ~before ~after =
 
 let quantile h q =
   if q < 0.0 || q > 1.0 then invalid_arg "Metrics.quantile: q outside [0,1]";
-  if h.h_count = 0 then nan
+  if h.h_count = 0 then None
   else begin
     (* Rank of the target sample (1-based, nearest-rank with linear
        interpolation inside the containing bucket). *)
@@ -224,7 +224,7 @@ let quantile h q =
           end
           else walk seen' bound rest
     in
-    walk 0 neg_infinity h.h_buckets
+    Some (walk 0 neg_infinity h.h_buckets)
   end
 
 let merge_histos a b =

@@ -99,16 +99,18 @@ val diff : before:snapshot -> after:snapshot -> snapshot
     (a sample absent from [before] counts from zero); gauges keep the
     [after] level.  Samples absent from [after] are dropped. *)
 
-val quantile : histo -> float -> float
+val quantile : histo -> float -> float option
 (** [quantile h q] estimates the [q]-quantile ([q] in [0,1]) of the
     samples folded into a snapshot histogram: find the bucket holding
     the nearest-rank sample, then interpolate linearly between the
     bucket's edges by rank position.  The overflow bucket's upper edge
     is the observed max; results are clamped to [[h_min, h_max]].
-    Returns [nan] on an empty histogram; raises [Invalid_argument] when
-    [q] is outside [0,1].  Deterministic: depends only on the bucket
-    counts and observed min/max, so estimates merge consistently across
-    clusters (see {!merge_histos}). *)
+    Returns [None] on an empty histogram (there is no sample to rank —
+    callers must render the absence explicitly rather than propagate a
+    [nan]); raises [Invalid_argument] when [q] is outside [0,1].
+    Deterministic: depends only on the bucket counts and observed
+    min/max, so estimates merge consistently across clusters (see
+    {!merge_histos}). *)
 
 val merge_histos : histo -> histo -> histo
 (** Combine two snapshot histograms with identical bucket bounds:

@@ -5,6 +5,9 @@ type t = {
   mutable clock : float;
   mutable live : int;
   mutable failures : exn list;
+  mutable dispatched : int;
+      (* logical events run: one per queue pop, plus every callback a
+         batched delivery ran without its own queue entry *)
 }
 
 type process_state = Running | Finished | Failed of exn
@@ -25,9 +28,26 @@ let () =
     | _ -> None)
 
 let create () =
-  { events = Drust_util.Pqueue.create (); clock = 0.0; live = 0; failures = [] }
+  {
+    events = Drust_util.Pqueue.create ();
+    clock = 0.0;
+    live = 0;
+    failures = [];
+    dispatched = 0;
+  }
 
 let now t = t.clock
+let dispatched t = t.dispatched
+
+(* Total pushes ever made to the event queue.  Two pushes with no other
+   push in between are adjacent in the dispatch order at their
+   timestamp; the fabric's delivery batching relies on this mark. *)
+let pushes t = Drust_util.Pqueue.pushed t.events
+
+(* Account [n] logical events that ran piggybacked on one queue entry
+   (coalesced fabric deliveries): keeps events/sec comparable whether or
+   not batching merged them. *)
+let count_extra_events t n = t.dispatched <- t.dispatched + n
 
 let schedule t ~at f =
   if at < t.clock then
@@ -87,6 +107,15 @@ let spawn ?at t body =
   schedule t ~at (fun () -> run_fiber t handle body);
   handle
 
+(* Run a process body right now, inside the current event, without a
+   queue round-trip.  [spawn ~at t body] is exactly
+   [schedule t ~at (fun () -> start_process t body)] minus the handle;
+   the fabric's delivery batching uses this to start coalesced handlers
+   in their original dispatch positions. *)
+let start_process t body =
+  let handle = { state = Running; join_waiters = [] } in
+  run_fiber t handle body
+
 let delay t dt =
   if dt < 0.0 then invalid_arg "Engine.delay: negative delay";
   suspend (fun resume -> schedule t ~at:(t.clock +. dt) (fun () -> resume ()))
@@ -105,25 +134,34 @@ let join _t handle =
   | Running -> assert false
 
 let step t =
-  match Drust_util.Pqueue.pop t.events with
-  | None -> false
-  | Some (time, f) ->
-      t.clock <- time;
-      f ();
-      true
+  if Drust_util.Pqueue.is_empty t.events then false
+  else begin
+    let f = Drust_util.Pqueue.pop_exn t.events in
+    t.clock <- Drust_util.Pqueue.last_time t.events;
+    t.dispatched <- t.dispatched + 1;
+    f ();
+    true
+  end
 
 let run ?until t =
-  let keep_going () =
-    match until with
-    | None -> true
-    | Some limit -> (
+  (match until with
+  | None ->
+      (* Hot loop: no per-event limit check, no option allocation. *)
+      while not (Drust_util.Pqueue.is_empty t.events) do
+        let f = Drust_util.Pqueue.pop_exn t.events in
+        t.clock <- Drust_util.Pqueue.last_time t.events;
+        t.dispatched <- t.dispatched + 1;
+        f ()
+      done
+  | Some limit ->
+      let keep_going () =
         match Drust_util.Pqueue.peek_time t.events with
         | None -> false
-        | Some next -> next <= limit)
-  in
-  while (not (Drust_util.Pqueue.is_empty t.events)) && keep_going () do
-    ignore (step t)
-  done;
+        | Some next -> next <= limit
+      in
+      while (not (Drust_util.Pqueue.is_empty t.events)) && keep_going () do
+        ignore (step t)
+      done);
   match List.rev t.failures with
   | [] -> ()
   | e :: _ ->

@@ -33,6 +33,13 @@ val spawn : ?at:float -> t -> (unit -> unit) -> process_handle
 (** [spawn t body] starts a new process at time [at] (default: now).
     The body runs inside the engine's effect handler and may block. *)
 
+val start_process : t -> (unit -> unit) -> unit
+(** [start_process t body] runs [body] as a process immediately, inside
+    the current event, without a queue round-trip.  [spawn ~at t body]
+    is equivalent to [schedule t ~at (fun () -> start_process t body)].
+    Used by callers (the fabric's delivery batching) that manage their
+    own scheduling and don't need the join handle. *)
+
 (** {1 Blocking primitives — only valid inside a process} *)
 
 val delay : t -> float -> unit
@@ -65,6 +72,24 @@ val step : t -> bool
 
 val pending_events : t -> int
 val live_processes : t -> int
+
+(** {1 Host-side accounting} *)
+
+val dispatched : t -> int
+(** Total logical events executed so far: one per event-queue pop, plus
+    every callback that ran piggybacked on a coalesced delivery (see
+    {!count_extra_events}).  Purely observational — never feeds back
+    into the simulation. *)
+
+val pushes : t -> int
+(** Total events ever pushed to the queue.  Two pushes with no push in
+    between occupy adjacent sequence slots at their timestamp; the
+    fabric's delivery batching uses this as its interleaving check. *)
+
+val count_extra_events : t -> int -> unit
+(** [count_extra_events t n] accounts [n] logical events that ran inside
+    one queue entry (coalesced fabric deliveries), so {!dispatched}
+    counts the same event total whether or not batching merged them. *)
 
 exception Process_failure of exn
 (** Wrapper re-raised by {!run} for a process that died; carries the

@@ -126,7 +126,9 @@ let test_summary_v2_roundtrip () =
       let pct name = List.assoc name entry.E.Report.se_latency_us in
       List.iter
         (fun (name, q) ->
-          let written = 1e6 *. Drust_obs.Metrics.quantile latency q in
+          let written =
+            1e6 *. Option.get (Drust_obs.Metrics.quantile latency q)
+          in
           Alcotest.(check (float 1e-3))
             (Printf.sprintf "%s roundtrips" name)
             written (pct name))
@@ -134,6 +136,51 @@ let test_summary_v2_roundtrip () =
       Alcotest.(check bool) "p50 <= p99" true (pct "p50" <= pct "p99");
       (* And the file diffed against itself is regression-free. *)
       Alcotest.(check (list string)) "self-diff clean" []
+        (E.Report.compare_summaries ~baseline:s s))
+
+let test_summary_v3_host_roundtrip () =
+  (* host_ms survives a write/read roundtrip, but only when host-time
+     recording is on — a plain run must stay machine-independent. *)
+  E.Report.record_rate ~host_ms:123.5 ~experiment:"test/summary/host-off"
+    ~ops:10.0 ~elapsed:1.0 ();
+  E.Report.set_host_time_recording true;
+  Fun.protect
+    ~finally:(fun () -> E.Report.set_host_time_recording false)
+    (fun () ->
+      E.Report.record_rate ~host_ms:123.5 ~experiment:"test/summary/host-on"
+        ~ops:10.0 ~elapsed:1.0 ());
+  with_temp_file (fun path ->
+      E.Report.write_bench_summary ~path;
+      let s = E.Report.read_bench_summary ~path in
+      Alcotest.(check string) "v3 schema" "drust-bench-summary/v3"
+        s.E.Report.sm_schema;
+      let e name = List.assoc name s.E.Report.sm_entries in
+      Alcotest.(check (option (float 1e-9))) "host_ms roundtrips"
+        (Some 123.5)
+        (e "test/summary/host-on").E.Report.se_host_ms;
+      Alcotest.(check (option (float 1e-9))) "host_ms dropped when off" None
+        (e "test/summary/host-off").E.Report.se_host_ms;
+      Alcotest.(check (list string)) "self-diff clean" []
+        (E.Report.compare_summaries ~baseline:s s))
+
+let test_summary_v2_readable () =
+  (* The previous schema (rates + percentiles, no host_ms) still parses. *)
+  with_temp_file (fun path ->
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc
+            {|{ "schema": "drust-bench-summary/v2",
+                "entries": { "fig5/gemm": { "ops_per_sim_sec": 99.0,
+                  "latency_us": { "p50": 1.5, "p99": 7.0 } } } }|});
+      let s = E.Report.read_bench_summary ~path in
+      Alcotest.(check string) "v2 schema kept" "drust-bench-summary/v2"
+        s.E.Report.sm_schema;
+      let entry = List.assoc "fig5/gemm" s.E.Report.sm_entries in
+      Alcotest.(check (float 1e-9)) "rate" 99.0 entry.E.Report.se_rate;
+      Alcotest.(check (float 1e-9)) "p99" 7.0
+        (List.assoc "p99" entry.E.Report.se_latency_us);
+      Alcotest.(check (option (float 1e-9))) "no host_ms in v2" None
+        entry.E.Report.se_host_ms;
+      Alcotest.(check (list string)) "v2 self-diff clean" []
         (E.Report.compare_summaries ~baseline:s s))
 
 let test_summary_v1_readable () =
@@ -169,8 +216,12 @@ let test_summary_v1_readable () =
          with Failure _ -> true))
 
 let test_summary_regression_detection () =
-  let entry rate p99 =
-    { E.Report.se_rate = rate; se_latency_us = [ ("p50", 1.0); ("p99", p99) ] }
+  let entry ?host_ms rate p99 =
+    {
+      E.Report.se_rate = rate;
+      se_latency_us = [ ("p50", 1.0); ("p99", p99) ];
+      se_host_ms = host_ms;
+    }
   in
   let summary entries =
     { E.Report.sm_schema = E.Report.schema_version; sm_entries = entries }
@@ -196,7 +247,23 @@ let test_summary_regression_detection () =
   (* A looser tolerance clears the marginal cases. *)
   Alcotest.(check (list string)) "tolerance widens the gate" []
     (E.Report.compare_summaries ~tolerance:0.2 ~baseline slow
-    @ E.Report.compare_summaries ~tolerance:0.2 ~baseline lat)
+    @ E.Report.compare_summaries ~tolerance:0.2 ~baseline lat);
+  (* Host time gates only on a blowup past the loose default (200%):
+     2.9x passes, 3.1x fails, and an entry without host_ms on either
+     side is never compared. *)
+  let hb = summary [ ("a", entry ~host_ms:100.0 100.0 10.0) ] in
+  let h_noisy = summary [ ("a", entry ~host_ms:290.0 100.0 10.0) ] in
+  Alcotest.(check (list string)) "host noise tolerated" []
+    (E.Report.compare_summaries ~baseline:hb h_noisy);
+  let h_blown = summary [ ("a", entry ~host_ms:310.0 100.0 10.0) ] in
+  Alcotest.(check int) "host blowup flagged" 1
+    (List.length (E.Report.compare_summaries ~baseline:hb h_blown));
+  Alcotest.(check (list string)) "--tolerance-host widens the host gate" []
+    (E.Report.compare_summaries ~tolerance_host:4.0 ~baseline:hb h_blown);
+  let h_absent = summary [ ("a", entry 100.0 10.0) ] in
+  Alcotest.(check (list string)) "absent host_ms never compared" []
+    (E.Report.compare_summaries ~baseline:hb h_absent
+    @ E.Report.compare_summaries ~baseline:h_absent h_blown)
 
 let test_failover_percentiles_shape () =
   let mk seed detection recovery =
@@ -427,6 +494,9 @@ let () =
       ( "bench-summary",
         [
           Alcotest.test_case "v2 roundtrip" `Quick test_summary_v2_roundtrip;
+          Alcotest.test_case "v3 host_ms roundtrip" `Quick
+            test_summary_v3_host_roundtrip;
+          Alcotest.test_case "v2 readable" `Quick test_summary_v2_readable;
           Alcotest.test_case "v1 readable" `Quick test_summary_v1_readable;
           Alcotest.test_case "regression detection" `Quick
             test_summary_regression_detection;

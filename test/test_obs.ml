@@ -355,26 +355,28 @@ let test_quantile_accuracy () =
     let rank = max 1 (int_of_float (ceil (q *. float_of_int n))) in
     sorted.(rank - 1)
   in
+  let q_exn h q =
+    match Metrics.quantile h q with
+    | Some v -> v
+    | None -> Alcotest.fail "quantile on non-empty histogram returned None"
+  in
   List.iter
     (fun q ->
-      let est = Metrics.quantile hs q in
+      let est = q_exn hs q in
       let ex = exact q in
       if Float.abs (est -. ex) > 0.02 then
         Alcotest.failf "q=%.3f: estimate %.4f vs exact %.4f" q est ex)
     [ 0.1; 0.25; 0.5; 0.9; 0.95; 0.99; 0.999 ];
   (* Monotone in q, and clamped to the observed range. *)
-  let p50 = Metrics.quantile hs 0.5
-  and p95 = Metrics.quantile hs 0.95
-  and p99 = Metrics.quantile hs 0.99 in
+  let p50 = q_exn hs 0.5 and p95 = q_exn hs 0.95 and p99 = q_exn hs 0.99 in
   Alcotest.(check bool) "p50 <= p95 <= p99" true (p50 <= p95 && p95 <= p99);
   Alcotest.(check bool) "within [min,max]" true
-    (Metrics.quantile hs 0.0 >= hs.Metrics.h_min
-    && Metrics.quantile hs 1.0 <= hs.Metrics.h_max);
+    (q_exn hs 0.0 >= hs.Metrics.h_min && q_exn hs 1.0 <= hs.Metrics.h_max);
   (* Degenerate inputs. *)
   ignore (Metrics.histogram m ~buckets "test.quant_empty");
   let empty = find_histo (Metrics.snapshot m) "test.quant_empty" in
-  Alcotest.(check bool) "empty -> nan" true
-    (Float.is_nan (Metrics.quantile empty 0.5));
+  Alcotest.(check bool) "empty -> None" true
+    (Metrics.quantile empty 0.5 = None);
   Alcotest.(check bool) "q outside [0,1] raises" true
     (try
        ignore (Metrics.quantile hs 1.5);
@@ -413,7 +415,7 @@ let test_merge_histos () =
   Alcotest.(check int) "all samples" 8 l.Metrics.h_count;
   List.iter
     (fun q ->
-      Alcotest.(check (float 1e-9))
+      Alcotest.(check (option (float 1e-9)))
         (Printf.sprintf "quantile %.2f agrees" q)
         (Metrics.quantile l q) (Metrics.quantile r q))
     [ 0.5; 0.95; 0.99 ];

@@ -259,6 +259,61 @@ let prop_pqueue_sorted =
       in
       drain neg_infinity)
 
+(* The hybrid calendar/flat-array queue must dispatch in exactly the
+   order the old binary heap did: a stable sort by (time, insertion
+   sequence).  Commands drive an engine-like interleaved workload that
+   exercises every internal structure: pushes at the current instant
+   (the FIFO ring, incl. same-timestamp ties), in the near-horizon
+   window (calendar buckets), far in the future (overflow heap), and
+   adversarially behind the clock (the early heap); pops advance the
+   clock like the engine does. *)
+let prop_pqueue_matches_heap =
+  let gen = QCheck.(list (pair (int_bound 9) (int_bound 999))) in
+  QCheck.Test.make
+    ~name:"pqueue dispatches identically to the reference (time,seq) heap"
+    ~count:300 gen
+    (fun cmds ->
+      let q = Pqueue.create () in
+      (* Reference model: insertion-ordered stable sort by time. *)
+      let model = ref [] in
+      let insert time id =
+        let rec go = function
+          | ((t', _) as hd) :: tl when t' <= time -> hd :: go tl
+          | rest -> (time, id) :: rest
+        in
+        model := go !model
+      in
+      let clock = ref 0.0 and next_id = ref 0 and ok = ref true in
+      let do_pop () =
+        match (Pqueue.pop q, !model) with
+        | None, [] -> ()
+        | Some (t, id), (mt, mid) :: rest ->
+            model := rest;
+            clock := t;
+            if not (t = mt && id = mid) then ok := false
+        | Some _, [] | None, _ :: _ -> ok := false
+      in
+      List.iter
+        (fun (kind, r) ->
+          let push dt =
+            let id = !next_id in
+            incr next_id;
+            insert (!clock +. dt) id;
+            Pqueue.push q ~time:(!clock +. dt) id
+          in
+          match kind with
+          | 0 | 1 | 2 -> push 0.0 (* same-instant FIFO ties *)
+          | 3 | 4 -> push (float_of_int r *. 1e-8) (* near horizon *)
+          | 5 -> push (float_of_int r *. 1e-6) (* across buckets *)
+          | 6 -> push (float_of_int r *. 1e-3) (* overflow heap *)
+          | 7 -> push (-.(float_of_int r *. 1e-7)) (* behind the clock *)
+          | _ -> do_pop ())
+        cmds;
+      while (not (Pqueue.is_empty q)) || !model <> [] do
+        do_pop ()
+      done;
+      !ok)
+
 (* ------------------------------------------------------------------ *)
 (* Units *)
 
@@ -364,6 +419,7 @@ let () =
           Alcotest.test_case "fifo ties" `Quick test_pqueue_fifo_ties;
           Alcotest.test_case "peek" `Quick test_pqueue_peek;
           QCheck_alcotest.to_alcotest prop_pqueue_sorted;
+          QCheck_alcotest.to_alcotest prop_pqueue_matches_heap;
         ] );
       ( "units",
         [

@@ -1,39 +1,52 @@
 (* Benchmark regression gate, run by the @bench-diff alias (a dep of
-   @runtest).  Compares two BENCH_summary.json files — either schema,
-   drust-bench-summary/v1 (rates only) or /v2 (rates + latency_us
-   percentiles) — entry by entry with a relative tolerance:
+   @runtest).  Compares two BENCH_summary.json files — any schema,
+   drust-bench-summary/v1 (rates only), /v2 (rates + latency_us
+   percentiles) or /v3 (v2 + optional host_ms wall-clock) — entry by
+   entry with a relative tolerance:
 
-     bench_diff.exe BASELINE CURRENT [--tolerance F] [--write-baseline]
+     bench_diff.exe BASELINE CURRENT [--tolerance F] [--tolerance-host F]
+                    [--write-baseline]
 
    A regression is a baseline entry missing from CURRENT, a throughput
-   drop below baseline*(1 - tolerance), or a latency percentile above
-   baseline*(1 + tolerance); any regression exits 1.  Entries present
-   only in CURRENT are reported as informational and never fail the
-   gate, so adding an experiment does not require touching the baseline
-   first.  --write-baseline validates CURRENT and copies it over
-   BASELINE instead of comparing (the blessing workflow after an
-   intentional perf change). *)
+   drop below baseline*(1 - tolerance), a latency percentile above
+   baseline*(1 + tolerance), or — when both sides carry host_ms — a
+   host time above baseline*(1 + tolerance-host); any regression exits
+   1.  Host time is wall-clock and therefore noisy, so its tolerance
+   defaults to 2.0 (only a 3x blowup fails) while the simulated-rate
+   tolerance defaults to 0.10.  Entries present only in CURRENT are
+   reported as informational and never fail the gate, so adding an
+   experiment does not require touching the baseline first.
+   --write-baseline validates CURRENT and copies it over BASELINE
+   instead of comparing (the blessing workflow after an intentional
+   perf change). *)
 
 module Report = Drust_experiments.Report
 
 let usage () =
   prerr_endline
-    "usage: bench_diff.exe BASELINE CURRENT [--tolerance F] [--write-baseline]";
+    "usage: bench_diff.exe BASELINE CURRENT [--tolerance F] \
+     [--tolerance-host F] [--write-baseline]";
   exit 2
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let tolerance = ref 0.10 in
+  let tolerance_host = ref 2.0 in
   let write_baseline = ref false in
+  let parse_tol name r f rest k =
+    match float_of_string_opt f with
+    | Some t when t >= 0.0 ->
+        r := t;
+        k rest
+    | _ ->
+        Printf.eprintf "bench_diff: %s expects a non-negative float\n" name;
+        exit 2
+  in
   let rec split acc = function
-    | "--tolerance" :: f :: rest -> (
-        match float_of_string_opt f with
-        | Some t when t >= 0.0 ->
-            tolerance := t;
-            split acc rest
-        | _ ->
-            prerr_endline "bench_diff: --tolerance expects a non-negative float";
-            exit 2)
+    | "--tolerance" :: f :: rest ->
+        parse_tol "--tolerance" tolerance f rest (split acc)
+    | "--tolerance-host" :: f :: rest ->
+        parse_tol "--tolerance-host" tolerance_host f rest (split acc)
     | "--write-baseline" :: rest ->
         write_baseline := true;
         split acc rest
@@ -63,8 +76,26 @@ let () =
   else begin
     let baseline = read baseline_path in
     let regressions =
-      Report.compare_summaries ~tolerance:!tolerance ~baseline current
+      Report.compare_summaries ~tolerance:!tolerance
+        ~tolerance_host:!tolerance_host ~baseline current
     in
+    (* Informational host-time column: baseline -> current ms per entry
+       that carries host_ms on both sides.  The pass/fail decision lives
+       in [compare_summaries]; this line just surfaces the drift. *)
+    List.iter
+      (fun (name, (c : Report.summary_entry)) ->
+        match
+          (List.assoc_opt name baseline.Report.sm_entries, c.Report.se_host_ms)
+        with
+        | Some b, Some cv -> (
+            match b.Report.se_host_ms with
+            | Some bv when bv > 0.0 ->
+                Printf.printf "bench diff: host %s: %.6g -> %.6g ms (%+.1f%%)\n"
+                  name bv cv
+                  (100.0 *. ((cv /. bv) -. 1.0))
+            | _ -> ())
+        | _ -> ())
+      current.Report.sm_entries;
     List.iter
       (fun (name, _) ->
         if not (List.mem_assoc name baseline.Report.sm_entries) then
@@ -73,15 +104,18 @@ let () =
       current.Report.sm_entries;
     match regressions with
     | [] ->
-        Printf.printf "bench diff: OK (%d entr(y/ies) within %.0f%%)\n"
+        Printf.printf
+          "bench diff: OK (%d entr(y/ies) within %.0f%%, host within %.0f%%)\n"
           (List.length baseline.Report.sm_entries)
           (100.0 *. !tolerance)
+          (100.0 *. !tolerance_host)
     | msgs ->
         List.iter (Printf.eprintf "bench diff: REGRESSION: %s\n") msgs;
         Printf.eprintf
-          "bench diff: %d regression(s) vs %s (tolerance %.0f%%); if \
-           intentional, re-bless with --write-baseline\n"
+          "bench diff: %d regression(s) vs %s (tolerance %.0f%%, host \
+           %.0f%%); if intentional, re-bless with --write-baseline\n"
           (List.length msgs) baseline_path
-          (100.0 *. !tolerance);
+          (100.0 *. !tolerance)
+          (100.0 *. !tolerance_host);
         exit 1
   end

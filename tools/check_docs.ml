@@ -13,7 +13,11 @@
       [Dsan.invariant_names] agree in both directions;
    5. docs/BENCHMARKS.md names the summary schema version this build
       writes ([Report.schema_version]), so a schema bump cannot ship
-      without its documentation. *)
+      without its documentation;
+   6. docs/PERFORMANCE.md (the host-side engine guide) exists, is
+      linked from the index, and also names the current schema version
+      — its host-time-gate section describes the `host_ms` column, so
+      it must track schema bumps too. *)
 
 let errors = ref []
 let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt
@@ -180,8 +184,7 @@ let check_sanitizer_catalogue () =
 
 (* --- 5: the benchmark summary schema ------------------------------ *)
 
-let check_bench_schema () =
-  let doc = "docs/BENCHMARKS.md" in
+let names_schema_version doc =
   let text = read_file doc in
   let version = Drust_experiments.Report.schema_version in
   let found =
@@ -195,6 +198,29 @@ let check_bench_schema () =
          lib/experiments/report.ml?)"
       doc version
 
+let check_bench_schema () = names_schema_version "docs/BENCHMARKS.md"
+
+(* --- 6: the performance guide ------------------------------------- *)
+
+let check_performance_guide () =
+  let doc = "docs/PERFORMANCE.md" in
+  if not (Sys.file_exists doc) then
+    err "%s is missing (the engine internals / host-time guide)" doc
+  else begin
+    let index = read_file "docs/README.md" in
+    let linked =
+      try
+        ignore (Str.search_forward (Str.regexp_string "PERFORMANCE.md") index 0);
+        true
+      with Not_found -> false
+    in
+    if not linked then
+      err "docs/README.md does not link to %s" doc;
+    (* The guide documents the host_ms column of the summary, so it must
+       name the schema version that carries it. *)
+    names_schema_version doc
+  end
+
 let () =
   check_index ();
   List.iter
@@ -204,6 +230,7 @@ let () =
   check_catalogue ();
   check_sanitizer_catalogue ();
   check_bench_schema ();
+  check_performance_guide ();
   match List.rev !errors with
   | [] -> print_endline "docs check: OK"
   | msgs ->

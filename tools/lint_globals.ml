@@ -22,6 +22,9 @@ let allowlist =
     ("lib/experiments/report.ml", "current_slug");
     ("lib/experiments/report.ml", "slug_counter");
     ("lib/experiments/report.ml", "rates");
+    (* host_ms recording is per-process CLI configuration (--host-time),
+       set once before any experiment runs, like the collectors above. *)
+    ("lib/experiments/report.ml", "host_time");
     (* Baseline memo spans clusters on purpose (that is the memo); the
        key carries the full run configuration and inserts are
        mutex-protected. *)
