@@ -166,10 +166,20 @@ let run_profile () =
     let cluster = Cluster.create (B.testbed ~nodes:4 ()) in
     if traced then Span.enable (Cluster.spans cluster);
     let backend = B.make_backend B.Drust cluster in
-    let t0 = Unix.gettimeofday () in
+    let t0 =
+      (Unix.gettimeofday ()
+      [@dlint.allow
+        "determinism: the profile host section is explicitly wall-clock \
+         and machine-dependent; it prints to stderr only"])
+    in
     ignore
       (Drust_gemm.Gemm.run ~cluster ~backend Drust_gemm.Gemm.default_config);
-    let dt = Unix.gettimeofday () -. t0 in
+    let dt =
+      (Unix.gettimeofday () -. t0
+      [@dlint.allow
+        "determinism: the profile host section is explicitly wall-clock \
+         and machine-dependent; it prints to stderr only"])
+    in
     let n = Drust_sim.Engine.dispatched (Cluster.engine cluster) in
     Printf.eprintf "  %-18s %9d events in %6.3f s = %.3g events/s\n" label n dt
       (float_of_int n /. dt)
@@ -246,12 +256,12 @@ let run_micro () =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
   let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-  Hashtbl.iter
-    (fun name result ->
-      match Analyze.OLS.estimates result with
-      | Some [ est ] -> Printf.printf "  %-40s %10.1f ns/run\n" name est
-      | Some _ | None -> Printf.printf "  %-40s (no estimate)\n" name)
-    results
+  (* Name-sorted, not bucket-ordered: the report is part of stdout. *)
+  Drust_util.Tables.sorted_bindings results ~cmp:String.compare
+  |> List.iter (fun (name, result) ->
+         match Analyze.OLS.estimates result with
+         | Some [ est ] -> Printf.printf "  %-40s %10.1f ns/run\n" name est
+         | Some _ | None -> Printf.printf "  %-40s (no estimate)\n" name)
 
 let experiments =
   [
@@ -311,7 +321,12 @@ let () =
     | names -> names
   in
   if !sanitize then Drust_check.Dsan.install_global ();
-  let t0 = Unix.gettimeofday () in
+  let t0 =
+    (Unix.gettimeofday ()
+    [@dlint.allow
+      "determinism: harness wall-clock total, printed to stderr only — \
+       stdout stays comparable across runs"])
+  in
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with
@@ -332,7 +347,10 @@ let () =
   Printf.eprintf "wrote %s (%d entr(y/ies))\n" summary_path
     (List.length (E.Report.recorded_rates ()));
   Printf.eprintf "(total harness wall-clock: %.1f s)\n"
-    (Unix.gettimeofday () -. t0);
+    ((Unix.gettimeofday () -. t0)
+    [@dlint.allow
+      "determinism: harness wall-clock total, printed to stderr only — \
+       stdout stays comparable across runs"]);
   if !sanitize then begin
     let module Dsan = Drust_check.Dsan in
     let total =

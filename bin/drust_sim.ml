@@ -141,7 +141,12 @@ let run app system nodes affinity seed trace_n chrome_path profile sanitize
       if sanitize then report_sanitizer ()
   | _ ->
   let params = B.testbed ~nodes ~seed () in
-  let t0 = Unix.gettimeofday () in
+  let t0 =
+    (Unix.gettimeofday ()
+    [@dlint.allow
+      "determinism: human-facing wall-clock note in the CLI summary; the \
+       measured numbers above it are virtual-time"])
+  in
   (* With --trace the run is repeated on an instrumented cluster so the
      throughput numbers above stay untraced. *)
   let r =
@@ -153,7 +158,11 @@ let run app system nodes affinity seed trace_n chrome_path profile sanitize
   Printf.printf "  elapsed    : %.6f virtual s\n" r.Appkit.elapsed;
   Printf.printf "  throughput : %.1f ops/s\n" r.Appkit.throughput;
   List.iter (fun (k, v) -> Printf.printf "  %-10s : %.3f\n" k v) r.Appkit.extra;
-  Printf.printf "  (wall-clock: %.2f s)\n" (Unix.gettimeofday () -. t0);
+  Printf.printf "  (wall-clock: %.2f s)\n"
+    ((Unix.gettimeofday () -. t0)
+    [@dlint.allow
+      "determinism: human-facing wall-clock note in the CLI summary; the \
+       measured numbers above it are virtual-time"]);
   if trace_n > 0 || chrome_path <> None || profile then begin
     let module Cluster = Drust_machine.Cluster in
     let module Span = Drust_obs.Span in

@@ -405,9 +405,9 @@ let observe_protocol t ~time ~node ~thread ev =
           (match kind with
           | Protocol.W_in_place ->
               let reachable =
-                Hashtbl.fold
-                  (fun n c acc -> if c = sh.sh_color then n :: acc else acc)
-                  sh.sh_copies []
+                Drust_util.Tables.sorted_bindings sh.sh_copies ~cmp:Int.compare
+                |> List.filter_map (fun (n, c) ->
+                       if c = sh.sh_color then Some n else None)
               in
               if reachable <> [] then
                 viol Move_invalidation ~addr:(Some pb)
@@ -418,7 +418,7 @@ let observe_protocol t ~time ~node ~thread ev =
                       the value changes"
                      (gstr after)
                      (String.concat ", "
-                        (List.map string_of_int (List.sort compare reachable))))
+                        (List.map string_of_int reachable)))
                   (Some sh.sh_hist)
           | W_bump ->
               sh.sh_color <- Gaddr.color_of after;
@@ -767,27 +767,26 @@ let observe_lock t ~time ~node ~thread ev =
    replica (failover) or the old server's image (handoff) would otherwise
    keep serving superseded values under still-current colors. *)
 let check_range_purged t ~time ~node ~why ~home tr =
-  Hashtbl.iter
-    (fun p sh ->
+  (* Address-sorted so any violation report lists objects in a stable
+     order, not the shadow table's bucket order. *)
+  List.iter
+    (fun (p, sh) ->
       if sh.sh_home = home && sh.sh_status <> Dead then begin
         let survivors =
-          Hashtbl.fold
-            (fun n _ acc ->
-              if n < Array.length t.alive && t.alive.(n) then n :: acc else acc)
-            sh.sh_copies []
+          Drust_util.Tables.sorted_keys sh.sh_copies ~cmp:Int.compare
+          |> List.filter (fun n -> n < Array.length t.alive && t.alive.(n))
         in
         if survivors <> [] then begin
           violate t Move_invalidation ~time ~node ~thread:(-1) ~addr:(Some p)
             ~detail:
               (Printf.sprintf
                  "cached copies of range %d survived %s on node(s) %s" home why
-                 (String.concat ", "
-                    (List.map string_of_int (List.sort compare survivors))))
+                 (String.concat ", " (List.map string_of_int survivors)))
             (Some sh.sh_hist);
           hist_push sh.sh_hist tr
         end
       end)
-    t.shadows
+    (Drust_util.Tables.sorted_bindings t.shadows ~cmp:Int.compare)
 
 let observe_failover t ~time ~node ev =
   let tr = { tr_time = time; tr_node = node; tr_ev = Tr_failover ev } in
@@ -1029,9 +1028,13 @@ let with_sanitizer ?mode cluster f =
   Fun.protect ~finally:(fun () -> detach t) (fun () -> f t)
 
 (* The auto-attach list is the one deliberate process-global here: it
-   spans clusters by design (allowlisted in tools/lint_globals.ml).  The
-   mutex makes it safe to create clusters from parallel sweep domains. *)
-let auto : t list ref = ref []
+   spans clusters by design.  The mutex makes it safe to create clusters
+   from parallel sweep domains. *)
+let auto : t list ref =
+  ref []
+[@@dlint.allow
+  "globals: install_global attaches one sanitizer per future cluster — \
+   cross-cluster by design, mutex-protected"]
 let auto_mutex = Mutex.create ()
 
 let install_global ?mode () =

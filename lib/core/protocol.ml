@@ -1056,7 +1056,11 @@ let drop_owner ctx o =
 (* Affinity (TBox)                                                     *)
 
 let rec reaches o target =
-  o == target || List.exists (fun c -> reaches c target) o.children
+  ((o == target)
+  [@dlint.allow
+    "determinism: identity test on unique mutable object records — affinity \
+     cycles are about this object, not a structural twin"])
+  || List.exists (fun c -> reaches c target) o.children
 
 let tie ctx ~parent ~child =
   assert_valid parent "Protocol.tie";
@@ -1127,7 +1131,13 @@ let audit cluster =
             (fun n ->
               match Cache.lookup n.Cluster.cache o.g with
               | Some copy ->
-                  if copy.Cache.value != heap_value then
+                  if
+                    ((copy.Cache.value != heap_value)
+                    [@dlint.allow
+                      "determinism: staleness audit is exactly a physical \
+                       identity check — a cached copy must alias the heap \
+                       slot's value"])
+                  then
                     note "node %d caches a stale value for %s" n.Cluster.id
                       (Format.asprintf "%a" Gaddr.pp o.g)
               | None -> ())

@@ -78,7 +78,12 @@ let run_app ?affinity ?pass_by_value app system ~params =
    insert is a no-op overwrite. *)
 type baseline_key = { bk_app : app; bk_pass_by_value : bool; bk_params : Params.t }
 
-let baseline_cache : (baseline_key, Appkit.result) Hashtbl.t = Hashtbl.create 8
+let baseline_cache : (baseline_key, Appkit.result) Hashtbl.t =
+  Hashtbl.create 8
+[@@dlint.allow
+  "globals: the baseline memo spans clusters on purpose (that is the \
+   memo); the key carries the full run configuration and inserts are \
+   mutex-protected"]
 let baseline_mutex = Mutex.create ()
 
 let default_baseline_params () = testbed ~nodes:1 ()

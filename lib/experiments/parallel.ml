@@ -12,7 +12,11 @@
    raised exception, re-raised in submission order) are independent of
    which domain ran which job. *)
 
-let default = Atomic.make 1
+let default =
+  Atomic.make 1
+[@@dlint.allow
+  "globals: per-process --jobs default, set once by the CLI before any \
+   sweep runs; atomic"]
 
 let set_default_jobs n =
   if n < 1 then invalid_arg "Parallel.set_default_jobs: jobs must be >= 1";

@@ -1,6 +1,17 @@
-let csv_dir = ref None
-let current_slug = ref "table"
-let slug_counter = ref 0
+let csv_dir =
+  ref None
+[@@dlint.allow
+  "globals: one harness run produces one CSV set — per-process by design"]
+
+let current_slug =
+  ref "table"
+[@@dlint.allow
+  "globals: per-process CSV naming state, paired with csv_dir above"]
+
+let slug_counter =
+  ref 0
+[@@dlint.allow
+  "globals: per-process CSV naming state, paired with csv_dir above"]
 
 let set_csv_dir d =
   (match d with
@@ -101,7 +112,11 @@ let v2_schema = "drust-bench-summary/v2"
    host_ms is wall-clock and thus machine- and load-dependent, so it
    must stay out of the summaries that are diffed byte-for-byte across
    --jobs values. *)
-let host_time = ref false
+let host_time =
+  ref false
+[@@dlint.allow
+  "globals: per-process CLI configuration (--host-time), set once before \
+   any experiment runs"]
 let set_host_time_recording b = host_time := b
 let host_time_recording () = !host_time
 
@@ -142,7 +157,11 @@ type bench_entry = {
    overwrites in place).  The mutex admits [record_rate] calls from
    parallel sweep domains; [recorded_entries] sorts by name, so the
    summary is byte-identical regardless of arrival order or [--jobs]. *)
-let rates : (string * bench_entry) list ref = ref []
+let rates : (string * bench_entry) list ref =
+  ref []
+[@@dlint.allow
+  "globals: the per-process summary collector — one harness run, one \
+   summary; mutex-protected for parallel sweeps"]
 let rates_mutex = Mutex.create ()
 
 let record_rate ?latency ?host_ms ~experiment ~ops ~elapsed () =
@@ -160,7 +179,7 @@ let record_rate ?latency ?host_ms ~experiment ~ops ~elapsed () =
 
 let recorded_entries () =
   Mutex.protect rates_mutex (fun () -> !rates)
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let recorded_rates () =
   List.map (fun (k, e) -> (k, e.be_rate)) (recorded_entries ())

@@ -106,12 +106,23 @@ let note_resident t ~node (bs : big_state) ~size =
     t.cache_bytes.(node) > t.cache_budget && not (Queue.is_empty t.lru.(node))
   do
     let victim, vsize = Queue.pop t.lru.(node) in
-    if victim.resident.(node) && victim != bs then begin
+    if
+      victim.resident.(node)
+      && ((victim != bs)
+         [@dlint.allow
+           "determinism: identity test on unique mutable cache records — \
+            the object being inserted must not evict itself"])
+    then begin
       victim.resident.(node) <- false;
       victim.cursors.(node) <- 0;
       t.cache_bytes.(node) <- t.cache_bytes.(node) - vsize
     end
-    else if victim == bs then Queue.push (victim, vsize) t.lru.(node)
+    else if
+      ((victim == bs)
+      [@dlint.allow
+        "determinism: identity test on unique mutable cache records — \
+         the object being inserted must not evict itself"])
+    then Queue.push (victim, vsize) t.lru.(node)
   done
 
 (* Globally unique block ids: 2^34 bytes of virtual space per node. *)
@@ -170,7 +181,7 @@ let state_ref t b =
       Hashtbl.replace t.directory b r;
       r
 
-let distinct l = List.sort_uniq compare l
+let distinct (l : int list) = List.sort_uniq Int.compare l
 
 (* One home-directory round trip serving [nblocks] block requests and
    contacting [third_parties] (exclusive holders to downgrade, or sharers

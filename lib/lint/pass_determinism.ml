@@ -1,0 +1,110 @@
+(* determinism — flag sources of nondeterminism in simulator code.
+
+   Every experiment must be reproducible from a single integer seed
+   (docs/BENCHMARKS.md gates byte-identical output across --jobs), so
+   library and harness code may not consult ambient entropy or rely on
+   unspecified orders.  Checked syntactically over lib/, bench/ and
+   bin/:
+
+   - the [Random] module (use the seeded [Drust_util.Rng] instead);
+   - wall-clock reads ([Sys.time], [Unix.gettimeofday], [Unix.time],
+     [Unix.localtime], [Unix.gmtime]) — host time may only feed the
+     opt-in host_ms column, behind an allow;
+   - [Hashtbl.iter]/[Hashtbl.fold]/[Hashtbl.to_seq*], whose bucket
+     order is an implementation detail that leaks into any output
+     built from it — sort, or allow with an order-independence
+     argument;
+   - the polymorphic hash family ([Hashtbl.hash] & friends), whose
+     value depends on the runtime's representation choices;
+   - bare polymorphic [compare] / [Stdlib.compare], which on abstract
+     or uid-carrying types orders by representation, not meaning —
+     use the typed [Int.compare]/[String.compare]/per-module compare;
+   - physical equality [==]/[!=], unspecified on immutable values;
+   - [Obj.magic], which defeats every typed argument the lint makes.
+
+   The pass flags identifier *uses*, so both direct calls and
+   higher-order escapes ([List.sort compare]) are caught. *)
+
+let name = "determinism"
+
+let doc =
+  "nondeterminism sources: Random, wall-clock reads, unordered Hashtbl \
+   iteration, polymorphic hash/compare, physical equality, Obj.magic"
+
+let wall_clock =
+  [ "Sys.time"; "Unix.gettimeofday"; "Unix.time"; "Unix.localtime";
+    "Unix.gmtime" ]
+
+let unordered =
+  [ "Hashtbl.iter"; "Hashtbl.fold"; "Hashtbl.to_seq"; "Hashtbl.to_seq_keys";
+    "Hashtbl.to_seq_values" ]
+
+let poly_hash = [ "Hashtbl.hash"; "Hashtbl.hash_param"; "Hashtbl.seeded_hash" ]
+let poly_compare = [ "compare"; "Stdlib.compare" ]
+let phys_eq = [ "=="; "!=" ]
+
+let message_for ident =
+  if String.starts_with ~prefix:"Random." ident || ident = "Random" then
+    Some
+      (Printf.sprintf
+         "%s draws from ambient entropy — use the seeded Drust_util.Rng"
+         ident)
+  else if List.mem ident wall_clock then
+    Some
+      (Printf.sprintf
+         "%s reads the host clock — simulator output must be a function of \
+          the seed (host time is only legal behind the opt-in host_ms \
+          column)"
+         ident)
+  else if List.mem ident unordered then
+    Some
+      (Printf.sprintf
+         "%s iterates in unspecified bucket order — sort the result, or \
+          allow with an order-independence argument"
+         ident)
+  else if List.mem ident poly_hash then
+    Some
+      (Printf.sprintf
+         "%s is the polymorphic hash — define a typed hash from the \
+          value's uid instead"
+         ident)
+  else if List.mem ident poly_compare then
+    Some
+      (Printf.sprintf
+         "polymorphic %s orders by representation — use Int.compare, \
+          String.compare, or the module's own compare"
+         ident)
+  else if List.mem ident phys_eq then
+    Some
+      (Printf.sprintf
+         "physical equality (%s) is unspecified on immutable values — use \
+          structural or uid equality, or allow with an identity argument"
+         ident)
+  else if ident = "Obj.magic" then
+    Some "Obj.magic defeats the type system the lint relies on"
+  else None
+
+let check ctx (f : Lint.file_unit) =
+  let open Ast_iterator in
+  let expr it (e : Parsetree.expression) =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; loc } -> (
+        match message_for (Lint.ident_name txt) with
+        | Some msg -> Lint.emit ctx ~pass:name ~loc msg
+        | None -> ())
+    | _ -> ());
+    default_iterator.expr it e
+  in
+  let it = { default_iterator with expr } in
+  it.structure it f.Lint.f_structure
+
+let pass =
+  {
+    Lint.p_name = name;
+    p_doc = doc;
+    p_applies =
+      (fun scope ->
+        Lint.under "lib" scope || Lint.under "bench" scope
+        || Lint.under "bin" scope);
+    p_check = check;
+  }

@@ -1,0 +1,86 @@
+(* globals — no process-global mutable state in lib/.
+
+   Per-cluster state must live in the cluster's [Drust_machine.Env]
+   record (docs/ARCHITECTURE.md): module-level mutable containers leak
+   (cluster uids are never pruned) and alias state across clusters
+   running concurrently on separate domains — the bug class PR 4
+   eliminated.  This pass supersedes the old tools/lint_globals.ml
+   regex: it walks the Parsetree, so multi-line bindings, annotated
+   bindings and bindings nested in submodules are all caught, and
+   function definitions that merely allocate a table internally are
+   structurally (not heuristically) exempt.
+
+   Flagged: a structure-level [let] whose right-hand side — under any
+   constraint, local open, sequence or trailing [let] — allocates a
+   mutable container: [Hashtbl.create], [Queue.create], [Buffer.create],
+   [Stack.create], [Weak.create], [Atomic.make], [Array.make],
+   [Bytes.create] or [ref].
+
+   Deliberate process-wide state carries a use-site
+   [@@dlint.allow "globals: <why>"] on the binding. *)
+
+let name = "globals"
+
+let doc =
+  "structure-level mutable containers (Hashtbl/Queue/Buffer/Stack/Weak/\
+   Atomic/Array/Bytes/ref) outside the per-cluster Env"
+
+let banned_alloc = function
+  | "Hashtbl.create" | "Queue.create" | "Buffer.create" | "Stack.create"
+  | "Weak.create" | "Atomic.make" | "Array.make" | "Array.create_float"
+  | "Bytes.create" | "Bytes.make" | "ref" | "Stdlib.ref" ->
+      true
+  | _ -> false
+
+let binding_name (vb : Parsetree.value_binding) =
+  match vb.pvb_pat.ppat_desc with
+  | Ppat_var { txt; _ } -> txt
+  | Ppat_constraint ({ ppat_desc = Ppat_var { txt; _ }; _ }, _) -> txt
+  | _ -> "_"
+
+let check_binding ctx (vb : Parsetree.value_binding) =
+  let rhs = Lint.rhs_head vb.pvb_expr in
+  match Lint.apply_head rhs with
+  | Some head when banned_alloc head ->
+      Lint.emit ctx ~pass:name ~loc:vb.pvb_loc
+        (Printf.sprintf
+           "top-level mutable binding %S (%s) — move it into the \
+            per-cluster Drust_machine.Env record (docs/ARCHITECTURE.md) or \
+            annotate the binding with [@@dlint.allow \"globals: reason\"]"
+           (binding_name vb) head)
+  | _ -> ()
+
+(* Structure-level bindings only: descend through submodules (state in a
+   toplevel [module M = struct ... end] is just as process-global) but
+   not into expressions — a table allocated inside a function body is
+   scoped to its call. *)
+let rec scan_structure ctx (str : Parsetree.structure) =
+  List.iter (scan_item ctx) str
+
+and scan_item ctx (it : Parsetree.structure_item) =
+  match it.pstr_desc with
+  | Pstr_value (_, vbs) -> List.iter (check_binding ctx) vbs
+  | Pstr_module mb -> scan_module ctx mb.pmb_expr
+  | Pstr_recmodule mbs ->
+      List.iter
+        (fun (mb : Parsetree.module_binding) -> scan_module ctx mb.pmb_expr)
+        mbs
+  | Pstr_include i -> scan_module ctx i.pincl_mod
+  | _ -> ()
+
+and scan_module ctx (me : Parsetree.module_expr) =
+  match me.pmod_desc with
+  | Pmod_structure s -> scan_structure ctx s
+  | Pmod_constraint (me, _) -> scan_module ctx me
+  (* Functor bodies are instantiation-scoped, not process-global. *)
+  | _ -> ()
+
+let check ctx (f : Lint.file_unit) = scan_structure ctx f.Lint.f_structure
+
+let pass =
+  {
+    Lint.p_name = name;
+    p_doc = doc;
+    p_applies = (fun scope -> Lint.under "lib" scope);
+    p_check = check;
+  }

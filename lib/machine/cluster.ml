@@ -36,14 +36,22 @@ type t = {
 (* Atomic so clusters may be created concurrently from several domains
    (the parallel sweep runner).  The uid is purely informational — no
    layer keys state on it any more; per-cluster state lives in [env]. *)
-let next_uid = Atomic.make 0
+let next_uid =
+  Atomic.make 0
+[@@dlint.allow
+  "globals: the process-wide cluster uid source — informational only, no \
+   layer keys state on it; atomic for parallel sweep domains"]
 
 (* Called on every freshly created cluster.  This is how process-wide
    tooling (the DSan sanitizer's --sanitize flag) reaches clusters that
    experiments create internally, without threading a parameter through
    every call site.  The hook must not touch the engine or any RNG, and
    it may run in whichever domain creates the cluster. *)
-let create_hook : (t -> unit) option Atomic.t = Atomic.make None
+let create_hook : (t -> unit) option Atomic.t =
+  Atomic.make None
+[@@dlint.allow
+  "globals: the process-wide creation hook is how --sanitize reaches \
+   internally created clusters; set once at startup, atomic"]
 let set_create_hook h = Atomic.set create_hook h
 
 let create ?engine params =

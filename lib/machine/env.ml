@@ -20,7 +20,11 @@ type 'a key = {
   project : exn -> 'a option;
 }
 
-let next_key_id = Atomic.make 0
+let next_key_id =
+  Atomic.make 0
+[@@dlint.allow
+  "globals: Env key ids are process-wide by construction (a key works \
+   across every cluster's Env); atomic for parallel sweep domains"]
 
 let key (type a) ~name : a key =
   let module M = struct
@@ -61,4 +65,4 @@ let length t = Drust_util.Intmap.length t.slots
 
 let names t =
   Drust_util.Intmap.fold (fun _ b acc -> b.b_name :: acc) t.slots []
-  |> List.sort compare
+  |> List.sort String.compare

@@ -16,7 +16,7 @@
     domain; distinct clusters are fully independent.
 
     The no-process-globals rule this module enforces is linted by
-    [tools/lint_globals.ml] (the [@lint] alias). *)
+    DLint's [globals] pass (the [@lint] alias, docs/LINTS.md). *)
 
 type 'a key
 (** A typed slot identifier.  Keys are cheap; allocate them at module

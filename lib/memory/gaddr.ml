@@ -51,7 +51,13 @@ let of_int_exn i =
 
 let equal = Int.equal
 let compare = Int.compare
-let hash = Hashtbl.hash
+
+(* An address is already a well-mixed non-negative int (node | offset |
+   color packed by [make]); hashing it through the polymorphic
+   [Hashtbl.hash] would tie the value to the runtime's representation
+   choices for no benefit.  The identity is deterministic by
+   construction. *)
+let hash = to_int
 
 let pp fmt a =
   Format.fprintf fmt "g[n%d+0x%x c%d]" (node_of a) (offset_of a) (color_of a)

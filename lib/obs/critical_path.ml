@@ -86,10 +86,10 @@ let top_k k paths =
   let sorted =
     List.stable_sort
       (fun a b ->
-        match compare b.total a.total with
+        match Float.compare b.total a.total with
         | 0 -> (
-            match compare a.root.Span.ts b.root.Span.ts with
-            | 0 -> compare a.root.Span.id b.root.Span.id
+            match Float.compare a.root.Span.ts b.root.Span.ts with
+            | 0 -> Int.compare a.root.Span.id b.root.Span.id
             | c -> c)
         | c -> c)
       paths

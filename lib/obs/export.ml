@@ -31,7 +31,7 @@ let us t = Printf.sprintf "%.3f" (t *. 1e6)
 let chrome_trace ?(process_name = "drust-sim") spans =
   let events = Span.events spans in
   let tracks =
-    List.sort_uniq compare (List.map (fun e -> e.Span.track) events)
+    List.sort_uniq Int.compare (List.map (fun e -> e.Span.track) events)
   in
   let meta =
     obj
@@ -45,7 +45,9 @@ let chrome_trace ?(process_name = "drust-sim") spans =
                ("args", obj [ ("name", str (Printf.sprintf "node %d" track)) ]) ])
          tracks
   in
-  let sorted = List.stable_sort (fun a b -> compare a.Span.ts b.Span.ts) events in
+  let sorted =
+    List.stable_sort (fun a b -> Float.compare a.Span.ts b.Span.ts) events
+  in
   let body =
     List.map
       (fun e ->
@@ -79,9 +81,8 @@ let chrome_trace ?(process_name = "drust-sim") spans =
         e.Span.flow_in)
     sorted;
   let flow_ids =
-    Hashtbl.fold (fun fid _ acc -> fid :: acc) producers []
+    Drust_util.Tables.sorted_keys producers ~cmp:Int.compare
     |> List.filter (Hashtbl.mem consumers)
-    |> List.sort compare
   in
   let flows =
     List.concat_map

@@ -35,7 +35,7 @@ let disable t = t.o.enabled <- false
 let is_enabled t = t.o.enabled
 
 let norm_labels labels =
-  List.sort_uniq (fun (a, _) (b, _) -> compare a b) labels
+  List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) labels
 
 let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
 
@@ -160,12 +160,18 @@ let sample_of m =
   in
   { s_name = m.m_name; s_labels = m.m_labels; s_unit = m.m_unit; s_value = v }
 
+let compare_labels la lb =
+  List.compare
+    (fun (ka, va) (kb, vb) ->
+      match String.compare ka kb with 0 -> String.compare va vb | c -> c)
+    la lb
+
+let compare_key (na, la) (nb, lb) =
+  match String.compare na nb with 0 -> compare_labels la lb | c -> c
+
 let snapshot t =
-  Hashtbl.fold (fun _ m acc -> sample_of m :: acc) t.tbl []
-  |> List.sort (fun a b ->
-         match compare a.s_name b.s_name with
-         | 0 -> compare a.s_labels b.s_labels
-         | c -> c)
+  Drust_util.Tables.sorted_bindings t.tbl ~cmp:compare_key
+  |> List.map (fun (_, m) -> sample_of m)
 
 let diff ~before ~after =
   let key s = (s.s_name, s.s_labels) in
@@ -252,8 +258,9 @@ let merge_histos a b =
   }
 
 let names t =
-  Hashtbl.fold (fun (name, _) _ acc -> name :: acc) t.tbl []
-  |> List.sort_uniq compare
+  Drust_util.Tables.sorted_keys t.tbl ~cmp:compare_key
+  |> List.map fst
+  |> List.sort_uniq String.compare
 
 let total snap name =
   List.fold_left

@@ -169,8 +169,7 @@ let events t =
 let count t = t.total
 
 let duration_stats t =
-  Hashtbl.fold (fun cat s acc -> (cat, s) :: acc) t.stats []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  Drust_util.Tables.sorted_bindings t.stats ~cmp:String.compare
 
 let clear t =
   Array.fill t.ring 0 (Array.length t.ring) None;

@@ -25,7 +25,14 @@ let register ctx =
 let unregister r =
   r.running <- false;
   let b = bucket (Ctx.cluster r.ctx) in
-  b := List.filter (fun r' -> r' != r) !b
+  b :=
+    List.filter
+      (fun r' ->
+        ((r' != r)
+        [@dlint.allow
+          "determinism: identity test on unique mutable records — removing \
+           exactly this registration, not a structural twin"]))
+      !b
 
 let live_threads cluster = List.filter (fun r -> r.running) !(bucket cluster)
 

@@ -57,27 +57,31 @@ let record_commit t _ctx g size value =
    off the mutator's critical path. *)
 let flush_pending t ctx ~only =
   let fabric = Cluster.fabric t.cluster in
-  let flush g d acc =
+  (* Address order, not bucket order: the flush issues fabric events, so
+     its iteration order is part of the deterministic schedule. *)
+  let selected =
     match only with
-    | Some phys when not (Gaddr.equal phys g) -> acc
-    | _ ->
-        let home = Gaddr.node_of g in
-        for r = 0 to t.replicas - 1 do
-          let target = replica_host t ~home ~r in
-          (* A dead replica host receives nothing: its copy is frozen at
-             the failure point and must not masquerade as current. *)
-          if (Cluster.node t.cluster target).Cluster.alive then begin
-            if target <> ctx.Ctx.node then
-              Fabric.rdma_write_async fabric ~from:ctx.Ctx.node ~target
-                ~bytes:d.size (fun () -> ());
-            Partition.put t.backups.(r).(home) g ~size:d.size d.value
-          end
-        done;
-        t.writebacks <- t.writebacks + 1;
-        g :: acc
+    | Some phys -> if Hashtbl.mem t.pending phys then [ phys ] else []
+    | None -> Drust_util.Tables.sorted_keys t.pending ~cmp:Gaddr.compare
   in
-  let flushed = Hashtbl.fold flush t.pending [] in
-  List.iter (Hashtbl.remove t.pending) flushed
+  List.iter
+    (fun g ->
+      let d = Hashtbl.find t.pending g in
+      let home = Gaddr.node_of g in
+      for r = 0 to t.replicas - 1 do
+        let target = replica_host t ~home ~r in
+        (* A dead replica host receives nothing: its copy is frozen at
+           the failure point and must not masquerade as current. *)
+        if (Cluster.node t.cluster target).Cluster.alive then begin
+          if target <> ctx.Ctx.node then
+            Fabric.rdma_write_async fabric ~from:ctx.Ctx.node ~target
+              ~bytes:d.size (fun () -> ());
+          Partition.put t.backups.(r).(home) g ~size:d.size d.value
+        end
+      done;
+      t.writebacks <- t.writebacks + 1;
+      Hashtbl.remove t.pending g)
+    selected
 
 let on_transfer t ctx g = if t.enabled then flush_pending t ctx ~only:(Some g)
 
@@ -133,9 +137,8 @@ let fail_and_promote ctx t ~node =
   (* Everything the failed node had committed-and-escaped is in the
      backups; un-flushed pending entries for its range are lost. *)
   let lost =
-    Hashtbl.fold
-      (fun g _ acc -> if Gaddr.node_of g = node then g :: acc else acc)
-      t.pending []
+    Drust_util.Tables.sorted_keys t.pending ~cmp:Gaddr.compare
+    |> List.filter (fun g -> Gaddr.node_of g = node)
   in
   List.iter (Hashtbl.remove t.pending) lost;
   Cluster.mark_failed t.cluster node;

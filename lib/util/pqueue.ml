@@ -44,7 +44,12 @@ let inv_width = 1.0 /. width
 (* Dummy slot value for the uniform value arrays.  The arrays are
    created with an immediate value, so they are never flat float arrays
    and the polymorphic array primitives handle any ['a] stored later. *)
-let dummy : 'a. unit -> 'a = fun () -> Obj.magic ()
+let dummy : 'a. unit -> 'a =
+ fun () ->
+  (Obj.magic ()
+  [@dlint.allow
+    "determinism: unread slot sentinel for pre-sized uniform arrays; \
+     b_len guards every access so the dummy is never observed"])
 
 type 'a bucket = {
   mutable b_time : float array;

@@ -1,0 +1,21 @@
+(* Deterministic views over Hashtbl.
+
+   OCaml's [Hashtbl.iter]/[Hashtbl.fold] visit buckets in an order that
+   is an implementation detail, so any output built from a bare fold is
+   one compiler upgrade away from changing — the determinism lint
+   (docs/LINTS.md) flags every such use.  These helpers are the blessed
+   alternative: one allowed fold, behind a total order the caller
+   names.  Keys are assumed unique ([Hashtbl.replace]-style tables); a
+   table built with shadowing [Hashtbl.add] gets every binding, sorted
+   stably by key. *)
+
+let bindings tbl =
+  (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  [@dlint.allow
+    "determinism: the one blessed fold — every caller orders the result \
+     with the total order it passes to sorted_keys/sorted_bindings"])
+
+let sorted_bindings tbl ~cmp =
+  List.stable_sort (fun (ka, _) (kb, _) -> cmp ka kb) (bindings tbl)
+
+let sorted_keys tbl ~cmp = List.map fst (sorted_bindings tbl ~cmp)

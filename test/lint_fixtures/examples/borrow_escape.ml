@@ -1,0 +1,3 @@
+(* dlint fixture: a borrow escaping into a long-lived store. *)
+
+let stash tbl o = Hashtbl.add tbl 0 (Own.borrow o)

@@ -1,0 +1,5 @@
+(* dlint fixture: malformed and unknown-pass allow payloads. *)
+
+let a = (ignore [@dlint.allow "no separator here"]) 0
+let b = (ignore [@dlint.allow "nosuchpass: reason"]) 0
+let c = (ignore [@dlint.allow "determinism:   "]) 0

@@ -1,0 +1,9 @@
+(* dlint fixture: one determinism violation per construct class. *)
+
+let seed () = Random.self_init ()
+let now () = Unix.gettimeofday ()
+let dump f tbl = Hashtbl.iter f tbl
+let order xs = List.sort compare xs
+let digest x = Hashtbl.hash x
+let same a b = a == b
+let cast x = Obj.magic x

@@ -1,0 +1,10 @@
+(* dlint fixture: process-global mutable state at module level.  The
+   multi-line binding and the submodule binding are exactly the shapes
+   the old regex lint could not see. *)
+
+let cache =
+  Hashtbl.create 64
+
+module Inner = struct
+  let pending = Queue.create ()
+end

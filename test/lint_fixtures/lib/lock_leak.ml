@@ -1,0 +1,5 @@
+(* dlint fixture: Dmutex.lock with no unlock in the same function. *)
+
+let enter ctx m =
+  Dmutex.lock ctx m;
+  ignore ctx

@@ -17,7 +17,11 @@
    6. docs/PERFORMANCE.md (the host-side engine guide) exists, is
       linked from the index, and also names the current schema version
       — its host-time-gate section describes the `host_ms` column, so
-      it must track schema bumps too. *)
+      it must track schema bumps too;
+   7. the DLint pass catalogue in docs/LINTS.md and the registry
+      ([Dlint.pass_names]) agree in both directions: every registered
+      pass is catalogued, and every pass id the catalogue's table names
+      is registered. *)
 
 let errors = ref []
 let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt
@@ -221,6 +225,52 @@ let check_performance_guide () =
     names_schema_version doc
   end
 
+(* --- 7: the DLint pass catalogue ----------------------------------- *)
+
+(* A catalogue row opens with the backtick-quoted pass id:
+   "| `determinism` | ...".  Only those leading cells are treated as
+   pass ids; backticked tokens elsewhere in the doc (module names,
+   metric names) are prose. *)
+let lint_row_re = Str.regexp {re|^| `\([a-z_]+\)` ||re}
+
+let check_lint_catalogue () =
+  let doc = "docs/LINTS.md" in
+  if not (Sys.file_exists doc) then
+    err "%s is missing (the DLint pass catalogue)" doc
+  else begin
+    let index = read_file "docs/README.md" in
+    (try ignore (Str.search_forward (Str.regexp_string "LINTS.md") index 0)
+     with Not_found -> err "docs/README.md does not link to %s" doc);
+    let text = read_file doc in
+    let registered = Drust_lint.Dlint.pass_names in
+    (* Forward: every registered pass appears in the catalogue. *)
+    List.iter
+      (fun name ->
+        let quoted = "`" ^ name ^ "`" in
+        let found =
+          try
+            ignore (Str.search_forward (Str.regexp_string quoted) text 0);
+            true
+          with Not_found -> false
+        in
+        if not found then
+          err "lint pass %s is registered in lib/lint/dlint.ml but missing \
+               from %s"
+            name doc)
+      registered;
+    (* Reverse: every pass id the catalogue's table opens a row with is
+       actually registered. *)
+    let pos = ref 0 in
+    try
+      while true do
+        pos := Str.search_forward lint_row_re text !pos + 1;
+        let name = Str.matched_group 1 text in
+        if name <> "pass" && not (List.mem name registered) then
+          err "%s catalogues lint pass %s, which is not registered" doc name
+      done
+    with Not_found -> ()
+  end
+
 let () =
   check_index ();
   List.iter
@@ -231,6 +281,7 @@ let () =
   check_sanitizer_catalogue ();
   check_bench_schema ();
   check_performance_guide ();
+  check_lint_catalogue ();
   match List.rev !errors with
   | [] -> print_endline "docs check: OK"
   | msgs ->

@@ -1,0 +1,59 @@
+(* DLint CLI, run by the @lint alias (a dep of @runtest).
+
+     dlint [--list-passes] [--only PASS] [PATH ...]
+
+   Parses every .ml under the given files or directory roots (default:
+   lib bench bin examples) and runs the registered static-analysis
+   passes — see docs/LINTS.md for the catalogue and the
+   [@dlint.allow "pass-id: reason"] exemption mechanism.  Exits 1 when
+   any diagnostic survives. *)
+
+let usage () =
+  prerr_endline "usage: dlint [--list-passes] [--only PASS] [PATH ...]";
+  exit 2
+
+let default_paths = Drust_lint.Lint.scan_roots
+
+let () =
+  let rec parse_args only paths = function
+    | [] -> (only, List.rev paths)
+    | "--list-passes" :: _ ->
+        List.iter
+          (fun p ->
+            Printf.printf "%-12s %s\n" p.Drust_lint.Lint.p_name
+              p.Drust_lint.Lint.p_doc)
+          Drust_lint.Dlint.passes;
+        exit 0
+    | "--only" :: pass :: rest -> parse_args (Some pass) paths rest
+    | "--only" :: [] -> usage ()
+    | ("--help" | "-h") :: _ -> usage ()
+    | arg :: _ when String.length arg > 0 && arg.[0] = '-' -> usage ()
+    | path :: rest -> parse_args only (path :: paths) rest
+  in
+  let only, paths =
+    parse_args None [] (List.tl (Array.to_list Sys.argv))
+  in
+  let paths = if paths = [] then default_paths else paths in
+  let result =
+    try Drust_lint.Dlint.run ?only ~paths ()
+    with Invalid_argument msg ->
+      prerr_endline msg;
+      exit 2
+  in
+  match result.Drust_lint.Dlint.diagnostics with
+  | [] ->
+      Printf.printf "dlint: OK (%d files, %d passes%s, %d/%d exemption(s) in \
+                     use)\n"
+        result.Drust_lint.Dlint.files_scanned
+        (match only with
+        | None -> List.length Drust_lint.Dlint.passes
+        | Some _ -> 1)
+        (match only with Some p -> Printf.sprintf " [--only %s]" p | None -> "")
+        result.Drust_lint.Dlint.allows_used
+        result.Drust_lint.Dlint.allows_total
+  | diags ->
+      List.iter
+        (fun d -> prerr_endline (Drust_lint.Lint.pp_diag d))
+        diags;
+      Printf.eprintf "dlint: %d finding(s)\n" (List.length diags);
+      exit 1
