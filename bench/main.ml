@@ -7,6 +7,9 @@
      dune exec bench/main.exe -- fig5 table2         # selected experiments
      dune exec bench/main.exe -- fig5 --out results  # + CSV files
      dune exec bench/main.exe -- fig5 --jobs 4       # parallel sweep pool
+     dune exec bench/main.exe -- fig5 --emit-plan p.json   # + plan artifact
+     dune exec bench/main.exe -- --plan p.json       # replay a suite plan
+     dune exec bench/main.exe -- fuzz --fuzz-count 25 --fuzz-seed 1
 
    --jobs N fans independent experiment configurations out over N
    domains (default 1); output is byte-identical for every N (see
@@ -14,7 +17,13 @@
 
    Experiments: motivation fig5 fig6 fig7 table1 table2 migration
                 ablation traffic ycsb latency failover churn trace
-                profile micro
+                profile micro fuzz
+
+   The plan-replayable experiments dispatch through
+   Drust_experiments.Runner — the same table --plan replay uses, which
+   is what makes a replayed run byte-identical to the direct one (see
+   docs/SIMPLAN.md).  trace/profile/micro are host-side diagnostics and
+   stay CLI-only; fuzz is the seeded SimPlan fuzzer (Drust_plan.Fuzz).
 
    --churn-nodes N sets the churn experiment's cluster size (default
    64; the @churn CI alias runs it at 16).
@@ -33,24 +42,8 @@
    trace with cross-node flow arrows (prefix default "drust-profile"). *)
 
 module E = Drust_experiments
-
-let run_fig5 () = ignore (E.Fig5.run ())
-let run_fig6 () = ignore (E.Fig6.run ())
-let run_fig7 () = ignore (E.Fig7.run ())
-let run_table1 () = ignore (E.Table1.run ())
-let run_table2 () = ignore (E.Table2.run ())
-let run_migration () = ignore (E.Migration.run ())
-let run_motivation () = ignore (E.Motivation.run ())
-let run_ablation () = ignore (E.Ablation.run ())
-let run_traffic () = ignore (E.Traffic.run ())
-let run_ycsb () = ignore (E.Ycsb_suite.run ())
-let run_latency () = ignore (E.Latency.run ())
-let run_failover () = ignore (E.Failover.run ())
-
-(* Node count for the churn run: 64 by default (the paper-scale
-   configuration), dialed down to 16 by the @churn CI alias. *)
-let churn_nodes = ref None
-let run_churn () = ignore (E.Churn.run ?nodes:!churn_nodes ())
+module Simplan = Drust_plan.Simplan
+module Fuzz = Drust_plan.Fuzz
 
 (* ------------------------------------------------------------------ *)
 (* Observability demo: one traced run, exported for Perfetto.          *)
@@ -263,30 +256,106 @@ let run_micro () =
          | Some [ est ] -> Printf.printf "  %-40s %10.1f ns/run\n" name est
          | Some _ | None -> Printf.printf "  %-40s (no estimate)\n" name)
 
-let experiments =
-  [
-    ("motivation", run_motivation);
-    ("table1", run_table1);
-    ("table2", run_table2);
-    ("fig5", run_fig5);
-    ("fig6", run_fig6);
-    ("fig7", run_fig7);
-    ("migration", run_migration);
-    ("ablation", run_ablation);
-    ("traffic", run_traffic);
-    ("ycsb", run_ycsb);
-    ("latency", run_latency);
-    ("failover", run_failover);
-    ("churn", run_churn);
-    ("trace", run_trace);
-    ("profile", run_profile);
-    ("micro", run_micro);
-  ]
+(* CLI-only diagnostics: host-side, not described by a suite plan. *)
+let local_experiments =
+  [ ("trace", run_trace); ("profile", run_profile); ("micro", run_micro) ]
+
+let all_names = E.Runner.names @ List.map fst local_experiments @ [ "fuzz" ]
+
+(* ------------------------------------------------------------------ *)
+(* Seeded SimPlan fuzzing: sample valid plans, execute each under a
+   local sanitizer, greedily shrink any failure to a minimal plan.     *)
+
+let run_fuzz ~count ~seed ~max_nodes ~out_dir () =
+  E.Report.section
+    (Printf.sprintf "Fuzz: %d seeded SimPlans (seed %d, <= %d nodes)" count
+       seed max_nodes);
+  let plans = Fuzz.plans ~seed ~count ~max_nodes in
+  (* Oracle fan-out is the expensive phase; each plan executes on its
+     own cluster with its own local sanitizer, so the verdicts are
+     independent and Parallel.map keeps their order — stdout below is
+     byte-identical for every --jobs value. *)
+  let verdicts = E.Parallel.map Fuzz.default_oracle plans in
+  let failures =
+    List.filter
+      (fun (_, v) -> Fuzz.is_failure v)
+      (List.combine plans verdicts)
+  in
+  E.Report.note
+    (Printf.sprintf "%d/%d plans passed the sanitized oracle"
+       (count - List.length failures)
+       count);
+  (* Shrinking is sequential: each step's candidate choice depends on
+     the previous verdict, and failures should be rare. *)
+  let dir = match out_dir with Some d -> d | None -> Filename.current_dir_name in
+  List.iteri
+    (fun i ((plan : Simplan.t), verdict) ->
+      let shrunk, shrunk_verdict = Fuzz.shrink ~oracle:Fuzz.default_oracle plan in
+      E.Report.note
+        (Printf.sprintf "FAIL %d: %s — %s" i plan.Simplan.name
+           (Fuzz.verdict_to_string verdict));
+      E.Report.note
+        (Printf.sprintf "  shrunk to %s — %s" shrunk.Simplan.name
+           (Fuzz.verdict_to_string shrunk_verdict));
+      let path name suffix =
+        Filename.concat dir (name ^ suffix ^ ".plan.json")
+      in
+      Simplan.save ~path:(path plan.Simplan.name "") plan;
+      Simplan.save ~path:(path plan.Simplan.name ".shrunk") shrunk;
+      Printf.eprintf "[fuzz] failing plan -> %s (minimal: %s)\n%!"
+        (path plan.Simplan.name "")
+        (path plan.Simplan.name ".shrunk"))
+    failures;
+  if failures <> [] then begin
+    Printf.eprintf "fuzz: %d failing plan(s); minimal repros written\n"
+      (List.length failures);
+    exit 4
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let usage_error fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "bench: %s\n" msg;
+      Printf.eprintf "experiments: %s\n" (String.concat " " all_names);
+      Printf.eprintf
+        "flags: --out DIR | --jobs N | --sanitize | --host-time | \
+         --churn-nodes N | --plan FILE | --emit-plan FILE | --fuzz-count N | \
+         --fuzz-seed N | --fuzz-max-nodes N\n";
+      exit 2)
+    fmt
+
+(* The plan name baked into an --emit-plan artifact: the file stem. *)
+let plan_name_of_path path =
+  let base = Filename.basename path in
+  let base =
+    match Filename.chop_suffix_opt ~suffix:".json" base with
+    | Some b -> b
+    | None -> base
+  in
+  let base =
+    match Filename.chop_suffix_opt ~suffix:".plan" base with
+    | Some b -> b
+    | None -> base
+  in
+  if base = "" then "suite" else base
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let out_dir = ref None in
   let sanitize = ref false in
+  let churn_nodes = ref None in
+  let plan_file = ref None in
+  let emit_plan = ref None in
+  let fuzz_count = ref 25 in
+  let fuzz_seed = ref 1 in
+  let fuzz_max_nodes = ref 16 in
+  let int_flag flag v ~ok ~expects k =
+    match int_of_string_opt v with
+    | Some n when ok n -> k n
+    | _ -> usage_error "%s expects %s" flag expects
+  in
   let rec split_args acc = function
     | "--out" :: dir :: rest ->
         out_dir := Some dir;
@@ -296,62 +365,167 @@ let () =
         sanitize := true;
         split_args acc rest
     | "--jobs" :: n :: rest ->
-        (match int_of_string_opt n with
-        | Some j when j >= 1 -> E.Parallel.set_default_jobs j
-        | _ ->
-            prerr_endline "--jobs expects a positive integer";
-            exit 1);
+        int_flag "--jobs" n ~ok:(fun j -> j >= 1) ~expects:"a positive integer"
+          E.Parallel.set_default_jobs;
         split_args acc rest
     | "--host-time" :: rest ->
         E.Report.set_host_time_recording true;
         split_args acc rest
     | "--churn-nodes" :: n :: rest ->
-        (match int_of_string_opt n with
-        | Some c when c >= 16 -> churn_nodes := Some c
-        | _ ->
-            prerr_endline "--churn-nodes expects an integer >= 16";
-            exit 1);
+        int_flag "--churn-nodes" n
+          ~ok:(fun c -> c >= 16)
+          ~expects:"an integer >= 16"
+          (fun c -> churn_nodes := Some c);
         split_args acc rest
+    | "--plan" :: file :: rest ->
+        plan_file := Some file;
+        split_args acc rest
+    | "--emit-plan" :: file :: rest ->
+        emit_plan := Some file;
+        split_args acc rest
+    | "--fuzz-count" :: n :: rest ->
+        int_flag "--fuzz-count" n
+          ~ok:(fun c -> c >= 1)
+          ~expects:"a positive integer"
+          (fun c -> fuzz_count := c);
+        split_args acc rest
+    | "--fuzz-seed" :: n :: rest ->
+        int_flag "--fuzz-seed" n ~ok:(fun _ -> true) ~expects:"an integer"
+          (fun s -> fuzz_seed := s);
+        split_args acc rest
+    | "--fuzz-max-nodes" :: n :: rest ->
+        int_flag "--fuzz-max-nodes" n
+          ~ok:(fun c -> c >= 4)
+          ~expects:"an integer >= 4"
+          (fun c -> fuzz_max_nodes := c);
+        split_args acc rest
+    | [ (("--out" | "--jobs" | "--churn-nodes" | "--plan" | "--emit-plan"
+         | "--fuzz-count" | "--fuzz-seed" | "--fuzz-max-nodes") as flag) ] ->
+        usage_error "%s expects an argument" flag
+    | x :: _ when String.length x >= 2 && String.sub x 0 2 = "--" ->
+        usage_error "unknown flag %s" x
     | x :: rest -> split_args (x :: acc) rest
     | [] -> List.rev acc
   in
-  let requested =
-    match split_args [] args with
-    | [] -> List.map fst experiments
-    | names -> names
+  let positional = split_args [] args in
+  (* Validate everything up front — nothing runs on a bad invocation. *)
+  List.iter
+    (fun name ->
+      if not (List.mem name all_names) then
+        usage_error "unknown experiment %S" name)
+    positional;
+  let fuzzing = List.mem "fuzz" positional in
+  if fuzzing && List.length positional > 1 then
+    usage_error "fuzz runs alone; drop the other experiment names";
+  if fuzzing && (!plan_file <> None || !emit_plan <> None) then
+    usage_error "fuzz does not combine with --plan/--emit-plan";
+  if !plan_file <> None && positional <> [] then
+    usage_error "--plan replays the plan's own experiment list; drop %S"
+      (List.hd positional);
+  if !plan_file <> None && !emit_plan <> None then
+    usage_error "--plan and --emit-plan do not combine";
+  if !plan_file <> None && !churn_nodes <> None then
+    usage_error "--plan carries its own churn size; drop --churn-nodes";
+  (* Resolve what to run: a loaded suite plan, the fuzzer, or the
+     requested (default: all) experiments. *)
+  let opts =
+    { E.Runner.default_opts with E.Runner.churn_nodes = !churn_nodes }
   in
-  if !sanitize then Drust_check.Dsan.install_global ();
+  let suite =
+    match !plan_file with
+    | None -> None
+    | Some file -> (
+        match Simplan.load ~path:file with
+        | Error e -> usage_error "--plan %s: %s" file e
+        | Ok plan -> (
+            match Simplan.validate plan with
+            | Error errs ->
+                usage_error "--plan %s: invalid plan: %s" file
+                  (String.concat "; " errs)
+            | Ok () -> (
+                match plan.Simplan.spec with
+                | Simplan.Suite s ->
+                    List.iter
+                      (fun name ->
+                        if E.Runner.find name = None then
+                          usage_error "--plan %s: unknown experiment %S" file
+                            name)
+                      s.Simplan.su_experiments;
+                    Some s
+                | Simplan.Sim _ ->
+                    usage_error
+                      "--plan %s is a sim plan; replay it with \
+                       bin/drust_sim.exe --plan"
+                      file)))
+  in
+  let requested =
+    match suite with
+    | Some s -> s.Simplan.su_experiments
+    | None -> (
+        match positional with
+        | [] -> E.Runner.names @ List.map fst local_experiments
+        | names -> names)
+  in
+  let opts =
+    match suite with Some s -> E.Runner.opts_of_suite s | None -> opts
+  in
+  (match !emit_plan with
+  | None -> ()
+  | Some file ->
+      let replayable = List.filter (fun n -> E.Runner.find n <> None) requested in
+      if List.length replayable < List.length requested then
+        usage_error "--emit-plan covers only: %s"
+          (String.concat " " E.Runner.names);
+      let plan =
+        E.Runner.suite_plan_of opts ~name:(plan_name_of_path file) requested
+      in
+      (match Simplan.validate plan with
+      | Ok () -> ()
+      | Error errs ->
+          usage_error "--emit-plan %s: %s" file (String.concat "; " errs));
+      Simplan.save ~path:file plan;
+      Printf.eprintf "[bench] plan written to %s\n%!" file);
+  (* The fuzz oracle always runs each plan under its own local
+     sanitizer, so --sanitize (accepted for CI-alias symmetry) does not
+     additionally install the global hook there. *)
+  if !sanitize && not fuzzing then Drust_check.Dsan.install_global ();
   let t0 =
     (Unix.gettimeofday ()
     [@dlint.allow
       "determinism: harness wall-clock total, printed to stderr only — \
        stdout stays comparable across runs"])
   in
-  List.iter
-    (fun name ->
-      match List.assoc_opt name experiments with
-      | Some f -> f ()
-      | None ->
-          Printf.eprintf "unknown experiment %S; available: %s\n" name
-            (String.concat " " (List.map fst experiments));
-          exit 1)
-    requested;
+  if fuzzing then
+    run_fuzz ~count:!fuzz_count ~seed:!fuzz_seed ~max_nodes:!fuzz_max_nodes
+      ~out_dir:!out_dir ()
+  else
+    List.iter
+      (fun name ->
+        match E.Runner.find name with
+        | Some f -> f opts
+        | None -> (List.assoc name local_experiments) ())
+      requested;
   (* Machine-readable headline rates (docs/BENCHMARKS.md has the schema);
-     status lines go to stderr so stdout stays comparable across runs. *)
-  let summary_path =
-    match !out_dir with
-    | Some dir -> Filename.concat dir "BENCH_summary.json"
-    | None -> "BENCH_summary.json"
-  in
-  E.Report.write_bench_summary ~path:summary_path;
-  Printf.eprintf "wrote %s (%d entr(y/ies))\n" summary_path
-    (List.length (E.Report.recorded_rates ()));
+     status lines go to stderr so stdout stays comparable across runs.
+     Fuzz batches record no rates and must not write a summary at all:
+     clobbering BENCH_summary.json with an empty one would race the
+     @bench-diff rule running in the same build directory. *)
+  if not fuzzing then begin
+    let summary_path =
+      match !out_dir with
+      | Some dir -> Filename.concat dir "BENCH_summary.json"
+      | None -> "BENCH_summary.json"
+    in
+    E.Report.write_bench_summary ~path:summary_path;
+    Printf.eprintf "wrote %s (%d entr(y/ies))\n" summary_path
+      (List.length (E.Report.recorded_rates ()))
+  end;
   Printf.eprintf "(total harness wall-clock: %.1f s)\n"
     ((Unix.gettimeofday () -. t0)
     [@dlint.allow
       "determinism: harness wall-clock total, printed to stderr only — \
        stdout stays comparable across runs"]);
-  if !sanitize then begin
+  if !sanitize && not fuzzing then begin
     let module Dsan = Drust_check.Dsan in
     let total =
       List.fold_left

@@ -4,9 +4,18 @@
      dune exec bin/drust_sim.exe -- --app kvstore --system drust --nodes 8
      dune exec bin/drust_sim.exe -- --app dataframe --system gam --nodes 4
      dune exec bin/drust_sim.exe -- --app gemm --scan-nodes 1,2,4,8 --jobs 4
-     dune exec bin/drust_sim.exe -- --app gemm --nodes 4 --profile *)
+     dune exec bin/drust_sim.exe -- --app gemm --nodes 4 --profile
+     dune exec bin/drust_sim.exe -- --app gemm --nodes 4 --emit-plan p.json
+     dune exec bin/drust_sim.exe -- --plan p.json
+
+   A run's scenario can be saved as a SimPlan artifact (--emit-plan)
+   and replayed byte-identically (--plan); docs/SIMPLAN.md has the
+   schema.  drust_sim replays {e sim} plans (one cluster, one
+   workload); suite plans belong to bench/main.exe --plan. *)
 
 module B = Drust_experiments.Bench_setup
+module Simplan = Drust_plan.Simplan
+module Scenario = Drust_plan.Scenario
 module Appkit = Drust_appkit.Appkit
 open Cmdliner
 
@@ -90,6 +99,29 @@ let scan_nodes_t =
            independent cluster each, fanned out over --jobs domains) and \
            print a scaling table")
 
+let plan_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "plan" ] ~docv:"FILE"
+        ~doc:
+          "Replay the sim plan in $(docv) instead of building one from the \
+           CLI flags; output is byte-identical to the run that emitted it")
+
+let emit_plan_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "emit-plan" ] ~docv:"FILE"
+        ~doc:"Also write this run's SimPlan artifact to $(docv)")
+
+let usage_error fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "drust_sim: %s\n" msg;
+      exit 2)
+    fmt
+
 let report_sanitizer () =
   let module Dsan = Drust_check.Dsan in
   let total =
@@ -127,42 +159,132 @@ let scan app system affinity seed counts =
         r.Appkit.elapsed r.Appkit.throughput)
     counts results
 
+let print_app_result ~name ~system ~nodes (r : Appkit.result) =
+  Printf.printf "%s on %s, %d node(s):\n" name (Simplan.system_name system)
+    nodes;
+  Printf.printf "  ops        : %.0f\n" r.Appkit.ops;
+  Printf.printf "  elapsed    : %.6f virtual s\n" r.Appkit.elapsed;
+  Printf.printf "  throughput : %.1f ops/s\n" r.Appkit.throughput;
+  List.iter (fun (k, v) -> Printf.printf "  %-10s : %.3f\n" k v) r.Appkit.extra
+
+(* Replay a sim plan: one cluster, one workload, a local sanitizer when
+   asked — the printed summary depends only on the plan, so replaying
+   the artifact a run emitted reproduces that run's stdout exactly. *)
+let run_plan ~file ~sanitize =
+  let plan =
+    match Simplan.load ~path:file with
+    | Ok plan -> plan
+    | Error e -> usage_error "--plan %s: %s" file e
+  in
+  (match Simplan.validate plan with
+  | Ok () -> ()
+  | Error errs ->
+      usage_error "--plan %s: invalid plan: %s" file (String.concat "; " errs));
+  let sim =
+    match plan.Simplan.spec with
+    | Simplan.Sim sim -> sim
+    | Simplan.Suite _ ->
+        usage_error
+          "--plan %s is a suite plan; replay it with bench/main.exe --plan"
+          file
+  in
+  let outcome = Simplan.execute ~sanitize plan in
+  let nodes = sim.Simplan.topology.Simplan.nodes in
+  (match outcome.Simplan.result with
+  | Simplan.App_done { result; _ } ->
+      let name =
+        match sim.Simplan.workload with
+        | Simplan.App_run { app; _ } -> Simplan.app_name app
+        | Simplan.Ycsb_run { mix; _ } ->
+            "kv-store/ycsb-" ^ Drust_workloads.Ycsb.workload_name mix
+        | Simplan.Failover_kv _ | Simplan.Churn_kv _ -> assert false
+      in
+      print_app_result ~name ~system:sim.Simplan.system ~nodes result
+  | Simplan.Failover_done r ->
+      Printf.printf "failover plan %s, %d node(s):\n" plan.Simplan.name nodes;
+      Printf.printf "  ops        : %d completed, %d failed\n"
+        r.Scenario.total_ops r.Scenario.failed_ops;
+      Printf.printf "  crash      : node %d at %.6f s\n" r.Scenario.victim
+        r.Scenario.crash_time;
+      (match r.Scenario.detection_time with
+      | Some t -> Printf.printf "  detection  : %.6f s\n" t
+      | None -> Printf.printf "  detection  : never\n");
+      (match r.Scenario.recovery_time with
+      | Some t -> Printf.printf "  recovery   : %.6f s\n" t
+      | None -> Printf.printf "  recovery   : never\n")
+  | Simplan.Churn_done r ->
+      Printf.printf "churn plan %s, %d node(s):\n" plan.Simplan.name nodes;
+      Printf.printf "  ops        : %d completed, %d failed\n"
+        r.Scenario.total_ops r.Scenario.failed_ops;
+      Printf.printf "  membership : %d joins, %d leaves, epoch %d\n"
+        r.Scenario.joins r.Scenario.leaves r.Scenario.final_epoch;
+      Printf.printf "  handoffs   : %d committed, %d aborted\n"
+        r.Scenario.handoff_commits r.Scenario.handoff_aborts;
+      Printf.printf "  integrity  : %d lost writes, %d unreadable keys\n"
+        r.Scenario.lost_writes r.Scenario.unreadable_keys);
+  if sanitize then begin
+    match outcome.Simplan.violations with
+    | [] -> Printf.printf "DSan: no invariant violations (1 cluster checked)\n"
+    | vs ->
+        List.iter prerr_endline vs;
+        Printf.eprintf "DSan: %d invariant violation(s)\n" (List.length vs);
+        exit 3
+  end
+
 let run app system nodes affinity seed trace_n chrome_path profile sanitize
-    jobs scan_nodes =
+    jobs scan_nodes plan_file emit_plan =
   if jobs < 1 then begin
     prerr_endline "drust_sim: --jobs expects a positive integer";
     exit 1
   end;
   Drust_experiments.Parallel.set_default_jobs jobs;
+  match plan_file with
+  | Some file ->
+      if scan_nodes <> None then
+        usage_error "--plan does not combine with --scan-nodes";
+      if emit_plan <> None then
+        usage_error "--plan does not combine with --emit-plan";
+      if trace_n > 0 || chrome_path <> None || profile then
+        usage_error "--plan does not combine with instrumentation flags";
+      run_plan ~file ~sanitize
+  | None ->
   if sanitize then Drust_check.Dsan.install_global ();
   match scan_nodes with
   | Some counts when counts <> [] ->
+      if emit_plan <> None then
+        usage_error "--emit-plan describes one run; drop --scan-nodes";
       scan app system affinity seed counts;
       if sanitize then report_sanitizer ()
   | _ ->
   let params = B.testbed ~nodes ~seed () in
+  (match emit_plan with
+  | None -> ()
+  | Some file ->
+      let plan =
+        Simplan.app_plan ~affinity
+          ~pass_by_value:(system = B.Original)
+          ~params app system
+      in
+      Simplan.save ~path:file plan;
+      Printf.eprintf "[drust_sim] plan written to %s\n%!" file);
   let t0 =
     (Unix.gettimeofday ()
     [@dlint.allow
-      "determinism: human-facing wall-clock note in the CLI summary; the \
-       measured numbers above it are virtual-time"])
+      "determinism: human-facing wall-clock note, printed to stderr only — \
+       stdout stays comparable across runs"])
   in
   (* With --trace the run is repeated on an instrumented cluster so the
      throughput numbers above stay untraced. *)
   let r =
     B.run_app ~affinity app system ~params ~pass_by_value:(system = B.Original)
   in
-  Printf.printf "%s on %s, %d node(s):\n" (B.app_name app) (B.system_name system)
-    nodes;
-  Printf.printf "  ops        : %.0f\n" r.Appkit.ops;
-  Printf.printf "  elapsed    : %.6f virtual s\n" r.Appkit.elapsed;
-  Printf.printf "  throughput : %.1f ops/s\n" r.Appkit.throughput;
-  List.iter (fun (k, v) -> Printf.printf "  %-10s : %.3f\n" k v) r.Appkit.extra;
-  Printf.printf "  (wall-clock: %.2f s)\n"
+  print_app_result ~name:(B.app_name app) ~system ~nodes r;
+  (* Wall-clock is machine-dependent: stderr, so stdout replays clean. *)
+  Printf.eprintf "(wall-clock: %.2f s)\n"
     ((Unix.gettimeofday () -. t0)
     [@dlint.allow
-      "determinism: human-facing wall-clock note in the CLI summary; the \
-       measured numbers above it are virtual-time"]);
+      "determinism: human-facing wall-clock note, printed to stderr only — \
+       stdout stays comparable across runs"]);
   if trace_n > 0 || chrome_path <> None || profile then begin
     let module Cluster = Drust_machine.Cluster in
     let module Span = Drust_obs.Span in
@@ -206,6 +328,7 @@ let cmd =
        ~doc:"Run a DRust evaluation application on the simulated cluster")
     Term.(
       const run $ app_t $ system_t $ nodes $ affinity $ seed $ trace_n
-      $ chrome_path $ profile_t $ sanitize_t $ jobs_t $ scan_nodes_t)
+      $ chrome_path $ profile_t $ sanitize_t $ jobs_t $ scan_nodes_t $ plan_t
+      $ emit_plan_t)
 
 let () = exit (Cmd.eval cmd)

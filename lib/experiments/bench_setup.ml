@@ -1,17 +1,12 @@
 module Params = Drust_machine.Params
 module Cluster = Drust_machine.Cluster
-module Dsm = Drust_dsm.Dsm
+module Simplan = Drust_plan.Simplan
 module Appkit = Drust_appkit.Appkit
 
-type system = Drust | Gam | Grappa | Original
+type system = Simplan.system = Drust | Gam | Grappa | Original
 
-let system_name = function
-  | Drust -> "DRust"
-  | Gam -> "GAM"
-  | Grappa -> "Grappa"
-  | Original -> "Original"
-
-let all_systems = [ Drust; Gam; Grappa ]
+let system_name = Simplan.system_name
+let all_systems = Simplan.all_systems
 
 let testbed ?(nodes = 8) ?(seed = 42) () =
   { Params.default with Params.nodes; mem_per_node = Drust_util.Units.gib 8; seed }
@@ -20,50 +15,26 @@ let fixed_testbed ~nodes =
   Params.fixed_resource (testbed ~nodes ()) ~total_cores:16
     ~total_mem:(Drust_util.Units.gib 8 * 8) ~nodes
 
-let make_backend system cluster =
-  match system with
-  | Drust -> Drust_dsm.Drust_backend.create cluster
-  | Gam -> Drust_gam.Gam.backend (Drust_gam.Gam.create cluster)
-  | Grappa -> Drust_grappa.Grappa.backend (Drust_grappa.Grappa.create cluster)
-  | Original -> Drust_dsm.Local_backend.create cluster
+let make_backend = Simplan.make_backend
 
-type app = Dataframe_app | Socialnet_app | Gemm_app | Kvstore_app
+type app = Simplan.app =
+  | Dataframe_app
+  | Socialnet_app
+  | Gemm_app
+  | Kvstore_app
 
-let app_name = function
-  | Dataframe_app -> "DataFrame"
-  | Socialnet_app -> "SocialNet"
-  | Gemm_app -> "GEMM"
-  | Kvstore_app -> "KV Store"
+let app_name = Simplan.app_name
+let all_apps = Simplan.all_apps
 
-let all_apps = [ Dataframe_app; Socialnet_app; Gemm_app; Kvstore_app ]
-
-let run_app_with_latency ?(affinity = false) ?(pass_by_value = false) app
-    system ~params =
-  let cluster = Cluster.create params in
-  let backend = make_backend system cluster in
-  let result =
-    match app with
-    | Dataframe_app ->
-        Drust_dataframe.Dataframe.run ~cluster ~backend
-          {
-            Drust_dataframe.Dataframe.default_config with
-            Drust_dataframe.Dataframe.use_tbox = affinity;
-            use_spawn_to = affinity;
-          }
-    | Socialnet_app ->
-        Drust_socialnet.Socialnet.run ~cluster ~backend
-          {
-            Drust_socialnet.Socialnet.default_config with
-            Drust_socialnet.Socialnet.pass_by_value;
-          }
-    | Gemm_app ->
-        Drust_gemm.Gemm.run ~cluster ~backend Drust_gemm.Gemm.default_config
-    | Kvstore_app ->
-        Drust_kvstore.Kvstore.run ~cluster ~backend
-          Drust_kvstore.Kvstore.default_config
-  in
-  let snap = Drust_obs.Metrics.snapshot (Cluster.metrics cluster) in
-  (result, Report.latency_of_snapshot snap)
+(* Every harness run goes through a plan: the figure grids construct one
+   per cell and [Simplan.execute] it, so a cell's exact scenario can be
+   re-emitted ([--emit-plan]) and replayed ([--plan]) from the same
+   artifact the CLIs speak. *)
+let run_app_with_latency ?affinity ?pass_by_value app system ~params =
+  let plan = Simplan.app_plan ?affinity ?pass_by_value ~params app system in
+  match (Simplan.execute plan).Simplan.result with
+  | Simplan.App_done { result; latency; _ } -> (result, latency)
+  | Simplan.Failover_done _ | Simplan.Churn_done _ -> assert false
 
 let run_app ?affinity ?pass_by_value app system ~params =
   fst (run_app_with_latency ?affinity ?pass_by_value app system ~params)

@@ -1,10 +1,15 @@
 (** Shared experiment plumbing: cluster construction, backend selection,
-    and normalized application runs. *)
+    and normalized application runs.
+
+    The run types re-export {!Drust_plan.Simplan}'s — the plan layer is
+    the single definition of what a run is — and {!run_app} is a thin
+    wrapper over [Simplan.execute], so every figure cell is described by
+    a replayable plan. *)
 
 module Params = Drust_machine.Params
 module Cluster = Drust_machine.Cluster
 
-type system = Drust | Gam | Grappa | Original
+type system = Drust_plan.Simplan.system = Drust | Gam | Grappa | Original
 
 val system_name : system -> string
 val all_systems : system list
@@ -18,7 +23,11 @@ val fixed_testbed : nodes:int -> Params.t
 
 val make_backend : system -> Cluster.t -> Drust_dsm.Dsm.t
 
-type app = Dataframe_app | Socialnet_app | Gemm_app | Kvstore_app
+type app = Drust_plan.Simplan.app =
+  | Dataframe_app
+  | Socialnet_app
+  | Gemm_app
+  | Kvstore_app
 
 val app_name : app -> string
 val all_apps : app list

@@ -1,4 +1,8 @@
 (* Elastic membership under fire: the churn experiment.
+   The scenario body lives in Drust_plan.Scenario (a [Simplan] drives
+   it); this module keeps the experiment harness — the seed sweep, the
+   determinism check, the printed report, and the robustness
+   assertions.
 
    A zipf-skewed KV workload runs on a large cluster while a seeded
    driver churns the membership — standby nodes join (each join pulls a
@@ -29,68 +33,11 @@
    detection (crash -> detector verdict), recovery (crash -> first
    successful write to a range the victim was serving). *)
 
-module Engine = Drust_sim.Engine
-module Fault = Drust_sim.Fault
-module Cluster = Drust_machine.Cluster
-module Params = Drust_machine.Params
-module Ctx = Drust_machine.Ctx
-module Fabric = Drust_net.Fabric
-module Controller = Drust_runtime.Controller
-module Replication = Drust_runtime.Replication
-module Membership = Drust_runtime.Membership
-module P = Drust_core.Protocol
-module Rng = Drust_util.Rng
-module Univ = Drust_util.Univ
+module Simplan = Drust_plan.Simplan
+module Scenario = Drust_plan.Scenario
 module Metrics = Drust_obs.Metrics
 
-let int_tag : int Univ.tag = Univ.create_tag ~name:"churn.int"
-let pack = Univ.pack int_tag
-let unpack v = Univ.unpack_exn int_tag v
-
-let duration = 100e-3
-let churn_start = 10e-3
-let churn_gap = 4e-3
-let planned_crash_t = 30e-3
-let think = 5e-5
-let key_bytes = 256
-let ballast_bytes = 256 * 1024 (* multi-chunk handoffs: copy_chunk is 64 KiB *)
-let zipf_theta = 0.99
-let replicas = 2
-
-(* Membership plan, derived from the node count so the same experiment
-   runs at 64 nodes (the paper-scale run) and 16 nodes (the CI alias).
-   One extra leaver beyond the graceful quota is sabotaged: its leave is
-   crashed mid-handoff and must abort, so [n_leaves] leaves complete
-   gracefully regardless. *)
-type plan = {
-  active0 : int;  (* nodes 0 .. active0-1 start Active, the rest Standby *)
-  joiners : int list;
-  leavers : int list;  (* graceful *)
-  sabotaged : int;  (* leaver crashed mid-handoff *)
-  victim : int;  (* planned fail-stop at [planned_crash_t] *)
-}
-
-let plan_of ~nodes =
-  if nodes < 16 then invalid_arg "Churn: need at least 16 nodes";
-  let standby = max 2 (nodes / 4) in
-  let active0 = nodes - standby in
-  let n_joins = min standby (max 2 (nodes / 8)) in
-  let n_leaves = max 2 (nodes / 8) in
-  (* Leavers at 2, 5, 8, ... : spaced so no leaver is the ring successor
-     of another leaver or of the victim (replica hosts of a crashed
-     range must stay alive; replicas = 2 covers one dead successor). *)
-  let leaver i = 2 + (3 * i) in
-  if leaver n_leaves >= active0 - 2 then
-    invalid_arg "Churn: too few active nodes for the leave schedule";
-  {
-    active0;
-    joiners = List.init n_joins (fun i -> active0 + i);
-    leavers = List.init n_leaves leaver;
-    sabotaged = leaver n_leaves;
-    victim = active0 - 2;
-  }
-
-type result = {
+type result = Scenario.churn_result = {
   seed : int;
   nodes : int;
   total_ops : int;
@@ -112,309 +59,12 @@ type result = {
   op_latency : Metrics.histo option;
 }
 
-(* Zipf(theta) over [0, n): precomputed CDF + binary search. *)
-let zipf_cdf n theta =
-  let w = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** theta)) in
-  let total = Array.fold_left ( +. ) 0.0 w in
-  let acc = ref 0.0 in
-  Array.map
-    (fun x ->
-      acc := !acc +. (x /. total);
-      !acc)
-    w
-
-let zipf_pick cdf rng =
-  let u = Rng.float rng 1.0 in
-  let lo = ref 0 and hi = ref (Array.length cdf - 1) in
-  while !lo < !hi do
-    let mid = (!lo + !hi) / 2 in
-    if cdf.(mid) < u then lo := mid + 1 else hi := mid
-  done;
-  !lo
-
-type op = Join of int | Leave of int
-
-let rec interleave a b =
-  match (a, b) with
-  | [], r | r, [] -> r
-  | x :: xs, y :: ys -> x :: y :: interleave xs ys
+let plan_of ~seed ~nodes = Simplan.churn_plan ~seed ~nodes ()
 
 let run_once ~seed ~nodes () =
-  let plan = plan_of ~nodes in
-  let active0 = plan.active0 in
-  let n_keys = 4 * active0 in
-  let params =
-    {
-      Params.default with
-      Params.nodes;
-      cores_per_node = 4;
-      mem_per_node = Drust_util.Units.mib 64;
-      seed;
-    }
-  in
-  let cluster = Cluster.create params in
-  let engine = Cluster.engine cluster in
-  let fabric = Cluster.fabric cluster in
-  let fplan =
-    Fault.create ~engine ~rng:(Rng.create ~seed:(seed + 17)) ~nodes ()
-  in
-  Fault.crash_at fplan ~node:plan.victim ~at:planned_crash_t;
-  Fabric.set_fault_plan fabric fplan;
-  let cdf = zipf_cdf n_keys zipf_theta in
-  let total_ops = ref 0 and failed_ops = ref 0 in
-  let acked = Array.make n_keys 0 in
-  (* acked counts as of the last completed replication sync: the floor a
-     crash-affected range must still satisfy at the end of the run. *)
-  let synced = Array.make n_keys 0 in
-  let lost = ref 0 and unreadable = ref 0 in
-  (* (victim, crash time, homes the victim was serving), newest first. *)
-  let crash_log = ref [] in
-  let recovered : (int, float) Hashtbl.t = Hashtbl.create 4 in
-  let handoffs = ref [] in
-  let sabotage = ref None in
-  let ctrl = ref None and member = ref None and repl_ref = ref None in
-  let homes_served_by v =
-    List.filter
-      (fun h -> Cluster.serving_node cluster h = v)
-      (List.init nodes Fun.id)
-  in
-  let log_crash v at =
-    crash_log := (v, at, homes_served_by v) :: !crash_log
-  in
-  ignore
-    (Engine.spawn engine (fun () ->
-         let ctx = Ctx.make cluster ~node:0 in
-         (* Pinned keys round-robin over the initially active nodes, plus
-            per-node ballast so every handoff moves a multi-chunk image
-            (the chunk boundaries are the mid-handoff crash points). *)
-         let keys =
-           Array.init n_keys (fun i ->
-               let o =
-                 P.create_on ctx ~node:(i mod active0) ~size:key_bytes (pack 0)
-               in
-               P.pin ctx o;
-               o)
-         in
-         for n = 0 to active0 - 1 do
-           let b = P.create_on ctx ~node:n ~size:ballast_bytes (pack 0) in
-           P.pin ctx b
-         done;
-         let repl = Replication.enable ~replicas cluster in
-         repl_ref := Some repl;
-         let m = Membership.create ~active:active0 cluster ~replication:repl in
-         member := Some m;
-         let c =
-           Controller.start ~probe_interval:0.5e-3 ~probe_timeout:2e-4
-             ~miss_threshold:3 ~replication:repl ~membership:m cluster
-         in
-         ctrl := Some c;
-         Engine.schedule engine ~at:duration (fun () -> Controller.stop c);
-         Engine.schedule engine ~at:planned_crash_t (fun () ->
-             log_crash plan.victim planned_crash_t);
-         (* Replication checkpoint daemon; [synced] snapshots the acked
-            counts from *before* each flush (writes acked mid-flush make
-            no durability promise until the next one). *)
-         ignore
-           (Engine.spawn engine (fun () ->
-                let fctx = Ctx.make cluster ~node:0 in
-                while Engine.now engine < duration do
-                  Engine.delay engine 1e-3;
-                  if Engine.now engine < duration then begin
-                    let before = Array.copy acked in
-                    Replication.sync_now fctx repl;
-                    Array.blit before 0 synced 0 n_keys
-                  end
-                done));
-         (* Mid-handoff saboteur: once armed with a leaver, poll the
-            in-flight transfer and fail-stop the departing server while
-            its range is mid-copy.  The handoff must abort cleanly and
-            the heartbeat detector must recover the node's ranges. *)
-         ignore
-           (Engine.spawn engine (fun () ->
-                let armed = ref true in
-                while !armed && Engine.now engine < duration do
-                  Engine.delay engine 2e-5;
-                  match (!sabotage, Membership.in_flight_handoff m) with
-                  | Some l, Some (_, from_node, _) when from_node = l ->
-                      let now = Engine.now engine in
-                      Fault.crash_at fplan ~node:l ~at:now;
-                      log_crash l now;
-                      sabotage := None;
-                      armed := false
-                  | _ -> ()
-                done));
-         (* One client per initially-active node, zipf key choice (each
-            client's rank->key permutation differs, spreading the hot
-            set across ranges).  Writes go to a per-client disjoint key
-            set: pinned keys are write-through without ownership
-            transfer, so two concurrent read-modify-writes of one key
-            would race (both read v, both ack v+1) and break the
-            acked-increment ledger the lost-write audit relies on. *)
-         for cl = 0 to active0 - 1 do
-           ignore
-             (Engine.spawn engine (fun () ->
-                  let w = Ctx.make cluster ~node:cl in
-                  let rng =
-                    Rng.create ~seed:((seed * 9176) + (cl * 131) + 7)
-                  in
-                  let own_keys =
-                    Array.of_list
-                      (List.filter
-                         (fun k -> ((k * 7) + 3) mod active0 = cl)
-                         (List.init n_keys Fun.id))
-                  in
-                  Engine.delay engine
-                    (think *. float_of_int cl /. float_of_int active0);
-                  let i = ref 0 in
-                  while
-                    Engine.now engine < duration
-                    && not (Fault.is_down fplan cl)
-                  do
-                    let is_write =
-                      !i mod 4 = 0 && Array.length own_keys > 0
-                    in
-                    let k =
-                      let r = zipf_pick cdf rng in
-                      if is_write then own_keys.(r mod Array.length own_keys)
-                      else (r + (cl * 13)) mod n_keys
-                    in
-                    let key = keys.(k) in
-                    let home = k mod active0 in
-                    (match
-                       Fabric.retry_with_backoff fabric ~from:cl ~attempts:16
-                         ~base_delay:2e-4 ~budget:0.05 (fun () ->
-                           (* Epoch-stamped routing probe: a client whose
-                              node has not yet heard the latest view is
-                              NAKed here and retries after the
-                              announcement lands. *)
-                           let server = Cluster.serving_node cluster home in
-                           if server <> cl then
-                             Fabric.rdma_read fabric ~from:cl ~target:server
-                               ~bytes:16
-                               ~epoch:(Membership.known_epoch m ~node:cl);
-                           if is_write then
-                             P.owner_modify w key (fun v -> pack (unpack v + 1))
-                           else ignore (P.owner_read w key))
-                     with
-                    | () ->
-                        incr total_ops;
-                        if is_write then begin
-                          acked.(k) <- acked.(k) + 1;
-                          let now = Engine.now engine in
-                          List.iter
-                            (fun (v, ct, homes) ->
-                              if
-                                (not (Hashtbl.mem recovered v))
-                                && now > ct && List.mem home homes
-                              then Hashtbl.replace recovered v (now -. ct))
-                            !crash_log
-                        end
-                    | exception
-                        ( Fabric.Node_down _ | Fabric.Rpc_timeout _
-                        | Fabric.Stale_epoch _ ) ->
-                        incr failed_ops);
-                    incr i;
-                    Engine.delay engine think
-                  done))
-         done;
-         (* The churn driver: joins and leaves interleaved, one every
-            [churn_gap]; the sabotaged leave arms the watcher first. *)
-         let ops =
-           interleave
-             (List.map (fun n -> Join n) plan.joiners)
-             (List.map (fun n -> Leave n) (plan.leavers @ [ plan.sabotaged ]))
-         in
-         Engine.delay engine (churn_start -. Engine.now engine);
-         List.iter
-           (fun op ->
-             if Engine.now engine < duration then begin
-               let t0 = Engine.now engine in
-               (match op with
-               | Join n -> (
-                   match Membership.join ctx m ~node:n with
-                   | Ok _ -> handoffs := (Engine.now engine -. t0) :: !handoffs
-                   | Error _ -> ())
-               | Leave n -> (
-                   if n = plan.sabotaged then sabotage := Some n;
-                   match Membership.leave ctx m ~node:n with
-                   | Ok _ -> handoffs := (Engine.now engine -. t0) :: !handoffs
-                   | Error _ -> ()));
-               Engine.delay engine churn_gap
-             end)
-           ops;
-         (* Post-run audit (after the dust settles): every key must read
-            back at least its committed floor. *)
-         Engine.schedule engine ~at:(duration +. 1e-3) (fun () ->
-             ignore
-               (Engine.spawn engine (fun () ->
-                    let v = Ctx.make cluster ~node:0 in
-                    let crashed_homes =
-                      List.concat_map (fun (_, _, hs) -> hs) !crash_log
-                    in
-                    Array.iteri
-                      (fun k key ->
-                        let floor =
-                          if List.mem (k mod active0) crashed_homes then
-                            synced.(k)
-                          else acked.(k)
-                        in
-                        match
-                          Fabric.retry_with_backoff fabric ~from:0 ~attempts:8
-                            ~base_delay:2e-4 (fun () ->
-                              unpack (P.owner_read v key))
-                        with
-                        | value -> if value < floor then incr lost
-                        | exception
-                            (Fabric.Node_down _ | Fabric.Rpc_timeout _) ->
-                            incr unreadable)
-                      keys)))));
-  Cluster.run cluster;
-  let snap = Metrics.snapshot (Cluster.metrics cluster) in
-  let total name = Report.metric_total snap name in
-  let crash_list = List.rev_map (fun (v, t, _) -> (v, t)) !crash_log in
-  let detection =
-    match !ctrl with
-    | None -> []
-    | Some c ->
-        List.filter_map
-          (fun (v, ct) ->
-            match List.assoc_opt v (Controller.deaths c) with
-            | Some t -> Some (v, t -. ct)
-            | None -> None)
-          crash_list
-  in
-  let recovery =
-    List.filter_map
-      (fun (v, _) ->
-        match Hashtbl.find_opt recovered v with
-        | Some dt -> Some (v, dt)
-        | None -> None)
-      crash_list
-  in
-  {
-    seed;
-    nodes;
-    total_ops = !total_ops;
-    failed_ops = !failed_ops;
-    lost_writes = !lost;
-    unreadable_keys = !unreadable;
-    joins = total "membership.joins";
-    leaves = total "membership.leaves";
-    handoff_commits = total "membership.handoff_commits";
-    handoff_aborts = total "membership.handoff_aborts";
-    final_epoch = (match !member with Some m -> Membership.epoch m | None -> 0);
-    stale_epochs = total "fabric.stale_epochs";
-    retries = total "fabric.retries";
-    crashes = crash_list;
-    detection;
-    recovery;
-    handoff_latency = List.rev !handoffs;
-    unrecoverable =
-      (match !repl_ref with
-      | Some r -> Replication.unrecoverable_ranges r
-      | None -> []);
-    op_latency = Report.latency_of_snapshot snap;
-  }
+  match (Simplan.execute (plan_of ~seed ~nodes)).Simplan.result with
+  | Simplan.Churn_done r -> r
+  | Simplan.App_done _ | Simplan.Failover_done _ -> assert false
 
 let same_result a b =
   a.total_ops = b.total_ops
@@ -469,13 +119,15 @@ let churn_percentiles results =
       | None -> (kind, 0, nan, nan))
     (phase_histos results)
 
-let print plan r =
+let print (spec : Scenario.churn_spec) r =
   Report.section
     (Printf.sprintf
        "Churn: %d nodes (%d active), %d joins + %d graceful leaves + %d \
         crashes (one mid-handoff), seed %d"
-       r.nodes plan.active0 (List.length plan.joiners)
-       (List.length plan.leavers) (List.length r.crashes) r.seed);
+       r.nodes spec.Scenario.ch_active0
+       (List.length spec.Scenario.ch_joiners)
+       (List.length spec.Scenario.ch_leavers)
+       (List.length r.crashes) r.seed);
   Report.table
     ~header:[ "event"; "count" ]
     ~rows:
@@ -512,7 +164,8 @@ let print plan r =
        (String.concat "; " (List.map string_of_int r.unrecoverable)))
 
 let run ?(seed = 42) ?(nodes = 64) () =
-  let plan = plan_of ~nodes in
+  let spec = Scenario.churn_spec_of ~nodes in
+  let duration = spec.Scenario.ch_duration in
   let extra_seeds = [ seed + 1; seed + 2 ] in
   let host0 =
     (Unix.gettimeofday ()
@@ -534,7 +187,8 @@ let run ?(seed = 42) ?(nodes = 64) () =
   let r1, r2, rest =
     match results with a :: b :: rest -> (a, b, rest) | _ -> assert false
   in
-  print plan r1;
+  Report.emit_plan (plan_of ~seed ~nodes);
+  print spec r1;
   if not (same_result r1 r2) then
     failwith "Churn: two runs with the same seed diverged — determinism bug";
   Report.note "determinism: second run with the same seed is bit-identical";
@@ -545,12 +199,13 @@ let run ?(seed = 42) ?(nodes = 64) () =
       r1.lost_writes r1.unreadable_keys;
   if r1.unrecoverable <> [] then
     failwith "Churn: replication chain exhausted — unrecoverable ranges";
-  if r1.joins < List.length plan.joiners then
+  if r1.joins < List.length spec.Scenario.ch_joiners then
     Printf.ksprintf failwith "Churn: only %d/%d joins committed" r1.joins
-      (List.length plan.joiners);
-  if r1.leaves < List.length plan.leavers then
+      (List.length spec.Scenario.ch_joiners);
+  if r1.leaves < List.length spec.Scenario.ch_leavers then
     Printf.ksprintf failwith "Churn: only %d/%d graceful leaves completed"
-      r1.leaves (List.length plan.leavers);
+      r1.leaves
+      (List.length spec.Scenario.ch_leavers);
   if r1.handoff_aborts < 1 then
     failwith "Churn: the mid-handoff crash never aborted a handoff";
   if List.length r1.detection < List.length r1.crashes then

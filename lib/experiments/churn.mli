@@ -8,7 +8,7 @@
     (the paper-scale configuration) and at 16 nodes for the CI
     [@churn] alias. *)
 
-type result = {
+type result = Drust_plan.Scenario.churn_result = {
   seed : int;
   nodes : int;
   total_ops : int;
@@ -34,7 +34,9 @@ type result = {
 }
 
 val run_once : seed:int -> nodes:int -> unit -> result
-(** One seeded churn run (pure function of [seed] and [nodes]). *)
+(** One seeded churn run (pure function of [seed] and [nodes]):
+    builds the canonical plan ({!Drust_plan.Simplan.churn_plan}) and
+    [Simplan.execute]s it. *)
 
 val churn_percentiles : result list -> (string * int * float * float) list
 (** [(phase, samples, p50, p99)] in seconds for the ["handoff"],

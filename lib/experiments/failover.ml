@@ -1,4 +1,7 @@
 (* Availability under a crash: the repo's first end-to-end chaos run.
+   The scenario body lives in Drust_plan.Scenario (a [Simplan] drives
+   it); this module keeps the experiment harness — the seed sweep, the
+   determinism check, the printed curve, and the robustness assertions.
 
    A small KV workload (pinned keys spread round-robin, one client per
    node) runs while the fault plan crashes a primary mid-flight.  Nothing
@@ -15,23 +18,10 @@
    The whole run is a pure function of the seed; [run] executes it twice
    and insists the results are bit-identical. *)
 
-module Engine = Drust_sim.Engine
-module Fault = Drust_sim.Fault
-module Cluster = Drust_machine.Cluster
-module Params = Drust_machine.Params
-module Ctx = Drust_machine.Ctx
-module Fabric = Drust_net.Fabric
-module Controller = Drust_runtime.Controller
-module Replication = Drust_runtime.Replication
-module P = Drust_core.Protocol
-module Rng = Drust_util.Rng
-module Univ = Drust_util.Univ
+module Simplan = Drust_plan.Simplan
+module Scenario = Drust_plan.Scenario
 
-let int_tag : int Univ.tag = Univ.create_tag ~name:"failover.int"
-let pack = Univ.pack int_tag
-let unpack v = Univ.unpack_exn int_tag v
-
-type result = {
+type result = Scenario.failover_result = {
   seed : int;
   victim : int;
   crash_time : float;
@@ -48,139 +38,15 @@ type result = {
       (* merged protocol.op_latency distribution of the run *)
 }
 
-let nodes = 4
-let n_keys = 16
-let key_bytes = 64
-let duration = 60e-3
-let crash_t = 20e-3
-let victim = 1
-let bucket_w = 5e-3
-let think = 2e-5
+let spec = Scenario.default_failover
+let duration = spec.Scenario.fo_duration
 
-let small_params seed =
-  {
-    Params.default with
-    Params.nodes;
-    cores_per_node = 4;
-    mem_per_node = Drust_util.Units.mib 64;
-    seed;
-  }
+let plan_of ~seed = Simplan.failover_plan ~seed ()
 
 let run_once ~seed () =
-  let cluster = Cluster.create (small_params seed) in
-  let engine = Cluster.engine cluster in
-  let fabric = Cluster.fabric cluster in
-  let plan =
-    Fault.create ~engine ~rng:(Rng.create ~seed:(seed + 17)) ~nodes ()
-  in
-  Fault.crash_at plan ~node:victim ~at:crash_t;
-  Fabric.set_fault_plan fabric plan;
-  let n_buckets = int_of_float (ceil (duration /. bucket_w)) in
-  let curve = Array.make n_buckets 0 in
-  let total_ops = ref 0 and failed_ops = ref 0 in
-  let recovery = ref None in
-  let ctrl = ref None in
-  ignore
-    (Engine.spawn engine (fun () ->
-         let ctx = Ctx.make cluster ~node:0 in
-         (* Keys are pinned (they never migrate), spread round-robin, so
-            node [victim]'s range holds real data when it dies. *)
-         let keys =
-           Array.init n_keys (fun i ->
-               let o =
-                 P.create_on ctx ~node:(i mod nodes) ~size:key_bytes (pack 0)
-               in
-               P.pin ctx o;
-               o)
-         in
-         (* Enable replication after setup so the snapshot captures the
-            keys; then hand the manager to the detector. *)
-         let repl = Replication.enable cluster in
-         let c =
-           Controller.start ~probe_interval:0.5e-3 ~probe_timeout:2e-4
-             ~miss_threshold:3 ~replication:repl cluster
-         in
-         ctrl := Some c;
-         Engine.schedule engine ~at:duration (fun () -> Controller.stop c);
-         (* Periodic checkpoint: without it, write-backs only happen on
-            ownership escape, which pinned keys never do. *)
-         ignore
-           (Engine.spawn engine (fun () ->
-                let fctx = Ctx.make cluster ~node:0 in
-                while Engine.now engine < duration do
-                  Engine.delay engine 2e-3;
-                  if Engine.now engine < duration then
-                    Replication.sync_now fctx repl
-                done));
-         (* One client per node.  A client on a crashed node stops at its
-            next iteration — its server is gone. *)
-         Array.iteri
-           (fun c _ ->
-             ignore
-               (Engine.spawn engine (fun () ->
-                    let w = Ctx.make cluster ~node:c in
-                    let i = ref 0 in
-                    while
-                      Engine.now engine < duration
-                      && not (Fault.is_down plan w.Ctx.node)
-                    do
-                      let k = ((c * 7) + !i) mod n_keys in
-                      let key = keys.(k) in
-                      let is_write = !i mod 4 = 0 in
-                      (match
-                         Fabric.retry_with_backoff fabric ~from:w.Ctx.node
-                           ~attempts:12 ~base_delay:2e-4 ~budget:0.03
-                           (fun () ->
-                             if is_write then
-                               P.owner_modify w key (fun v ->
-                                   pack (unpack v + 1))
-                             else ignore (P.owner_read w key))
-                       with
-                      | () ->
-                          total_ops := !total_ops + 1;
-                          let b =
-                            min (n_buckets - 1)
-                              (int_of_float (Engine.now engine /. bucket_w))
-                          in
-                          curve.(b) <- curve.(b) + 1;
-                          if
-                            is_write
-                            && k mod nodes = victim
-                            && Engine.now engine > crash_t
-                            && !recovery = None
-                          then recovery := Some (Engine.now engine)
-                      | exception (Fabric.Node_down _ | Fabric.Rpc_timeout _)
-                        ->
-                          failed_ops := !failed_ops + 1);
-                      incr i;
-                      Engine.delay engine think
-                    done)))
-           (Array.make nodes ())));
-  Cluster.run cluster;
-  let detection_time =
-    match !ctrl with
-    | None -> None
-    | Some c -> List.assoc_opt victim (Controller.deaths c)
-  in
-  let snap = Drust_obs.Metrics.snapshot (Cluster.metrics cluster) in
-  let retries = ref (Report.metric_total snap "fabric.retries")
-  and timeouts = ref (Report.metric_total snap "fabric.timeouts")
-  and drops = ref (Report.metric_total snap "fabric.drops") in
-  {
-    seed;
-    victim;
-    crash_time = crash_t;
-    detection_time;
-    recovery_time = !recovery;
-    curve;
-    bucket = bucket_w;
-    total_ops = !total_ops;
-    failed_ops = !failed_ops;
-    retries = !retries;
-    timeouts = !timeouts;
-    drops = !drops;
-    op_latency = Report.latency_of_snapshot snap;
-  }
+  match (Simplan.execute (plan_of ~seed)).Simplan.result with
+  | Simplan.Failover_done r -> r
+  | Simplan.App_done _ | Simplan.Churn_done _ -> assert false
 
 let same_result a b =
   a.detection_time = b.detection_time
@@ -294,6 +160,7 @@ let run ?(seed = 42) () =
   Report.record_rate ?latency:r1.op_latency ~host_ms
     ~experiment:"failover/chaos" ~ops:(float_of_int r1.total_ops)
     ~elapsed:duration ();
+  Report.emit_plan (plan_of ~seed);
   print r1;
   (match (r1.detection_time, r1.recovery_time) with
   | Some _, Some _ -> ()

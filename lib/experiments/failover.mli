@@ -6,7 +6,7 @@
     Reports detection latency, recovery time, and a throughput
     dip-and-recover curve. *)
 
-type result = {
+type result = Drust_plan.Scenario.failover_result = {
   seed : int;
   victim : int;
   crash_time : float;
@@ -26,7 +26,9 @@ type result = {
 }
 
 val run_once : seed:int -> unit -> result
-(** One seeded chaos run (pure function of [seed]). *)
+(** One seeded chaos run (pure function of [seed]): builds the
+    canonical plan ({!Drust_plan.Simplan.failover_plan}) and
+    [Simplan.execute]s it. *)
 
 val failover_percentiles : result list -> (string * int * float * float) list
 (** [(phase, samples, p50, p99)] in seconds for the ["detection"] and
@@ -37,4 +39,6 @@ val run : ?seed:int -> unit -> result
 (** Run the base seed twice (bit-identity check) plus four more seeds,
     print the curve, per-phase p50/p99 failover latencies, and fail if
     the detector never fired, recovery never happened, the same-seed
-    runs diverged, or p99 < p50.  Returns the base-seed result. *)
+    runs diverged, or p99 < p50.  Emits the base-seed plan artifact
+    ({!Report.emit_plan}) next to the results.  Returns the base-seed
+    result. *)

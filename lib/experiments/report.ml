@@ -103,8 +103,12 @@ let note s = Printf.printf "  %s\n" s
 (* Benchmark summary (BENCH_summary.json)                              *)
 
 module Metrics = Drust_obs.Metrics
+module Json = Drust_util.Json
 
-let schema_version = "drust-bench-summary/v3"
+(* The single schema definition lives with the plan layer: a plan's
+   [expect] field names the summary schema its run produces, so the two
+   can never drift apart. *)
+let schema_version = Drust_plan.Simplan.bench_schema
 let v1_schema = "drust-bench-summary/v1"
 let v2_schema = "drust-bench-summary/v2"
 
@@ -134,18 +138,7 @@ let latency_percentiles h =
       (label, match Metrics.quantile h q with Some v -> v *. 1e6 | None -> 0.0))
     percentile_points
 
-let latency_of_snapshot snap =
-  List.fold_left
-    (fun acc (s : Metrics.sample) ->
-      match s.Metrics.s_value with
-      | Metrics.Histo h
-        when String.equal s.Metrics.s_name "protocol.op_latency"
-             && h.Metrics.h_count > 0 -> (
-          match acc with
-          | None -> Some h
-          | Some m -> Some (Metrics.merge_histos m h))
-      | _ -> acc)
-    None snap
+let latency_of_snapshot snap = Metrics.merged_histo snap "protocol.op_latency"
 
 type bench_entry = {
   be_rate : float;
@@ -184,207 +177,53 @@ let recorded_entries () =
 let recorded_rates () =
   List.map (fun (k, e) -> (k, e.be_rate)) (recorded_entries ())
 
-let json_escape s =
-  let b = Buffer.create (String.length s) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+(* Summary values round to 6 significant digits before encoding: the
+   historical precision, plenty for a 10%-tolerance gate, and it keeps
+   the emitted file stable under refactors of internal float paths. *)
+let num6 v = Json.Num (float_of_string (Printf.sprintf "%.6g" v))
 
 (* Schema documented in docs/BENCHMARKS.md: one entry per experiment
    that called [record_rate], keyed by experiment name; entries with a
    latency histogram additionally carry [latency_us] percentiles. *)
 let write_bench_summary ~path =
-  let entries = recorded_entries () in
-  let oc = open_out path in
-  output_string oc "{\n";
-  Printf.fprintf oc "  \"schema\": \"%s\",\n" schema_version;
-  output_string oc "  \"entries\": {\n";
-  let last = List.length entries - 1 in
-  List.iteri
-    (fun i (k, e) ->
-      let latency =
-        match e.be_latency with
+  let entry (_, e) =
+    Json.Obj
+      ([ ("ops_per_sim_sec", num6 e.be_rate) ]
+      @ (match e.be_latency with
         | Some h when h.Metrics.h_count > 0 ->
-            Printf.sprintf ", \"latency_us\": { %s }"
-              (String.concat ", "
-                 (List.map
-                    (fun (label, v) -> Printf.sprintf "\"%s\": %.6g" label v)
-                    (latency_percentiles h)))
-        | _ -> ""
-      in
-      let host =
-        match e.be_host_ms with
-        | Some ms -> Printf.sprintf ", \"host_ms\": %.6g" ms
-        | None -> ""
-      in
-      Printf.fprintf oc "    \"%s\": { \"ops_per_sim_sec\": %.6g%s%s }%s\n"
-        (json_escape k) e.be_rate latency host
-        (if i = last then "" else ","))
-    entries;
-  output_string oc "  }\n}\n";
-  close_out oc
+            [
+              ( "latency_us",
+                Json.Obj
+                  (List.map
+                     (fun (label, v) -> (label, num6 v))
+                     (latency_percentiles h)) );
+            ]
+        | _ -> [])
+      @
+      match e.be_host_ms with
+      | Some ms -> [ ("host_ms", num6 ms) ]
+      | None -> [])
+  in
+  let entries = recorded_entries () in
+  Json.save ~path
+    (Json.Obj
+       [
+         ("schema", Json.Str schema_version);
+         ("entries", Json.Obj (List.map (fun (k, e) -> (k, entry (k, e))) entries));
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* Plan artifacts                                                      *)
+
+let emit_plan plan =
+  let name = plan.Drust_plan.Simplan.name in
+  let dir = match !csv_dir with Some d -> d | None -> Filename.current_dir_name in
+  let path = Filename.concat dir (name ^ ".plan.json") in
+  Drust_plan.Simplan.save ~path plan;
+  Printf.eprintf "[bench] plan written to %s\n%!" path
 
 (* ------------------------------------------------------------------ *)
 (* Summary reading and comparison (the bench_diff regression gate)     *)
-
-(* A minimal recursive-descent JSON reader — just enough for the bench
-   summary format, so the tools need no external JSON dependency. *)
-type json =
-  | J_null
-  | J_bool of bool
-  | J_num of float
-  | J_str of string
-  | J_arr of json list
-  | J_obj of (string * json) list
-
-exception Bad_json of string
-
-let parse_json s =
-  let n = String.length s in
-  let pos = ref 0 in
-  let fail msg = raise (Bad_json (Printf.sprintf "%s at byte %d" msg !pos)) in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let skip_ws () =
-    while
-      !pos < n
-      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
-    do
-      incr pos
-    done
-  in
-  let expect c =
-    skip_ws ();
-    if peek () = Some c then incr pos
-    else fail (Printf.sprintf "expected '%c'" c)
-  in
-  let literal word v =
-    let l = String.length word in
-    if !pos + l <= n && String.sub s !pos l = word then begin
-      pos := !pos + l;
-      v
-    end
-    else fail (Printf.sprintf "expected %s" word)
-  in
-  let pstring () =
-    expect '"';
-    let b = Buffer.create 16 in
-    let finished = ref false in
-    while not !finished do
-      if !pos >= n then fail "unterminated string";
-      (match s.[!pos] with
-      | '"' -> finished := true
-      | '\\' ->
-          incr pos;
-          if !pos >= n then fail "bad escape";
-          (match s.[!pos] with
-          | '"' -> Buffer.add_char b '"'
-          | '\\' -> Buffer.add_char b '\\'
-          | '/' -> Buffer.add_char b '/'
-          | 'n' -> Buffer.add_char b '\n'
-          | 't' -> Buffer.add_char b '\t'
-          | 'r' -> Buffer.add_char b '\r'
-          | 'b' -> Buffer.add_char b '\b'
-          | 'f' -> Buffer.add_char b '\012'
-          | 'u' ->
-              if !pos + 4 >= n then fail "bad unicode escape";
-              (match int_of_string_opt ("0x" ^ String.sub s (!pos + 1) 4) with
-              | Some code when code < 0x80 -> Buffer.add_char b (Char.chr code)
-              | Some _ -> Buffer.add_char b '?'
-              | None -> fail "bad unicode escape");
-              pos := !pos + 4
-          | _ -> fail "bad escape")
-      | c -> Buffer.add_char b c);
-      incr pos
-    done;
-    Buffer.contents b
-  in
-  let pnumber () =
-    let start = !pos in
-    while
-      !pos < n
-      &&
-      match s.[!pos] with
-      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-      | _ -> false
-    do
-      incr pos
-    done;
-    match float_of_string_opt (String.sub s start (!pos - start)) with
-    | Some f -> J_num f
-    | None -> fail "bad number"
-  in
-  let rec value () =
-    skip_ws ();
-    match peek () with
-    | Some '{' -> pobj ()
-    | Some '[' -> parr ()
-    | Some '"' -> J_str (pstring ())
-    | Some 't' -> literal "true" (J_bool true)
-    | Some 'f' -> literal "false" (J_bool false)
-    | Some 'n' -> literal "null" J_null
-    | Some ('-' | '0' .. '9') -> pnumber ()
-    | _ -> fail "unexpected character"
-  and pobj () =
-    expect '{';
-    skip_ws ();
-    if peek () = Some '}' then begin
-      incr pos;
-      J_obj []
-    end
-    else begin
-      let fields = ref [] in
-      let continue_ = ref true in
-      while !continue_ do
-        skip_ws ();
-        let k = pstring () in
-        expect ':';
-        let v = value () in
-        fields := (k, v) :: !fields;
-        skip_ws ();
-        match peek () with
-        | Some ',' -> incr pos
-        | Some '}' ->
-            incr pos;
-            continue_ := false
-        | _ -> fail "expected ',' or '}'"
-      done;
-      J_obj (List.rev !fields)
-    end
-  and parr () =
-    expect '[';
-    skip_ws ();
-    if peek () = Some ']' then begin
-      incr pos;
-      J_arr []
-    end
-    else begin
-      let items = ref [] in
-      let continue_ = ref true in
-      while !continue_ do
-        items := value () :: !items;
-        skip_ws ();
-        match peek () with
-        | Some ',' -> incr pos
-        | Some ']' ->
-            incr pos;
-            continue_ := false
-        | _ -> fail "expected ',' or ']'"
-      done;
-      J_arr (List.rev !items)
-    end
-  in
-  let v = value () in
-  skip_ws ();
-  if !pos <> n then fail "trailing content";
-  v
 
 type summary_entry = {
   se_rate : float;
@@ -394,14 +233,17 @@ type summary_entry = {
 type summary = { sm_schema : string; sm_entries : (string * summary_entry) list }
 
 let read_bench_summary ~path =
-  let text = In_channel.with_open_text path In_channel.input_all in
   let fail fmt = Printf.ksprintf (fun m -> failwith (path ^ ": " ^ m)) fmt in
-  let j = try parse_json text with Bad_json m -> fail "%s" m in
+  let j =
+    try Json.load ~path with
+    | Json.Parse_error m -> fail "%s" m
+    | Sys_error m -> failwith m
+  in
   match j with
-  | J_obj fields ->
+  | Json.Obj fields ->
       let schema =
         match List.assoc_opt "schema" fields with
-        | Some (J_str s) -> s
+        | Some (Json.Str s) -> s
         | _ -> fail "missing \"schema\" field"
       in
       if schema <> v1_schema && schema <> v2_schema && schema <> schema_version
@@ -410,29 +252,29 @@ let read_bench_summary ~path =
           v2_schema schema_version;
       let entries =
         match List.assoc_opt "entries" fields with
-        | Some (J_obj es) -> es
+        | Some (Json.Obj es) -> es
         | _ -> fail "missing \"entries\" object"
       in
       let entry (k, v) =
         match v with
-        | J_obj f ->
+        | Json.Obj f ->
             let rate =
               match List.assoc_opt "ops_per_sim_sec" f with
-              | Some (J_num r) -> r
+              | Some (Json.Num r) -> r
               | _ -> fail "entry %S has no \"ops_per_sim_sec\" number" k
             in
             let lat =
               match List.assoc_opt "latency_us" f with
-              | Some (J_obj ps) ->
+              | Some (Json.Obj ps) ->
                   List.filter_map
                     (fun (p, v) ->
-                      match v with J_num x -> Some (p, x) | _ -> None)
+                      match v with Json.Num x -> Some (p, x) | _ -> None)
                     ps
               | _ -> []
             in
             let host_ms =
               match List.assoc_opt "host_ms" f with
-              | Some (J_num x) -> Some x
+              | Some (Json.Num x) -> Some x
               | _ -> None
             in
             (k, { se_rate = rate; se_latency_us = lat; se_host_ms = host_ms })

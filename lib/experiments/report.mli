@@ -97,7 +97,13 @@ val recorded_rates : unit -> (string * float) list
 (** {!recorded_entries} reduced to the headline rates. *)
 
 val write_bench_summary : path:string -> unit
-(** Write the registry as JSON to [path]. *)
+(** Write the registry as JSON to [path] (via {!Drust_util.Json}). *)
+
+val emit_plan : Drust_plan.Simplan.t -> unit
+(** Write the plan that describes a run as [<name>.plan.json] next to
+    the results (the CSV directory when {!set_csv_dir} is active, the
+    working directory otherwise), so the exact scenario behind any
+    result can be replayed with [--plan]. *)
 
 (** {2 Reading and regression comparison}
 

@@ -1,6 +1,5 @@
 module B = Bench_setup
-module Cluster = Drust_machine.Cluster
-module Fabric = Drust_net.Fabric
+module Simplan = Drust_plan.Simplan
 module Appkit = Drust_appkit.Appkit
 
 type row = {
@@ -10,29 +9,19 @@ type row = {
   bytes_per_op : float;
 }
 
-(* Like Bench_setup.run_app but keeps the cluster so the fabric counters
-   survive the run. *)
+(* Like Bench_setup.run_app but reads the plan outcome's metrics
+   snapshot so the fabric counters survive the run. *)
 let run_one app system =
   let params = B.testbed ~nodes:8 () in
-  let cluster = Cluster.create params in
-  let backend = B.make_backend system cluster in
-  let result =
-    match app with
-    | B.Dataframe_app ->
-        Drust_dataframe.Dataframe.run ~cluster ~backend
-          Drust_dataframe.Dataframe.default_config
-    | B.Socialnet_app ->
-        Drust_socialnet.Socialnet.run ~cluster ~backend
-          Drust_socialnet.Socialnet.default_config
-    | B.Gemm_app ->
-        Drust_gemm.Gemm.run ~cluster ~backend Drust_gemm.Gemm.default_config
-    | B.Kvstore_app ->
-        Drust_kvstore.Kvstore.run ~cluster ~backend
-          Drust_kvstore.Kvstore.default_config
+  let plan = Simplan.app_plan ~params app system in
+  let result, latency, snap =
+    match (Simplan.execute plan).Simplan.result with
+    | Simplan.App_done { result; latency; snapshot } ->
+        (result, latency, snapshot)
+    | Simplan.Failover_done _ | Simplan.Churn_done _ -> assert false
   in
-  (* Read totals from the cluster's metrics snapshot rather than the
+  (* Read totals from the run's metrics snapshot rather than the
      fabric's convenience accessors — same numbers, one source of truth. *)
-  let snap = Drust_obs.Metrics.snapshot (Cluster.metrics cluster) in
   ( {
       app;
       system;
@@ -44,7 +33,7 @@ let run_one app system =
         /. result.Appkit.ops;
     },
     result,
-    Report.latency_of_snapshot snap )
+    latency )
 
 let run () =
   (* Parallel phase (pure compute per cell), then record + render in

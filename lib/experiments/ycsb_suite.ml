@@ -1,7 +1,6 @@
 module B = Bench_setup
-module Cluster = Drust_machine.Cluster
+module Simplan = Drust_plan.Simplan
 module Appkit = Drust_appkit.Appkit
-module Kv = Drust_kvstore.Kvstore
 module Ycsb = Drust_workloads.Ycsb
 
 type row = {
@@ -10,14 +9,16 @@ type row = {
   speedup : float;
 }
 
-let config w = { Kv.default_config with Kv.workload = Some w; ops = 24_000 }
+let suite_ops = 24_000
 
 let run_one w system ~nodes =
-  let cluster = Cluster.create (B.testbed ~nodes ()) in
-  let backend = B.make_backend system cluster in
-  let r = Kv.run ~cluster ~backend (config w) in
-  let snap = Drust_obs.Metrics.snapshot (Cluster.metrics cluster) in
-  (r, Report.latency_of_snapshot snap)
+  let plan =
+    Simplan.ycsb_plan ~params:(B.testbed ~nodes ()) ~mix:w ~ops:suite_ops
+      system
+  in
+  match (Simplan.execute plan).Simplan.result with
+  | Simplan.App_done { result; latency; _ } -> (result, latency)
+  | Simplan.Failover_done _ | Simplan.Churn_done _ -> assert false
 
 let run () =
   (* Parallel phase: one job per (workload, deployment) cell — the

@@ -257,6 +257,17 @@ let merge_histos a b =
         a.h_buckets b.h_buckets;
   }
 
+let merged_histo snap name =
+  List.fold_left
+    (fun acc s ->
+      match s.s_value with
+      | Histo h when String.equal s.s_name name && h.h_count > 0 -> (
+          match acc with
+          | None -> Some h
+          | Some m -> Some (merge_histos m h))
+      | _ -> acc)
+    None snap
+
 let names t =
   Drust_util.Tables.sorted_keys t.tbl ~cmp:compare_key
   |> List.map fst

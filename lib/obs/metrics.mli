@@ -119,6 +119,11 @@ val merge_histos : histo -> histo -> histo
     per-cluster latency histograms safe to aggregate before taking
     {!quantile}s.  Raises [Invalid_argument] on differing bounds. *)
 
+val merged_histo : snapshot -> string -> histo option
+(** Merge every non-empty histogram sample named [name] (one per label
+    set) in a snapshot into a single distribution via {!merge_histos};
+    [None] when the snapshot holds no such samples. *)
+
 val names : t -> string list
 (** Distinct registered metric names, sorted — the registry side of the
     docs-catalogue check. *)

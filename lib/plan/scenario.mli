@@ -1,0 +1,110 @@
+(** The fault-tolerance scenario cores, factored out of the experiment
+    harness so a {!Simplan} can drive them directly.
+
+    Each runner executes one seeded scenario body on a cluster the
+    caller has already built (with the fault plan installed — see
+    [Simplan.execute]); the grids, percentile tables, and robustness
+    assertions stay in [lib/experiments].  The bodies are assertion-free
+    on purpose: a fuzzer-generated plan that provokes a crash or a DSan
+    violation must surface it through the oracle, not die mid-run. *)
+
+module Fault = Drust_sim.Fault
+module Cluster = Drust_machine.Cluster
+module Metrics = Drust_obs.Metrics
+
+(** {1 Failover: crash a primary mid-flight} *)
+
+type failover_spec = {
+  fo_nodes : int;  (** cluster size *)
+  fo_keys : int;  (** pinned keys, spread round-robin *)
+  fo_key_bytes : int;
+  fo_duration : float;  (** run length, virtual seconds *)
+  fo_crash_t : float;  (** when the victim fail-stops *)
+  fo_victim : int;  (** the crashed primary *)
+  fo_bucket : float;  (** throughput-curve bucket width *)
+  fo_think : float;  (** per-client think time *)
+}
+
+val default_failover : failover_spec
+(** The canonical 4-node chaos run: 16 keys, 60 ms, crash node 1 at
+    t=20 ms. *)
+
+type failover_result = {
+  seed : int;
+  victim : int;
+  crash_time : float;
+  detection_time : float option;  (* detector verdict (absolute) *)
+  recovery_time : float option;  (* first post-crash write to victim range *)
+  curve : int array;  (* completed ops per bucket *)
+  bucket : float;
+  total_ops : int;
+  failed_ops : int;
+  retries : int;
+  timeouts : int;
+  drops : int;
+  op_latency : Metrics.histo option;
+      (* merged protocol.op_latency distribution of the run *)
+}
+
+val failover :
+  cluster:Cluster.t -> fault:Fault.t -> seed:int -> failover_spec ->
+  failover_result
+(** Run the scenario to completion ([Cluster.run]) and collect the
+    result.  The caller must already have scheduled the victim crash on
+    [fault] (the plan's fault events are the single source of truth). *)
+
+(** {1 Churn: elastic membership under fire} *)
+
+type churn_spec = {
+  ch_nodes : int;
+  ch_active0 : int;  (** nodes 0..active0-1 start Active, the rest Standby *)
+  ch_joiners : int list;
+  ch_leavers : int list;  (** graceful *)
+  ch_sabotaged : int;  (** leaver crashed mid-handoff *)
+  ch_victim : int;  (** planned fail-stop *)
+  ch_crash_t : float;  (** when the victim fail-stops *)
+  ch_duration : float;
+  ch_churn_start : float;
+  ch_churn_gap : float;
+  ch_think : float;
+  ch_key_bytes : int;
+  ch_ballast_bytes : int;
+  ch_zipf_theta : float;
+  ch_replicas : int;
+}
+
+val churn_spec_of : nodes:int -> churn_spec
+(** Derive the canonical membership schedule from the node count (the
+    same experiment runs at 64 and 16 nodes).  Raises [Invalid_argument]
+    below 16 nodes or when the leave schedule does not fit. *)
+
+type churn_result = {
+  seed : int;
+  nodes : int;
+  total_ops : int;
+  failed_ops : int;
+  lost_writes : int;
+  unreadable_keys : int;
+  joins : int;  (* committed joins (membership.joins) *)
+  leaves : int;  (* completed graceful leaves (membership.leaves) *)
+  handoff_commits : int;
+  handoff_aborts : int;
+  final_epoch : int;
+  stale_epochs : int;
+  retries : int;
+  crashes : (int * float) list;
+  detection : (int * float) list;
+  recovery : (int * float) list;
+  handoff_latency : float list;
+  unrecoverable : int list;
+  op_latency : Metrics.histo option;
+}
+
+val churn :
+  cluster:Cluster.t -> fault:Fault.t -> seed:int -> churn_spec ->
+  churn_result
+(** Run the churn scenario to completion.  As with {!failover}, the
+    planned victim crash must already be scheduled on [fault]; the
+    mid-handoff sabotage crash is injected by the scenario itself (its
+    time depends on the in-flight transfer, so it cannot be a static
+    plan event). *)

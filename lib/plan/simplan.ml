@@ -1,0 +1,904 @@
+module Params = Drust_machine.Params
+module Cluster = Drust_machine.Cluster
+module Fault = Drust_sim.Fault
+module Metrics = Drust_obs.Metrics
+module Json = Drust_util.Json
+module Rng = Drust_util.Rng
+module Ycsb = Drust_workloads.Ycsb
+module Dsan = Drust_check.Dsan
+
+type system = Drust | Gam | Grappa | Original
+type app = Dataframe_app | Socialnet_app | Gemm_app | Kvstore_app
+
+let system_name = function
+  | Drust -> "DRust"
+  | Gam -> "GAM"
+  | Grappa -> "Grappa"
+  | Original -> "Original"
+
+let all_systems = [ Drust; Gam; Grappa ]
+
+let system_slug = function
+  | Drust -> "drust"
+  | Gam -> "gam"
+  | Grappa -> "grappa"
+  | Original -> "original"
+
+let system_of_slug = function
+  | "drust" -> Some Drust
+  | "gam" -> Some Gam
+  | "grappa" -> Some Grappa
+  | "original" -> Some Original
+  | _ -> None
+
+let app_name = function
+  | Dataframe_app -> "DataFrame"
+  | Socialnet_app -> "SocialNet"
+  | Gemm_app -> "GEMM"
+  | Kvstore_app -> "KV Store"
+
+let all_apps = [ Dataframe_app; Socialnet_app; Gemm_app; Kvstore_app ]
+
+let app_slug = function
+  | Dataframe_app -> "dataframe"
+  | Socialnet_app -> "socialnet"
+  | Gemm_app -> "gemm"
+  | Kvstore_app -> "kvstore"
+
+let app_of_slug = function
+  | "dataframe" -> Some Dataframe_app
+  | "socialnet" -> Some Socialnet_app
+  | "gemm" -> Some Gemm_app
+  | "kvstore" -> Some Kvstore_app
+  | _ -> None
+
+let make_backend system cluster =
+  match system with
+  | Drust -> Drust_dsm.Drust_backend.create cluster
+  | Gam -> Drust_gam.Gam.backend (Drust_gam.Gam.create cluster)
+  | Grappa -> Drust_grappa.Grappa.backend (Drust_grappa.Grappa.create cluster)
+  | Original -> Drust_dsm.Local_backend.create cluster
+
+type topology = {
+  nodes : int;
+  cores_per_node : int;
+  mem_per_node : int;
+  ghz : float;
+  seed : int;
+}
+
+let params_of (t : topology) =
+  {
+    Params.default with
+    Params.nodes = t.nodes;
+    cores_per_node = t.cores_per_node;
+    mem_per_node = t.mem_per_node;
+    ghz = t.ghz;
+    seed = t.seed;
+  }
+
+let topology_of_params (p : Params.t) =
+  {
+    nodes = p.Params.nodes;
+    cores_per_node = p.Params.cores_per_node;
+    mem_per_node = p.Params.mem_per_node;
+    ghz = p.Params.ghz;
+    seed = p.Params.seed;
+  }
+
+type fault_event =
+  | Crash of { node : int; at : float }
+  | Partition of { group : int list; at : float; heal_at : float }
+  | Degrade of {
+      from_node : int;
+      target : int;
+      drop : float;
+      extra_latency : float;
+      jitter : float;
+    }
+
+type faults = { fault_seed : int; events : fault_event list }
+
+type workload =
+  | App_run of { app : app; affinity : bool; pass_by_value : bool }
+  | Ycsb_run of { mix : Ycsb.workload; ops : int }
+  | Failover_kv of Scenario.failover_spec
+  | Churn_kv of Scenario.churn_spec
+
+type sim = {
+  topology : topology;
+  system : system;
+  workload : workload;
+  faults : faults;
+}
+
+type suite = {
+  su_experiments : string list;
+  su_node_counts : int list option;
+  su_churn_nodes : int option;
+  su_seed : int;
+}
+
+type spec = Sim of sim | Suite of suite
+type t = { name : string; spec : spec; expect : string }
+
+let bench_schema = "drust-bench-summary/v3"
+let plan_schema = "drust-simplan/v1"
+
+(* ------------------------------------------------------------------ *)
+(* Constructors                                                        *)
+
+let no_faults = { fault_seed = 0; events = [] }
+
+let app_plan ?name ?(affinity = false) ?(pass_by_value = false) ~params app
+    system =
+  let topology = topology_of_params params in
+  let name =
+    match name with
+    | Some n -> n
+    | None ->
+        Printf.sprintf "%s-%s-%dn" (app_slug app) (system_slug system)
+          topology.nodes
+  in
+  {
+    name;
+    expect = bench_schema;
+    spec =
+      Sim
+        {
+          topology;
+          system;
+          workload = App_run { app; affinity; pass_by_value };
+          faults = no_faults;
+        };
+  }
+
+(* The mix letter alone: workload_name's parenthetical would not be
+   usable as a file stem. *)
+let mix_slug mix =
+  match Ycsb.workload_name mix with
+  | "" -> "x"
+  | n -> String.lowercase_ascii (String.make 1 n.[0])
+
+let ycsb_plan ?name ~params ~mix ~ops system =
+  let topology = topology_of_params params in
+  let name =
+    match name with
+    | Some n -> n
+    | None ->
+        Printf.sprintf "ycsb-%s-%s-%dn" (mix_slug mix) (system_slug system)
+          topology.nodes
+  in
+  {
+    name;
+    expect = bench_schema;
+    spec =
+      Sim
+        { topology; system; workload = Ycsb_run { mix; ops }; faults = no_faults };
+  }
+
+(* The chaos scenarios run on deliberately small nodes so the fault
+   machinery, not the memory system, dominates. *)
+let small_topology ~nodes ~seed =
+  {
+    nodes;
+    cores_per_node = 4;
+    mem_per_node = Drust_util.Units.mib 64;
+    ghz = Params.default.Params.ghz;
+    seed;
+  }
+
+let failover_plan ?name ?(spec = Scenario.default_failover) ~seed () =
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "failover-%dn-seed%d" spec.Scenario.fo_nodes seed
+  in
+  {
+    name;
+    expect = bench_schema;
+    spec =
+      Sim
+        {
+          topology = small_topology ~nodes:spec.Scenario.fo_nodes ~seed;
+          system = Drust;
+          workload = Failover_kv spec;
+          faults =
+            {
+              fault_seed = seed + 17;
+              events =
+                [
+                  Crash
+                    {
+                      node = spec.Scenario.fo_victim;
+                      at = spec.Scenario.fo_crash_t;
+                    };
+                ];
+            };
+        };
+  }
+
+let churn_plan ?name ~seed ~nodes () =
+  let spec = Scenario.churn_spec_of ~nodes in
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "churn-%dn-seed%d" nodes seed
+  in
+  {
+    name;
+    expect = bench_schema;
+    spec =
+      Sim
+        {
+          topology = small_topology ~nodes ~seed;
+          system = Drust;
+          workload = Churn_kv spec;
+          faults =
+            {
+              fault_seed = seed + 17;
+              events =
+                [
+                  Crash
+                    {
+                      node = spec.Scenario.ch_victim;
+                      at = spec.Scenario.ch_crash_t;
+                    };
+                ];
+            };
+        };
+  }
+
+let suite_plan ?node_counts ?churn_nodes ?(seed = 42) ~name experiments =
+  {
+    name;
+    expect = bench_schema;
+    spec =
+      Suite
+        {
+          su_experiments = experiments;
+          su_node_counts = node_counts;
+          su_churn_nodes = churn_nodes;
+          su_seed = seed;
+        };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Codec                                                               *)
+
+let num_of_int i = Json.Num (float_of_int i)
+let ints xs = Json.Arr (List.map num_of_int xs)
+
+let topology_json t =
+  Json.Obj
+    [
+      ("nodes", num_of_int t.nodes);
+      ("cores_per_node", num_of_int t.cores_per_node);
+      ("mem_per_node", num_of_int t.mem_per_node);
+      ("ghz", Json.Num t.ghz);
+      ("seed", num_of_int t.seed);
+    ]
+
+let event_json = function
+  | Crash { node; at } ->
+      Json.Obj
+        [ ("kind", Json.Str "crash"); ("node", num_of_int node);
+          ("at", Json.Num at) ]
+  | Partition { group; at; heal_at } ->
+      Json.Obj
+        [
+          ("kind", Json.Str "partition");
+          ("group", ints group);
+          ("at", Json.Num at);
+          ("heal_at", Json.Num heal_at);
+        ]
+  | Degrade { from_node; target; drop; extra_latency; jitter } ->
+      Json.Obj
+        [
+          ("kind", Json.Str "degrade");
+          ("from", num_of_int from_node);
+          ("target", num_of_int target);
+          ("drop", Json.Num drop);
+          ("extra_latency", Json.Num extra_latency);
+          ("jitter", Json.Num jitter);
+        ]
+
+let workload_json = function
+  | App_run { app; affinity; pass_by_value } ->
+      Json.Obj
+        [
+          ("kind", Json.Str "app");
+          ("app", Json.Str (app_slug app));
+          ("affinity", Json.Bool affinity);
+          ("pass_by_value", Json.Bool pass_by_value);
+        ]
+  | Ycsb_run { mix; ops } ->
+      Json.Obj
+        [
+          ("kind", Json.Str "ycsb");
+          ("mix", Json.Str (Ycsb.workload_name mix));
+          ("ops", num_of_int ops);
+        ]
+  | Failover_kv s ->
+      Json.Obj
+        [
+          ("kind", Json.Str "failover");
+          ("nodes", num_of_int s.Scenario.fo_nodes);
+          ("keys", num_of_int s.Scenario.fo_keys);
+          ("key_bytes", num_of_int s.Scenario.fo_key_bytes);
+          ("duration", Json.Num s.Scenario.fo_duration);
+          ("crash_t", Json.Num s.Scenario.fo_crash_t);
+          ("victim", num_of_int s.Scenario.fo_victim);
+          ("bucket", Json.Num s.Scenario.fo_bucket);
+          ("think", Json.Num s.Scenario.fo_think);
+        ]
+  | Churn_kv s ->
+      Json.Obj
+        [
+          ("kind", Json.Str "churn");
+          ("nodes", num_of_int s.Scenario.ch_nodes);
+          ("active0", num_of_int s.Scenario.ch_active0);
+          ("joiners", ints s.Scenario.ch_joiners);
+          ("leavers", ints s.Scenario.ch_leavers);
+          ("sabotaged", num_of_int s.Scenario.ch_sabotaged);
+          ("victim", num_of_int s.Scenario.ch_victim);
+          ("crash_t", Json.Num s.Scenario.ch_crash_t);
+          ("duration", Json.Num s.Scenario.ch_duration);
+          ("churn_start", Json.Num s.Scenario.ch_churn_start);
+          ("churn_gap", Json.Num s.Scenario.ch_churn_gap);
+          ("think", Json.Num s.Scenario.ch_think);
+          ("key_bytes", num_of_int s.Scenario.ch_key_bytes);
+          ("ballast_bytes", num_of_int s.Scenario.ch_ballast_bytes);
+          ("zipf_theta", Json.Num s.Scenario.ch_zipf_theta);
+          ("replicas", num_of_int s.Scenario.ch_replicas);
+        ]
+
+let to_json t =
+  let spec =
+    match t.spec with
+    | Sim s ->
+        ( "sim",
+          Json.Obj
+            [
+              ("topology", topology_json s.topology);
+              ("system", Json.Str (system_slug s.system));
+              ("workload", workload_json s.workload);
+              ( "faults",
+                Json.Obj
+                  [
+                    ("fault_seed", num_of_int s.faults.fault_seed);
+                    ("events", Json.Arr (List.map event_json s.faults.events));
+                  ] );
+            ] )
+    | Suite s ->
+        ( "suite",
+          Json.Obj
+            (("experiments", Json.Arr (List.map (fun e -> Json.Str e) s.su_experiments))
+             :: (match s.su_node_counts with
+                | Some ns -> [ ("node_counts", ints ns) ]
+                | None -> [])
+            @ (match s.su_churn_nodes with
+              | Some n -> [ ("churn_nodes", num_of_int n) ]
+              | None -> [])
+            @ [ ("seed", num_of_int s.su_seed) ]) )
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str plan_schema);
+      ("name", Json.Str t.name);
+      ("expect", Json.Str t.expect);
+      spec;
+    ]
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+let field o k =
+  match Json.member k o with Some v -> v | None -> bad "missing field %S" k
+
+let opt_field o k = Json.member k o
+
+let to_str k = function Json.Str s -> s | _ -> bad "field %S: expected string" k
+
+let to_num k = function
+  | Json.Num f -> f
+  | _ -> bad "field %S: expected number" k
+
+let to_int k = function
+  | Json.Num f when Float.is_integer f -> int_of_float f
+  | _ -> bad "field %S: expected integer" k
+
+let to_bool k = function
+  | Json.Bool b -> b
+  | _ -> bad "field %S: expected bool" k
+
+let to_ints k = function
+  | Json.Arr xs -> List.map (to_int k) xs
+  | _ -> bad "field %S: expected array of integers" k
+
+let sfield o k = to_str k (field o k)
+let nfield o k = to_num k (field o k)
+let ifield o k = to_int k (field o k)
+let bfield o k = to_bool k (field o k)
+
+let topology_of_json o =
+  {
+    nodes = ifield o "nodes";
+    cores_per_node = ifield o "cores_per_node";
+    mem_per_node = ifield o "mem_per_node";
+    ghz = nfield o "ghz";
+    seed = ifield o "seed";
+  }
+
+let event_of_json o =
+  match sfield o "kind" with
+  | "crash" -> Crash { node = ifield o "node"; at = nfield o "at" }
+  | "partition" ->
+      Partition
+        {
+          group = to_ints "group" (field o "group");
+          at = nfield o "at";
+          heal_at = nfield o "heal_at";
+        }
+  | "degrade" ->
+      Degrade
+        {
+          from_node = ifield o "from";
+          target = ifield o "target";
+          drop = nfield o "drop";
+          extra_latency = nfield o "extra_latency";
+          jitter = nfield o "jitter";
+        }
+  | k -> bad "unknown fault event kind %S" k
+
+let workload_of_json o =
+  match sfield o "kind" with
+  | "app" ->
+      let slug = sfield o "app" in
+      let app =
+        match app_of_slug slug with
+        | Some a -> a
+        | None -> bad "unknown app %S" slug
+      in
+      App_run
+        {
+          app;
+          affinity = bfield o "affinity";
+          pass_by_value = bfield o "pass_by_value";
+        }
+  | "ycsb" ->
+      let name = sfield o "mix" in
+      let mix =
+        match
+          List.find_opt
+            (fun w -> String.equal (Ycsb.workload_name w) name)
+            Ycsb.all_workloads
+        with
+        | Some w -> w
+        | None -> bad "unknown YCSB mix %S" name
+      in
+      Ycsb_run { mix; ops = ifield o "ops" }
+  | "failover" ->
+      Failover_kv
+        {
+          Scenario.fo_nodes = ifield o "nodes";
+          fo_keys = ifield o "keys";
+          fo_key_bytes = ifield o "key_bytes";
+          fo_duration = nfield o "duration";
+          fo_crash_t = nfield o "crash_t";
+          fo_victim = ifield o "victim";
+          fo_bucket = nfield o "bucket";
+          fo_think = nfield o "think";
+        }
+  | "churn" ->
+      Churn_kv
+        {
+          Scenario.ch_nodes = ifield o "nodes";
+          ch_active0 = ifield o "active0";
+          ch_joiners = to_ints "joiners" (field o "joiners");
+          ch_leavers = to_ints "leavers" (field o "leavers");
+          ch_sabotaged = ifield o "sabotaged";
+          ch_victim = ifield o "victim";
+          ch_crash_t = nfield o "crash_t";
+          ch_duration = nfield o "duration";
+          ch_churn_start = nfield o "churn_start";
+          ch_churn_gap = nfield o "churn_gap";
+          ch_think = nfield o "think";
+          ch_key_bytes = ifield o "key_bytes";
+          ch_ballast_bytes = ifield o "ballast_bytes";
+          ch_zipf_theta = nfield o "zipf_theta";
+          ch_replicas = ifield o "replicas";
+        }
+  | k -> bad "unknown workload kind %S" k
+
+let of_json j =
+  try
+    let schema = sfield j "schema" in
+    if not (String.equal schema plan_schema) then
+      bad "unknown plan schema %S (expected %s)" schema plan_schema;
+    let name = sfield j "name" in
+    let expect = sfield j "expect" in
+    let spec =
+      match (opt_field j "sim", opt_field j "suite") with
+      | Some s, None ->
+          let system_slug_ = sfield s "system" in
+          let system =
+            match system_of_slug system_slug_ with
+            | Some sys -> sys
+            | None -> bad "unknown system %S" system_slug_
+          in
+          let faults_o = field s "faults" in
+          let events =
+            match field faults_o "events" with
+            | Json.Arr es -> List.map event_of_json es
+            | _ -> bad "field \"events\": expected array"
+          in
+          Sim
+            {
+              topology = topology_of_json (field s "topology");
+              system;
+              workload = workload_of_json (field s "workload");
+              faults = { fault_seed = ifield faults_o "fault_seed"; events };
+            }
+      | None, Some s ->
+          let experiments =
+            match field s "experiments" with
+            | Json.Arr es -> List.map (to_str "experiments") es
+            | _ -> bad "field \"experiments\": expected array"
+          in
+          Suite
+            {
+              su_experiments = experiments;
+              su_node_counts =
+                Option.map (to_ints "node_counts") (opt_field s "node_counts");
+              su_churn_nodes =
+                Option.map (to_int "churn_nodes") (opt_field s "churn_nodes");
+              su_seed = ifield s "seed";
+            }
+      | Some _, Some _ -> bad "plan has both \"sim\" and \"suite\" specs"
+      | None, None -> bad "plan has neither \"sim\" nor \"suite\" spec"
+    in
+    Ok { name; spec; expect }
+  with Bad m -> Error m
+
+let print t = Json.print (to_json t)
+
+let parse s =
+  match Json.parse s with
+  | j -> of_json j
+  | exception Json.Parse_error m -> Error m
+
+let save ~path t = Json.save ~path (to_json t)
+
+let load ~path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> (
+      match parse text with
+      | Ok t -> Ok t
+      | Error m -> Error (path ^ ": " ^ m))
+  | exception Sys_error m -> Error m
+
+let field_names =
+  List.sort_uniq String.compare
+    [
+      "schema"; "name"; "expect"; "sim"; "suite"; "topology"; "system";
+      "workload"; "faults"; "fault_seed"; "events"; "nodes"; "cores_per_node";
+      "mem_per_node"; "ghz"; "seed"; "kind"; "node"; "at"; "group"; "heal_at";
+      "from"; "target"; "drop"; "extra_latency"; "jitter"; "app"; "affinity";
+      "pass_by_value"; "mix"; "ops"; "keys"; "key_bytes"; "duration";
+      "crash_t"; "victim"; "bucket"; "think"; "active0"; "joiners"; "leavers";
+      "sabotaged"; "churn_start"; "churn_gap"; "ballast_bytes"; "zipf_theta";
+      "replicas"; "experiments"; "node_counts"; "churn_nodes";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+
+let validate t =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errs := m :: !errs) fmt in
+  let name_ok =
+    String.length t.name > 0
+    && String.for_all
+         (fun c ->
+           match c with
+           | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> true
+           | _ -> false)
+         t.name
+  in
+  if not name_ok then
+    err "name %S is not usable as a file stem ([A-Za-z0-9._-]+)" t.name;
+  if not (String.equal t.expect bench_schema) then
+    err "expect %S is not the schema this build writes (%s)" t.expect
+      bench_schema;
+  (match t.spec with
+  | Sim s ->
+      let top = s.topology in
+      if top.nodes < 1 then err "topology.nodes must be >= 1 (got %d)" top.nodes;
+      if top.cores_per_node < 1 then
+        err "topology.cores_per_node must be >= 1 (got %d)" top.cores_per_node;
+      if top.mem_per_node < 4096 then
+        err "topology.mem_per_node must be >= 4096 bytes (got %d)"
+          top.mem_per_node;
+      if not (top.ghz > 0.0) then err "topology.ghz must be positive";
+      let in_range what n =
+        if n < 0 || n >= top.nodes then
+          err "%s %d out of range [0, %d)" what n top.nodes
+      in
+      List.iter
+        (function
+          | Crash { node; at } ->
+              in_range "crash node" node;
+              if not (at >= 0.0) then err "crash at %g must be >= 0" at
+          | Partition { group; at; heal_at } ->
+              if group = [] then err "partition group is empty";
+              List.iter (in_range "partition node") group;
+              if not (at >= 0.0) then err "partition at %g must be >= 0" at;
+              if not (heal_at > at) then
+                err "partition heal_at %g must be after at %g" heal_at at
+          | Degrade { from_node; target; drop; extra_latency; jitter } ->
+              in_range "degrade from" from_node;
+              in_range "degrade target" target;
+              if from_node = target then
+                err "degrade link %d -> %d is a self-loop" from_node target;
+              if not (drop >= 0.0 && drop <= 1.0) then
+                err "degrade drop %g outside [0, 1]" drop;
+              if not (extra_latency >= 0.0) then
+                err "degrade extra_latency %g must be >= 0" extra_latency;
+              if not (jitter >= 0.0) then
+                err "degrade jitter %g must be >= 0" jitter)
+        s.faults.events;
+      let require_crash ~victim ~at =
+        let planned =
+          List.exists
+            (function
+              | Crash { node; at = t } -> node = victim && t = at
+              | _ -> false)
+            s.faults.events
+        in
+        if not planned then
+          err
+            "scenario victim crash (node %d at %g) is missing from the fault \
+             events — the plan's fault schedule is the single source of truth"
+            victim at
+      in
+      (match s.workload with
+      | App_run _ -> ()
+      | Ycsb_run { ops; _ } ->
+          if ops < 1 then err "ycsb ops must be >= 1 (got %d)" ops
+      | Failover_kv f ->
+          if f.Scenario.fo_nodes <> top.nodes then
+            err "failover nodes %d does not match topology.nodes %d"
+              f.Scenario.fo_nodes top.nodes;
+          if f.Scenario.fo_keys < 1 then err "failover keys must be >= 1";
+          if f.Scenario.fo_key_bytes < 8 then
+            err "failover key_bytes must be >= 8";
+          if not (f.Scenario.fo_duration > 0.0) then
+            err "failover duration must be positive";
+          if
+            not
+              (f.Scenario.fo_crash_t > 0.0
+              && f.Scenario.fo_crash_t < f.Scenario.fo_duration)
+          then err "failover crash_t must fall inside (0, duration)";
+          if f.Scenario.fo_victim < 0 || f.Scenario.fo_victim >= top.nodes then
+            err "failover victim %d out of range" f.Scenario.fo_victim;
+          if not (f.Scenario.fo_bucket > 0.0) then
+            err "failover bucket must be positive";
+          if not (f.Scenario.fo_think > 0.0) then
+            err "failover think must be positive";
+          require_crash ~victim:f.Scenario.fo_victim ~at:f.Scenario.fo_crash_t
+      | Churn_kv c ->
+          if c.Scenario.ch_nodes <> top.nodes then
+            err "churn nodes %d does not match topology.nodes %d"
+              c.Scenario.ch_nodes top.nodes;
+          if c.Scenario.ch_active0 < 1 || c.Scenario.ch_active0 > top.nodes
+          then err "churn active0 %d outside [1, nodes]" c.Scenario.ch_active0;
+          let active0 = c.Scenario.ch_active0 in
+          List.iter
+            (fun j ->
+              if j < active0 || j >= top.nodes then
+                err "churn joiner %d must be a standby node in [%d, %d)" j
+                  active0 top.nodes)
+            c.Scenario.ch_joiners;
+          List.iter
+            (fun l ->
+              if l < 0 || l >= active0 then
+                err "churn leaver %d must be an active node in [0, %d)" l
+                  active0)
+            c.Scenario.ch_leavers;
+          if c.Scenario.ch_sabotaged < 0 || c.Scenario.ch_sabotaged >= active0
+          then err "churn sabotaged %d out of range" c.Scenario.ch_sabotaged;
+          if c.Scenario.ch_victim < 0 || c.Scenario.ch_victim >= active0 then
+            err "churn victim %d out of range" c.Scenario.ch_victim;
+          if
+            List.length (List.sort_uniq Int.compare c.Scenario.ch_leavers)
+            <> List.length c.Scenario.ch_leavers
+          then err "churn leavers contain duplicates";
+          if not (c.Scenario.ch_duration > 0.0) then
+            err "churn duration must be positive";
+          if
+            not
+              (c.Scenario.ch_churn_start > 0.0
+              && c.Scenario.ch_churn_start < c.Scenario.ch_duration)
+          then err "churn churn_start must fall inside (0, duration)";
+          if not (c.Scenario.ch_churn_gap > 0.0) then
+            err "churn churn_gap must be positive";
+          if
+            not
+              (c.Scenario.ch_crash_t > 0.0
+              && c.Scenario.ch_crash_t < c.Scenario.ch_duration)
+          then err "churn crash_t must fall inside (0, duration)";
+          if not (c.Scenario.ch_think > 0.0) then
+            err "churn think must be positive";
+          if c.Scenario.ch_key_bytes < 8 then err "churn key_bytes must be >= 8";
+          if c.Scenario.ch_ballast_bytes < c.Scenario.ch_key_bytes then
+            err "churn ballast_bytes must be >= key_bytes";
+          if not (c.Scenario.ch_zipf_theta > 0.0) then
+            err "churn zipf_theta must be positive";
+          if c.Scenario.ch_replicas < 1 then err "churn replicas must be >= 1";
+          require_crash ~victim:c.Scenario.ch_victim ~at:c.Scenario.ch_crash_t)
+  | Suite s ->
+      if s.su_experiments = [] then err "suite names no experiments";
+      List.iter
+        (fun e ->
+          if
+            String.length e = 0
+            || not
+                 (String.for_all
+                    (fun c ->
+                      match c with
+                      | 'a' .. 'z' | '0' .. '9' | '_' | '-' -> true
+                      | _ -> false)
+                    e)
+          then err "experiment name %S is not a valid identifier" e)
+        s.su_experiments;
+      (match s.su_node_counts with
+      | Some [] -> err "node_counts is empty (omit the field instead)"
+      | Some ns ->
+          List.iter
+            (fun n -> if n < 1 then err "node count %d must be >= 1" n)
+            ns
+      | None -> ());
+      (match s.su_churn_nodes with
+      | Some n when n < 16 -> err "churn_nodes %d must be >= 16" n
+      | _ -> ()));
+  match List.rev !errs with [] -> Ok () | es -> Error es
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+
+type outcome_result =
+  | App_done of {
+      result : Drust_appkit.Appkit.result;
+      latency : Metrics.histo option;
+      snapshot : Metrics.snapshot;
+    }
+  | Failover_done of Scenario.failover_result
+  | Churn_done of Scenario.churn_result
+
+type outcome = { plan : t; result : outcome_result; violations : string list }
+
+let install_faults ~cluster ~nodes faults =
+  let engine = Cluster.engine cluster in
+  let plan =
+    Fault.create ~engine ~rng:(Rng.create ~seed:faults.fault_seed) ~nodes ()
+  in
+  List.iter
+    (function
+      | Crash { node; at } -> Fault.crash_at plan ~node ~at
+      | Partition { group; at; heal_at } ->
+          Fault.partition_at plan ~group ~at ~heal_at
+      | Degrade { from_node; target; drop; extra_latency; jitter } ->
+          Fault.degrade_link plan ~from:from_node ~target ~drop ~extra_latency
+            ~jitter ())
+    faults.events;
+  Drust_net.Fabric.set_fault_plan (Cluster.fabric cluster) plan;
+  plan
+
+let run_app_body ~cluster ~backend ~app ~affinity ~pass_by_value =
+  match app with
+  | Dataframe_app ->
+      Drust_dataframe.Dataframe.run ~cluster ~backend
+        {
+          Drust_dataframe.Dataframe.default_config with
+          Drust_dataframe.Dataframe.use_tbox = affinity;
+          use_spawn_to = affinity;
+        }
+  | Socialnet_app ->
+      Drust_socialnet.Socialnet.run ~cluster ~backend
+        {
+          Drust_socialnet.Socialnet.default_config with
+          Drust_socialnet.Socialnet.pass_by_value;
+        }
+  | Gemm_app ->
+      Drust_gemm.Gemm.run ~cluster ~backend Drust_gemm.Gemm.default_config
+  | Kvstore_app ->
+      Drust_kvstore.Kvstore.run ~cluster ~backend
+        Drust_kvstore.Kvstore.default_config
+
+let execute ?(sanitize = false) t =
+  (match validate t with
+  | Ok () -> ()
+  | Error es ->
+      invalid_arg
+        (Printf.sprintf "Simplan.execute: invalid plan %S: %s" t.name
+           (String.concat "; " es)));
+  let s =
+    match t.spec with
+    | Sim s -> s
+    | Suite _ ->
+        invalid_arg
+          (Printf.sprintf
+             "Simplan.execute: %S is a suite plan — replay it through the \
+              bench CLI (--plan)"
+             t.name)
+  in
+  let cluster = Cluster.create (params_of s.topology) in
+  (* A local sanitizer: each concurrently-executing plan owns its own
+     shadow state, so fuzz batches can fan out over domains. *)
+  let dsan = if sanitize then Some (Dsan.attach cluster) else None in
+  (* Only install a fault plan when the run needs one: an installed plan
+     changes the fabric's per-verb bookkeeping, and plain app runs must
+     stay byte-identical with the pre-plan harness. *)
+  let needs_faults =
+    s.faults.events <> []
+    || match s.workload with Failover_kv _ | Churn_kv _ -> true | _ -> false
+  in
+  let fault =
+    if needs_faults then
+      Some (install_faults ~cluster ~nodes:s.topology.nodes s.faults)
+    else None
+  in
+  let finish result =
+    let violations =
+      match dsan with
+      | None -> []
+      | Some d ->
+          let reports = List.map Dsan.report_to_string (Dsan.violations d) in
+          Dsan.detach d;
+          reports
+    in
+    { plan = t; result; violations }
+  in
+  match s.workload with
+  | App_run { app; affinity; pass_by_value } ->
+      let backend = make_backend s.system cluster in
+      let result =
+        run_app_body ~cluster ~backend ~app ~affinity ~pass_by_value
+      in
+      let snapshot = Metrics.snapshot (Cluster.metrics cluster) in
+      finish
+        (App_done
+           {
+             result;
+             latency = Metrics.merged_histo snapshot "protocol.op_latency";
+             snapshot;
+           })
+  | Ycsb_run { mix; ops } ->
+      let backend = make_backend s.system cluster in
+      let result =
+        Drust_kvstore.Kvstore.run ~cluster ~backend
+          {
+            Drust_kvstore.Kvstore.default_config with
+            Drust_kvstore.Kvstore.workload = Some mix;
+            ops;
+          }
+      in
+      let snapshot = Metrics.snapshot (Cluster.metrics cluster) in
+      finish
+        (App_done
+           {
+             result;
+             latency = Metrics.merged_histo snapshot "protocol.op_latency";
+             snapshot;
+           })
+  | Failover_kv spec ->
+      let fault = Option.get fault in
+      finish
+        (Failover_done
+           (Scenario.failover ~cluster ~fault ~seed:s.topology.seed spec))
+  | Churn_kv spec ->
+      let fault = Option.get fault in
+      finish
+        (Churn_done (Scenario.churn ~cluster ~fault ~seed:s.topology.seed spec))

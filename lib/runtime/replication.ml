@@ -186,8 +186,16 @@ let fail_and_promote ctx t ~node =
   List.iter
     (fun id ->
       if id <> ctx.Ctx.node then
-        Fabric.rpc fabric ~from:ctx.Ctx.node ~target:id ~req_bytes:32
-          ~resp_bytes:8 (fun () -> ()))
+        (* An announcement target can be crashed or partitioned without
+           having been detected yet — the fabric's view leads the
+           controller's.  Skip it rather than unwind the controller
+           mid-promotion: an unreachable node is either declared dead on
+           a later probe round or learns the new serving map when its
+           own verbs are retried. *)
+        try
+          Fabric.rpc fabric ~from:ctx.Ctx.node ~target:id ~req_bytes:32
+            ~resp_bytes:8 (fun () -> ())
+        with Fabric.Node_down _ | Fabric.Rpc_timeout _ -> ())
     (Cluster.alive_nodes t.cluster)
 
 let unrecoverable_ranges t = List.sort Int.compare t.unrecoverable

@@ -1,0 +1,251 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg =
+    raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos))
+  in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    skip_ws ();
+    if peek () = Some c then incr pos
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let pstring () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let finished = ref false in
+    while not !finished do
+      if !pos >= n then fail "unterminated string";
+      (match s.[!pos] with
+      | '"' -> finished := true
+      | '\\' ->
+          incr pos;
+          if !pos >= n then fail "bad escape";
+          (match s.[!pos] with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+              if !pos + 4 >= n then fail "bad unicode escape";
+              (match int_of_string_opt ("0x" ^ String.sub s (!pos + 1) 4) with
+              | Some code when code < 0x80 -> Buffer.add_char b (Char.chr code)
+              | Some _ -> Buffer.add_char b '?'
+              | None -> fail "bad unicode escape");
+              pos := !pos + 4
+          | _ -> fail "bad escape")
+      | c -> Buffer.add_char b c);
+      incr pos
+    done;
+    Buffer.contents b
+  in
+  let pnumber () =
+    let start = !pos in
+    while
+      !pos < n
+      &&
+      match s.[!pos] with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    do
+      incr pos
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Num f
+    | None -> fail "bad number"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> pobj ()
+    | Some '[' -> parr ()
+    | Some '"' -> Str (pstring ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> pnumber ()
+    | _ -> fail "unexpected character"
+  and pobj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then begin
+      incr pos;
+      Obj []
+    end
+    else begin
+      let fields = ref [] in
+      let continue_ = ref true in
+      while !continue_ do
+        skip_ws ();
+        let k = pstring () in
+        expect ':';
+        let v = value () in
+        fields := (k, v) :: !fields;
+        skip_ws ();
+        match peek () with
+        | Some ',' -> incr pos
+        | Some '}' ->
+            incr pos;
+            continue_ := false
+        | _ -> fail "expected ',' or '}'"
+      done;
+      Obj (List.rev !fields)
+    end
+  and parr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then begin
+      incr pos;
+      Arr []
+    end
+    else begin
+      let items = ref [] in
+      let continue_ = ref true in
+      while !continue_ do
+        items := value () :: !items;
+        skip_ws ();
+        match peek () with
+        | Some ',' -> incr pos
+        | Some ']' ->
+            incr pos;
+            continue_ := false
+        | _ -> fail "expected ',' or ']'"
+      done;
+      Arr (List.rev !items)
+    end
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing content";
+  v
+
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Shortest representation that parses back to the same float: whole
+   numbers without a fraction, then 6 / 12 significant digits, falling
+   back to the 17 digits that always round-trip. *)
+let float_str f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else
+    let try_fmt fmt =
+      let s = Printf.sprintf fmt f in
+      if float_of_string s = f then Some s else None
+    in
+    match try_fmt "%.6g" with
+    | Some s -> s
+    | None -> (
+        match try_fmt "%.12g" with
+        | Some s -> s
+        | None -> Printf.sprintf "%.17g" f)
+
+let num_str f =
+  if Float.is_nan f || Float.abs f = Float.infinity then
+    invalid_arg "Json.print: non-finite number"
+  else float_str f
+
+let rec to_inline = function
+  | Null -> "null"
+  | Bool true -> "true"
+  | Bool false -> "false"
+  | Num f -> num_str f
+  | Str s -> "\"" ^ escape s ^ "\""
+  | Arr [] -> "[]"
+  | Arr xs -> "[" ^ String.concat ", " (List.map to_inline xs) ^ "]"
+  | Obj [] -> "{}"
+  | Obj kvs ->
+      "{ "
+      ^ String.concat ", "
+          (List.map
+             (fun (k, v) -> "\"" ^ escape k ^ "\": " ^ to_inline v)
+             kvs)
+      ^ " }"
+
+let inline_width = 76
+
+let print j =
+  let buf = Buffer.create 256 in
+  let pad indent = Buffer.add_string buf (String.make indent ' ') in
+  let rec go indent j =
+    let inl = to_inline j in
+    if String.length inl + indent <= inline_width then
+      Buffer.add_string buf inl
+    else
+      match j with
+      | Arr xs ->
+          Buffer.add_string buf "[\n";
+          List.iteri
+            (fun i x ->
+              pad (indent + 2);
+              go (indent + 2) x;
+              if i < List.length xs - 1 then Buffer.add_char buf ',';
+              Buffer.add_char buf '\n')
+            xs;
+          pad indent;
+          Buffer.add_char buf ']'
+      | Obj kvs ->
+          Buffer.add_string buf "{\n";
+          List.iteri
+            (fun i (k, v) ->
+              pad (indent + 2);
+              Buffer.add_string buf ("\"" ^ escape k ^ "\": ");
+              go (indent + 2) v;
+              if i < List.length kvs - 1 then Buffer.add_char buf ',';
+              Buffer.add_char buf '\n')
+            kvs;
+          pad indent;
+          Buffer.add_char buf '}'
+      | _ -> Buffer.add_string buf inl
+  in
+  go 0 j;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+
+let load ~path = parse (In_channel.with_open_text path In_channel.input_all)
+
+let save ~path j =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (print j))

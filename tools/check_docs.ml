@@ -21,7 +21,11 @@
    7. the DLint pass catalogue in docs/LINTS.md and the registry
       ([Dlint.pass_names]) agree in both directions: every registered
       pass is catalogued, and every pass id the catalogue's table names
-      is registered. *)
+      is registered;
+   8. the SimPlan schema table in docs/SIMPLAN.md and the codec
+      ([Simplan.field_names]) agree in both directions: every JSON
+      field the codec reads or writes is documented, and every field
+      the table's rows open with exists in the codec. *)
 
 let errors = ref []
 let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt
@@ -271,6 +275,58 @@ let check_lint_catalogue () =
     with Not_found -> ()
   end
 
+(* --- 8: the SimPlan schema table ----------------------------------- *)
+
+(* A schema-table row opens with the backtick-quoted field name:
+   "| `nodes` | ...".  Only those leading cells are field names;
+   backticked tokens elsewhere in the doc are prose. *)
+let plan_row_re = Str.regexp {re|^| `\([a-z0-9_]+\)` ||re}
+
+let check_simplan_schema () =
+  let doc = "docs/SIMPLAN.md" in
+  if not (Sys.file_exists doc) then
+    err "%s is missing (the SimPlan schema and replay guide)" doc
+  else begin
+    let index = read_file "docs/README.md" in
+    (try ignore (Str.search_forward (Str.regexp_string "SIMPLAN.md") index 0)
+     with Not_found -> err "docs/README.md does not link to %s" doc);
+    let text = read_file doc in
+    let fields = Drust_plan.Simplan.field_names in
+    (* Forward: every codec field has a schema-table row. *)
+    List.iter
+      (fun name ->
+        let quoted = "| `" ^ name ^ "`" in
+        let found =
+          try
+            ignore (Str.search_forward (Str.regexp_string quoted) text 0);
+            true
+          with Not_found -> false
+        in
+        if not found then
+          err "plan field %s is read/written by lib/plan/simplan.ml but has \
+               no schema-table row in %s"
+            name doc)
+      fields;
+    (* Reverse: every field a schema-table row opens with is a codec
+       field. *)
+    let pos = ref 0 in
+    (try
+       while true do
+         pos := Str.search_forward plan_row_re text !pos + 1;
+         let name = Str.matched_group 1 text in
+         if name <> "field" && not (List.mem name fields) then
+           err "%s documents plan field %s, which the codec does not read or \
+                write"
+             doc name
+       done
+     with Not_found -> ());
+    (* The doc also states the plan envelope's own schema tag. *)
+    let tag = Drust_plan.Simplan.plan_schema in
+    (try ignore (Str.search_forward (Str.regexp_string tag) text 0)
+     with Not_found ->
+       err "%s does not name the plan envelope schema %S" doc tag)
+  end
+
 let () =
   check_index ();
   List.iter
@@ -282,6 +338,7 @@ let () =
   check_bench_schema ();
   check_performance_guide ();
   check_lint_catalogue ();
+  check_simplan_schema ();
   match List.rev !errors with
   | [] -> print_endline "docs check: OK"
   | msgs ->
