@@ -44,6 +44,26 @@
 module E = Drust_experiments
 module Simplan = Drust_plan.Simplan
 module Fuzz = Drust_plan.Fuzz
+module Flight = Drust_obs.Flight
+
+(* ------------------------------------------------------------------ *)
+(* Trace output resolution: --trace-out PATH is the one spelling shared
+   with bin/drust_sim.exe; the DRUST_TRACE environment variable stays as
+   a legacy alias.  Both name a path prefix (a trailing .trace.json or
+   .json is stripped), and naming both with different values is a usage
+   error. *)
+
+let trace_out = ref None
+
+let env_trace () =
+  match Sys.getenv_opt "DRUST_TRACE" with
+  | Some p when p <> "" && p <> "0" && p <> "1" -> Some p
+  | _ -> None
+
+let trace_prefix ~default =
+  match !trace_out with
+  | Some p -> p
+  | None -> ( match env_trace () with Some p -> p | None -> default)
 
 (* ------------------------------------------------------------------ *)
 (* Observability demo: one traced run, exported for Perfetto.          *)
@@ -54,11 +74,7 @@ let run_trace () =
   let module Metrics = Drust_obs.Metrics in
   let module Span = Drust_obs.Span in
   E.Report.section "Observability: traced GEMM on DRust (4 nodes)";
-  let prefix =
-    match Sys.getenv_opt "DRUST_TRACE" with
-    | Some p when p <> "" && p <> "0" && p <> "1" -> p
-    | _ -> "drust-trace"
-  in
+  let prefix = trace_prefix ~default:"drust-trace" in
   let params = B.testbed ~nodes:4 () in
   let cluster = Cluster.create params in
   let spans = Cluster.spans cluster in
@@ -98,11 +114,7 @@ let run_profile () =
   let module Span = Drust_obs.Span in
   let module Cp = Drust_obs.Critical_path in
   E.Report.section "Profile: critical paths of traced GEMM on DRust (4 nodes)";
-  let prefix =
-    match Sys.getenv_opt "DRUST_TRACE" with
-    | Some p when p <> "" && p <> "0" && p <> "1" -> p
-    | _ -> "drust-profile"
-  in
+  let prefix = trace_prefix ~default:"drust-profile" in
   let params = B.testbed ~nodes:4 () in
   let cluster = Cluster.create params in
   let spans = Cluster.spans cluster in
@@ -175,10 +187,22 @@ let run_profile () =
     in
     let n = Drust_sim.Engine.dispatched (Cluster.engine cluster) in
     Printf.eprintf "  %-18s %9d events in %6.3f s = %.3g events/s\n" label n dt
-      (float_of_int n /. dt)
+      (float_of_int n /. dt);
+    (n, dt)
   in
-  host_measure ~label:"gemm/4n untraced" ~traced:false;
-  host_measure ~label:"gemm/4n traced" ~traced:true
+  let n_untraced, dt_untraced =
+    host_measure ~label:"gemm/4n untraced" ~traced:false
+  in
+  ignore (host_measure ~label:"gemm/4n traced" ~traced:true);
+  (* Headline summary entry: the deterministic virtual-time rate, plus —
+     under --host-time only — the untraced engine throughput in events
+     per host second, so @bench-diff gates engine performance with the
+     loose host tolerance (docs/PERFORMANCE.md). *)
+  E.Report.record_rate
+    ~host_ms:(dt_untraced *. 1000.0)
+    ~host_rate:(float_of_int n_untraced /. dt_untraced)
+    ~experiment:"profile/gemm" ~ops:r.Drust_appkit.Appkit.ops
+    ~elapsed:r.Drust_appkit.Appkit.elapsed ()
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: wall-clock cost of the hot OCaml paths
@@ -263,6 +287,41 @@ let local_experiments =
 let all_names = E.Runner.names @ List.map fst local_experiments @ [ "fuzz" ]
 
 (* ------------------------------------------------------------------ *)
+(* Post-mortem forensics: reconstruct timelines from a *.flight.json
+   dump alone — no re-run, no plan, no cluster (docs/FORENSICS.md).    *)
+
+let run_forensics ~object_ path =
+  let d =
+    match Flight.load ~path with
+    | Ok d -> d
+    | Error e ->
+        Printf.eprintf "bench: forensics: %s\n" e;
+        exit 2
+  in
+  Printf.printf "=== flight dump: %s ===\n" d.Flight.dm_label;
+  Printf.printf "reason: %s\n" d.Flight.dm_reason;
+  Printf.printf "nodes: %d  ring: %d events/node  t=%.9f\n" d.Flight.dm_nodes
+    d.Flight.dm_ring d.Flight.dm_time;
+  let addr = match object_ with Some a -> Some a | None -> d.Flight.dm_object in
+  (match addr with
+  | Some a ->
+      Printf.printf "\n--- object timeline: 0x%x ---\n" a;
+      let lines = Flight.explain_object ~object_:a d.Flight.dm_events in
+      if lines = [] then
+        print_endline "(no events about this object in the retained rings)"
+      else List.iter print_endline lines
+  | None ->
+      print_endline "(no offending object recorded; pass --object ADDR)");
+  for node = 0 to d.Flight.dm_nodes - 1 do
+    let lines = Flight.render_last d.Flight.dm_events ~node in
+    if lines <> [] then begin
+      Printf.printf "\n--- node %d: last %d event(s) before the dump ---\n"
+        node (List.length lines);
+      List.iter print_endline lines
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
 (* Seeded SimPlan fuzzing: sample valid plans, execute each under a
    local sanitizer, greedily shrink any failure to a minimal plan.     *)
 
@@ -270,6 +329,12 @@ let run_fuzz ~count ~seed ~max_nodes ~out_dir () =
   E.Report.section
     (Printf.sprintf "Fuzz: %d seeded SimPlans (seed %d, <= %d nodes)" count
        seed max_nodes);
+  (* Route flight auto-dumps (from oracle runs and shrink probes alike)
+     next to the plan artifacts. *)
+  let dump_dir =
+    match out_dir with Some d -> d | None -> Filename.current_dir_name
+  in
+  Flight.set_dump_dir (Some dump_dir);
   let plans = Fuzz.plans ~seed ~count ~max_nodes in
   (* Oracle fan-out is the expensive phase; each plan executes on its
      own cluster with its own local sanitizer, so the verdicts are
@@ -287,7 +352,7 @@ let run_fuzz ~count ~seed ~max_nodes ~out_dir () =
        count);
   (* Shrinking is sequential: each step's candidate choice depends on
      the previous verdict, and failures should be rare. *)
-  let dir = match out_dir with Some d -> d | None -> Filename.current_dir_name in
+  let dir = dump_dir in
   List.iteri
     (fun i ((plan : Simplan.t), verdict) ->
       let shrunk, shrunk_verdict = Fuzz.shrink ~oracle:Fuzz.default_oracle plan in
@@ -302,9 +367,20 @@ let run_fuzz ~count ~seed ~max_nodes ~out_dir () =
       in
       Simplan.save ~path:(path plan.Simplan.name "") plan;
       Simplan.save ~path:(path plan.Simplan.name ".shrunk") shrunk;
-      Printf.eprintf "[fuzz] failing plan -> %s (minimal: %s)\n%!"
+      (* One sanitized re-execution of the minimal repro, relabeled so
+         its auto-dump lands as <name>.shrunk.flight.json — the forensic
+         twin of <name>.shrunk.plan.json.  The failure is expected; both
+         DSan violations and crashes write the dump before we get here. *)
+      let relabeled =
+        { shrunk with Simplan.name = shrunk.Simplan.name ^ ".shrunk" }
+      in
+      (try ignore (Simplan.execute ~sanitize:true relabeled)
+       with _ -> ());
+      let dump = Filename.concat dir (relabeled.Simplan.name ^ ".flight.json") in
+      Printf.eprintf "[fuzz] failing plan -> %s (minimal: %s%s)\n%!"
         (path plan.Simplan.name "")
-        (path plan.Simplan.name ".shrunk"))
+        (path plan.Simplan.name ".shrunk")
+        (if Sys.file_exists dump then ", flight dump: " ^ dump else ""))
     failures;
   if failures <> [] then begin
     Printf.eprintf "fuzz: %d failing plan(s); minimal repros written\n"
@@ -319,10 +395,11 @@ let usage_error fmt =
     (fun msg ->
       Printf.eprintf "bench: %s\n" msg;
       Printf.eprintf "experiments: %s\n" (String.concat " " all_names);
+      Printf.eprintf "commands: forensics DUMP.flight.json [--object ADDR]\n";
       Printf.eprintf
         "flags: --out DIR | --jobs N | --sanitize | --host-time | \
-         --churn-nodes N | --plan FILE | --emit-plan FILE | --fuzz-count N | \
-         --fuzz-seed N | --fuzz-max-nodes N\n";
+         --churn-nodes N | --trace-out PATH | --plan FILE | --emit-plan FILE \
+         | --fuzz-count N | --fuzz-seed N | --fuzz-max-nodes N\n";
       exit 2)
     fmt
 
@@ -351,6 +428,7 @@ let () =
   let fuzz_count = ref 25 in
   let fuzz_seed = ref 1 in
   let fuzz_max_nodes = ref 16 in
+  let object_addr = ref None in
   let int_flag flag v ~ok ~expects k =
     match int_of_string_opt v with
     | Some n when ok n -> k n
@@ -377,6 +455,30 @@ let () =
           ~expects:"an integer >= 16"
           (fun c -> churn_nodes := Some c);
         split_args acc rest
+    | "--trace-out" :: path :: rest ->
+        let strip s suffix =
+          match Filename.chop_suffix_opt ~suffix s with
+          | Some b -> b
+          | None -> s
+        in
+        let prefix = strip (strip path ".trace.json") ".json" in
+        if prefix = "" then usage_error "--trace-out expects a non-empty path";
+        (match env_trace () with
+        | Some env when env <> prefix && env <> path ->
+            usage_error "--trace-out %s conflicts with DRUST_TRACE=%s" path env
+        | _ -> ());
+        (match !trace_out with
+        | Some p when p <> prefix ->
+            usage_error "--trace-out named twice with different paths"
+        | _ -> ());
+        trace_out := Some prefix;
+        split_args acc rest
+    | "--object" :: a :: rest ->
+        (match int_of_string_opt a with
+        | Some v -> object_addr := Some v
+        | None ->
+            usage_error "--object expects an address (decimal or 0x... hex)");
+        split_args acc rest
     | "--plan" :: file :: rest ->
         plan_file := Some file;
         split_args acc rest
@@ -399,8 +501,9 @@ let () =
           ~expects:"an integer >= 4"
           (fun c -> fuzz_max_nodes := c);
         split_args acc rest
-    | [ (("--out" | "--jobs" | "--churn-nodes" | "--plan" | "--emit-plan"
-         | "--fuzz-count" | "--fuzz-seed" | "--fuzz-max-nodes") as flag) ] ->
+    | [ (("--out" | "--jobs" | "--churn-nodes" | "--trace-out" | "--object"
+         | "--plan" | "--emit-plan" | "--fuzz-count" | "--fuzz-seed"
+         | "--fuzz-max-nodes") as flag) ] ->
         usage_error "%s expects an argument" flag
     | x :: _ when String.length x >= 2 && String.sub x 0 2 = "--" ->
         usage_error "unknown flag %s" x
@@ -408,6 +511,19 @@ let () =
     | [] -> List.rev acc
   in
   let positional = split_args [] args in
+  (* The forensics command reads a dump and exits — no experiments, no
+     summary, no cluster. *)
+  (match positional with
+  | "forensics" :: rest ->
+      (match rest with
+      | [ dump ] ->
+          run_forensics ~object_:!object_addr dump;
+          exit 0
+      | [] -> usage_error "forensics expects a *.flight.json dump path"
+      | _ -> usage_error "forensics takes exactly one dump path")
+  | _ ->
+      if !object_addr <> None then
+        usage_error "--object only applies to the forensics command");
   (* Validate everything up front — nothing runs on a bad invocation. *)
   List.iter
     (fun name ->

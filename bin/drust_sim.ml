@@ -52,14 +52,28 @@ let trace_n =
     value & opt int 0
     & info [ "trace" ] ~doc:"Dump the last N trace events of an instrumented re-run")
 
-let chrome_path =
+let trace_out_t =
+  Arg.(
+    value & opt_all string []
+    & info
+        [ "trace-out"; "chrome-trace" ]
+        ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event JSON (load it in Perfetto or \
+           chrome://tracing) of an instrumented re-run to $(docv).  \
+           $(b,--chrome-trace) is the historical spelling of the same \
+           flag; giving both with different paths is an error (exit 2)")
+
+let explain_t =
   Arg.(
     value
     & opt (some string) None
-    & info [ "chrome-trace" ] ~docv:"FILE"
+    & info [ "explain" ] ~docv:"ADDR"
         ~doc:
-          "Write a Chrome trace_event JSON (load it in Perfetto or \
-           chrome://tracing) of an instrumented re-run to $(docv)")
+          "After the run, reconstruct the per-object timeline of the \
+           object at physical address $(docv) (decimal or 0x hex) from \
+           the flight recorder's retained rings: creation, every \
+           move/fetch, ownership transfers, epoch events")
 
 let profile_t =
   Arg.(
@@ -231,12 +245,27 @@ let run_plan ~file ~sanitize =
         exit 3
   end
 
-let run app system nodes affinity seed trace_n chrome_path profile sanitize
-    jobs scan_nodes plan_file emit_plan =
+let run app system nodes affinity seed trace_n trace_outs explain profile
+    sanitize jobs scan_nodes plan_file emit_plan =
   if jobs < 1 then begin
     prerr_endline "drust_sim: --jobs expects a positive integer";
     exit 1
   end;
+  let chrome_path =
+    match List.sort_uniq String.compare trace_outs with
+    | [] -> None
+    | [ p ] -> Some p
+    | p :: q :: _ ->
+        usage_error "--trace-out %s conflicts with --trace-out %s" p q
+  in
+  let explain_addr =
+    match explain with
+    | None -> None
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some a when a >= 0 -> Some a
+        | _ -> usage_error "--explain expects a physical address, got %S" s)
+  in
   Drust_experiments.Parallel.set_default_jobs jobs;
   match plan_file with
   | Some file ->
@@ -244,8 +273,8 @@ let run app system nodes affinity seed trace_n chrome_path profile sanitize
         usage_error "--plan does not combine with --scan-nodes";
       if emit_plan <> None then
         usage_error "--plan does not combine with --emit-plan";
-      if trace_n > 0 || chrome_path <> None || profile then
-        usage_error "--plan does not combine with instrumentation flags";
+      if trace_n > 0 || chrome_path <> None || profile || explain_addr <> None
+      then usage_error "--plan does not combine with instrumentation flags";
       run_plan ~file ~sanitize
   | None ->
   if sanitize then Drust_check.Dsan.install_global ();
@@ -285,7 +314,8 @@ let run app system nodes affinity seed trace_n chrome_path profile sanitize
     [@dlint.allow
       "determinism: human-facing wall-clock note, printed to stderr only — \
        stdout stays comparable across runs"]);
-  if trace_n > 0 || chrome_path <> None || profile then begin
+  if trace_n > 0 || chrome_path <> None || profile || explain_addr <> None
+  then begin
     let module Cluster = Drust_machine.Cluster in
     let module Span = Drust_obs.Span in
     let cluster = Cluster.create params in
@@ -312,6 +342,16 @@ let run app system nodes affinity seed trace_n chrome_path profile sanitize
       Printf.printf "critical paths (top 10 operations by end-to-end latency):\n";
       print_string (Drust_obs.Critical_path.report ~k:10 (Span.events spans))
     end;
+    (match explain_addr with
+    | None -> ()
+    | Some addr ->
+        let module Flight = Drust_obs.Flight in
+        let events = Flight.events (Cluster.flight cluster) in
+        Printf.printf "object timeline for 0x%x (flight recorder):\n" addr;
+        let lines = Flight.explain_object ~object_:addr events in
+        if lines = [] then
+          print_endline "  (no events about this object in the retained rings)"
+        else List.iter (fun l -> Printf.printf "  %s\n" l) lines);
     match chrome_path with
     | Some path ->
         Drust_obs.Export.write_chrome_trace ~path spans;
@@ -328,7 +368,7 @@ let cmd =
        ~doc:"Run a DRust evaluation application on the simulated cluster")
     Term.(
       const run $ app_t $ system_t $ nodes $ affinity $ seed $ trace_n
-      $ chrome_path $ profile_t $ sanitize_t $ jobs_t $ scan_nodes_t $ plan_t
-      $ emit_plan_t)
+      $ trace_out_t $ explain_t $ profile_t $ sanitize_t $ jobs_t
+      $ scan_nodes_t $ plan_t $ emit_plan_t)
 
 let () = exit (Cmd.eval cmd)

@@ -11,6 +11,7 @@ module Drc = Drust_runtime.Drc
 module Dmutex = Drust_runtime.Dmutex
 module Replication = Drust_runtime.Replication
 module Membership = Drust_runtime.Membership
+module Flight = Drust_obs.Flight
 
 (* ------------------------------------------------------------------ *)
 (* Invariants                                                          *)
@@ -42,21 +43,31 @@ let invariant_name = function
   | Handoff_atomicity -> "dsan.handoff_atomicity"
   | Replica_chain_intact -> "dsan.replica_chain_intact"
 
-let invariant_names =
-  List.map invariant_name
-    [
-      Single_owner;
-      Stale_cache_read;
-      Move_invalidation;
-      Refcount_sanity;
-      Borrow_discipline;
-      Lock_discipline;
-      Promotion_uniqueness;
-      Use_after_free;
-      Epoch_monotonic;
-      Handoff_atomicity;
-      Replica_chain_intact;
-    ]
+let all_invariants =
+  [
+    Single_owner;
+    Stale_cache_read;
+    Move_invalidation;
+    Refcount_sanity;
+    Borrow_discipline;
+    Lock_discipline;
+    Promotion_uniqueness;
+    Use_after_free;
+    Epoch_monotonic;
+    Handoff_atomicity;
+    Replica_chain_intact;
+  ]
+
+let invariant_names = List.map invariant_name all_invariants
+
+(* Dense index of an invariant — the [b] payload of a flight-recorder
+   [dsan_violation] event. *)
+let invariant_index inv =
+  let rec go i = function
+    | [] -> -1
+    | x :: rest -> if x = inv then i else go (i + 1) rest
+  in
+  go 0 all_invariants
 
 (* ------------------------------------------------------------------ *)
 (* Reports                                                             *)
@@ -300,6 +311,17 @@ let violate t inv ~time ~node ~thread ~addr ~detail hist =
     { invariant = inv; time; node; thread; addr; detail; provenance = prov }
   in
   if t.report_count <= 1000 then t.reports <- r :: t.reports;
+  (* A violation is the canonical dump trigger: land the event on the
+     offending node's ring, then write the black box out while the ring
+     tail still explains the failure (docs/FORENSICS.md). *)
+  let fl = Cluster.flight t.cluster in
+  Flight.record fl ~node ~time ~kind:Flight.k_dsan_violation
+    ~a:(match addr with Some a -> a | None -> -1)
+    ~b:(invariant_index inv) ~c:thread ~d:0;
+  ignore
+    (Flight.auto_dump fl
+       ~reason:(invariant_name inv ^ ": " ^ detail)
+       ?object_:addr ~now:time ());
   match t.mode with Record -> () | Raise -> raise (Violation r)
 
 (* ------------------------------------------------------------------ *)

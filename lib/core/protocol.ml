@@ -354,6 +354,47 @@ let serving ctx g = Cluster.serving_node (Ctx.cluster ctx) (Gaddr.node_of g)
 
 let is_local ctx g = serving ctx g = ctx.Ctx.node
 
+(* ------------------------------------------------------------------ *)
+(* Flight recording: every op outcome also lands in the cluster's
+   always-on black box, at the same branch points that set the op tag
+   and emit the DSan probe event.  Recording is pure array stores into
+   preallocated rings — no engine or RNG access, no allocation — so
+   instrumented runs stay bit-identical (docs/FORENSICS.md).
+
+   Field layout per kind (must match [Flight.pp_event]):
+     reads           a=physical addr  b=serving node   c=color
+     write_inplace   a=physical addr                   c=color  d=home
+     write_bump/move a=phys after     b=phys before    c=color  d=home
+     transfer        a=physical addr  b=destination node
+     drop            a=physical addr  b=serving node
+     create          a=physical addr  b=home node      c=color  d=size *)
+
+module Flight = Drust_obs.Flight
+
+let[@inline] fr ctx ~kind ~g ~b ~d =
+  Flight.record
+    (Cluster.flight (Ctx.cluster ctx))
+    ~node:ctx.Ctx.node
+    ~time:(Drust_sim.Engine.now (Ctx.engine ctx))
+    ~kind
+    ~a:(Gaddr.to_int (Gaddr.clear_color g))
+    ~b ~c:(Gaddr.color_of g) ~d
+
+let[@inline] fr_read ctx ~kind ~g = fr ctx ~kind ~g ~b:(serving ctx g) ~d:0
+
+(* A write's flight kind mirrors its op tag; bump/move carry the old
+   physical address in [b] so the object slice follows relocations. *)
+let fr_write ctx ~before ~after ~kind =
+  let code =
+    match kind with
+    | W_in_place -> Flight.k_write_inplace
+    | W_bump -> Flight.k_write_bump
+    | W_move -> Flight.k_write_move
+  in
+  fr ctx ~kind:code ~g:after
+    ~b:(if kind = W_in_place then 0 else Gaddr.to_int (Gaddr.clear_color before))
+    ~d:(Gaddr.node_of after)
+
 let check_cycles ctx = (Ctx.params ctx).Params.runtime_check_cycles
 let local_cycles ctx = (Ctx.params ctx).Params.local_deref_cycles
 let cache_cycles ctx = (Ctx.params ctx).Params.cache_hit_cycles
@@ -476,6 +517,7 @@ let create_on ctx ~node ~size v =
   in
   register_owner ctx o;
   with_probe ctx (fun f -> f ctx (Ev_create { g; size }));
+  fr ctx ~kind:Flight.k_create ~g ~b:(Gaddr.node_of g) ~d:size;
   o
 
 let create ctx ~size v = create_on ctx ~node:(pick_alloc_node ctx ~size) ~size v
@@ -557,6 +599,7 @@ let imm_deref_inner ctx r =
   let cluster = Ctx.cluster ctx in
   if is_local ctx r.i_g then begin
     tag ctx k_read_local;
+    fr_read ctx ~kind:Flight.k_read_local ~g:r.i_g;
     with_probe ctx (fun f -> f ctx (Ev_read { g = r.i_g; path = Path_local }));
     charge_local_deref ctx;
     (Cluster.heap_read cluster r.i_g).Partition.value
@@ -565,6 +608,7 @@ let imm_deref_inner ctx r =
     match r.i_copy with
     | Some copy when Gaddr.equal copy.Cache.key r.i_g && not copy.Cache.dead ->
         tag ctx k_read_cached;
+        fr_read ctx ~kind:Flight.k_read_cached ~g:r.i_g;
         with_probe ctx (fun f ->
             f ctx (Ev_read { g = r.i_g; path = Path_cache copy.Cache.key }));
         charge_cache_hit ctx;
@@ -575,6 +619,7 @@ let imm_deref_inner ctx r =
         match Cache.lookup cache r.i_g with
         | Some copy ->
             tag ctx k_read_cached;
+            fr_read ctx ~kind:Flight.k_read_cached ~g:r.i_g;
             with_probe ctx (fun f ->
                 f ctx (Ev_read { g = r.i_g; path = Path_cache copy.Cache.key }));
             Cache.retain copy;
@@ -582,6 +627,7 @@ let imm_deref_inner ctx r =
             copy.Cache.value
         | None ->
             tag ctx k_read_fetch;
+            fr_read ctx ~kind:Flight.k_read_fetch ~g:r.i_g;
             let copy =
               fetch_into_cache ctx ~g:r.i_g ~size:r.i_size
                 ~group_bytes:r.i_group ~children:r.i_children
@@ -710,7 +756,10 @@ let mut_claim ctx m ~for_write =
   let o = m.m_owner in
   let before = m.m_g in
   (if is_local ctx m.m_g then begin
-     if not for_write then tag ctx k_read_local;
+     if not for_write then begin
+       tag ctx k_read_local;
+       fr_read ctx ~kind:Flight.k_read_local ~g:m.m_g
+     end;
      charge_local_deref ctx;
      if for_write && ((not m.m_ubit) || (options_of ctx).no_ubit) then
        if o.pinned then begin
@@ -749,6 +798,7 @@ let mut_claim ctx m ~for_write =
   if for_write || not (Gaddr.equal before m.m_g) then begin
     let kind = write_kind ~before ~after:m.m_g in
     tag ctx (tag_of_write_kind kind);
+    fr_write ctx ~before ~after:m.m_g ~kind;
     with_probe ctx (fun f ->
         f ctx
           (Ev_write { before; after = m.m_g; size = m.m_size; kind }))
@@ -760,6 +810,7 @@ let heap_slot_read ctx m =
   else begin
     (* Pinned remote object: read through (one-sided READ). *)
     tag_weak ctx k_read_remote;
+    fr_read ctx ~kind:Flight.k_read_remote ~g:m.m_g;
     let target = serving ctx m.m_g in
     Ctx.flush ctx;
     Fabric.rdma_read ?parent:ctx.Ctx.current_span (Ctx.fabric ctx)
@@ -826,6 +877,7 @@ let owner_read_inner ctx o =
   let cluster = Ctx.cluster ctx in
   if is_local ctx o.g then begin
     tag ctx k_read_local;
+    fr_read ctx ~kind:Flight.k_read_local ~g:o.g;
     with_probe ctx (fun f -> f ctx (Ev_read { g = o.g; path = Path_local }));
     charge_local_deref ctx;
     (Cluster.heap_read cluster o.g).Partition.value
@@ -840,6 +892,7 @@ let owner_read_inner ctx o =
     match o.local_copy with
     | Some copy when Gaddr.equal copy.Cache.key o.g && not copy.Cache.dead ->
         tag ctx k_read_cached;
+        fr_read ctx ~kind:Flight.k_read_cached ~g:o.g;
         with_probe ctx (fun f ->
             f ctx (Ev_read { g = o.g; path = Path_cache copy.Cache.key }));
         charge_cache_hit ctx;
@@ -855,6 +908,7 @@ let owner_read_inner ctx o =
         match Cache.lookup cache o.g with
         | Some copy ->
             tag ctx k_read_cached;
+            fr_read ctx ~kind:Flight.k_read_cached ~g:o.g;
             with_probe ctx (fun f ->
                 f ctx (Ev_read { g = o.g; path = Path_cache copy.Cache.key }));
             Cache.retain copy;
@@ -862,6 +916,7 @@ let owner_read_inner ctx o =
             copy.Cache.value
         | None ->
             tag ctx k_read_fetch;
+            fr_read ctx ~kind:Flight.k_read_fetch ~g:o.g;
             let copy =
               fetch_into_cache ctx ~g:o.g ~size:o.size
                 ~group_bytes:(group_size o) ~children:o.children
@@ -966,6 +1021,7 @@ let owner_write_inner ctx o v =
   end;
   let kind = write_kind ~before ~after:o.g in
   tag ctx (tag_of_write_kind kind);
+  fr_write ctx ~before ~after:o.g ~kind;
   with_probe ctx (fun f ->
       f ctx (Ev_write { before; after = o.g; size = o.size; kind }));
   notify_commit ctx o.g o.size
@@ -995,6 +1051,7 @@ let owner_modify_inner ctx o f =
   end;
   let kind = write_kind ~before ~after:o.g in
   tag ctx (tag_of_write_kind kind);
+  fr_write ctx ~before ~after:o.g ~kind;
   with_probe ctx (fun f ->
       f ctx (Ev_write { before; after = o.g; size = o.size; kind }));
   notify_commit ctx o.g o.size
@@ -1021,6 +1078,7 @@ let transfer_inner ctx o ~to_node =
   List.iter (fun child -> child.box_node <- to_node) (List.concat_map group o.children);
   Ctx.charge_cycles ctx 20.0;
   with_probe ctx (fun f -> f ctx (Ev_transfer { g = o.g; to_node }));
+  fr ctx ~kind:Flight.k_transfer ~g:o.g ~b:to_node ~d:0;
   notify_transfer ctx o.g
 
 let transfer ctx o ~to_node =
@@ -1031,6 +1089,7 @@ let rec drop_owner_inner ctx o =
   Borrow_state.kill o.borrow ~context:"Protocol.drop_owner";
   o.valid <- false;
   with_probe ctx (fun f -> f ctx (Ev_drop { g = o.g }));
+  fr ctx ~kind:Flight.k_drop ~g:o.g ~b:(serving ctx o.g) ~d:0;
   (match o.local_copy with
   | Some copy -> Cache.release (cache_of ctx) copy
   | None -> ());

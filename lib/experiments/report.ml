@@ -144,6 +144,7 @@ type bench_entry = {
   be_rate : float;
   be_latency : Metrics.histo option;
   be_host_ms : float option;
+  be_host_rate : float option;
 }
 
 (* Ordered per-run collection (insertion order preserved, re-recording
@@ -157,10 +158,18 @@ let rates : (string * bench_entry) list ref =
    summary; mutex-protected for parallel sweeps"]
 let rates_mutex = Mutex.create ()
 
-let record_rate ?latency ?host_ms ~experiment ~ops ~elapsed () =
+let record_rate ?latency ?host_ms ?host_rate ~experiment ~ops ~elapsed () =
   if elapsed > 0.0 then
     let host_ms = if !host_time then host_ms else None in
-    let entry = { be_rate = ops /. elapsed; be_latency = latency; be_host_ms = host_ms } in
+    let host_rate = if !host_time then host_rate else None in
+    let entry =
+      {
+        be_rate = ops /. elapsed;
+        be_latency = latency;
+        be_host_ms = host_ms;
+        be_host_rate = host_rate;
+      }
+    in
     Mutex.protect rates_mutex (fun () ->
         if List.mem_assoc experiment !rates then
           rates :=
@@ -199,9 +208,12 @@ let write_bench_summary ~path =
                      (latency_percentiles h)) );
             ]
         | _ -> [])
+      @ (match e.be_host_ms with
+        | Some ms -> [ ("host_ms", num6 ms) ]
+        | None -> [])
       @
-      match e.be_host_ms with
-      | Some ms -> [ ("host_ms", num6 ms) ]
+      match e.be_host_rate with
+      | Some r -> [ ("host_events_per_sec", num6 r) ]
       | None -> [])
   in
   let entries = recorded_entries () in
@@ -229,6 +241,7 @@ type summary_entry = {
   se_rate : float;
   se_latency_us : (string * float) list;
   se_host_ms : float option;
+  se_host_rate : float option;
 }
 type summary = { sm_schema : string; sm_entries : (string * summary_entry) list }
 
@@ -277,7 +290,18 @@ let read_bench_summary ~path =
               | Some (Json.Num x) -> Some x
               | _ -> None
             in
-            (k, { se_rate = rate; se_latency_us = lat; se_host_ms = host_ms })
+            let host_rate =
+              match List.assoc_opt "host_events_per_sec" f with
+              | Some (Json.Num x) -> Some x
+              | _ -> None
+            in
+            ( k,
+              {
+                se_rate = rate;
+                se_latency_us = lat;
+                se_host_ms = host_ms;
+                se_host_rate = host_rate;
+              } )
         | _ -> fail "entry %S is not an object" k
       in
       { sm_schema = schema; sm_entries = List.map entry entries }
@@ -316,6 +340,19 @@ let compare_summaries ?(tolerance = 0.10) ?(tolerance_host = 2.0) ~baseline
               reg "%s: host time regressed %.6g -> %.6g ms (+%.1f%%, tolerance %.0f%%)"
                 name bv cv
                 (100.0 *. ((cv /. bv) -. 1.0))
+                (100.0 *. tolerance_host)
+          | _ -> ());
+          (* Same loose gate for engine throughput (events per host
+             second), in the lower-is-worse direction: only a collapse
+             below baseline / (1 + tolerance_host) trips it. *)
+          (match (b.se_host_rate, c.se_host_rate) with
+          | Some bv, Some cv when bv > 0.0 && cv < bv /. (1.0 +. tolerance_host)
+            ->
+              reg
+                "%s: host engine throughput regressed %.6g -> %.6g events/s \
+                 (-%.1f%%, tolerance %.0f%%)"
+                name bv cv
+                (100.0 *. (1.0 -. (cv /. bv)))
                 (100.0 *. tolerance_host)
           | _ -> ()))
     baseline.sm_entries;

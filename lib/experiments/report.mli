@@ -69,6 +69,7 @@ val latency_of_snapshot :
 val record_rate :
   ?latency:Drust_obs.Metrics.histo ->
   ?host_ms:float ->
+  ?host_rate:float ->
   experiment:string ->
   ops:float ->
   elapsed:float ->
@@ -76,17 +77,19 @@ val record_rate :
   unit
 (** Register [ops /. elapsed] (operations per {e simulated} second)
     under [experiment], optionally with the run's operation-latency
-    histogram (surfaced as [latency_us] percentiles in the summary)
-    and its host wall-clock cost in milliseconds ([host_ms] is dropped
-    unless {!set_host_time_recording} is on).  Re-recording an
-    experiment overwrites it in place; non-positive [elapsed] is
-    ignored.  Safe to call from {!Parallel} sweep domains
+    histogram (surfaced as [latency_us] percentiles in the summary),
+    its host wall-clock cost in milliseconds, and the profiler's engine
+    throughput in dispatched events per host second ([host_ms] and
+    [host_rate] are dropped unless {!set_host_time_recording} is on).
+    Re-recording an experiment overwrites it in place; non-positive
+    [elapsed] is ignored.  Safe to call from {!Parallel} sweep domains
     (mutex-protected). *)
 
 type bench_entry = {
   be_rate : float;
   be_latency : Drust_obs.Metrics.histo option;
   be_host_ms : float option;
+  be_host_rate : float option;
 }
 
 val recorded_entries : unit -> (string * bench_entry) list
@@ -117,6 +120,10 @@ type summary_entry = {
   se_host_ms : float option;
       (** host wall-clock ms; [None] for v1/v2 entries and for v3 runs
           without [--host-time] *)
+  se_host_rate : float option;
+      (** engine throughput in dispatched events per host second;
+          [None] unless the entry came from a [--host-time] profile
+          run *)
 }
 
 type summary = {
@@ -137,9 +144,11 @@ val compare_summaries :
 (** [compare_summaries ~baseline current]: one description per
     regression — a baseline entry missing from [current], a throughput
     drop below [baseline * (1 - tolerance)], a latency percentile
-    above [baseline * (1 + tolerance)], or a host time above
+    above [baseline * (1 + tolerance)], a host time above
     [baseline * (1 + tolerance_host)] (checked only when both sides
-    carry [host_ms]).  [tolerance] defaults to 0.10; [tolerance_host]
+    carry [host_ms]), or a host engine throughput below
+    [baseline / (1 + tolerance_host)] (both sides carrying
+    [host_events_per_sec]).  [tolerance] defaults to 0.10; [tolerance_host]
     defaults to 2.0 — host time is wall-clock, so only a 3x blowup
     counts as a regression, not scheduler noise.  An empty list means
     no regression. *)

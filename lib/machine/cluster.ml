@@ -6,6 +6,7 @@ module Partition = Drust_memory.Partition
 module Cache = Drust_memory.Cache
 module Metrics = Drust_obs.Metrics
 module Span = Drust_obs.Span
+module Flight = Drust_obs.Flight
 
 type node = {
   id : int;
@@ -27,6 +28,7 @@ type t = {
   rng : Drust_util.Rng.t;
   metrics : Metrics.t;
   spans : Span.t;
+  flight : Flight.t;
   env : Env.t;
       (* per-cluster state of every higher layer (protocol stats,
          listeners, thread registry, ...): dies with the cluster *)
@@ -62,8 +64,12 @@ let create ?engine params =
      or any RNG, so instrumented runs stay bit-identical. *)
   let metrics = Metrics.create () in
   let spans = Span.create ~clock:(fun () -> Engine.now engine) () in
+  (* The flight recorder is always on: a bounded black box behind every
+     layer, dumped on failure for post-mortems (docs/FORENSICS.md).
+     Like the tracer it is purely observational — array stores only. *)
+  let flight = Flight.create ~metrics ~nodes:params.Params.nodes () in
   let fabric =
-    Fabric.create ~metrics ~spans ~engine
+    Fabric.create ~metrics ~spans ~flight ~engine
       ~rng:(Drust_util.Rng.split rng)
       ~model:params.Params.net ~nodes:params.Params.nodes ()
   in
@@ -91,6 +97,7 @@ let create ?engine params =
       rng;
       metrics;
       spans;
+      flight;
       env = Env.create ();
       next_thread_id = Atomic.make 0;
     }
@@ -108,6 +115,7 @@ let params t = t.params
 let rng t = t.rng
 let metrics t = t.metrics
 let spans t = t.spans
+let flight t = t.flight
 
 let node_count t = Array.length t.nodes
 

@@ -53,6 +53,12 @@ val rng : t -> Drust_util.Rng.t
 val metrics : t -> Drust_obs.Metrics.t
 val spans : t -> Drust_obs.Span.t
 
+val flight : t -> Drust_obs.Flight.t
+(** The always-on flight recorder: every layer records compact events
+    into its per-node rings, and failures dump them as
+    [<label>.flight.json] for post-mortem forensics
+    (docs/FORENSICS.md). *)
+
 val node_count : t -> int
 val node : t -> int -> node
 val nodes : t -> node array

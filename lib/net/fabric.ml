@@ -2,6 +2,7 @@ module Engine = Drust_sim.Engine
 module Fault = Drust_sim.Fault
 module Metrics = Drust_obs.Metrics
 module Span = Drust_obs.Span
+module Flight = Drust_obs.Flight
 
 type node_id = int
 
@@ -104,6 +105,11 @@ type t = {
      recent-traffic ring for violation provenance.  Must never touch the
      engine or any RNG. *)
   mutable observer : (string -> from:int -> target:int -> bytes:int -> unit) option;
+  (* The cluster's always-on flight recorder: every verb issue, timeout,
+     retry, drop, and stale-epoch NAK lands in the issuing node's ring.
+     Separate from [observer] — that single slot belongs to DSan, and
+     the black box must keep recording while a sanitizer is attached. *)
+  mutable flight : Flight.t option;
 }
 
 (* Transfers below this size do not contend for the DMA engine. *)
@@ -125,7 +131,7 @@ let register_verbs metrics node =
     c_stale_epochs = c "fabric.stale_epochs";
   }
 
-let create ?metrics ?spans ~engine ~rng ~model ~nodes () =
+let create ?metrics ?spans ?flight ~engine ~rng ~model ~nodes () =
   if nodes <= 0 then invalid_arg "Fabric.create: need at least one node";
   let metrics =
     match metrics with Some m -> m | None -> Metrics.create ()
@@ -145,9 +151,22 @@ let create ?metrics ?spans ~engine ~rng ~model ~nodes () =
     fault = None;
     epoch_of = None;
     observer = None;
+    flight;
   }
 
+(* Flight-recorder append for one fabric event on the issuing node's
+   ring (array stores only — see Flight.record). *)
+let[@inline] fr t ~from ~kind ~a ~b ~c =
+  match t.flight with
+  | None -> ()
+  | Some fl ->
+      Flight.record fl ~node:from ~time:(Engine.now t.engine) ~kind ~a ~b ~c
+        ~d:0
+
+let ep = function Some e -> e | None -> -1
+
 let set_spans t spans = t.spans <- spans
+let set_flight t fl = t.flight <- fl
 let set_delivery_batching t on = t.batching <- on
 let set_observer t o = t.observer <- o
 let set_epoch_source t f = t.epoch_of <- f
@@ -244,6 +263,7 @@ let sync_guard t ~from ~target =
         if Fault.severed p ~from ~target || Fault.drops p ~from ~target then begin
           Metrics.incr t.counters.(from).c_drops;
           mark t "DROP" ~from ~target ~bytes:0;
+          fr t ~from ~kind:Flight.k_fab_drop ~a:target ~b:0 ~c:0;
           blackhole ()
         end
       end
@@ -262,6 +282,7 @@ let async_delivers t ~from ~target =
       then begin
         Metrics.incr t.counters.(from).c_drops;
         mark t "DROP(async)" ~from ~target ~bytes:0;
+        fr t ~from ~kind:Flight.k_fab_drop ~a:target ~b:0 ~c:0;
         false
       end
       else true
@@ -283,6 +304,7 @@ let check_epoch t ~from ~target epoch =
       if seen < current then begin
         Metrics.incr t.counters.(from).c_stale_epochs;
         mark t "STALE_EPOCH" ~from ~target ~bytes:0;
+        fr t ~from ~kind:Flight.k_fab_stale_epoch ~a:target ~b:seen ~c:current;
         raise (Stale_epoch { from; target; seen; current })
       end
   | _ -> ()
@@ -351,6 +373,7 @@ let rdma_read ?parent ?epoch t ~from ~target ~bytes =
   check_node t target "rdma_read";
   Metrics.incr t.counters.(from).c_reads;
   note ~verb:"READ" t ~from ~target ~bytes;
+  fr t ~from ~kind:Flight.k_fab_read ~a:target ~b:bytes ~c:(ep epoch);
   sync_guard t ~from ~target;
   (* READ pulls data out of the target: the target's NIC is the egress. *)
   with_verb_span t "READ" ~from ~target ~bytes ?parent (fun vt ->
@@ -364,6 +387,7 @@ let rdma_write ?parent ?epoch t ~from ~target ~bytes =
   check_node t target "rdma_write";
   Metrics.incr t.counters.(from).c_writes;
   note ~verb:"WRITE" t ~from ~target ~bytes;
+  fr t ~from ~kind:Flight.k_fab_write ~a:target ~b:bytes ~c:(ep epoch);
   sync_guard t ~from ~target;
   (* WRITE pushes data from the sender: its NIC is the egress. *)
   with_verb_span t "WRITE" ~from ~target ~bytes ?parent (fun vt ->
@@ -443,6 +467,7 @@ let rdma_write_async ?parent t ~from ~target ~bytes k =
   check_node t target "rdma_write_async";
   Metrics.incr t.counters.(from).c_writes;
   note ~verb:"WRITE(async)" t ~from ~target ~bytes;
+  fr t ~from ~kind:Flight.k_fab_write ~a:target ~b:bytes ~c:(-1);
   if async_delivers t ~from ~target then begin
     let dt = latency t ~from ~target ~base:t.model.Model.oneside_base ~bytes in
     match t.spans with
@@ -469,6 +494,7 @@ let rdma_atomic ?parent t ~from ~target f =
   check_node t target "rdma_atomic";
   Metrics.incr t.counters.(from).c_atomics;
   note ~verb:"ATOMIC" t ~from ~target ~bytes:8;
+  fr t ~from ~kind:Flight.k_fab_atomic ~a:target ~b:8 ~c:(-1);
   sync_guard t ~from ~target;
   with_verb_span t "ATOMIC" ~from ~target ~bytes:8 ?parent (fun vt ->
       (match vt with
@@ -489,6 +515,8 @@ let rpc ?parent ?epoch t ~from ~target ~req_bytes ~resp_bytes handler =
   check_node t target "rpc";
   Metrics.incr t.counters.(from).c_rpcs;
   note ~verb:"RPC" t ~from ~target ~bytes:(req_bytes + resp_bytes);
+  fr t ~from ~kind:Flight.k_fab_rpc ~a:target ~b:(req_bytes + resp_bytes)
+    ~c:(ep epoch);
   sync_guard t ~from ~target;
   with_verb_span t "RPC" ~from ~target ~bytes:(req_bytes + resp_bytes) ?parent
     (fun vt ->
@@ -543,6 +571,7 @@ let rpc_with_timeout ?parent ?epoch t ~from ~target ~req_bytes ~resp_bytes
   | Expired ->
       Metrics.incr t.counters.(from).c_timeouts;
       mark ?parent t "TIMEOUT" ~from ~target ~bytes:0;
+      fr t ~from ~kind:Flight.k_fab_timeout ~a:target ~b:0 ~c:0;
       raise (Rpc_timeout { from; target; timeout })
 
 (* Retry [op] on Node_down / Rpc_timeout / Stale_epoch with exponential
@@ -567,6 +596,7 @@ let retry_with_backoff ?parent t ~from ?(attempts = 8) ?(base_delay = 50e-6)
         else begin
           Metrics.incr t.counters.(from).c_retries;
           mark ?parent t "RETRY" ~from ~target:from ~bytes:0;
+          fr t ~from ~kind:Flight.k_fab_retry ~a:(n + 1) ~b:0 ~c:0;
           (* +-jitter seeded multiplicative noise decorrelates retry
              storms; the draw happens even at jitter = 0 so turning
              jitter off does not shift the RNG stream. *)
@@ -584,6 +614,7 @@ let send_async ?parent t ~from ~target ~bytes handler =
   check_node t target "send_async";
   Metrics.incr t.counters.(from).c_rpcs;
   note ~verb:"SEND(async)" t ~from ~target ~bytes;
+  fr t ~from ~kind:Flight.k_fab_send ~a:target ~b:bytes ~c:(-1);
   if async_delivers t ~from ~target then begin
     let dt =
       latency t ~from ~target ~base:t.model.Model.twoside_base ~bytes

@@ -38,6 +38,7 @@ exception
 val create :
   ?metrics:Drust_obs.Metrics.t ->
   ?spans:Drust_obs.Span.t ->
+  ?flight:Drust_obs.Flight.t ->
   engine:Drust_sim.Engine.t ->
   rng:Drust_util.Rng.t ->
   model:Model.t ->
@@ -46,7 +47,9 @@ val create :
   t
 (** [metrics] defaults to a fresh private registry; pass the cluster's
     registry so fabric counters land next to everyone else's.  [spans]
-    defaults to none (no tracing). *)
+    defaults to none (no tracing).  [flight] is the cluster's always-on
+    black box: every verb issue, timeout, retry, drop, and stale-epoch
+    NAK is recorded into the issuing node's ring (docs/FORENSICS.md). *)
 
 val engine : t -> Drust_sim.Engine.t
 
@@ -75,6 +78,9 @@ val set_delivery_batching : t -> bool -> unit
     this switch; it exists for A/B testing and diagnostics.  Coalesced
     callbacks still count as logical events in
     [Drust_sim.Engine.dispatched].  See docs/PERFORMANCE.md. *)
+
+val set_flight : t -> Drust_obs.Flight.t option -> unit
+(** Attach or detach the flight recorder after construction. *)
 
 val set_observer :
   t -> (string -> from:int -> target:int -> bytes:int -> unit) option -> unit

@@ -27,5 +27,12 @@ val metrics_jsonl : ?time:float -> Metrics.snapshot -> string
 
 val write_metrics_jsonl : ?time:float -> path:string -> Metrics.snapshot -> unit
 
+val parse_metrics_jsonl : string -> Metrics.snapshot
+(** Read a {!metrics_jsonl} dump back: one sample per non-blank line.
+    Non-finite numbers (["inf"] bucket bounds, ["nan"] min/max of empty
+    histograms) are accepted in their string encoding.  Raises
+    [Failure] on malformed lines ([Drust_util.Json.Parse_error] on
+    lines that are not JSON at all). *)
+
 val json_escape : string -> string
 (** JSON string-body escaping (exposed for the tests). *)

@@ -2,6 +2,7 @@ module Params = Drust_machine.Params
 module Cluster = Drust_machine.Cluster
 module Fault = Drust_sim.Fault
 module Metrics = Drust_obs.Metrics
+module Flight = Drust_obs.Flight
 module Json = Drust_util.Json
 module Rng = Drust_util.Rng
 module Ycsb = Drust_workloads.Ycsb
@@ -784,6 +785,26 @@ let install_faults ~cluster ~nodes faults =
   let plan =
     Fault.create ~engine ~rng:(Rng.create ~seed:faults.fault_seed) ~nodes ()
   in
+  (* Echo every injection into the flight recorder (on the controller's
+     ring, stamped with the fault's scheduled time) so a post-mortem dump
+     shows what the plan threw at the run.  Installed before the events
+     are declared so the declarations themselves are recorded. *)
+  let fl = Cluster.flight cluster in
+  Fault.set_recorder plan
+    (Some
+       (function
+         | Fault.Inj_crash { node; at } ->
+             Flight.record fl ~node:0 ~time:at ~kind:Flight.k_fault_crash
+               ~a:node ~b:0 ~c:0 ~d:0
+         | Fault.Inj_partition { group; at; heal_at = _ } ->
+             Flight.record fl ~node:0 ~time:at ~kind:Flight.k_fault_partition
+               ~a:(match group with n :: _ -> n | [] -> -1)
+               ~b:(List.length group) ~c:0 ~d:0
+         | Fault.Inj_degrade { from_node; target; drop } ->
+             Flight.record fl ~node:0 ~time:0.0 ~kind:Flight.k_fault_degrade
+               ~a:from_node ~b:target
+               ~c:(int_of_float (drop *. 1000.0))
+               ~d:0));
   List.iter
     (function
       | Crash { node; at } -> Fault.crash_at plan ~node ~at
@@ -835,6 +856,9 @@ let execute ?(sanitize = false) t =
              t.name)
   in
   let cluster = Cluster.create (params_of s.topology) in
+  (* The flight recorder's dump stem is the plan name, so a failing run
+     leaves [<name>.flight.json] next to the plan that provoked it. *)
+  Flight.set_label (Cluster.flight cluster) t.name;
   (* A local sanitizer: each concurrently-executing plan owns its own
      shadow state, so fuzz batches can fan out over domains. *)
   let dsan = if sanitize then Some (Dsan.attach cluster) else None in
@@ -861,6 +885,12 @@ let execute ?(sanitize = false) t =
     in
     { plan = t; result; violations }
   in
+  (* Any exception escaping the workload — expectation failures, injected
+     chaos the harness did not survive, plain bugs — dumps the black box
+     before unwinding (docs/FORENSICS.md). *)
+  Flight.guard (Cluster.flight cluster)
+    ~now:(fun () -> Cluster.now cluster)
+  @@ fun () ->
   match s.workload with
   | App_run { app; affinity; pass_by_value } ->
       let backend = make_backend s.system cluster in

@@ -45,6 +45,7 @@ module Partition = Drust_memory.Partition
 module Cache = Drust_memory.Cache
 module Metrics = Drust_obs.Metrics
 module Span = Drust_obs.Span
+module Flight = Drust_obs.Flight
 
 type node_state = Active | Standby | Failed
 
@@ -104,6 +105,15 @@ let set_listener cluster f = listener_cell cluster := f
 
 let[@inline] with_listener ctx cluster k =
   match !(listener_cell cluster) with None -> () | Some f -> k (f ctx)
+
+(* Membership transitions land in the flight recorder too, on the acting
+   node's ring — array stores only, recorded next to the listener emit. *)
+let[@inline] fr ctx t ~kind ~a ~b ~c ~d =
+  Flight.record
+    (Cluster.flight t.cluster)
+    ~node:ctx.Ctx.node
+    ~time:(Engine.now (Cluster.engine t.cluster))
+    ~kind ~a ~b ~c ~d
 
 let mark t name ~node =
   let sp = Cluster.spans t.cluster in
@@ -185,6 +195,7 @@ let announce ctx t =
 let bump_view ctx t reason =
   t.epoch <- t.epoch + 1;
   Metrics.incr t.c_view_changes;
+  fr ctx t ~kind:Flight.k_view_change ~a:t.epoch ~b:0 ~c:0 ~d:0;
   with_listener ctx t.cluster (fun emit ->
       emit (View_change { epoch = t.epoch; reason }));
   announce ctx t
@@ -265,6 +276,8 @@ let handoff ctx t ~home ~to_node =
     let now = Engine.now (Cluster.engine t.cluster) in
     t.in_flight <- Some { ho_home = home; ho_from = from_node; ho_to = to_node; ho_started = now };
     mark t "HANDOFF_PREPARE" ~node:home;
+    fr ctx t ~kind:Flight.k_handoff_prepare ~a:home ~b:from_node ~c:to_node
+      ~d:0;
     with_listener ctx t.cluster (fun emit ->
         emit (Handoff_prepared { home; from_node; to_node }));
     let fabric = Cluster.fabric t.cluster in
@@ -290,6 +303,8 @@ let handoff ctx t ~home ~to_node =
         t.in_flight <- None;
         Metrics.incr t.c_aborts;
         mark t "HANDOFF_ABORT" ~node:home;
+        fr ctx t ~kind:Flight.k_handoff_abort ~a:home ~b:from_node ~c:to_node
+          ~d:0;
         let reason = Printexc.to_string e in
         with_listener ctx t.cluster (fun emit ->
             emit (Handoff_aborted { home; from_node; to_node; reason }));
@@ -318,11 +333,15 @@ let handoff ctx t ~home ~to_node =
         Metrics.incr t.c_commits;
         Metrics.incr t.c_view_changes;
         mark t "HANDOFF_COMMIT" ~node:home;
+        fr ctx t ~kind:Flight.k_handoff_commit ~a:home ~b:from_node ~c:to_node
+          ~d:t.epoch;
         with_listener ctx t.cluster (fun emit ->
             emit
               (Handoff_committed { home; from_node; to_node; epoch = t.epoch }));
         announce ctx t;
         let hosts = Replication.reseed_chain ctx t.replication ~home in
+        fr ctx t ~kind:Flight.k_chain_reseed ~a:home ~b:to_node
+          ~c:(List.length hosts) ~d:0;
         with_listener ctx t.cluster (fun emit ->
             emit (Chain_reseeded { home; server = to_node; hosts }));
         Ok ()

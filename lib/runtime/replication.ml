@@ -5,8 +5,16 @@ module Gaddr = Drust_memory.Gaddr
 module Partition = Drust_memory.Partition
 module Cache = Drust_memory.Cache
 module Protocol = Drust_core.Protocol
+module Flight = Drust_obs.Flight
 
 type dirty = { size : int; value : Drust_util.Univ.t }
+
+(* Failover milestones also land in the flight recorder (array stores
+   only), recorded next to the listener emits below. *)
+let[@inline] fr ctx cluster ~kind ~a ~b ~c =
+  Flight.record (Cluster.flight cluster) ~node:ctx.Ctx.node
+    ~time:(Drust_sim.Engine.now (Cluster.engine cluster))
+    ~kind ~a ~b ~c ~d:0
 
 type t = {
   cluster : Cluster.t;
@@ -142,6 +150,7 @@ let fail_and_promote ctx t ~node =
   in
   List.iter (Hashtbl.remove t.pending) lost;
   Cluster.mark_failed t.cluster node;
+  fr ctx t.cluster ~kind:Flight.k_node_failed ~a:node ~b:0 ~c:0;
   with_listener ctx t.cluster (fun emit -> emit (Node_failed { node }));
   (* Re-serve every range whose current server just died (including the
      failed node's own range) from its first replica on an alive host. *)
@@ -177,6 +186,7 @@ let fail_and_promote ctx t ~node =
               if nd.Cluster.alive then
                 ignore (Cache.invalidate_home nd.Cluster.cache ~home))
             (Cluster.nodes t.cluster);
+          fr ctx t.cluster ~kind:Flight.k_promoted ~a:home ~b:by ~c:r;
           with_listener ctx t.cluster (fun emit ->
               emit (Promoted { home; by; replica = r }))
     end

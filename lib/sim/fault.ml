@@ -19,6 +19,14 @@ type crash = { node : int; at : float }
    endpoints fall on different sides of [members] are blackholed. *)
 type cut = { members : bool array; from_t : float; until : float }
 
+(* What an injection call declared, reported to the recorder hook below.
+   This layer cannot depend on the observability library, so the flight
+   recorder subscribes through a plain callback instead. *)
+type injection =
+  | Inj_crash of { node : int; at : float }
+  | Inj_partition of { group : int list; at : float; heal_at : float }
+  | Inj_degrade of { from_node : int; target : int; drop : float }
+
 type t = {
   engine : Engine.t;
   rng : Rng.t;
@@ -27,6 +35,7 @@ type t = {
   mutable crashes : crash list;
   mutable cuts : cut list;
   links : link option array array; (* links.(from).(target) *)
+  mutable recorder : (injection -> unit) option;
 }
 
 let create ?(nak_delay = 15e-6) ~engine ~rng ~nodes () =
@@ -40,7 +49,13 @@ let create ?(nak_delay = 15e-6) ~engine ~rng ~nodes () =
     crashes = [];
     cuts = [];
     links = Array.make_matrix nodes nodes None;
+    recorder = None;
   }
+
+let set_recorder t r = t.recorder <- r
+
+let[@inline] notify t inj =
+  match t.recorder with None -> () | Some f -> f inj
 
 let check_node t n label =
   if n < 0 || n >= t.nodes then
@@ -49,7 +64,8 @@ let check_node t n label =
 let crash_at t ~node ~at =
   check_node t node "crash_at";
   if at < 0.0 then invalid_arg "Fault.crash_at: negative time";
-  t.crashes <- { node; at } :: t.crashes
+  t.crashes <- { node; at } :: t.crashes;
+  notify t (Inj_crash { node; at })
 
 let partition_at t ~group ~at ~heal_at =
   if heal_at <= at then invalid_arg "Fault.partition_at: empty window";
@@ -59,7 +75,8 @@ let partition_at t ~group ~at ~heal_at =
       check_node t n "partition_at";
       members.(n) <- true)
     group;
-  t.cuts <- { members; from_t = at; until = heal_at } :: t.cuts
+  t.cuts <- { members; from_t = at; until = heal_at } :: t.cuts;
+  notify t (Inj_partition { group; at; heal_at })
 
 (* A short-lived cut expressed by duration: the common shape for testing
    detector grace periods ("does a partition shorter than the declare
@@ -76,7 +93,8 @@ let degrade_link t ~from ~target ?(drop = 0.0) ?(extra_latency = 0.0)
   if drop < 0.0 || drop > 1.0 then invalid_arg "Fault.degrade_link: drop not a probability";
   if extra_latency < 0.0 || jitter < 0.0 then
     invalid_arg "Fault.degrade_link: negative latency";
-  t.links.(from).(target) <- Some { drop; extra_latency; jitter }
+  t.links.(from).(target) <- Some { drop; extra_latency; jitter };
+  notify t (Inj_degrade { from_node = from; target; drop })
 
 let now t = Engine.now t.engine
 

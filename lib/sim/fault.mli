@@ -11,6 +11,14 @@
 
 type t
 
+type injection =
+  | Inj_crash of { node : int; at : float }
+  | Inj_partition of { group : int list; at : float; heal_at : float }
+  | Inj_degrade of { from_node : int; target : int; drop : float }
+      (** What an injection call declared — the shape handed to the
+          {!set_recorder} hook.  [Inj_degrade.drop] is the message-loss
+          probability (latency impairments are not echoed). *)
+
 val create :
   ?nak_delay:float ->
   engine:Engine.t ->
@@ -21,6 +29,13 @@ val create :
 (** An empty plan (no faults).  [nak_delay] (default 15 µs) is the
     simulated transport retry period a verb burns before completing in
     error against a crashed node. *)
+
+val set_recorder : t -> (injection -> unit) option -> unit
+(** Observational hook fired once per injection call, synchronously, with
+    the declared fault.  The simulation layer cannot see the
+    observability library, so the flight recorder (lib/obs) subscribes
+    here through a plain callback.  The hook must never touch the engine
+    or any RNG. *)
 
 (** {1 Injecting faults} *)
 

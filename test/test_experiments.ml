@@ -216,11 +216,12 @@ let test_summary_v1_readable () =
          with Failure _ -> true))
 
 let test_summary_regression_detection () =
-  let entry ?host_ms rate p99 =
+  let entry ?host_ms ?host_rate rate p99 =
     {
       E.Report.se_rate = rate;
       se_latency_us = [ ("p50", 1.0); ("p99", p99) ];
       se_host_ms = host_ms;
+      se_host_rate = host_rate;
     }
   in
   let summary entries =
@@ -263,7 +264,18 @@ let test_summary_regression_detection () =
   let h_absent = summary [ ("a", entry 100.0 10.0) ] in
   Alcotest.(check (list string)) "absent host_ms never compared" []
     (E.Report.compare_summaries ~baseline:hb h_absent
-    @ E.Report.compare_summaries ~baseline:h_absent h_blown)
+    @ E.Report.compare_summaries ~baseline:h_absent h_blown);
+  (* Host engine throughput gates in the lower-is-worse direction with
+     the same loose tolerance: a 2.9x slowdown passes, 3.1x fails. *)
+  let rb = summary [ ("a", entry ~host_rate:3.0e6 100.0 10.0) ] in
+  let r_noisy = summary [ ("a", entry ~host_rate:1.05e6 100.0 10.0) ] in
+  Alcotest.(check (list string)) "host rate noise tolerated" []
+    (E.Report.compare_summaries ~baseline:rb r_noisy);
+  let r_blown = summary [ ("a", entry ~host_rate:0.95e6 100.0 10.0) ] in
+  Alcotest.(check int) "host rate collapse flagged" 1
+    (List.length (E.Report.compare_summaries ~baseline:rb r_blown));
+  Alcotest.(check (list string)) "tolerance-host widens the rate gate" []
+    (E.Report.compare_summaries ~tolerance_host:4.0 ~baseline:rb r_blown)
 
 let test_failover_percentiles_shape () =
   let mk seed detection recovery =

@@ -281,6 +281,63 @@ let test_metrics_jsonl_shape () =
          && Astring.String.is_infix ~affix:{|"count":1|} l)
        lines)
 
+(* The JSONL dump must read back through the shared lib/util/json
+   parser as the identical snapshot — including the "inf" overflow
+   bucket bound, which JSON cannot spell as a number. *)
+let test_metrics_jsonl_roundtrip () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m ~labels:[ ("node", "3") ] ~unit_:"ops" "t.c" in
+  Metrics.add c 7;
+  Metrics.set (Metrics.gauge m "t.g") 1.5;
+  let h = Metrics.histogram m ~buckets:[| 1.0; 10.0 |] ~unit_:"us" "t.h" in
+  List.iter (Metrics.observe h) [ 0.5; 5.0; 50.0 ];
+  let h2 =
+    Metrics.histogram m ~buckets:[| 0.25 |] ~labels:[ ("op", "read") ] "t.h2"
+  in
+  Metrics.observe h2 0.125;
+  let snap = Metrics.snapshot m in
+  let parsed = Export.parse_metrics_jsonl (Export.metrics_jsonl snap) in
+  Alcotest.(check int) "same sample count" (List.length snap)
+    (List.length parsed);
+  List.iter2
+    (fun (a : Metrics.sample) (b : Metrics.sample) ->
+      Alcotest.(check string) "name" a.Metrics.s_name b.Metrics.s_name;
+      Alcotest.(check bool)
+        (a.Metrics.s_name ^ " roundtrips structurally")
+        true (a = b))
+    snap parsed;
+  (* The ~time stamp is presentation-only and must not break reading. *)
+  let stamped = Export.parse_metrics_jsonl (Export.metrics_jsonl ~time:2.5 snap) in
+  Alcotest.(check bool) "time-stamped dump reads back" true (stamped = snap);
+  (* Malformed lines are rejected, not silently dropped. *)
+  Alcotest.(check bool) "missing type raises" true
+    (try
+       ignore (Export.parse_metrics_jsonl {|{"name":"x","labels":{}}|});
+       false
+     with Failure _ -> true)
+
+let test_chrome_trace_thread_metadata () =
+  let now, clock = manual_clock () in
+  let t = Span.create ~clock () in
+  Span.enable t;
+  Span.instant t ~track:2 ~category:"n" "a";
+  now := 1.0;
+  Span.instant t ~track:11 ~category:"n" "b";
+  let json = Export.chrome_trace t in
+  check_balanced_json json;
+  List.iter
+    (fun affix ->
+      Alcotest.(check bool) ("has " ^ affix) true
+        (Astring.String.is_infix ~affix json))
+    [
+      {|"name":"process_name"|};
+      {|"name":"thread_name"|};
+      {|"name":"node 2"|};
+      {|"name":"node 11"|};
+      {|"name":"thread_sort_index"|};
+      {|"sort_index":11|};
+    ]
+
 let test_json_escape () =
   Alcotest.(check string) "quotes and control chars" {|a\"b\\c\nd|}
     (Export.json_escape "a\"b\\c\nd")
@@ -660,6 +717,10 @@ let () =
           Alcotest.test_case "chrome trace shape" `Quick test_chrome_trace_shape;
           Alcotest.test_case "metrics jsonl shape" `Quick
             test_metrics_jsonl_shape;
+          Alcotest.test_case "metrics jsonl roundtrip" `Quick
+            test_metrics_jsonl_roundtrip;
+          Alcotest.test_case "chrome thread metadata" `Quick
+            test_chrome_trace_thread_metadata;
           Alcotest.test_case "json escape" `Quick test_json_escape;
         ] );
       ( "quantile",

@@ -25,7 +25,10 @@
    8. the SimPlan schema table in docs/SIMPLAN.md and the codec
       ([Simplan.field_names]) agree in both directions: every JSON
       field the codec reads or writes is documented, and every field
-      the table's rows open with exists in the codec. *)
+      the table's rows open with exists in the codec;
+   9. the flight-dump schema tables in docs/FORENSICS.md and the codec
+      ([Flight.field_names]) agree in both directions, and the doc
+      names the dump schema tag ([Flight.schema]). *)
 
 let errors = ref []
 let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt
@@ -140,7 +143,8 @@ let check_catalogue () =
          List.exists
            (fun p -> String.length name > String.length p
                      && String.sub name 0 (String.length p) = p)
-           [ "fabric."; "cache."; "protocol."; "controller."; "dsan." ]
+           [ "fabric."; "cache."; "protocol."; "controller."; "dsan.";
+             "flight." ]
        in
        if is_metric_prefix && not (List.mem name registered) then
          err "%s documents metric %s, which is not registered" doc name
@@ -327,6 +331,55 @@ let check_simplan_schema () =
        err "%s does not name the plan envelope schema %S" doc tag)
   end
 
+(* --- 9: the flight-dump schema tables ------------------------------ *)
+
+(* Same row shape as check 8: a schema-table row opens with the
+   backtick-quoted field name ("| `reason` | ...").  The single-letter
+   payload fields (t/a/b/c/d) match the same regex. *)
+let check_flight_schema () =
+  let doc = "docs/FORENSICS.md" in
+  if not (Sys.file_exists doc) then
+    err "%s is missing (the flight-recorder / post-mortem guide)" doc
+  else begin
+    let index = read_file "docs/README.md" in
+    (try ignore (Str.search_forward (Str.regexp_string "FORENSICS.md") index 0)
+     with Not_found -> err "docs/README.md does not link to %s" doc);
+    let text = read_file doc in
+    let fields = Drust_obs.Flight.field_names in
+    (* Forward: every codec field has a schema-table row. *)
+    List.iter
+      (fun name ->
+        let quoted = "| `" ^ name ^ "`" in
+        let found =
+          try
+            ignore (Str.search_forward (Str.regexp_string quoted) text 0);
+            true
+          with Not_found -> false
+        in
+        if not found then
+          err "dump field %s is read/written by lib/obs/flight.ml but has \
+               no schema-table row in %s"
+            name doc)
+      fields;
+    (* Reverse: every field a schema-table row opens with is a codec
+       field. *)
+    let pos = ref 0 in
+    (try
+       while true do
+         pos := Str.search_forward plan_row_re text !pos + 1;
+         let name = Str.matched_group 1 text in
+         if name <> "field" && not (List.mem name fields) then
+           err "%s documents dump field %s, which the flight codec does not \
+                read or write"
+             doc name
+       done
+     with Not_found -> ());
+    (* The doc also states the dump's own schema tag. *)
+    let tag = Drust_obs.Flight.schema in
+    try ignore (Str.search_forward (Str.regexp_string tag) text 0)
+    with Not_found -> err "%s does not name the dump schema %S" doc tag
+  end
+
 let () =
   check_index ();
   List.iter
@@ -339,6 +392,7 @@ let () =
   check_performance_guide ();
   check_lint_catalogue ();
   check_simplan_schema ();
+  check_flight_schema ();
   match List.rev !errors with
   | [] -> print_endline "docs check: OK"
   | msgs ->
